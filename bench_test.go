@@ -1,0 +1,171 @@
+// Benchmarks that regenerate every table and figure of the paper's
+// evaluation (§6). Each benchmark runs the corresponding experiment
+// harness at the Quick configuration (same structure as the paper runs,
+// reduced compute) and reports the headline quantity as a custom metric,
+// so `go test -bench=. -benchmem` doubles as a results smoke-check.
+//
+// The full-scale numbers recorded in EXPERIMENTS.md come from
+// `go run ./cmd/solarsched all`.
+package solarsched_test
+
+import (
+	"testing"
+
+	"solarsched"
+	"solarsched/internal/experiments"
+	"solarsched/internal/task"
+)
+
+// BenchmarkFig5RegulatorCurves regenerates Figure 5 (regulator efficiency
+// vs capacitor voltage).
+func BenchmarkFig5RegulatorCurves(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, series := experiments.Fig5()
+		if len(tbl.Rows) == 0 || len(series) != 2 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+// BenchmarkFig7SolarDays regenerates Figure 7 (four representative days).
+func BenchmarkFig7SolarDays(b *testing.B) {
+	var sunny float64
+	for i := 0; i < b.N; i++ {
+		_, tr := experiments.Fig7()
+		sunny = tr.DayEnergy(0)
+	}
+	b.ReportMetric(sunny, "sunnyDayJ")
+}
+
+// BenchmarkTable2Migration regenerates Table 2 (migration efficiencies,
+// model vs reference).
+func BenchmarkTable2Migration(b *testing.B) {
+	var res experiments.Table2Result
+	for i := 0; i < b.N; i++ {
+		_, res = experiments.Table2()
+	}
+	b.ReportMetric(100*res.AvgError, "avgErr%")
+	b.ReportMetric(100*res.MaxSpread, "spread%")
+}
+
+// BenchmarkFig8DMR regenerates Figure 8 on one real benchmark (ECG) at the
+// quick scale: offline sizing + DP + DBN training, then the four-scheduler
+// four-day comparison.
+func BenchmarkFig8DMR(b *testing.B) {
+	cfg := experiments.Quick()
+	var res *experiments.Fig8Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, res, err = experiments.Fig8(cfg, []*task.Graph{task.ECG()})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*res.Avg["ECG"]["Proposed"], "proposedDMR%")
+	b.ReportMetric(100*res.Avg["ECG"]["Inter-task"], "interDMR%")
+	b.ReportMetric(100*res.Avg["ECG"]["Optimal"], "optimalDMR%")
+}
+
+// BenchmarkFig9Monthly regenerates Figure 9 (monthly DMR and energy
+// utilization, WAM) at the quick scale.
+func BenchmarkFig9Monthly(b *testing.B) {
+	cfg := experiments.Quick()
+	var res *experiments.Fig9Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, res, err = experiments.Fig9(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*res.DMR["Proposed"], "proposedDMR%")
+	b.ReportMetric(100*res.DirectUse["Proposed"], "proposedUtil%")
+	b.ReportMetric(100*res.DirectUse["Inter-task"], "interUtil%")
+}
+
+// BenchmarkFig10aPrediction regenerates Figure 10(a) (prediction-length
+// sweep) at the quick scale.
+func BenchmarkFig10aPrediction(b *testing.B) {
+	cfg := experiments.Quick()
+	var res []experiments.Fig10aResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, res, err = experiments.Fig10a(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*res[0].DMR, "shortDMR%")
+	b.ReportMetric(100*res[len(res)-1].DMR, "longDMR%")
+}
+
+// BenchmarkFig10bCapCount regenerates Figure 10(b) (capacitor count sweep).
+func BenchmarkFig10bCapCount(b *testing.B) {
+	cfg := experiments.Quick()
+	var res []experiments.Fig10bResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, res, err = experiments.Fig10b(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*res[0].MigrationEff, "H1eff%")
+	b.ReportMetric(100*res[len(res)-1].MigrationEff, "Hmaxeff%")
+}
+
+// BenchmarkOverhead regenerates the §6.5 on-node cost table.
+func BenchmarkOverhead(b *testing.B) {
+	cfg := experiments.Default()
+	var res []experiments.OverheadResult
+	for i := 0; i < b.N; i++ {
+		_, res = experiments.Overhead(cfg)
+	}
+	for _, r := range res {
+		if r.Benchmark == "WAM" {
+			b.ReportMetric(r.Coarse.Seconds, "coarse-s")
+			b.ReportMetric(r.Fine.Seconds, "fine-s")
+			b.ReportMetric(100*r.EnergyFraction, "energy%")
+		}
+	}
+}
+
+// BenchmarkAblationDVFS regenerates the DVFS load-tuning ablation.
+func BenchmarkAblationDVFS(b *testing.B) {
+	cfg := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationDVFS(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationPredictor regenerates the solar-predictor ablation of
+// the Inter-task baseline.
+func BenchmarkAblationPredictor(b *testing.B) {
+	cfg := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationPredictor(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineDay measures the raw simulator throughput: one full day
+// of the WAM workload under the intra-task baseline.
+func BenchmarkEngineDay(b *testing.B) {
+	tr := solarsched.RepresentativeDays(solarsched.DefaultTimeBase(4)).SliceDays(0, 1)
+	g := solarsched.WAM()
+	eng, err := solarsched.NewEngine(solarsched.EngineConfig{
+		Trace: tr, Graph: g, Capacitances: []float64{25},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Run(solarsched.NewIntraMatch(g)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

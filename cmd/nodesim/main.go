@@ -1,0 +1,314 @@
+// Command nodesim runs the simulated sensor node on user-supplied
+// workloads: export or author a workload JSON, train the long-term
+// scheduler's network offline, and simulate any scheduler over any trace.
+//
+// Usage:
+//
+//	nodesim workload -benchmark wam -o wam.json
+//	nodesim size     -workload wam.json -days 16 -seed 777 -h 4
+//	nodesim train    -workload wam.json -days 16 -seed 777 -bank 2,10,50 -o model.json
+//	nodesim run      -workload wam.json -scheduler proposed -model model.json -bank 2,10,50 [-trace t.csv]
+//	nodesim run      -workload wam.json -scheduler intra -bank 25
+//
+// Schedulers: asap, inter, intra, dvfs, optimal, proposed.
+// Without -trace, the four representative days are simulated.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"solarsched/internal/ann"
+	"solarsched/internal/core"
+	"solarsched/internal/dvfs"
+	"solarsched/internal/sched"
+	"solarsched/internal/sim"
+	"solarsched/internal/sizing"
+	"solarsched/internal/solar"
+	"solarsched/internal/supercap"
+	"solarsched/internal/task"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "workload":
+		err = workloadCmd(os.Args[2:])
+	case "size":
+		err = sizeCmd(os.Args[2:])
+	case "train":
+		err = trainCmd(os.Args[2:])
+	case "run":
+		err = runCmd(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nodesim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func workloadCmd(args []string) error {
+	fs := flag.NewFlagSet("workload", flag.ExitOnError)
+	name := fs.String("benchmark", "wam", "builtin benchmark to export (wam, ecg, shm, random1..3)")
+	out := fs.String("o", "", "output path (default stdout)")
+	fs.Parse(args)
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return workloadCmdTo(w, *name)
+}
+
+// workloadCmdTo writes the named builtin benchmark as workload JSON.
+func workloadCmdTo(w io.Writer, name string) error {
+	var g *task.Graph
+	switch strings.ToLower(name) {
+	case "wam":
+		g = task.WAM()
+	case "ecg":
+		g = task.ECG()
+	case "shm":
+		g = task.SHM()
+	case "random1", "random2", "random3":
+		g = task.RandomCase(int(name[len(name)-1] - '0'))
+	default:
+		return fmt.Errorf("unknown benchmark %q", name)
+	}
+	return g.WriteJSON(w)
+}
+
+func loadWorkload(path string, periodSeconds float64) (*task.Graph, error) {
+	if path == "" {
+		return nil, fmt.Errorf("-workload is required")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return task.ReadJSON(f, periodSeconds)
+}
+
+func parseBank(s string) ([]float64, error) {
+	if s == "" {
+		return nil, fmt.Errorf("-bank is required (e.g. -bank 2,10,50)")
+	}
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		c, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || c <= 0 {
+			return nil, fmt.Errorf("bad capacitance %q", part)
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+func trainingTrace(days int, seed uint64) (*solar.Trace, error) {
+	return solar.Generate(solar.GenConfig{Base: solar.DefaultTimeBase(days), Seed: seed})
+}
+
+func sizeCmd(args []string) error {
+	fs := flag.NewFlagSet("size", flag.ExitOnError)
+	workload := fs.String("workload", "", "workload JSON path")
+	days := fs.Int("days", 16, "training history length (days)")
+	seed := fs.Uint64("seed", 777, "training trace seed")
+	h := fs.Int("h", 4, "number of distributed capacitors")
+	fs.Parse(args)
+
+	tb := solar.DefaultTimeBase(*days)
+	g, err := loadWorkload(*workload, tb.PeriodSeconds())
+	if err != nil {
+		return err
+	}
+	tr, err := trainingTrace(*days, *seed)
+	if err != nil {
+		return err
+	}
+	bank := sizing.SizeBank(tr, g, *h, supercap.DefaultParams(), sim.DefaultDirectEff)
+	eff := sizing.BankMigrationEfficiency(tr, g, bank, supercap.DefaultParams(), sim.DefaultDirectEff)
+	parts := make([]string, len(bank))
+	for i, c := range bank {
+		parts[i] = fmt.Sprintf("%.2f", c)
+	}
+	fmt.Printf("bank: %s F\nmigration efficiency over history: %.1f%%\n",
+		strings.Join(parts, ","), 100*eff)
+	return nil
+}
+
+func trainCmd(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	workload := fs.String("workload", "", "workload JSON path")
+	days := fs.Int("days", 16, "training history length (days)")
+	seed := fs.Uint64("seed", 777, "training trace seed")
+	bankStr := fs.String("bank", "", "comma-separated capacitances (F)")
+	out := fs.String("o", "model.json", "model output path")
+	fs.Parse(args)
+
+	tb := solar.DefaultTimeBase(*days)
+	g, err := loadWorkload(*workload, tb.PeriodSeconds())
+	if err != nil {
+		return err
+	}
+	bank, err := parseBank(*bankStr)
+	if err != nil {
+		return err
+	}
+	tr, err := trainingTrace(*days, *seed)
+	if err != nil {
+		return err
+	}
+	pc := core.DefaultPlanConfig(g, tb, bank)
+	net, loss, err := core.Train(pc, tr, core.DefaultTrainOptions())
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := net.WriteJSON(f); err != nil {
+		return err
+	}
+	fmt.Printf("trained on %d days (final loss %.3f), model written to %s\n", *days, loss, *out)
+	return nil
+}
+
+func runCmd(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	workload := fs.String("workload", "", "workload JSON path")
+	schedName := fs.String("scheduler", "intra", "asap | inter | intra | dvfs | optimal | proposed")
+	model := fs.String("model", "", "model JSON (required for proposed)")
+	bankStr := fs.String("bank", "", "comma-separated capacitances (F)")
+	tracePath := fs.String("trace", "", "solar trace CSV (default: four representative days)")
+	logPath := fs.String("log", "", "write a per-slot state log (CSV) to this path")
+	fs.Parse(args)
+
+	var tr *solar.Trace
+	if *tracePath == "" {
+		tr = solar.RepresentativeDays(solar.DefaultTimeBase(4))
+	} else {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			return err
+		}
+		var rerr error
+		tr, rerr = solar.ReadCSV(f)
+		f.Close()
+		if rerr != nil {
+			return rerr
+		}
+	}
+	g, err := loadWorkload(*workload, tr.Base.PeriodSeconds())
+	if err != nil {
+		return err
+	}
+	bank, err := parseBank(*bankStr)
+	if err != nil {
+		return err
+	}
+
+	var s sim.Scheduler
+	switch strings.ToLower(*schedName) {
+	case "asap":
+		s = sched.NewASAP(g)
+	case "inter":
+		s = sched.NewInterLSA(g, tr.Base, sim.DefaultDirectEff)
+	case "intra":
+		s = sched.NewIntraMatch(g)
+	case "dvfs":
+		s = dvfs.NewLoadTune(g)
+	case "optimal":
+		pc := core.DefaultPlanConfig(g, tr.Base, bank)
+		s, err = core.NewClairvoyant(pc, tr, 48)
+		if err != nil {
+			return err
+		}
+	case "proposed":
+		if *model == "" {
+			return fmt.Errorf("-model is required for the proposed scheduler")
+		}
+		f, err := os.Open(*model)
+		if err != nil {
+			return err
+		}
+		net, rerr := ann.ReadJSON(f)
+		f.Close()
+		if rerr != nil {
+			return rerr
+		}
+		pc := core.DefaultPlanConfig(g, tr.Base, bank)
+		s, err = core.NewProposed(pc, net)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown scheduler %q", *schedName)
+	}
+
+	eng, err := sim.New(sim.Config{Trace: tr, Graph: g, Capacitances: bank})
+	if err != nil {
+		return err
+	}
+	var rec sim.Recorder
+	var logRec *sim.CSVRecorder
+	if *logPath != "" {
+		lf, err := os.Create(*logPath)
+		if err != nil {
+			return err
+		}
+		defer lf.Close()
+		logRec = sim.NewCSVRecorder(lf)
+		rec = logRec
+	}
+	res, err := eng.RunRecorded(s, rec)
+	if err != nil {
+		return err
+	}
+	if logRec != nil {
+		if err := logRec.Flush(); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("scheduler: %s\nworkload:  %s (%d tasks, %d NVPs)\ntrace:     %d days, %.0f J harvest\n\n",
+		s.Name(), g.Name, g.N(), g.NumNVPs, tr.Base.Days, tr.TotalEnergy())
+	fmt.Printf("deadline miss rate: %.1f%% (%d of %d task instances)\n",
+		100*res.DMR(), res.MissedTasks(), res.TotalTasks())
+	fmt.Printf("energy: delivered %.0f J of %.0f J harvested (util %.1f%%, direct-use %.1f%%)\n",
+		res.Delivered, res.Harvested, 100*res.EnergyUtilization(), 100*res.DirectUseRatio())
+	fmt.Printf("storage: banked %.0f J, drew %.0f J, leaked %.0f J, %d capacitor switches\n",
+		res.StoredIn, res.DrawnOut, res.Leaked, res.CapSwitches)
+	for d := 0; d < tr.Base.Days; d++ {
+		fmt.Printf("  day %2d: DMR %.1f%%\n", d+1, 100*res.DayDMR(d))
+	}
+	return nil
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `nodesim — simulate the solar node on custom workloads
+
+usage:
+  nodesim workload -benchmark wam -o wam.json
+  nodesim size     -workload wam.json [-days N] [-seed S] [-h H]
+  nodesim train    -workload wam.json -bank 2,10,50 [-days N] [-seed S] [-o model.json]
+  nodesim run      -workload wam.json -scheduler NAME -bank 2,10,50 [-model model.json] [-trace t.csv] [-log slots.csv]
+`)
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseBank(t *testing.T) {
+	got, err := parseBank("2, 10,50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 2 || got[1] != 10 || got[2] != 50 {
+		t.Fatalf("parseBank = %v", got)
+	}
+	for _, bad := range []string{"", "abc", "1,-2", "0"} {
+		if _, err := parseBank(bad); err == nil {
+			t.Errorf("parseBank(%q) accepted", bad)
+		}
+	}
+}
+
+func TestLoadWorkloadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "w.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := workloadCmdTo(f, "ecg"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	g, err := loadWorkload(path, 1800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name != "ECG" || g.N() != 6 {
+		t.Fatalf("loaded %s with %d tasks", g.Name, g.N())
+	}
+	if _, err := loadWorkload("", 1800); err == nil {
+		t.Error("empty path accepted")
+	}
+	if _, err := loadWorkload(filepath.Join(dir, "missing.json"), 1800); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestTrainingTraceDeterministic(t *testing.T) {
+	a, err := trainingTrace(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := trainingTrace(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalEnergy() != b.TotalEnergy() {
+		t.Fatal("training trace not deterministic")
+	}
+}

@@ -1,0 +1,239 @@
+// Command solarsched regenerates the tables and figures of the paper's
+// evaluation (§6). Each subcommand prints the corresponding rows; --csv
+// additionally writes them as CSV files.
+//
+// Usage:
+//
+//	solarsched [flags] <experiment>...
+//
+// Experiments: fig5 fig7 table2 fig8 fig9 fig10a fig10b overhead all
+//
+// Flags:
+//
+//	-quick          reduced configuration (smoke-test scale)
+//	-csv DIR        write each table as DIR/<experiment>.csv
+//	-benchmarks STR comma-separated benchmark filter for fig8
+//	                (Random1,Random2,Random3,WAM,ECG,SHM)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"solarsched/internal/experiments"
+	"solarsched/internal/stats"
+	"solarsched/internal/task"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run the reduced (smoke-test) configuration")
+	csvDir := flag.String("csv", "", "directory to write CSV copies of each table")
+	benchFilter := flag.String("benchmarks", "", "comma-separated benchmark filter for fig8")
+	plot := flag.Bool("plot", false, "also render figures as ASCII charts")
+	flag.Usage = usage
+	flag.Parse()
+
+	if flag.NArg() == 0 {
+		usage()
+		os.Exit(2)
+	}
+	cfg := experiments.Default()
+	if *quick {
+		cfg = experiments.Quick()
+	}
+
+	var wanted []string
+	for _, arg := range flag.Args() {
+		switch arg {
+		case "all":
+			wanted = append(wanted, "fig5", "fig7", "table2", "fig8", "fig9",
+				"fig10a", "fig10b", "overhead")
+		case "ablations":
+			wanted = append(wanted, "ablation-thresholds", "ablation-ann",
+				"ablation-guards", "ablation-predictor", "ablation-dvfs")
+		default:
+			wanted = append(wanted, arg)
+		}
+	}
+	for _, name := range wanted {
+		start := time.Now()
+		tbl, err := dispatch(name, cfg, *benchFilter)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "solarsched: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		tbl.Render(os.Stdout)
+		if *plot {
+			renderPlot(name, cfg)
+		}
+		fmt.Printf("  (%s in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, name, tbl); err != nil {
+				fmt.Fprintf(os.Stderr, "solarsched: writing csv: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+func dispatch(name string, cfg experiments.Config, benchFilter string) (*stats.Table, error) {
+	switch name {
+	case "fig5":
+		t, _ := experiments.Fig5()
+		return t, nil
+	case "fig7":
+		t, _ := experiments.Fig7()
+		return t, nil
+	case "table2":
+		t, res := experiments.Table2()
+		t.AddRow("avg err", stats.Pct(res.AvgError), "", "", "max spread", stats.Pct(res.MaxSpread), "")
+		return t, nil
+	case "fig8":
+		benchmarks, err := selectBenchmarks(benchFilter)
+		if err != nil {
+			return nil, err
+		}
+		t, _, err := experiments.Fig8(cfg, benchmarks)
+		return t, err
+	case "fig9":
+		t, _, err := experiments.Fig9(cfg)
+		return t, err
+	case "fig10a":
+		t, _, err := experiments.Fig10a(cfg)
+		return t, err
+	case "fig10b":
+		t, _, err := experiments.Fig10b(cfg)
+		return t, err
+	case "overhead":
+		t, _ := experiments.Overhead(cfg)
+		return t, nil
+	case "ablation-thresholds":
+		return experiments.AblationThresholds(cfg)
+	case "ablation-ann":
+		return experiments.AblationANN(cfg)
+	case "ablation-guards":
+		return experiments.AblationGuards(cfg)
+	case "ablation-predictor":
+		return experiments.AblationPredictor(cfg)
+	case "ablation-dvfs":
+		return experiments.AblationDVFS(cfg)
+	case "robustness":
+		t, _, err := experiments.Robustness(cfg, 10)
+		return t, err
+	default:
+		return nil, fmt.Errorf("unknown experiment %q", name)
+	}
+}
+
+// renderPlot draws the figure-shaped experiments as ASCII charts.
+func renderPlot(name string, cfg experiments.Config) {
+	switch name {
+	case "fig5":
+		_, series := experiments.Fig5()
+		c := stats.Chart{Title: "Figure 5 (shape)", XLabel: "V", YLabel: "efficiency", Series: series}
+		c.Render(os.Stdout)
+	case "fig7":
+		_, tr := experiments.Fig7()
+		var series []stats.Series
+		for d := 0; d < tr.Base.Days; d++ {
+			s := stats.Series{Name: fmt.Sprintf("day%d", d+1)}
+			for p := 0; p < tr.Base.PeriodsPerDay; p++ {
+				s.Add(float64(p)*0.5, tr.PeriodEnergy(d, p)/tr.Base.PeriodSeconds()*1000)
+			}
+			series = append(series, s)
+		}
+		c := stats.Chart{Title: "Figure 7 (shape)", XLabel: "hour", YLabel: "mW", Series: series}
+		c.Render(os.Stdout)
+	case "fig10a":
+		_, res, err := experiments.Fig10a(cfg)
+		if err != nil {
+			return
+		}
+		s := stats.Series{Name: "DMR"}
+		for _, r := range res {
+			s.Add(r.Hours, 100*r.DMR)
+		}
+		c := stats.Chart{Title: "Figure 10a (shape)", XLabel: "prediction hours", YLabel: "DMR %",
+			Series: []stats.Series{s}, Height: 10}
+		c.Render(os.Stdout)
+	case "fig10b":
+		_, res, err := experiments.Fig10b(cfg)
+		if err != nil {
+			return
+		}
+		eff := stats.Series{Name: "migration eff %"}
+		dmr := stats.Series{Name: "DMR %"}
+		for _, r := range res {
+			eff.Add(float64(r.H), 100*r.MigrationEff)
+			dmr.Add(float64(r.H), 100*r.DMR)
+		}
+		c := stats.Chart{Title: "Figure 10b (shape)", XLabel: "capacitors H", YLabel: "%",
+			Series: []stats.Series{eff, dmr}, Height: 10}
+		c.Render(os.Stdout)
+	}
+}
+
+func selectBenchmarks(filter string) ([]*task.Graph, error) {
+	if filter == "" {
+		return nil, nil // all
+	}
+	byName := map[string]*task.Graph{}
+	for _, g := range task.AllBenchmarks() {
+		byName[strings.ToLower(g.Name)] = g
+	}
+	var out []*task.Graph
+	for _, name := range strings.Split(filter, ",") {
+		g, ok := byName[strings.ToLower(strings.TrimSpace(name))]
+		if !ok {
+			return nil, fmt.Errorf("unknown benchmark %q", name)
+		}
+		out = append(out, g)
+	}
+	return out, nil
+}
+
+func writeCSV(dir, name string, tbl *stats.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return tbl.WriteCSV(f)
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `solarsched — regenerate the DAC'15 evaluation tables and figures
+
+usage: solarsched [flags] <experiment>...
+
+experiments:
+  fig5      regulator efficiency curves
+  fig7      solar power of four representative days
+  table2    energy migration efficiencies (model vs test)
+  fig8      DMR comparison over four days, six benchmarks
+  fig9      two-month DMR and energy utilization (WAM)
+  fig10a    solar prediction length sweep
+  fig10b    distributed capacitor count sweep
+  overhead  on-node algorithm cost (93.5 kHz)
+  all       everything above
+
+ablations (design-choice studies, not in the paper's figures):
+  ablation-thresholds   delta and E_th selection thresholds
+  ablation-ann          DBN layer/neuron sweep
+  ablation-guards       online selection guards on/off
+  ablation-predictor    solar predictor of the Inter-task baseline
+  ablation-dvfs         DVFS load-tuning extension vs baselines
+  ablations             all five
+  robustness            DMR distribution over independent weather draws
+
+flags:
+`)
+	flag.PrintDefaults()
+}

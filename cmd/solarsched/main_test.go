@@ -1,0 +1,40 @@
+package main
+
+import (
+	"testing"
+
+	"solarsched/internal/experiments"
+)
+
+func TestSelectBenchmarks(t *testing.T) {
+	all, err := selectBenchmarks("")
+	if err != nil || all != nil {
+		t.Fatalf("empty filter: %v, %v (nil means all)", all, err)
+	}
+	got, err := selectBenchmarks("wam, ECG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Name != "WAM" || got[1].Name != "ECG" {
+		t.Fatalf("selectBenchmarks = %v", got)
+	}
+	if _, err := selectBenchmarks("nope"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestDispatchCheapExperiments(t *testing.T) {
+	cfg := experiments.Quick()
+	for _, name := range []string{"fig5", "fig7", "table2", "overhead", "ablation-predictor", "ablation-dvfs"} {
+		tbl, err := dispatch(name, cfg, "")
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(tbl.Rows) == 0 {
+			t.Fatalf("%s: empty table", name)
+		}
+	}
+	if _, err := dispatch("bogus", cfg, ""); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,164 @@
+// Command solartrace generates, inspects and exports synthetic solar power
+// traces for the node simulator.
+//
+// Usage:
+//
+//	solartrace gen  [-days N] [-seed S] [-doy D] [-conditions list] [-out file.csv]
+//	solartrace info [-in file.csv]
+//	solartrace days                      # the four representative days
+//
+// Conditions are a comma-separated list of sunny, partly-cloudy, overcast,
+// rainy; days beyond the list follow the weather Markov chain.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"solarsched/internal/solar"
+	"solarsched/internal/stats"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = genCmd(os.Args[2:])
+	case "info":
+		err = infoCmd(os.Args[2:])
+	case "days":
+		err = daysCmd()
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "solartrace: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func genCmd(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	days := fs.Int("days", 7, "number of days")
+	seed := fs.Uint64("seed", 1, "generator seed")
+	doy := fs.Int("doy", 80, "day-of-year of the first day (seasonal envelope)")
+	conds := fs.String("conditions", "", "comma-separated weather pins")
+	out := fs.String("out", "", "CSV output path (default stdout)")
+	fs.Parse(args)
+
+	conditions, err := parseConditions(*conds)
+	if err != nil {
+		return err
+	}
+	tr, err := solar.Generate(solar.GenConfig{
+		Base:           solar.DefaultTimeBase(*days),
+		Seed:           *seed,
+		DayOfYearStart: *doy,
+		Conditions:     conditions,
+	})
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return tr.WriteCSV(w)
+}
+
+func parseConditions(s string) ([]solar.Condition, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []solar.Condition
+	for _, name := range strings.Split(s, ",") {
+		switch strings.TrimSpace(strings.ToLower(name)) {
+		case "sunny":
+			out = append(out, solar.Sunny)
+		case "partly-cloudy", "cloudy":
+			out = append(out, solar.PartlyCloudy)
+		case "overcast":
+			out = append(out, solar.Overcast)
+		case "rainy":
+			out = append(out, solar.Rainy)
+		default:
+			return nil, fmt.Errorf("unknown condition %q", name)
+		}
+	}
+	return out, nil
+}
+
+func infoCmd(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	in := fs.String("in", "", "CSV trace path (default stdin)")
+	fs.Parse(args)
+
+	r := os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	tr, err := solar.ReadCSV(r)
+	if err != nil {
+		return err
+	}
+	printSummary(tr)
+	return nil
+}
+
+func daysCmd() error {
+	tr := solar.RepresentativeDays(solar.DefaultTimeBase(4))
+	printSummary(tr)
+	return nil
+}
+
+func printSummary(tr *solar.Trace) {
+	tb := tr.Base
+	fmt.Printf("trace: %d days × %d periods × %d slots of %.0fs\n",
+		tb.Days, tb.PeriodsPerDay, tb.SlotsPerPeriod, tb.SlotSeconds)
+	fmt.Printf("total harvest: %.1f J, peak power: %.1f mW\n\n",
+		tr.TotalEnergy(), tr.PeakPower()*1000)
+	t := stats.NewTable("per-day summary", "day", "energy (J)", "peak (mW)", "sunlit periods")
+	for d := 0; d < tb.Days; d++ {
+		peak, sunlit := 0.0, 0
+		for p := 0; p < tb.PeriodsPerDay; p++ {
+			if e := tr.PeriodEnergy(d, p); e > 0 {
+				sunlit++
+			}
+			for s := 0; s < tb.SlotsPerPeriod; s++ {
+				if w := tr.At(d, p, s); w > peak {
+					peak = w
+				}
+			}
+		}
+		t.AddRow(stats.F(float64(d+1), 0), stats.F(tr.DayEnergy(d), 1),
+			stats.F(peak*1000, 1), stats.F(float64(sunlit), 0))
+	}
+	t.Render(os.Stdout)
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `solartrace — synthetic solar trace tool
+
+usage:
+  solartrace gen  [-days N] [-seed S] [-doy D] [-conditions list] [-out file.csv]
+  solartrace info [-in file.csv]
+  solartrace days
+`)
+}

@@ -1,0 +1,29 @@
+package main
+
+import (
+	"testing"
+
+	"solarsched/internal/solar"
+)
+
+func TestParseConditions(t *testing.T) {
+	got, err := parseConditions("sunny, rainy,overcast,partly-cloudy,cloudy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []solar.Condition{solar.Sunny, solar.Rainy, solar.Overcast, solar.PartlyCloudy, solar.PartlyCloudy}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if out, err := parseConditions(""); err != nil || out != nil {
+		t.Fatal("empty conditions should be nil, nil")
+	}
+	if _, err := parseConditions("snowy"); err == nil {
+		t.Fatal("unknown condition accepted")
+	}
+}

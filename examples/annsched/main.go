@@ -1,0 +1,123 @@
+// ANN pipeline walkthrough (§4.2 + §5.1): generate optimal training
+// samples with the long-term DP, pretrain the DBN's RBM stack, fine-tune
+// with back-propagation, inspect what the network learned, and estimate
+// its on-node cost (§6.5).
+//
+//	go run ./examples/annsched
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"solarsched"
+	"solarsched/internal/ann"
+	"solarsched/internal/core"
+	"solarsched/internal/overhead"
+)
+
+func main() {
+	graph := solarsched.ECG()
+	bank := []float64{2, 10, 50}
+
+	history, err := solarsched.GenerateTrace(solarsched.GenConfig{
+		Base: solarsched.DefaultTimeBase(8),
+		Seed: 9,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pc := solarsched.DefaultPlanConfig(graph, history.Base, bank)
+
+	// Step 1: the clairvoyant teacher produces (state, decision) samples.
+	inputs, targets, err := core.CollectSamples(pc, history)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nightIdle, daySets := 0, 0
+	for _, t := range targets {
+		on := 0
+		for _, v := range t.Te {
+			if v > 0.5 {
+				on++
+			}
+		}
+		if on == 0 {
+			nightIdle++
+		} else {
+			daySets++
+		}
+	}
+	fmt.Printf("teacher samples: %d periods — %d idle (night rationing), %d active\n",
+		len(inputs), nightIdle, daySets)
+
+	// Step 2: build and train the DBN.
+	cfg := ann.Config{
+		InputDim:   core.FeatureDim(len(bank)),
+		Hidden:     []int{32, 16},
+		CapClasses: len(bank),
+		TaskCount:  graph.N(),
+		Seed:       2015,
+	}
+	net := ann.New(cfg)
+	net.Pretrain(inputs, 8, 0.05)
+	opts := ann.DefaultTrainOptions()
+	opts.Epochs = 300
+	loss := net.Train(inputs, targets, opts)
+	fmt.Printf("fine-tuning done, final loss %.3f\n", loss)
+
+	// Step 3: how well did it learn the teacher?
+	capOK, teOK, teTotal := 0, 0, 0
+	for i, x := range inputs {
+		out := net.Forward(x)
+		if out.Cap() == targets[i].Cap {
+			capOK++
+		}
+		for j, want := range targets[i].Te {
+			got := 0.0
+			if out.Te[j] >= 0.5 {
+				got = 1
+			}
+			if got == want {
+				teOK++
+			}
+			teTotal++
+		}
+	}
+	fmt.Printf("training-set accuracy: capacitor %.1f%%, task set %.1f%%\n",
+		100*float64(capOK)/float64(len(inputs)), 100*float64(teOK)/float64(teTotal))
+
+	// Step 4: deploy online next to the clairvoyant teacher.
+	eval := solarsched.RepresentativeDays(solarsched.DefaultTimeBase(4))
+	pcEval := pc
+	pcEval.Base = eval.Base
+	proposed, err := solarsched.NewProposed(pcEval, net)
+	if err != nil {
+		log.Fatal(err)
+	}
+	optimal, err := solarsched.NewClairvoyant(pcEval, eval, 48)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range []solarsched.Scheduler{proposed, optimal} {
+		engine, err := solarsched.NewEngine(solarsched.EngineConfig{
+			Trace: eval, Graph: graph, Capacitances: bank,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := engine.Run(s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("online %-10s DMR %.1f%%\n", s.Name(), 100*res.DMR())
+	}
+
+	// Step 5: what does one coarse decision cost on the 93.5 kHz node?
+	mcu := overhead.DefaultMCU()
+	coarse := overhead.CoarseCost(net, mcu)
+	fine := overhead.FineCost(graph, eval.Base.SlotsPerPeriod, mcu)
+	frac := overhead.EnergyFraction(coarse, fine, graph.PeriodEnergy())
+	fmt.Printf("on-node cost per period: coarse %.1f s @ %.1f mW, fine %.1f s @ %.1f mW (%.2f%% of node energy)\n",
+		coarse.Seconds, coarse.Power*1000, fine.Seconds, fine.Power*1000, 100*frac)
+}

@@ -1,0 +1,49 @@
+// Quickstart: simulate one sunny day of the wild-animal-monitoring
+// workload on the dual-channel solar node and compare the two baseline
+// schedulers.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"solarsched"
+)
+
+func main() {
+	// The paper's four representative days; keep the sunny one.
+	trace := solarsched.RepresentativeDays(solarsched.DefaultTimeBase(4)).SliceDays(0, 1)
+	graph := solarsched.WAM()
+
+	fmt.Printf("workload: %s — %d tasks on %d NVPs, %.1f J per 30-min period\n",
+		graph.Name, graph.N(), graph.NumNVPs, graph.PeriodEnergy())
+	fmt.Printf("supply:   %.0f J harvested over the day, %.1f mW peak\n\n",
+		trace.DayEnergy(0), trace.PeakPower()*1000)
+
+	engine, err := solarsched.NewEngine(solarsched.EngineConfig{
+		Trace:        trace,
+		Graph:        graph,
+		Capacitances: []float64{25}, // one 25 F super capacitor
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	schedulers := []solarsched.Scheduler{
+		solarsched.NewASAP(graph),
+		solarsched.NewInterLSA(graph, trace.Base, solarsched.DefaultDirectEff),
+		solarsched.NewIntraMatch(graph),
+	}
+	for _, s := range schedulers {
+		res, err := engine.Run(s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-18s deadline miss rate %5.1f%%   energy utilization %5.1f%%\n",
+			s.Name(), 100*res.DMR(), 100*res.EnergyUtilization())
+	}
+	fmt.Println("\nEven on a sunny day a greedy scheduler misses the night deadlines —")
+	fmt.Println("run examples/wam to see the long-term scheduler close that gap.")
+}

@@ -1,0 +1,3 @@
+module solarsched
+
+go 1.22

@@ -1,0 +1,260 @@
+package ann
+
+import (
+	"fmt"
+	"math"
+
+	"solarsched/internal/mat"
+	"solarsched/internal/rng"
+)
+
+// Config describes the network shape.
+type Config struct {
+	InputDim   int
+	Hidden     []int // trunk layer sizes, e.g. {24, 12}
+	CapClasses int   // H, the number of capacitors
+	TaskCount  int   // N, the number of tasks (te outputs)
+	Seed       uint64
+}
+
+// Target is one supervised training target: the optimal capacitor of the
+// day, the scheduling-pattern index and the executed-task set, as produced
+// by the offline long-term optimization (§4.2).
+type Target struct {
+	Cap   int
+	Alpha float64
+	Te    []float64 // 0/1 per task
+}
+
+// Output is the network's period-level decision.
+type Output struct {
+	CapProbs mat.Vector // softmax over the H capacitors
+	Alpha    float64
+	Te       mat.Vector // per-task execution probabilities
+}
+
+// Cap returns the argmax capacitor index.
+func (o Output) Cap() int { return o.CapProbs.ArgMax() }
+
+// TeMask returns the boolean executed-task set at threshold 0.5.
+func (o Output) TeMask() []bool {
+	m := make([]bool, len(o.Te))
+	for i, p := range o.Te {
+		m[i] = p >= 0.5
+	}
+	return m
+}
+
+// Network is the DBN: a stack of sigmoid trunk layers (RBM-pretrainable)
+// and three output heads reading the last trunk layer.
+type Network struct {
+	cfg    Config
+	trunkW []*mat.Matrix // [l]: sizes[l+1] × sizes[l]
+	trunkB []mat.Vector
+	capW   *mat.Matrix // CapClasses × lastHidden
+	capB   mat.Vector
+	alphaW mat.Vector // 1 × lastHidden
+	alphaB float64
+	teW    *mat.Matrix // TaskCount × lastHidden
+	teB    mat.Vector
+}
+
+// New builds an untrained network.
+func New(cfg Config) *Network {
+	if cfg.InputDim <= 0 || len(cfg.Hidden) == 0 || cfg.CapClasses <= 0 || cfg.TaskCount <= 0 {
+		panic(fmt.Sprintf("ann: bad config %+v", cfg))
+	}
+	src := rng.New(cfg.Seed).SplitLabeled("dbn-init")
+	n := &Network{cfg: cfg}
+	prev := cfg.InputDim
+	for _, h := range cfg.Hidden {
+		n.trunkW = append(n.trunkW, mat.NewMatrix(h, prev).Randomize(src, 1/math.Sqrt(float64(prev))))
+		n.trunkB = append(n.trunkB, mat.NewVector(h))
+		prev = h
+	}
+	n.capW = mat.NewMatrix(cfg.CapClasses, prev).Randomize(src, 1/math.Sqrt(float64(prev)))
+	n.capB = mat.NewVector(cfg.CapClasses)
+	n.alphaW = mat.NewVector(prev)
+	for i := range n.alphaW {
+		n.alphaW[i] = src.Norm(0, 1/math.Sqrt(float64(prev)))
+	}
+	n.teW = mat.NewMatrix(cfg.TaskCount, prev).Randomize(src, 1/math.Sqrt(float64(prev)))
+	n.teB = mat.NewVector(cfg.TaskCount)
+	return n
+}
+
+// Config returns the network's configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// trunkForward returns the activations of every trunk layer (index 0 is the
+// input itself).
+func (n *Network) trunkForward(x mat.Vector) []mat.Vector {
+	acts := make([]mat.Vector, len(n.trunkW)+1)
+	acts[0] = x
+	for l, w := range n.trunkW {
+		a := w.MulVec(acts[l], nil)
+		for i := range a {
+			a[i] = mat.Sigmoid(a[i] + n.trunkB[l][i])
+		}
+		acts[l+1] = a
+	}
+	return acts
+}
+
+// Forward runs the full network.
+func (n *Network) Forward(x mat.Vector) Output {
+	if len(x) != n.cfg.InputDim {
+		panic(fmt.Sprintf("ann: input dim %d, want %d", len(x), n.cfg.InputDim))
+	}
+	h := n.trunkForward(x)[len(n.trunkW)]
+	capLogits := n.capW.MulVec(h, nil).Add(n.capB)
+	te := n.teW.MulVec(h, nil)
+	for i := range te {
+		te[i] = mat.Sigmoid(te[i] + n.teB[i])
+	}
+	return Output{
+		CapProbs: mat.Softmax(capLogits, nil),
+		Alpha:    n.alphaW.Dot(h) + n.alphaB,
+		Te:       te,
+	}
+}
+
+// Pretrain performs the DBN's greedy layer-wise unsupervised pretraining:
+// layer l is trained as an RBM on the activations of layer l−1 (§5.1's
+// "hidden layers extract the features of the inputs by unsupervised
+// learning"), then its weights initialize the trunk.
+func (n *Network) Pretrain(inputs []mat.Vector, epochs int, lr float64) {
+	if len(inputs) == 0 {
+		return
+	}
+	src := rng.New(n.cfg.Seed).SplitLabeled("dbn-pretrain")
+	data := inputs
+	for l := range n.trunkW {
+		nv := n.trunkW[l].Cols
+		nh := n.trunkW[l].Rows
+		rbm := NewRBM(nv, nh, src.SplitLabeled(fmt.Sprintf("layer-%d", l)))
+		rbm.TrainEpochs(data, epochs, lr, src.SplitLabeled(fmt.Sprintf("cd-%d", l)))
+		n.trunkW[l] = rbm.W.Clone()
+		copy(n.trunkB[l], rbm.BHid)
+		// Propagate the data through the freshly trained layer.
+		next := make([]mat.Vector, len(data))
+		for i, v := range data {
+			next[i] = rbm.HiddenProbs(v)
+		}
+		data = next
+	}
+}
+
+// TrainOptions tunes the supervised fine-tuning stage.
+type TrainOptions struct {
+	Epochs      int
+	LearnRate   float64
+	AlphaWeight float64 // weight of the α MSE term in the combined loss
+}
+
+// DefaultTrainOptions returns sensible fine-tuning settings.
+func DefaultTrainOptions() TrainOptions {
+	return TrainOptions{Epochs: 60, LearnRate: 0.05, AlphaWeight: 0.3}
+}
+
+// Train runs back-propagation fine-tuning over the (input, target) pairs
+// with the combined loss CE(cap) + AlphaWeight·MSE(α) + BCE(te). It
+// returns the mean loss of the final epoch.
+func (n *Network) Train(inputs []mat.Vector, targets []Target, opt TrainOptions) float64 {
+	if len(inputs) != len(targets) {
+		panic(fmt.Sprintf("ann: %d inputs vs %d targets", len(inputs), len(targets)))
+	}
+	if len(inputs) == 0 {
+		return 0
+	}
+	src := rng.New(n.cfg.Seed).SplitLabeled("dbn-train")
+	finalLoss := 0.0
+	for e := 0; e < opt.Epochs; e++ {
+		total := 0.0
+		lr := opt.LearnRate / (1 + 0.02*float64(e)) // mild decay
+		for _, idx := range src.Perm(len(inputs)) {
+			total += n.step(inputs[idx], targets[idx], lr, opt.AlphaWeight)
+		}
+		finalLoss = total / float64(len(inputs))
+	}
+	return finalLoss
+}
+
+// step performs one SGD update and returns the sample's loss.
+func (n *Network) step(x mat.Vector, t Target, lr, alphaW float64) float64 {
+	acts := n.trunkForward(x)
+	h := acts[len(n.trunkW)]
+
+	// Heads forward.
+	capLogits := n.capW.MulVec(h, nil).Add(n.capB)
+	capProbs := mat.Softmax(capLogits, nil)
+	alpha := n.alphaW.Dot(h) + n.alphaB
+	teProbs := n.teW.MulVec(h, nil)
+	for i := range teProbs {
+		teProbs[i] = mat.Sigmoid(teProbs[i] + n.teB[i])
+	}
+
+	// Loss.
+	loss := -math.Log(math.Max(capProbs[t.Cap], 1e-12))
+	da := alpha - t.Alpha
+	loss += alphaW * da * da
+	for i := range teProbs {
+		p := math.Min(math.Max(teProbs[i], 1e-12), 1-1e-12)
+		loss += -(t.Te[i]*math.Log(p) + (1-t.Te[i])*math.Log(1-p))
+	}
+
+	// Head gradients (logit-space deltas).
+	dCap := capProbs.Clone()
+	dCap[t.Cap] -= 1
+	dAlpha := 2 * alphaW * da
+	dTe := teProbs.Clone()
+	for i := range dTe {
+		dTe[i] -= t.Te[i]
+	}
+
+	// Gradient into the last hidden layer.
+	dh := n.capW.MulVecT(dCap, nil)
+	dh.AddScaled(dAlpha, n.alphaW)
+	dh.Add(n.teW.MulVecT(dTe, nil))
+
+	// Head weight updates.
+	n.capW.AddOuterScaled(-lr, dCap, h)
+	n.capB.AddScaled(-lr, dCap)
+	n.alphaW.AddScaled(-lr*dAlpha, h)
+	n.alphaB -= lr * dAlpha
+	n.teW.AddOuterScaled(-lr, dTe, h)
+	n.teB.AddScaled(-lr, dTe)
+
+	// Back-propagate through the trunk.
+	delta := dh
+	for l := len(n.trunkW) - 1; l >= 0; l-- {
+		a := acts[l+1]
+		for i := range delta {
+			delta[i] *= mat.SigmoidPrimeFromY(a[i])
+		}
+		prevDelta := n.trunkW[l].MulVecT(delta, nil)
+		n.trunkW[l].AddOuterScaled(-lr, delta, acts[l])
+		n.trunkB[l].AddScaled(-lr, delta)
+		delta = prevDelta
+	}
+	return loss
+}
+
+// OpCount returns the number of multiply and add operations of one forward
+// pass — the quantity the overhead model of §6.5 charges to the node's
+// 93.5 kHz processor.
+func (n *Network) OpCount() (muls, adds int) {
+	count := func(rows, cols int) {
+		muls += rows * cols
+		adds += rows * cols // accumulate + bias, folded
+	}
+	prev := n.cfg.InputDim
+	for _, h := range n.cfg.Hidden {
+		count(h, prev)
+		prev = h
+	}
+	count(n.cfg.CapClasses, prev)
+	count(1, prev)
+	count(n.cfg.TaskCount, prev)
+	return muls, adds
+}

@@ -1,0 +1,34 @@
+package ann
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"solarsched/internal/mat"
+)
+
+// FuzzReadJSON hardens the model parser: arbitrary input must produce an
+// error or a network whose Forward works on a correctly-sized input —
+// never a panic.
+func FuzzReadJSON(f *testing.F) {
+	n := New(Config{InputDim: 3, Hidden: []int{4}, CapClasses: 2, TaskCount: 2, Seed: 1})
+	var seed bytes.Buffer
+	if err := n.WriteJSON(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add(`{"config":{"InputDim":1,"Hidden":[1],"CapClasses":1,"TaskCount":1}}`)
+	f.Add(`{`)
+
+	f.Fuzz(func(t *testing.T, data string) {
+		net, err := ReadJSON(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		out := net.Forward(mat.NewVector(net.Config().InputDim))
+		if len(out.CapProbs) != net.Config().CapClasses {
+			t.Fatal("restored network produced wrong head size")
+		}
+	})
+}

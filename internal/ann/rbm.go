@@ -1,0 +1,106 @@
+// Package ann implements the paper's deep belief network (§5.1) from
+// scratch on the stdlib: restricted Boltzmann machines trained with
+// one-step contrastive divergence (CD-1) for greedy layer-wise
+// pretraining, a stacked sigmoid trunk, and a back-propagation output
+// stage with the paper's three heads — the capacitor of the day C_{h,i}
+// (softmax over H), the scheduling-pattern index α_{i,j} (linear scalar)
+// and the executed-task set te_{i,j}(n) (per-task sigmoids).
+package ann
+
+import (
+	"solarsched/internal/mat"
+	"solarsched/internal/rng"
+)
+
+// RBM is a restricted Boltzmann machine with logistic units: nv visible and
+// nh hidden units, weights W (nh × nv), visible biases BVis and hidden
+// biases BHid.
+type RBM struct {
+	W    *mat.Matrix
+	BVis mat.Vector
+	BHid mat.Vector
+}
+
+// NewRBM returns an RBM with small random weights.
+func NewRBM(nv, nh int, src *rng.Source) *RBM {
+	return &RBM{
+		W:    mat.NewMatrix(nh, nv).Randomize(src, 0.05),
+		BVis: mat.NewVector(nv),
+		BHid: mat.NewVector(nh),
+	}
+}
+
+// HiddenProbs returns P(h=1 | v) for every hidden unit.
+func (r *RBM) HiddenProbs(v mat.Vector) mat.Vector {
+	h := r.W.MulVec(v, nil)
+	for i := range h {
+		h[i] = mat.Sigmoid(h[i] + r.BHid[i])
+	}
+	return h
+}
+
+// VisibleProbs returns P(v=1 | h) for every visible unit.
+func (r *RBM) VisibleProbs(h mat.Vector) mat.Vector {
+	v := r.W.MulVecT(h, nil)
+	for i := range v {
+		v[i] = mat.Sigmoid(v[i] + r.BVis[i])
+	}
+	return v
+}
+
+func sample(probs mat.Vector, src *rng.Source) mat.Vector {
+	s := mat.NewVector(len(probs))
+	for i, p := range probs {
+		if src.Float64() < p {
+			s[i] = 1
+		}
+	}
+	return s
+}
+
+// CD1 performs one step of contrastive divergence on a single visible
+// vector with learning rate lr: positive phase on the data, one Gibbs step
+// for the negative phase, stochastic hidden states on the way down.
+func (r *RBM) CD1(v0 mat.Vector, lr float64, src *rng.Source) {
+	h0 := r.HiddenProbs(v0)
+	h0s := sample(h0, src)
+	v1 := r.VisibleProbs(h0s)
+	h1 := r.HiddenProbs(v1)
+
+	// ΔW = lr·(h0·v0ᵀ − h1·v1ᵀ); biases likewise.
+	r.W.AddOuterScaled(lr, h0, v0)
+	r.W.AddOuterScaled(-lr, h1, v1)
+	for i := range r.BVis {
+		r.BVis[i] += lr * (v0[i] - v1[i])
+	}
+	for i := range r.BHid {
+		r.BHid[i] += lr * (h0[i] - h1[i])
+	}
+}
+
+// ReconstructionError returns the mean squared one-step reconstruction
+// error over the data set — the standard progress metric for CD training.
+func (r *RBM) ReconstructionError(data []mat.Vector) float64 {
+	if len(data) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, v := range data {
+		recon := r.VisibleProbs(r.HiddenProbs(v))
+		for i := range v {
+			d := v[i] - recon[i]
+			total += d * d
+		}
+	}
+	return total / float64(len(data)*len(data[0]))
+}
+
+// TrainEpochs runs epochs full passes of CD-1 over the data in a
+// deterministic shuffled order.
+func (r *RBM) TrainEpochs(data []mat.Vector, epochs int, lr float64, src *rng.Source) {
+	for e := 0; e < epochs; e++ {
+		for _, idx := range src.Perm(len(data)) {
+			r.CD1(data[idx], lr, src)
+		}
+	}
+}

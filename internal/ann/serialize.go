@@ -1,0 +1,95 @@
+package ann
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"solarsched/internal/mat"
+)
+
+// netJSON is the on-disk model format written by WriteJSON: the full
+// configuration and every weight, so a trained scheduler can be deployed
+// without retraining.
+type netJSON struct {
+	Config Config      `json:"config"`
+	TrunkW [][]float64 `json:"trunk_weights"` // row-major per layer
+	TrunkB [][]float64 `json:"trunk_biases"`
+	CapW   []float64   `json:"cap_weights"`
+	CapB   []float64   `json:"cap_bias"`
+	AlphaW []float64   `json:"alpha_weights"`
+	AlphaB float64     `json:"alpha_bias"`
+	TeW    []float64   `json:"te_weights"`
+	TeB    []float64   `json:"te_bias"`
+}
+
+// WriteJSON serializes the trained network.
+func (n *Network) WriteJSON(w io.Writer) error {
+	out := netJSON{
+		Config: n.cfg,
+		CapW:   n.capW.Data, CapB: n.capB,
+		AlphaW: n.alphaW, AlphaB: n.alphaB,
+		TeW: n.teW.Data, TeB: n.teB,
+	}
+	for l := range n.trunkW {
+		out.TrunkW = append(out.TrunkW, n.trunkW[l].Data)
+		out.TrunkB = append(out.TrunkB, n.trunkB[l])
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// ReadJSON deserializes a network written by WriteJSON, validating every
+// dimension.
+func ReadJSON(r io.Reader) (*Network, error) {
+	var in netJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("ann: parsing model: %w", err)
+	}
+	cfg := in.Config
+	if cfg.InputDim <= 0 || len(cfg.Hidden) == 0 || cfg.CapClasses <= 0 || cfg.TaskCount <= 0 {
+		return nil, fmt.Errorf("ann: model has invalid config %+v", cfg)
+	}
+	if len(in.TrunkW) != len(cfg.Hidden) || len(in.TrunkB) != len(cfg.Hidden) {
+		return nil, fmt.Errorf("ann: model has %d trunk layers, config says %d", len(in.TrunkW), len(cfg.Hidden))
+	}
+	n := New(cfg)
+	prev := cfg.InputDim
+	for l, h := range cfg.Hidden {
+		if len(in.TrunkW[l]) != h*prev {
+			return nil, fmt.Errorf("ann: trunk layer %d has %d weights, want %d", l, len(in.TrunkW[l]), h*prev)
+		}
+		if len(in.TrunkB[l]) != h {
+			return nil, fmt.Errorf("ann: trunk layer %d has %d biases, want %d", l, len(in.TrunkB[l]), h)
+		}
+		copy(n.trunkW[l].Data, in.TrunkW[l])
+		copy(n.trunkB[l], in.TrunkB[l])
+		prev = h
+	}
+	last := cfg.Hidden[len(cfg.Hidden)-1]
+	if err := fill(n.capW.Data, in.CapW, "cap weights", cfg.CapClasses*last); err != nil {
+		return nil, err
+	}
+	if err := fill(n.capB, in.CapB, "cap bias", cfg.CapClasses); err != nil {
+		return nil, err
+	}
+	if err := fill(n.alphaW, in.AlphaW, "alpha weights", last); err != nil {
+		return nil, err
+	}
+	n.alphaB = in.AlphaB
+	if err := fill(n.teW.Data, in.TeW, "te weights", cfg.TaskCount*last); err != nil {
+		return nil, err
+	}
+	if err := fill(n.teB, in.TeB, "te bias", cfg.TaskCount); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+func fill(dst mat.Vector, src []float64, what string, want int) error {
+	if len(src) != want {
+		return fmt.Errorf("ann: model %s has %d values, want %d", what, len(src), want)
+	}
+	copy(dst, src)
+	return nil
+}

@@ -1,0 +1,72 @@
+package ann
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"solarsched/internal/mat"
+	"solarsched/internal/rng"
+)
+
+func TestModelRoundTrip(t *testing.T) {
+	src := rng.New(5)
+	inputs, targets := makeSupervised(150, src)
+	n := New(Config{InputDim: 8, Hidden: []int{14, 6}, CapClasses: 4, TaskCount: 4, Seed: 3})
+	opt := DefaultTrainOptions()
+	opt.Epochs = 20
+	n.Train(inputs, targets, opt)
+
+	var buf bytes.Buffer
+	if err := n.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The restored network must be functionally identical.
+	for i := 0; i < 20; i++ {
+		x := mat.NewVector(8)
+		for j := range x {
+			x[j] = src.Float64()
+		}
+		a, b := n.Forward(x), m.Forward(x)
+		if a.Alpha != b.Alpha || a.Cap() != b.Cap() {
+			t.Fatalf("restored network diverges on input %d", i)
+		}
+		for j := range a.Te {
+			if a.Te[j] != b.Te[j] {
+				t.Fatalf("te diverges on input %d output %d", i, j)
+			}
+		}
+	}
+}
+
+func TestReadJSONRejectsCorrupt(t *testing.T) {
+	n := New(Config{InputDim: 4, Hidden: []int{6}, CapClasses: 2, TaskCount: 3, Seed: 1})
+	var buf bytes.Buffer
+	if err := n.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.String()
+
+	cases := map[string]string{
+		"garbage":      "{nope",
+		"empty config": `{"config":{}}`,
+		"short trunk":  strings.Replace(good, `"trunk_biases":[[`, `"trunk_biases":[[9,9,9,9,9,9],[`, 1),
+	}
+	for name, src := range cases {
+		if _, err := ReadJSON(strings.NewReader(src)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	// Truncated weights.
+	mangled := strings.Replace(good, `"cap_bias":[0,0]`, `"cap_bias":[0]`, 1)
+	if mangled == good {
+		t.Fatal("test fixture mismatch: cap_bias not found")
+	}
+	if _, err := ReadJSON(strings.NewReader(mangled)); err == nil {
+		t.Error("truncated cap bias accepted")
+	}
+}

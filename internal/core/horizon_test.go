@@ -1,0 +1,85 @@
+package core
+
+import (
+	"testing"
+
+	"solarsched/internal/sim"
+	"solarsched/internal/solar"
+	"solarsched/internal/supercap"
+	"solarsched/internal/task"
+)
+
+// The clairvoyant's full-set guard: when a period's true harvest covers the
+// whole workload, every task must be allowed — rationing free work is a
+// quantization artifact, never optimal.
+func TestClairvoyantRunsEverythingWhenSupplyCovers(t *testing.T) {
+	g := task.ECG()
+	tb := solar.TimeBase{Days: 1, PeriodsPerDay: 4, SlotsPerPeriod: 30, SlotSeconds: 60}
+	tr := solar.NewTrace(tb)
+	for i := range tr.Power {
+		tr.Power[i] = 0.2 // 360 J per period ≫ the ~34 J demand
+	}
+	pc := DefaultPlanConfig(g, tb, []float64{2, 10, 50})
+	h, err := NewClairvoyant(pc, tr, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bank := supercap.NewBank(pc.Capacitances, pc.Params)
+	plan := h.BeginPeriod(&sim.PeriodView{Day: 0, Period: 0, Base: tb, Graph: g, Bank: bank})
+	if plan.Allowed == nil {
+		t.Fatal("nil Allowed")
+	}
+	for n, ok := range plan.Allowed {
+		if !ok {
+			t.Fatalf("task %d rationed despite abundant supply", n)
+		}
+	}
+	// With α = demand/harvest ≪ 1, the δ rule must pick the inter stage —
+	// nothing to match. The decision's α must reflect the true ratio.
+	if d := h.LastDecision(); d.Alpha > 0.5 {
+		t.Fatalf("alpha = %v, want small", d.Alpha)
+	}
+}
+
+// At night with an empty store the clairvoyant must not allow everything —
+// the guard only fires when supply actually covers the demand.
+func TestClairvoyantGuardOffAtNight(t *testing.T) {
+	g := task.ECG()
+	tb := solar.TimeBase{Days: 1, PeriodsPerDay: 4, SlotsPerPeriod: 30, SlotSeconds: 60}
+	tr := solar.NewTrace(tb) // all dark
+	pc := DefaultPlanConfig(g, tb, []float64{2, 10, 50})
+	h, err := NewClairvoyant(pc, tr, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bank := supercap.NewBank(pc.Capacitances, pc.Params)
+	h.BeginPeriod(&sim.PeriodView{Day: 0, Period: 0, Base: tb, Graph: g, Bank: bank})
+	d := h.LastDecision()
+	all := true
+	for _, ok := range d.Te {
+		all = all && ok
+	}
+	if all {
+		t.Fatal("full task set allowed at night with an empty store")
+	}
+}
+
+func TestHorizonPredictionPeriods(t *testing.T) {
+	g := task.ECG()
+	tb := solar.DefaultTimeBase(2)
+	tr := solar.RepresentativeDays(tb).SliceDays(0, 2)
+	pc := DefaultPlanConfig(g, tb, []float64{10})
+	fc := solar.NewHorizonForecast(tr, 1)
+	h, err := NewHorizon(pc, fc, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.PredictionPeriods(); got != 12 { // 6 h at 30 min periods
+		t.Fatalf("PredictionPeriods = %d, want 12", got)
+	}
+	// Sub-period horizons clamp to one period.
+	h2, _ := NewHorizon(pc, fc, 0.01)
+	if h2.PredictionPeriods() != 1 {
+		t.Fatalf("min horizon = %d", h2.PredictionPeriods())
+	}
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"solarsched/internal/supercap"
+)
+
+// LUT is the lookup table of eq. (13): it maps a quantized (solar profile,
+// capacitor, initial voltage) key to the Pareto options of the period
+// optimizer, and — per the paper — approximates unseen inputs by the
+// closest existing entry (here: by sharing the quantization bucket).
+type LUT struct {
+	pc      PlanConfig
+	entries map[lutKey][]Option
+
+	// Builds counts period-optimizer invocations (cache misses); Lookups
+	// counts queries. Their ratio shows how much the LUT compresses.
+	Builds, Lookups int
+}
+
+type lutKey struct {
+	profile string
+	capIdx  int
+	vBucket int
+}
+
+// NewLUT returns an empty table over the configuration.
+func NewLUT(pc PlanConfig) *LUT {
+	if err := pc.Validate(); err != nil {
+		panic("core: " + err.Error())
+	}
+	return &LUT{pc: pc, entries: make(map[lutKey][]Option)}
+}
+
+// Config returns the table's plan configuration.
+func (l *LUT) Config() PlanConfig { return l.pc }
+
+// ProfileKey quantizes a period's slot powers into the LUT key: a
+// logarithmic total-energy bucket plus a coarse peak bucket. Periods with
+// the same key share LUT entries — the paper's "closest input in the LUT"
+// approximation. The quantization is deliberately coarse: the receding-
+// horizon planner queries thousands of noisy forecast profiles, and entry
+// reuse is what keeps the LUT (and the paper's M term) small; the exact
+// first-period re-optimization in PlanHorizon absorbs the residual error
+// where it matters.
+func (l *LUT) ProfileKey(powers []float64) string {
+	dt := l.pc.Base.SlotSeconds
+	total, peak := 0.0, 0.0
+	for _, p := range powers {
+		total += p * dt
+		if p > peak {
+			peak = p
+		}
+	}
+	if total <= 1e-9 {
+		return "dark"
+	}
+	eb := int(math.Round(4 * math.Log2(1+total)))
+	pb := int(math.Round(2 * math.Log2(1+peak*1000)))
+	return fmt.Sprintf("e%d|p%d", eb, pb)
+}
+
+// Buckets returns the number of voltage buckets.
+func (l *LUT) Buckets() int { return l.pc.VBuckets }
+
+// BucketOf quantizes a voltage of capacitor capIdx into its usable-energy
+// bucket in [0, VBuckets). Buckets are square-root spaced: fine at low
+// stored energy, where a night period's few-joule spend must stay visible
+// to the DP, and coarse near full charge, where per-period deltas are
+// relatively small. This sits on the DP's hot path and is allocation-free.
+func (l *LUT) BucketOf(capIdx int, v float64) int {
+	p := l.pc.Params
+	if v <= p.VLow {
+		return 0
+	}
+	if v > p.VHigh {
+		v = p.VHigh
+	}
+	frac := (v*v - p.VLow*p.VLow) / (p.VHigh*p.VHigh - p.VLow*p.VLow)
+	b := int(math.Sqrt(frac) * float64(l.pc.VBuckets))
+	if b >= l.pc.VBuckets {
+		b = l.pc.VBuckets - 1
+	}
+	return b
+}
+
+// BucketV returns the representative voltage of a bucket (its center under
+// the square-root spacing).
+func (l *LUT) BucketV(capIdx, bucket int) float64 {
+	p := l.pc.Params
+	cf := l.pc.Capacitances[capIdx]
+	capacity := 0.5 * cf * (p.VHigh*p.VHigh - p.VLow*p.VLow)
+	r := (float64(bucket) + 0.5) / float64(l.pc.VBuckets)
+	usable := r * r * capacity
+	return math.Sqrt(p.VLow*p.VLow + 2*usable/cf)
+}
+
+// Options returns the Pareto options for (capacitor, voltage bucket, solar
+// profile), building the entry on first use. The powers of the first period
+// seen with a given profile key become the representative profile.
+func (l *LUT) Options(capIdx, vBucket int, powers []float64) []Option {
+	return l.OptionsByKey(l.ProfileKey(powers), capIdx, vBucket, powers)
+}
+
+// OptionsByKey is Options with the profile key precomputed — the DP calls
+// this once per (period, capacitor, bucket) and hoists the key out of the
+// inner loops.
+func (l *LUT) OptionsByKey(profile string, capIdx, vBucket int, powers []float64) []Option {
+	l.Lookups++
+	key := lutKey{profile: profile, capIdx: capIdx, vBucket: vBucket}
+	if opts, ok := l.entries[key]; ok {
+		return opts
+	}
+	l.Builds++
+	opts := PeriodOptions(l.pc.Capacitances[capIdx], l.BucketV(capIdx, vBucket), powers, l.pc)
+	l.entries[key] = opts
+	return opts
+}
+
+// Size returns the number of materialized entries.
+func (l *LUT) Size() int { return len(l.entries) }
+
+// TransferBucket estimates the DP transition of migrating the usable energy
+// of capacitor `from` at bucket bFrom into capacitor `to` (starting empty):
+// it returns the destination bucket and the energy lost. This models the
+// day-boundary capacitor switch of the long-term optimization.
+func (l *LUT) TransferBucket(from, bFrom, to int) (bTo int, lost float64) {
+	src := supercap.New(l.pc.Capacitances[from], l.pc.Params)
+	src.V = l.BucketV(from, bFrom)
+	dst := supercap.New(l.pc.Capacitances[to], l.pc.Params)
+	before := src.UsableEnergy()
+	moved := src.Discharge(src.Deliverable())
+	stored := dst.Charge(moved)
+	return l.BucketOf(to, dst.V), before - stored
+}

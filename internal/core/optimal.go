@@ -1,0 +1,70 @@
+package core
+
+import (
+	"fmt"
+
+	"solarsched/internal/sim"
+	"solarsched/internal/solar"
+)
+
+// Optimal is the static optimal scheduler of §4.2: the long-term DP run
+// once over the *true* solar trace, then replayed. The paper uses it both
+// as the upper bound ("Optimal" in Figures 8 and 9) and as the source of
+// ANN training samples.
+type Optimal struct {
+	pc        PlanConfig
+	lut       *LUT
+	plan      PlanResult
+	policies  []sim.SlotPolicy
+	decisions []Decision
+}
+
+// NewOptimal plans the whole trace. The trace's time base must match the
+// configuration's.
+func NewOptimal(pc PlanConfig, tr *solar.Trace) (*Optimal, error) {
+	if err := pc.Validate(); err != nil {
+		return nil, err
+	}
+	if tr.Base != pc.Base {
+		return nil, fmt.Errorf("core: trace base %+v != config base %+v", tr.Base, pc.Base)
+	}
+	lut := NewLUT(pc)
+	powers := make([][]float64, tr.Base.TotalPeriods())
+	for d := 0; d < tr.Base.Days; d++ {
+		for p := 0; p < tr.Base.PeriodsPerDay; p++ {
+			powers[tr.Base.PeriodIndex(d, p)] = tr.PeriodPowers(d, p)
+		}
+	}
+	plan := PlanHorizon(lut, powers, 0, 0, pc.Params.VLow)
+	o := &Optimal{pc: pc, lut: lut, plan: plan, decisions: plan.Decisions}
+	o.policies = make([]sim.SlotPolicy, len(plan.Decisions))
+	for i, d := range plan.Decisions {
+		o.policies[i] = FinePolicy(pc.Graph, d.Alpha, pc.Delta)
+	}
+	return o, nil
+}
+
+// Name implements sim.Scheduler.
+func (o *Optimal) Name() string { return "optimal" }
+
+// Plan exposes the DP result (decisions, predicted misses, expansions).
+func (o *Optimal) Plan() PlanResult { return o.plan }
+
+// LUT exposes the lookup table built during planning (for statistics and
+// for reuse as ANN training material).
+func (o *Optimal) LUT() *LUT { return o.lut }
+
+// Decision returns the planned decision of a flat period index.
+func (o *Optimal) Decision(flat int) Decision { return o.decisions[flat] }
+
+// BeginPeriod implements sim.Scheduler: replay the planned capacitor and
+// task set for this period.
+func (o *Optimal) BeginPeriod(v *sim.PeriodView) sim.PeriodPlan {
+	d := o.decisions[v.Base.PeriodIndex(v.Day, v.Period)]
+	return sim.PeriodPlan{SwitchTo: d.CapIdx, Migrate: true, Allowed: d.Te}
+}
+
+// Slot implements sim.Scheduler.
+func (o *Optimal) Slot(v *sim.SlotView) []int {
+	return o.policies[v.Base.PeriodIndex(v.Day, v.Period)](v)
+}

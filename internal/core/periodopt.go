@@ -1,0 +1,134 @@
+package core
+
+import (
+	"sort"
+
+	"solarsched/internal/sim"
+	"solarsched/internal/supercap"
+	"solarsched/internal/task"
+)
+
+// ClosedSubsets enumerates every dependence-closed task subset of g as a
+// boolean mask: a subset is closed when each member's predecessors are all
+// members (constraint (7) makes any other subset wasteful — a dependent
+// whose predecessor is excluded can never run). The full and empty sets are
+// always included. Masks are returned in ascending popcount order.
+func ClosedSubsets(g *task.Graph) [][]bool {
+	n := g.N()
+	if n > 16 {
+		panic("core: ClosedSubsets limited to 16 tasks")
+	}
+	var out [][]bool
+	for m := 0; m < 1<<uint(n); m++ {
+		ok := true
+		for _, e := range g.Edges {
+			if m&(1<<uint(e.To)) != 0 && m&(1<<uint(e.From)) == 0 {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		mask := make([]bool, n)
+		for i := 0; i < n; i++ {
+			mask[i] = m&(1<<uint(i)) != 0
+		}
+		out = append(out, mask)
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		return popcount(out[a]) < popcount(out[b])
+	})
+	return out
+}
+
+func popcount(mask []bool) int {
+	c := 0
+	for _, b := range mask {
+		if b {
+			c++
+		}
+	}
+	return c
+}
+
+// Option is one entry of the paper's LUT (eq. (13)): a feasible period
+// outcome for a given capacitor, start voltage and solar profile — the
+// executed-task set te, the pattern index α, the misses it costs and the
+// capacitor energy it consumes.
+type Option struct {
+	Misses      int
+	Te          []bool  // the allowed (and thus executed-intent) task set
+	Alpha       float64 // eq. (18) index for the fine-grained stage choice
+	CapConsumed float64 // E^c of eq. (15); negative = net charge
+	FinalV      float64
+}
+
+// PeriodOptions simulates every dependence-closed subset of pc.Graph over
+// one period (slot powers `powers`) on a capacitor of capC farads starting
+// at voltage v0, using the §5.2 fine-grained stage selected by each
+// subset's α. It returns the Pareto frontier: for each achievable miss
+// count the option with the highest final voltage (equivalently the lowest
+// consumed energy), sorted by misses ascending.
+//
+// This is the inner optimization of §4.2 (eqs. (15)–(17)); with N ≤ 8 tasks
+// the 2^N enumeration is exact — the paper's O(2^(N·Ns)) search collapsed
+// by the observation that within a period only the task *set* matters once
+// the fine-grained stage is fixed.
+func PeriodOptions(capC, v0 float64, powers []float64, pc PlanConfig) []Option {
+	g := pc.Graph
+	dt := pc.Base.SlotSeconds
+	harvest := 0.0
+	for _, p := range powers {
+		harvest += p
+	}
+	harvest *= dt
+
+	subsets := ClosedSubsets(g)
+	options := make([]Option, 0, len(subsets))
+	for _, te := range subsets {
+		alpha := Alpha(g, te, harvest)
+		policy := FinePolicy(g, alpha, pc.Delta)
+		cap_ := supercap.New(capC, pc.Params)
+		cap_.V = v0
+		out := sim.RunPeriodOnCap(cap_, powers, g, te, policy, dt, pc.DirectEff)
+		options = append(options, Option{
+			Misses:      out.Missed,
+			Te:          te,
+			Alpha:       alpha,
+			CapConsumed: out.CapConsumed,
+			FinalV:      out.FinalV,
+		})
+	}
+	return paretoByMissesEnergy(options)
+}
+
+// paretoByMissesEnergy keeps, for each miss count, the option with the
+// highest final voltage, then drops options dominated by a cheaper-or-equal
+// option with fewer misses.
+func paretoByMissesEnergy(options []Option) []Option {
+	bestAt := map[int]Option{}
+	for _, o := range options {
+		cur, ok := bestAt[o.Misses]
+		if !ok || o.FinalV > cur.FinalV {
+			bestAt[o.Misses] = o
+		}
+	}
+	misses := make([]int, 0, len(bestAt))
+	for m := range bestAt {
+		misses = append(misses, m)
+	}
+	sort.Ints(misses)
+	out := make([]Option, 0, len(misses))
+	bestV := -1.0
+	for _, m := range misses {
+		o := bestAt[m]
+		// An option with more misses must buy strictly more final energy to
+		// be worth keeping.
+		if o.FinalV > bestV {
+			out = append(out, o)
+			bestV = o.FinalV
+		}
+	}
+	return out
+}

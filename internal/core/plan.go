@@ -1,0 +1,201 @@
+package core
+
+import (
+	"fmt"
+
+	"solarsched/internal/supercap"
+)
+
+// Decision is one period's planned action: the active capacitor, the task
+// set to execute and the pattern index driving the fine-grained stage.
+type Decision struct {
+	CapIdx int
+	Te     []bool
+	Alpha  float64
+	// PredictedMisses is the miss count the plan expects for this period.
+	PredictedMisses int
+}
+
+// PlanResult carries a horizon plan and its bookkeeping.
+type PlanResult struct {
+	Decisions       []Decision
+	PredictedMisses int
+	// Expansions counts DP option evaluations — the complexity measure
+	// reported in Figure 10(a).
+	Expansions int
+}
+
+// PlanHorizon runs the simplified long-term optimization of §4.2 as a
+// backward dynamic program over the given periods. powers[t] holds the slot
+// powers of the t-th planned period; startPeriodOfDay is the period-of-day
+// index of t = 0 (capacitor switches are only allowed at day boundaries,
+// matching the per-day C_{h,i} variable); the plan starts with capacitor
+// startCap at voltage startV.
+//
+// The DP state is (active capacitor, quantized usable energy); the per-state
+// actions are the LUT's Pareto options (eq. (13)). The objective minimizes
+// total misses (eq. (12)), breaking ties toward more final stored energy.
+func PlanHorizon(l *LUT, powers [][]float64, startPeriodOfDay, startCap int, startV float64) PlanResult {
+	pc := l.Config()
+	T := len(powers)
+	H := len(pc.Capacitances)
+	B := pc.VBuckets
+	if T == 0 {
+		return PlanResult{}
+	}
+	for t, p := range powers {
+		if len(p) != pc.Base.SlotsPerPeriod {
+			panic(fmt.Sprintf("core: period %d has %d slots, want %d", t, len(p), pc.Base.SlotsPerPeriod))
+		}
+	}
+	if startCap < 0 || startCap >= H {
+		panic(fmt.Sprintf("core: startCap %d out of [0,%d)", startCap, H))
+	}
+
+	const energyTie = 1e-4 // reward per terminal bucket, < any miss
+	idx := func(c, b int) int { return c*B + b }
+
+	// value[t] is the cost-to-go at the start of period t.
+	value := make([][]float64, T+1)
+	type choice struct {
+		cap, opt int // capacitor after the (possible) boundary switch; option index
+	}
+	choices := make([][]choice, T)
+	value[T] = make([]float64, H*B)
+	for c := 0; c < H; c++ {
+		for b := 0; b < B; b++ {
+			value[T][idx(c, b)] = -energyTie * float64(b)
+		}
+	}
+
+	// Hoist profile keys and day-boundary transfer buckets out of the DP's
+	// inner loops.
+	keys := make([]string, T)
+	for t := range powers {
+		keys[t] = l.ProfileKey(powers[t])
+	}
+	transfer := make([][]int, H) // transfer[c][c2*B+b] = destination bucket
+	for c := 0; c < H; c++ {
+		transfer[c] = make([]int, H*B)
+		for c2 := 0; c2 < H; c2++ {
+			for b := 0; b < B; b++ {
+				if c2 == c {
+					transfer[c][c2*B+b] = b
+					continue
+				}
+				b2, _ := l.TransferBucket(c, b, c2)
+				transfer[c][c2*B+b] = b2
+			}
+		}
+	}
+
+	expansions := 0
+	for t := T - 1; t >= 0; t-- {
+		value[t] = make([]float64, H*B)
+		choices[t] = make([]choice, H*B)
+		boundary := (startPeriodOfDay+t)%pc.Base.PeriodsPerDay == 0
+		for c := 0; c < H; c++ {
+			for b := 0; b < B; b++ {
+				bestVal := 0.0
+				bestChoice := choice{cap: -1}
+				consider := func(c2, b2 int) {
+					opts := l.OptionsByKey(keys[t], c2, b2, powers[t])
+					for oi, o := range opts {
+						expansions++
+						nb := l.BucketOf(c2, o.FinalV)
+						v := float64(o.Misses) + value[t+1][idx(c2, nb)]
+						if bestChoice.cap < 0 || v < bestVal {
+							bestVal = v
+							bestChoice = choice{cap: c2, opt: oi}
+						}
+					}
+				}
+				consider(c, b)
+				if boundary {
+					for c2 := 0; c2 < H; c2++ {
+						if c2 == c {
+							continue
+						}
+						consider(c2, transfer[c][c2*B+b])
+					}
+				}
+				value[t][idx(c, b)] = bestVal
+				choices[t][idx(c, b)] = bestChoice
+			}
+		}
+	}
+
+	// Forward reconstruction. The first period is re-optimized at the
+	// *exact* start voltage (not the bucket center): the receding-horizon
+	// schedulers take only this first decision, so quantization pessimism
+	// here would compound run-long.
+	res := PlanResult{Decisions: make([]Decision, T), Expansions: expansions}
+	c, b := startCap, l.BucketOf(startCap, startV)
+	first := bestExactFirst(l, powers[0], (startPeriodOfDay)%pc.Base.PeriodsPerDay == 0,
+		startCap, startV, value[1], idx, &res.Expansions)
+	res.Decisions[0] = Decision{
+		CapIdx: first.cap, Te: first.opt.Te, Alpha: first.opt.Alpha,
+		PredictedMisses: first.opt.Misses,
+	}
+	res.PredictedMisses += first.opt.Misses
+	c = first.cap
+	b = l.BucketOf(c, first.opt.FinalV)
+	for t := 1; t < T; t++ {
+		ch := choices[t][idx(c, b)]
+		if ch.cap != c {
+			b, _ = l.TransferBucket(c, b, ch.cap)
+			c = ch.cap
+		}
+		opts := l.Options(c, b, powers[t])
+		o := opts[ch.opt]
+		res.Decisions[t] = Decision{
+			CapIdx: c, Te: o.Te, Alpha: o.Alpha, PredictedMisses: o.Misses,
+		}
+		res.PredictedMisses += o.Misses
+		b = l.BucketOf(c, o.FinalV)
+	}
+	return res
+}
+
+type firstChoice struct {
+	cap int
+	opt Option
+}
+
+// bestExactFirst picks the first-period action by simulating the Pareto
+// options at the true start voltage and scoring them against the DP
+// cost-to-go. When the first period is a day boundary, capacitor switches
+// (with migration of the exact stored energy) are considered too.
+func bestExactFirst(l *LUT, powers []float64, boundary bool, startCap int, startV float64,
+	next []float64, idx func(int, int) int, expansions *int) firstChoice {
+
+	pc := l.Config()
+	best := firstChoice{cap: -1}
+	bestVal := 0.0
+	consider := func(c int, v float64) {
+		opts := PeriodOptions(pc.Capacitances[c], v, powers, pc)
+		for _, o := range opts {
+			*expansions++
+			val := float64(o.Misses) + next[idx(c, l.BucketOf(c, o.FinalV))]
+			if best.cap < 0 || val < bestVal {
+				bestVal = val
+				best = firstChoice{cap: c, opt: o}
+			}
+		}
+	}
+	consider(startCap, startV)
+	if boundary {
+		src := supercap.New(pc.Capacitances[startCap], pc.Params)
+		src.V = startV
+		for c2 := range pc.Capacitances {
+			if c2 == startCap {
+				continue
+			}
+			dst := supercap.New(pc.Capacitances[c2], pc.Params)
+			s := src.Clone()
+			dst.Charge(s.Discharge(s.Deliverable()))
+			consider(c2, dst.V)
+		}
+	}
+	return best
+}

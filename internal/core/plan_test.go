@@ -1,0 +1,81 @@
+package core
+
+import (
+	"testing"
+
+	"solarsched/internal/task"
+)
+
+func TestPlanHorizonEmpty(t *testing.T) {
+	pc, _ := testConfig(task.ECG(), 2)
+	l := NewLUT(pc)
+	res := PlanHorizon(l, nil, 0, 0, pc.Params.VLow)
+	if len(res.Decisions) != 0 || res.PredictedMisses != 0 || res.Expansions != 0 {
+		t.Fatalf("empty horizon produced %+v", res)
+	}
+}
+
+func TestPlanHorizonPanicsOnBadStart(t *testing.T) {
+	pc, _ := testConfig(task.ECG(), 2)
+	l := NewLUT(pc)
+	powers := [][]float64{make([]float64, pc.Base.SlotsPerPeriod)}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad startCap accepted")
+		}
+	}()
+	PlanHorizon(l, powers, 0, 99, pc.Params.VLow)
+}
+
+func TestPlanHorizonPanicsOnBadSlotCount(t *testing.T) {
+	pc, _ := testConfig(task.ECG(), 2)
+	l := NewLUT(pc)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short period accepted")
+		}
+	}()
+	PlanHorizon(l, [][]float64{{0.1, 0.2}}, 0, 0, pc.Params.VLow)
+}
+
+func TestPlanHorizonSwitchesCapAtBoundaryWhenBeneficial(t *testing.T) {
+	// A tiny first capacitor and a large second one, with a bright day then
+	// darkness: the plan should migrate to a capacitor that can actually
+	// hold the surplus at the day boundary (period 0).
+	g := task.ECG()
+	pc, tr := testConfig(g, 2)
+	pc.Capacitances = []float64{0.5, 50}
+	l := NewLUT(pc)
+	powers := make([][]float64, pc.Base.PeriodsPerDay)
+	for p := range powers {
+		powers[p] = tr.PeriodPowers(0, p)
+	}
+	res := PlanHorizon(l, powers, 0, 0, pc.Params.VLow)
+	switched := false
+	for _, d := range res.Decisions {
+		if d.CapIdx == 1 {
+			switched = true
+			break
+		}
+	}
+	if !switched {
+		t.Fatal("plan never used the large capacitor despite daylight surplus")
+	}
+}
+
+func TestPlanHorizonPredictedMatchesDecisions(t *testing.T) {
+	pc, tr := testConfig(task.ECG(), 2)
+	l := NewLUT(pc)
+	powers := make([][]float64, 6)
+	for p := range powers {
+		powers[p] = tr.PeriodPowers(0, 20+p)
+	}
+	res := PlanHorizon(l, powers, 20, 0, 2.0)
+	sum := 0
+	for _, d := range res.Decisions {
+		sum += d.PredictedMisses
+	}
+	if sum != res.PredictedMisses {
+		t.Fatalf("per-decision misses %d != total %d", sum, res.PredictedMisses)
+	}
+}

@@ -1,0 +1,324 @@
+package core
+
+import (
+	"fmt"
+
+	"solarsched/internal/ann"
+	"solarsched/internal/mat"
+	"solarsched/internal/sim"
+	"solarsched/internal/solar"
+	"solarsched/internal/task"
+)
+
+// Proposed is the paper's online scheduler (§5): at every period boundary
+// the trained DBN maps (last period's solar, all capacitor voltages,
+// accumulated DMR) to the capacitor of the day, the pattern index α and the
+// executed-task set te; the E_th rule (eq. (22)) gates capacitor switching
+// and the δ rule picks the fine-grained stage that runs each slot.
+type Proposed struct {
+	pc  PlanConfig
+	net *ann.Network
+
+	// DisableGuards turns off the §5.2 online selection repairs (the
+	// full-set override and the cheapest-affordable fallback), leaving the
+	// raw network outputs in charge. Used by the guard ablation study.
+	DisableGuards bool
+
+	prevPowers []float64
+	curPowers  []float64
+	policy     sim.SlotPolicy
+	wcma       *solar.WCMA
+}
+
+// NewProposed wraps a trained network as a scheduler. The network must have
+// been built by Train (matching feature dimension and head sizes).
+func NewProposed(pc PlanConfig, net *ann.Network) (*Proposed, error) {
+	if err := pc.Validate(); err != nil {
+		return nil, err
+	}
+	cfg := net.Config()
+	if cfg.InputDim != FeatureDim(len(pc.Capacitances)) {
+		return nil, fmt.Errorf("core: network input dim %d, want %d", cfg.InputDim, FeatureDim(len(pc.Capacitances)))
+	}
+	if cfg.CapClasses != len(pc.Capacitances) {
+		return nil, fmt.Errorf("core: network has %d capacitor classes, bank has %d", cfg.CapClasses, len(pc.Capacitances))
+	}
+	if cfg.TaskCount != pc.Graph.N() {
+		return nil, fmt.Errorf("core: network has %d task outputs, graph has %d", cfg.TaskCount, pc.Graph.N())
+	}
+	return &Proposed{
+		pc:         pc,
+		net:        net,
+		prevPowers: make([]float64, pc.Base.SlotsPerPeriod),
+		curPowers:  make([]float64, pc.Base.SlotsPerPeriod),
+		wcma:       solar.NewWCMA(0.5, 4, 3, pc.Base.PeriodsPerDay),
+	}, nil
+}
+
+// Name implements sim.Scheduler.
+func (s *Proposed) Name() string { return "proposed" }
+
+// BeginPeriod implements sim.Scheduler: one DBN forward pass (the
+// coarse-grained stage), then the E_th and δ selection rules.
+func (s *Proposed) BeginPeriod(v *sim.PeriodView) sim.PeriodPlan {
+	// The powers recorded during the period that just finished become the
+	// "solar power of the last period" input.
+	s.prevPowers, s.curPowers = s.curPowers, s.prevPowers
+	for i := range s.curPowers {
+		s.curPowers[i] = 0
+	}
+
+	// Feed the on-node WCMA forecaster (the same predictor the platform
+	// already runs for the baselines) with the finished period.
+	cold := v.Day == 0 && v.Period == 0
+	prevP := v.Period - 1
+	if prevP < 0 {
+		prevP += v.Base.PeriodsPerDay
+	}
+	if !cold {
+		s.wcma.Observe(v.Day, prevP, v.LastPeriodEnergy)
+	}
+	forecast := s.wcma.Predict(v.Day, v.Period)
+
+	x := Features(s.prevPowers, v.Bank.Voltages(), v.AccumulatedDMR,
+		v.Period, v.Base.PeriodsPerDay, s.pc.Params)
+	out := s.net.Forward(x)
+	te := closeUnderPredecessors(s.pc.Graph, out.TeMask())
+
+	// Online selection (§5.2): two guard rules repair degenerate network
+	// outputs. When the forecast supply covers the whole task set (α over
+	// the full set ≤ 1) there is no reason to drop anything — skipping
+	// tasks only pays off when energy must be rationed. Conversely the node
+	// must never idle a period while the store could pay for at least the
+	// cheapest task chain: an empty selection falls back to the greedy
+	// cheapest affordable subset, which is what the offline optimizer's
+	// night rationing converges to.
+	full := make([]bool, s.pc.Graph.N())
+	for i := range full {
+		full[i] = true
+	}
+	if !s.DisableGuards {
+		if !cold && Alpha(s.pc.Graph, full, forecast) <= 1 {
+			te = full
+		} else if popcount(te) == 0 {
+			budget := v.Bank.Active().Deliverable() + forecast*s.pc.DirectEff
+			te = cheapestAffordable(s.pc.Graph, budget)
+		}
+	}
+
+	// The pattern index: eq. (18) on the chosen task set with the WCMA
+	// supply estimate; the DBN's α head covers the cold start.
+	alpha := alphaFromOutput(out.Alpha)
+	if !cold {
+		alpha = Alpha(s.pc.Graph, te, forecast)
+	}
+	s.policy = FinePolicy(s.pc.Graph, alpha, s.pc.Delta)
+
+	plan := sim.PeriodPlan{SwitchTo: -1, Allowed: te}
+	capStar := out.Cap()
+	active := v.Bank.ActiveIndex()
+	if capStar != active {
+		// Eq. (22): only abandon the current capacitor when its stored
+		// energy is below E_th — migrating a full store is wasteful.
+		eth := s.pc.EThFraction * v.Bank.Active().CapacityEnergy()
+		if v.Bank.Active().UsableEnergy() < eth {
+			plan.SwitchTo = capStar
+			plan.Migrate = true
+		}
+	}
+	return plan
+}
+
+// Slot implements sim.Scheduler.
+func (s *Proposed) Slot(v *sim.SlotView) []int {
+	s.curPowers[v.Slot] = v.SolarPower
+	return s.policy(v)
+}
+
+// cheapestAffordable greedily selects the cheapest dependence-closed task
+// subset whose total energy fits the budget: tasks are considered in
+// ascending chain-closure cost, each pulled in together with its not-yet
+// selected ancestors.
+func cheapestAffordable(g *task.Graph, budget float64) []bool {
+	te := make([]bool, g.N())
+	remaining := budget
+	for {
+		best, bestCost := -1, 0.0
+		for n := 0; n < g.N(); n++ {
+			if te[n] {
+				continue
+			}
+			cost := chainCost(g, te, n)
+			if cost <= remaining && (best < 0 || cost < bestCost) {
+				best, bestCost = n, cost
+			}
+		}
+		if best < 0 {
+			return te
+		}
+		addChain(g, te, best)
+		remaining -= bestCost
+	}
+}
+
+// chainCost returns the energy of task n plus all its unselected ancestors.
+func chainCost(g *task.Graph, te []bool, n int) float64 {
+	seen := make([]bool, g.N())
+	var visit func(int) float64
+	visit = func(m int) float64 {
+		if te[m] || seen[m] {
+			return 0
+		}
+		seen[m] = true
+		cost := g.Tasks[m].Energy()
+		for _, p := range g.Predecessors(m) {
+			cost += visit(p)
+		}
+		return cost
+	}
+	return visit(n)
+}
+
+// addChain marks task n and all its ancestors selected.
+func addChain(g *task.Graph, te []bool, n int) {
+	if te[n] {
+		return
+	}
+	te[n] = true
+	for _, p := range g.Predecessors(n) {
+		addChain(g, te, p)
+	}
+}
+
+// closeUnderPredecessors repairs a learned task mask so that every selected
+// task's predecessors are selected too (constraint (7)) — otherwise the
+// selection could never execute and the period would waste its energy.
+func closeUnderPredecessors(g *task.Graph, te []bool) []bool {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return te
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		n := order[i]
+		if !te[n] {
+			continue
+		}
+		for _, p := range g.Predecessors(n) {
+			te[p] = true
+		}
+	}
+	return te
+}
+
+// sampleRecorder runs the clairvoyant teacher through the engine while
+// capturing (feature, target) pairs at every period boundary — the offline
+// training samples of §4.2, taken from the states the node actually visits.
+type sampleRecorder struct {
+	inner   *Horizon
+	pc      PlanConfig
+	trace   *solar.Trace
+	inputs  []mat.Vector
+	targets []ann.Target
+}
+
+func (r *sampleRecorder) Name() string { return "sample-recorder" }
+
+func (r *sampleRecorder) BeginPeriod(v *sim.PeriodView) sim.PeriodPlan {
+	flat := v.Base.PeriodIndex(v.Day, v.Period)
+	var prev []float64
+	if flat > 0 {
+		prevFlat := flat - 1
+		prev = r.trace.PeriodPowers(prevFlat/v.Base.PeriodsPerDay, prevFlat%v.Base.PeriodsPerDay)
+	}
+	x := Features(prev, v.Bank.Voltages(), v.AccumulatedDMR, v.Period, v.Base.PeriodsPerDay, r.pc.Params)
+	plan := r.inner.BeginPeriod(v)
+	d := r.inner.LastDecision()
+	te := make([]float64, len(d.Te))
+	for i, b := range d.Te {
+		if b {
+			te[i] = 1
+		}
+	}
+	r.inputs = append(r.inputs, x)
+	r.targets = append(r.targets, ann.Target{Cap: d.CapIdx, Alpha: alphaToTarget(d.Alpha), Te: te})
+	return plan
+}
+
+func (r *sampleRecorder) Slot(v *sim.SlotView) []int { return r.inner.Slot(v) }
+
+// teacherHours is the lookahead of the clairvoyant teacher used for sample
+// generation and for the evaluation's "Optimal" bound: 48 h, the knee of
+// the prediction-length study (§6.4).
+const teacherHours = 48
+
+// CollectSamples runs the clairvoyant teacher over the training trace and
+// returns the recorded (input, target) pairs.
+func CollectSamples(pc PlanConfig, tr *solar.Trace) ([]mat.Vector, []ann.Target, error) {
+	teacher, err := NewClairvoyant(pc, tr, teacherHours)
+	if err != nil {
+		return nil, nil, err
+	}
+	eng, err := sim.New(sim.Config{
+		Trace: tr, Graph: pc.Graph, Capacitances: pc.Capacitances,
+		Params: pc.Params, DirectEff: pc.DirectEff,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	rec := &sampleRecorder{inner: teacher, pc: pc, trace: tr}
+	if _, err := eng.Run(rec); err != nil {
+		return nil, nil, err
+	}
+	return rec.inputs, rec.targets, nil
+}
+
+// TrainOptions configures offline training of the Proposed scheduler.
+type TrainOptions struct {
+	Hidden         []int
+	PretrainEpochs int
+	Fine           ann.TrainOptions
+	Seed           uint64
+}
+
+// DefaultTrainOptions returns the training settings used in the evaluation.
+func DefaultTrainOptions() TrainOptions {
+	fine := ann.DefaultTrainOptions()
+	fine.Epochs = 400
+	fine.AlphaWeight = 1.0
+	return TrainOptions{
+		Hidden:         []int{48, 24},
+		PretrainEpochs: 8,
+		Fine:           fine,
+		Seed:           2015,
+	}
+}
+
+// Train runs the full offline pipeline of Figure 4 on a training trace:
+// long-term DP → sample collection → RBM pretraining → BP fine-tuning.
+// It returns the trained network and the final training loss.
+func Train(pc PlanConfig, trainTrace *solar.Trace, opt TrainOptions) (*ann.Network, float64, error) {
+	inputs, targets, err := CollectSamples(pc, trainTrace)
+	if err != nil {
+		return nil, 0, err
+	}
+	net := ann.New(ann.Config{
+		InputDim:   FeatureDim(len(pc.Capacitances)),
+		Hidden:     opt.Hidden,
+		CapClasses: len(pc.Capacitances),
+		TaskCount:  pc.Graph.N(),
+		Seed:       opt.Seed,
+	})
+	net.Pretrain(inputs, opt.PretrainEpochs, 0.05)
+	loss := net.Train(inputs, targets, opt.Fine)
+	return net, loss, nil
+}
+
+// TrainProposed is the one-call convenience: train on trainTrace and wrap
+// the network as a scheduler.
+func TrainProposed(pc PlanConfig, trainTrace *solar.Trace, opt TrainOptions) (*Proposed, error) {
+	net, _, err := Train(pc, trainTrace, opt)
+	if err != nil {
+		return nil, err
+	}
+	return NewProposed(pc, net)
+}

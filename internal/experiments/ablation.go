@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"fmt"
+
+	"solarsched/internal/core"
+	"solarsched/internal/dvfs"
+	"solarsched/internal/sched"
+	"solarsched/internal/sim"
+	"solarsched/internal/solar"
+	"solarsched/internal/stats"
+	"solarsched/internal/task"
+)
+
+// The ablation studies below probe the design choices §6.4 lists as DMR
+// factors — "the numbers of layers and neurons in the ANN as well as the
+// thresholds in the selection method" — plus two of our own: the online
+// selection guards and the DVFS extension.
+
+// AblationThresholds sweeps the two §5.2 selection thresholds on the ECG
+// benchmark over the four representative days: the pattern threshold δ and
+// the capacitor-switch threshold E_th (as a fraction of capacity).
+func AblationThresholds(cfg Config) (*stats.Table, error) {
+	g := task.ECG()
+	tr := solar.RepresentativeDays(solar.DefaultTimeBase(4))
+	setup, err := NewSetup(g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("Ablation — selection thresholds (ECG, four days)",
+		"delta", "eth fraction", "DMR")
+	for _, delta := range []float64{0.05, 0.25, 0.50, 1.00} {
+		for _, eth := range []float64{0.02, 0.10, 0.30} {
+			pc := setup.PlanCfg
+			pc.Base = tr.Base
+			pc.Delta = delta
+			pc.EThFraction = eth
+			prop, err := core.NewProposed(pc, setup.Net)
+			if err != nil {
+				return nil, err
+			}
+			res, err := run(tr, g, setup.MultiBank, prop)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(stats.F(delta, 2), stats.F(eth, 2), stats.Pct(res.DMR()))
+		}
+	}
+	return t, nil
+}
+
+// AblationANN sweeps the DBN's hidden architecture (the §6.4 "layers and
+// neurons" factor), reporting the training loss and the online DMR.
+func AblationANN(cfg Config) (*stats.Table, error) {
+	g := task.ECG()
+	tr := solar.RepresentativeDays(solar.DefaultTimeBase(4))
+	trainTr := trainingTrace(cfg)
+	p := defaultPlan(g, trainTr.Base, []float64{2, 10, 50})
+
+	t := stats.NewTable("Ablation — DBN architecture (ECG, four days)",
+		"hidden layers", "final loss", "DMR")
+	for _, hidden := range [][]int{{8}, {16, 8}, {32, 16}, {48, 24}} {
+		topt := core.DefaultTrainOptions()
+		topt.Hidden = hidden
+		topt.Fine.Epochs = cfg.FineEpochs
+		net, loss, err := core.Train(p, trainTr, topt)
+		if err != nil {
+			return nil, err
+		}
+		pcEval := p
+		pcEval.Base = tr.Base
+		prop, err := core.NewProposed(pcEval, net)
+		if err != nil {
+			return nil, err
+		}
+		res, err := run(tr, g, p.Capacitances, prop)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprint(hidden), stats.F(loss, 3), stats.Pct(res.DMR()))
+	}
+	return t, nil
+}
+
+// AblationGuards compares the proposed scheduler with and without the
+// §5.2 online selection guards (te closure repair stays on in both — a
+// non-closed set cannot execute at all).
+func AblationGuards(cfg Config) (*stats.Table, error) {
+	g := task.WAM()
+	tr := solar.RepresentativeDays(solar.DefaultTimeBase(4))
+	setup, err := NewSetup(g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	pc := setup.PlanCfg
+	pc.Base = tr.Base
+
+	t := stats.NewTable("Ablation — online selection guards (WAM, four days)",
+		"variant", "DMR", "energy util")
+	for _, disable := range []bool{false, true} {
+		prop, err := core.NewProposed(pc, setup.Net)
+		if err != nil {
+			return nil, err
+		}
+		prop.DisableGuards = disable
+		res, err := run(tr, g, setup.MultiBank, prop)
+		if err != nil {
+			return nil, err
+		}
+		name := "with guards"
+		if disable {
+			name = "raw network output"
+		}
+		t.AddRow(name, stats.Pct(res.DMR()), stats.Pct(res.EnergyUtilization()))
+	}
+	return t, nil
+}
+
+// AblationPredictor swaps the Inter-task baseline's solar predictor:
+// persistence vs EWMA vs the paper's WCMA, over the four representative
+// days on WAM.
+func AblationPredictor(cfg Config) (*stats.Table, error) {
+	g := task.WAM()
+	tr := solar.RepresentativeDays(solar.DefaultTimeBase(4))
+	bank := []float64{25}
+
+	t := stats.NewTable("Ablation — solar predictor of the Inter-task baseline (WAM, four days)",
+		"predictor", "DMR", "energy util")
+	preds := []solar.Predictor{
+		solar.NewPersistence(),
+		solar.NewEWMA(0.5, tr.Base.PeriodsPerDay),
+		solar.NewWCMA(0.5, 4, 3, tr.Base.PeriodsPerDay),
+	}
+	for _, pred := range preds {
+		s := sched.NewInterLSAWithPredictor(g, sim.DefaultDirectEff, pred)
+		res, err := run(tr, g, bank, s)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(pred.Name(), stats.Pct(res.DMR()), stats.Pct(res.EnergyUtilization()))
+	}
+	return t, nil
+}
+
+// AblationDVFS compares the DVFS load-tuning extension against the paper's
+// two baselines across the six benchmarks (four representative days,
+// single 25 F capacitor): pacing tasks at f < 1 stretches stored energy
+// (work per joule ∝ 1/f²).
+func AblationDVFS(cfg Config) (*stats.Table, error) {
+	tr := solar.RepresentativeDays(solar.DefaultTimeBase(4))
+	bank := []float64{25}
+	t := stats.NewTable("Ablation — DVFS load tuning (four days, 25 F)",
+		"benchmark", "Inter-task", "Intra-task", "DVFS load-tune")
+	for _, g := range task.AllBenchmarks() {
+		row := []string{g.Name}
+		for _, s := range []sim.Scheduler{
+			sched.NewInterLSA(g, tr.Base, sim.DefaultDirectEff),
+			sched.NewIntraMatch(g),
+			dvfs.NewLoadTune(g),
+		} {
+			res, err := run(tr, g, bank, s)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, stats.Pct(res.DMR()))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestAblationThresholds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a network")
+	}
+	tbl, err := AblationThresholds(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 12 {
+		t.Fatalf("rows = %d, want 12", len(tbl.Rows))
+	}
+	// Every cell is a sane DMR.
+	for _, row := range tbl.Rows {
+		if !strings.HasSuffix(row[2], "%") {
+			t.Fatalf("bad DMR cell %q", row[2])
+		}
+	}
+}
+
+func TestAblationANN(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains four networks")
+	}
+	cfg := Quick()
+	tbl, err := AblationANN(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestAblationGuards(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a network")
+	}
+	tbl, err := AblationGuards(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// The guards must not hurt: parse the two DMR cells.
+	with := parsePct(t, tbl.Rows[0][1])
+	without := parsePct(t, tbl.Rows[1][1])
+	if with > without+0.02 {
+		t.Fatalf("guards made DMR worse: %.3f vs %.3f", with, without)
+	}
+}
+
+func TestAblationPredictor(t *testing.T) {
+	tbl, err := AblationPredictor(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	names := tbl.Rows[0][0] + tbl.Rows[1][0] + tbl.Rows[2][0]
+	for _, want := range []string{"persistence", "ewma", "wcma"} {
+		if !strings.Contains(names, want) {
+			t.Fatalf("predictor %s missing from %q", want, names)
+		}
+	}
+}
+
+func TestAblationDVFS(t *testing.T) {
+	tbl, err := AblationDVFS(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// DVFS must help (or at least not hurt) on average across benchmarks.
+	sumIntra, sumDVFS := 0.0, 0.0
+	for _, row := range tbl.Rows {
+		sumIntra += parsePct(t, row[2])
+		sumDVFS += parsePct(t, row[3])
+	}
+	if sumDVFS > sumIntra+0.01*6 {
+		t.Fatalf("DVFS average DMR %.3f worse than intra %.3f", sumDVFS/6, sumIntra/6)
+	}
+}
+
+func parsePct(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "%"), 64)
+	if err != nil {
+		t.Fatalf("bad percentage cell %q: %v", cell, err)
+	}
+	return v / 100
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"solarsched/internal/ann"
+	"solarsched/internal/core"
+	"solarsched/internal/overhead"
+	"solarsched/internal/sim"
+	"solarsched/internal/sizing"
+	"solarsched/internal/solar"
+	"solarsched/internal/stats"
+	"solarsched/internal/supercap"
+	"solarsched/internal/task"
+)
+
+// Fig10aResult is one point of the prediction-length study.
+type Fig10aResult struct {
+	Hours      float64
+	DMR        float64
+	Expansions int // DP option evaluations over the run (complexity)
+}
+
+// Fig10a reproduces Figure 10(a): DMR and optimization complexity of the
+// receding-horizon long-term analysis under different solar prediction
+// lengths (random case 1 over a month). Forecast error grows with lead
+// time, so DMR improves with the horizon up to a knee and then stops
+// improving while complexity keeps growing.
+func Fig10a(cfg Config) (*stats.Table, []Fig10aResult, error) {
+	g := taskRandom1()
+	tb := solar.DefaultTimeBase(cfg.SweepDays)
+	tr := solar.TwoMonthTrace(tb)
+	if cfg.SweepDays != 60 {
+		tr = tr.SliceDays(0, cfg.SweepDays)
+	}
+	p := supercap.DefaultParams()
+	bank := sizing.SizeBank(trainingTrace(cfg), g, cfg.H, p, sim.DefaultDirectEff)
+	pc := defaultPlan(g, tr.Base, bank)
+
+	t := stats.NewTable("Figure 10(a) — prediction length (random case 1, one month)",
+		"prediction (h)", "DMR", "DP expansions")
+	var out []Fig10aResult
+	for _, hours := range cfg.Horizons {
+		fc := solar.NewHorizonForecast(tr, 42)
+		h, err := core.NewHorizon(pc, fc, hours)
+		if err != nil {
+			return nil, nil, err
+		}
+		res, err := run(tr, g, bank, h)
+		if err != nil {
+			return nil, nil, err
+		}
+		r := Fig10aResult{Hours: hours, DMR: res.DMR(), Expansions: h.Expansions}
+		out = append(out, r)
+		t.AddRow(stats.F(hours, 0), stats.Pct(r.DMR), stats.F(float64(r.Expansions), 0))
+	}
+	return t, out, nil
+}
+
+// OverheadResult is the §6.5 cost summary for one benchmark.
+type OverheadResult struct {
+	Benchmark      string
+	Coarse, Fine   overhead.Cost
+	EnergyFraction float64
+}
+
+// Overhead reproduces §6.5: the execution time, power and energy share of
+// the coarse-grained (DBN forward pass) and fine-grained (per-slot
+// selection) procedures on the 93.5 kHz node.
+func Overhead(cfg Config) (*stats.Table, []OverheadResult) {
+	mcu := overhead.DefaultMCU()
+	tb := solar.DefaultTimeBase(1)
+	t := stats.NewTable("Algorithm overhead on the 93.5 kHz node (§6.5)",
+		"benchmark", "coarse (s)", "coarse (mW)", "fine (s)", "fine (mW)", "energy share")
+	var out []OverheadResult
+	for _, g := range task.AllBenchmarks() {
+		net := ann.New(ann.Config{
+			InputDim:   core.FeatureDim(cfg.H),
+			Hidden:     core.DefaultTrainOptions().Hidden,
+			CapClasses: cfg.H,
+			TaskCount:  g.N(),
+			Seed:       1,
+		})
+		coarse := overhead.CoarseCost(net, mcu)
+		fine := overhead.FineCost(g, tb.SlotsPerPeriod, mcu)
+		frac := overhead.EnergyFraction(coarse, fine, g.PeriodEnergy())
+		out = append(out, OverheadResult{Benchmark: g.Name, Coarse: coarse, Fine: fine, EnergyFraction: frac})
+		t.AddRow(g.Name,
+			stats.F(coarse.Seconds, 2), stats.F(coarse.Power*1000, 2),
+			stats.F(fine.Seconds, 2), stats.F(fine.Power*1000, 2),
+			stats.Pct(frac))
+	}
+	return t, out
+}

@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"solarsched/internal/sim"
+	"solarsched/internal/sizing"
+	"solarsched/internal/solar"
+	"solarsched/internal/stats"
+	"solarsched/internal/supercap"
+)
+
+// Fig5 reproduces Figure 5: the tested input and output regulator
+// efficiencies as a function of the super-capacitor voltage.
+func Fig5() (*stats.Table, []stats.Series) {
+	p := supercap.DefaultParams()
+	t := stats.NewTable("Figure 5 — regulator efficiencies vs capacitor voltage",
+		"V (V)", "eta_chr (input)", "eta_dis (output)")
+	var chr, dis stats.Series
+	chr.Name, dis.Name = "eta_chr", "eta_dis"
+	for v := p.VLow; v <= p.VHigh+1e-9; v += 0.2 {
+		t.AddRow(stats.F(v, 1), stats.Pct(p.EtaChr(v)), stats.Pct(p.EtaDis(v)))
+		chr.Add(v, p.EtaChr(v))
+		dis.Add(v, p.EtaDis(v))
+	}
+	return t, []stats.Series{chr, dis}
+}
+
+// Fig7 reproduces Figure 7: the solar power of the four representative
+// days, reported per period (30-minute averages, mW).
+func Fig7() (*stats.Table, *solar.Trace) {
+	tr := solar.RepresentativeDays(solar.DefaultTimeBase(4))
+	t := stats.NewTable("Figure 7 — solar power of four representative days (mW per 30-min period)",
+		"period", "time", "Day1 sunny", "Day2 p-cloudy", "Day3 overcast", "Day4 rainy")
+	for p := 0; p < tr.Base.PeriodsPerDay; p++ {
+		row := []string{
+			stats.F(float64(p), 0),
+			clock(p),
+		}
+		for d := 0; d < 4; d++ {
+			avgW := tr.PeriodEnergy(d, p) / tr.Base.PeriodSeconds()
+			row = append(row, stats.F(avgW*1000, 2))
+		}
+		t.AddRow(row...)
+	}
+	t.AddRow("", "day total (J)",
+		stats.F(tr.DayEnergy(0), 0), stats.F(tr.DayEnergy(1), 0),
+		stats.F(tr.DayEnergy(2), 0), stats.F(tr.DayEnergy(3), 0))
+	return t, tr
+}
+
+func clock(period int) string {
+	mins := period * 30
+	return stats.F(float64(mins/60), 0) + ":" + map[bool]string{true: "00", false: "30"}[mins%60 == 0]
+}
+
+// Table2Result carries the migration-efficiency grid and the average
+// model-vs-test error.
+type Table2Result struct {
+	Capacitances []float64
+	Patterns     []supercap.Pattern
+	Model        [][]float64 // [cap][pattern]
+	Test         [][]float64
+	AvgError     float64
+	MaxSpread    float64 // largest efficiency difference across capacitances
+}
+
+// Table2 reproduces Table 2: energy-migration efficiencies of the coarse
+// model vs the high-fidelity reference ("Test") across capacitances and
+// migration patterns.
+func Table2() (*stats.Table, Table2Result) {
+	p := supercap.DefaultParams()
+	res := Table2Result{
+		Capacitances: []float64{1, 10, 50, 100},
+		Patterns: []supercap.Pattern{
+			{Quantity: 7, Duration: 60 * 60},
+			{Quantity: 30, Duration: 400 * 60},
+		},
+	}
+	t := stats.NewTable("Table 2 — energy migration efficiencies (model vs test)",
+		"Capacity", "7J,60min model", "7J,60min test", "err",
+		"30J,400min model", "30J,400min test", "err")
+	errSum, errN := 0.0, 0
+	var flat []float64
+	for _, c := range res.Capacitances {
+		var mrow, trow []float64
+		cells := []string{stats.F(c, 0) + "F"}
+		for _, pat := range res.Patterns {
+			m := supercap.MigrationEfficiency(c, pat, p, 60)
+			h := supercap.HiFiMigrationEfficiency(c, pat, p)
+			rel := 0.0
+			if h > 0 {
+				rel = abs(m-h) / h
+			}
+			errSum += rel
+			errN++
+			mrow = append(mrow, m)
+			trow = append(trow, h)
+			flat = append(flat, m)
+			cells = append(cells, stats.Pct(m), stats.Pct(h), stats.Pct(rel))
+		}
+		res.Model = append(res.Model, mrow)
+		res.Test = append(res.Test, trow)
+		t.AddRow(cells...)
+	}
+	res.AvgError = errSum / float64(errN)
+	lo, hi := flat[0], flat[0]
+	for _, x := range flat {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	res.MaxSpread = hi - lo
+	return t, res
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Fig10bResult is one row of the capacitor-count study.
+type Fig10bResult struct {
+	H            int
+	Bank         []float64
+	MigrationEff float64
+	Day2DMR      float64 // the paper's reported day
+	DMR          float64 // over the four representative days
+}
+
+// Fig10b reproduces Figure 10(b): migration efficiency and DMR of random
+// case 1 as the number of distributed super capacitors grows. Banks are
+// sized on the (longer, weather-diverse) training history — the paper
+// sizes at design time from the solar database. The paper reports a
+// single day (Day 2); we evaluate across all four representative days so
+// the per-day capacitor *selection* — the mechanism that distinguishes
+// H > 1 — is actually exercised, and report both the Day 2 and the
+// four-day DMR.
+func Fig10b(cfg Config) (*stats.Table, []Fig10bResult, error) {
+	g := taskRandom1()
+	tr := solar.RepresentativeDays(solar.DefaultTimeBase(4))
+	hist := trainingTrace(cfg)
+	p := supercap.DefaultParams()
+	t := stats.NewTable("Figure 10(b) — distributed capacitor count (random case 1)",
+		"H", "bank (F)", "migration eff", "Day2 DMR", "4-day DMR")
+	var out []Fig10bResult
+	for _, h := range cfg.CapCounts {
+		bank := sizing.SizeBank(hist, g, h, p, sim.DefaultDirectEff)
+		eff := sizing.BankMigrationEfficiency(hist, g, bank, p, sim.DefaultDirectEff)
+		pc := defaultPlan(g, tr.Base, bank)
+		opt, err := newClairvoyant(pc, tr)
+		if err != nil {
+			return nil, nil, err
+		}
+		res, err := run(tr, g, bank, opt)
+		if err != nil {
+			return nil, nil, err
+		}
+		r := Fig10bResult{H: h, Bank: bank, MigrationEff: eff, Day2DMR: res.DayDMR(1), DMR: res.DMR()}
+		out = append(out, r)
+		t.AddRow(stats.F(float64(h), 0), bankString(bank), stats.Pct(eff),
+			stats.Pct(r.Day2DMR), stats.Pct(r.DMR))
+	}
+	return t, out, nil
+}
+
+func bankString(bank []float64) string {
+	s := ""
+	for i, c := range bank {
+		if i > 0 {
+			s += " "
+		}
+		s += stats.F(c, 1)
+	}
+	return s
+}

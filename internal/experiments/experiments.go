@@ -1,0 +1,147 @@
+// Package experiments contains one harness per table and figure of the
+// paper's evaluation (§6). Each harness builds its workload, runs the
+// schedulers and returns the rows the paper reports, as a stats.Table plus
+// structured data. The cmd/solarsched CLI prints them; the repository-root
+// benchmarks regenerate them; EXPERIMENTS.md records paper-vs-measured.
+package experiments
+
+import (
+	"fmt"
+
+	"solarsched/internal/ann"
+	"solarsched/internal/core"
+	"solarsched/internal/sched"
+	"solarsched/internal/sim"
+	"solarsched/internal/sizing"
+	"solarsched/internal/solar"
+	"solarsched/internal/supercap"
+	"solarsched/internal/task"
+)
+
+// Config scales the experiments. The zero value is not valid; use Default
+// or Quick.
+type Config struct {
+	// H is the number of distributed super capacitors for the proposed
+	// system (baselines always run on a single sized capacitor).
+	H int
+	// TrainDays is the length of the synthetic training trace for the
+	// offline stage.
+	TrainDays int
+	// TrainSeed seeds the training trace generator.
+	TrainSeed uint64
+	// TrainDayOfYear positions the training history in the season; the
+	// offline stage must see the same seasonal regime the deployment will
+	// run in (the paper trains on the same NREL site's history).
+	TrainDayOfYear int
+	// MonthDays is the length of the "two month" experiments (Fig. 9).
+	MonthDays int
+	// SweepDays is the length of the prediction-length study (Fig. 10a).
+	SweepDays int
+	// FineEpochs is the ANN fine-tuning epoch count.
+	FineEpochs int
+	// Horizons are the prediction lengths (hours) of Fig. 10a.
+	Horizons []float64
+	// CapCounts are the bank sizes of Fig. 10b.
+	CapCounts []int
+}
+
+// Default returns the full-scale evaluation configuration.
+func Default() Config {
+	return Config{
+		H: 4, TrainDays: 16, TrainSeed: 777, TrainDayOfYear: 80,
+		MonthDays: 60, SweepDays: 30, FineEpochs: 400,
+		Horizons:  []float64{1, 3, 6, 12, 24, 48, 96},
+		CapCounts: []int{1, 2, 3, 4, 5, 6, 7, 8},
+	}
+}
+
+// Quick returns a reduced configuration for tests and smoke runs: the same
+// structure, much less compute.
+func Quick() Config {
+	return Config{
+		H: 3, TrainDays: 5, TrainSeed: 777, TrainDayOfYear: 80,
+		MonthDays: 8, SweepDays: 4, FineEpochs: 200,
+		Horizons:  []float64{1, 6, 24},
+		CapCounts: []int{1, 2, 4},
+	}
+}
+
+// Setup bundles what every scheduler comparison needs for one benchmark:
+// the sized banks and the trained network.
+type Setup struct {
+	Graph      *task.Graph
+	SingleBank []float64 // H=1 sizing — what the baselines run on
+	MultiBank  []float64 // H=cfg.H sizing — the distributed bank
+	Net        *ann.Network
+	PlanCfg    core.PlanConfig // for the multi bank at the training base
+}
+
+// trainingTrace returns the synthetic history used for sizing and ANN
+// training.
+func trainingTrace(cfg Config) *solar.Trace {
+	return solar.MustGenerate(solar.GenConfig{
+		Base:           solar.DefaultTimeBase(cfg.TrainDays),
+		Seed:           cfg.TrainSeed,
+		DayOfYearStart: cfg.TrainDayOfYear,
+	})
+}
+
+// NewSetup runs the full offline stage for one benchmark: capacitor sizing
+// (§4.1) on the training trace, then DP sample generation and DBN training
+// (§4.2, §5.1).
+func NewSetup(g *task.Graph, cfg Config) (*Setup, error) {
+	trainTr := trainingTrace(cfg)
+	p := supercap.DefaultParams()
+	single := sizing.SizeBank(trainTr, g, 1, p, sim.DefaultDirectEff)
+	multi := sizing.SizeBank(trainTr, g, cfg.H, p, sim.DefaultDirectEff)
+
+	pc := core.DefaultPlanConfig(g, trainTr.Base, multi)
+	topt := core.DefaultTrainOptions()
+	topt.Fine.Epochs = cfg.FineEpochs
+	net, _, err := core.Train(pc, trainTr, topt)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: training %s: %w", g.Name, err)
+	}
+	return &Setup{Graph: g, SingleBank: single, MultiBank: multi, Net: net, PlanCfg: pc}, nil
+}
+
+// run executes one scheduler over a trace with the given bank.
+func run(tr *solar.Trace, g *task.Graph, bank []float64, s sim.Scheduler) (*sim.Result, error) {
+	eng, err := sim.New(sim.Config{Trace: tr, Graph: g, Capacitances: bank})
+	if err != nil {
+		return nil, err
+	}
+	return eng.Run(s)
+}
+
+// schedulersFor builds the four compared schedulers of Figures 8 and 9 for
+// an evaluation trace: the two baselines (single capacitor), the proposed
+// ANN scheduler and the clairvoyant optimal (distributed bank).
+func (s *Setup) schedulersFor(tr *solar.Trace) (map[string]sim.Scheduler, map[string][]float64, error) {
+	pcEval := s.PlanCfg
+	pcEval.Base = tr.Base
+	prop, err := core.NewProposed(pcEval, s.Net)
+	if err != nil {
+		return nil, nil, err
+	}
+	opt, err := core.NewClairvoyant(pcEval, tr, 48)
+	if err != nil {
+		return nil, nil, err
+	}
+	scheds := map[string]sim.Scheduler{
+		"Inter-task": sched.NewInterLSA(s.Graph, tr.Base, sim.DefaultDirectEff),
+		"Intra-task": sched.NewIntraMatch(s.Graph),
+		"Proposed":   prop,
+		"Optimal":    opt,
+	}
+	banks := map[string][]float64{
+		"Inter-task": s.SingleBank,
+		"Intra-task": s.SingleBank,
+		"Proposed":   s.MultiBank,
+		"Optimal":    s.MultiBank,
+	}
+	return scheds, banks, nil
+}
+
+// SchedulerOrder is the column order of the comparison experiments.
+var SchedulerOrder = []string{"Inter-task", "Intra-task", "Proposed", "Optimal"}

@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"solarsched/internal/task"
+)
+
+// The experiment harnesses are exercised with the Quick configuration:
+// identical structure to the paper runs, a fraction of the compute. The
+// shape assertions below are the paper's qualitative claims.
+
+func TestFig5Shape(t *testing.T) {
+	tbl, series := Fig5()
+	if len(tbl.Rows) < 5 {
+		t.Fatalf("too few rows: %d", len(tbl.Rows))
+	}
+	if len(series) != 2 {
+		t.Fatalf("series count %d", len(series))
+	}
+	for _, s := range series {
+		for i := 1; i < len(s.Y); i++ {
+			if s.Y[i] < s.Y[i-1] {
+				t.Fatalf("%s not monotone at %d", s.Name, i)
+			}
+		}
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	tbl, tr := Fig7()
+	if len(tbl.Rows) != tr.Base.PeriodsPerDay+1 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// Day energies decrease Day1 → Day4 (the paper's ordering).
+	for d := 0; d < 3; d++ {
+		if tr.DayEnergy(d) <= tr.DayEnergy(d+1) {
+			t.Fatalf("day %d not sunnier than day %d", d+1, d+2)
+		}
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	tbl, res := Table2()
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// Small pattern: 1F best. Large pattern: 10F best, 1F collapses.
+	if !(res.Model[0][0] > res.Model[1][0]) {
+		t.Fatal("1F not best for (7J, 60min)")
+	}
+	best := 0
+	for i := range res.Capacitances {
+		if res.Model[i][1] > res.Model[best][1] {
+			best = i
+		}
+	}
+	if res.Capacitances[best] != 10 {
+		t.Fatalf("best for (30J, 400min) is %vF, want 10F", res.Capacitances[best])
+	}
+	// Model error and spread in the paper's ballpark (5.38%, 30.5%).
+	if res.AvgError > 0.12 {
+		t.Fatalf("avg model error %.3f too large", res.AvgError)
+	}
+	if res.MaxSpread < 0.20 {
+		t.Fatalf("efficiency spread %.3f too small", res.MaxSpread)
+	}
+}
+
+func TestFig8QuickShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a network")
+	}
+	cfg := Quick()
+	// One real and one random benchmark keep the test affordable.
+	tbl, res, err := Fig8(cfg, []*task.Graph{task.ECG(), task.RandomCase(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2*len(SchedulerOrder) {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for _, name := range res.Benchmarks {
+		opt := res.Avg[name]["Optimal"]
+		prop := res.Avg[name]["Proposed"]
+		inter := res.Avg[name]["Inter-task"]
+		// The paper's ordering: Optimal and Proposed track each other closely
+		// (the learned scheduler may edge out the quantized DP — see
+		// EXPERIMENTS.md), and Proposed beats the inter-task baseline.
+		if opt > prop+0.08 {
+			t.Errorf("%s: optimal %.3f far worse than proposed %.3f", name, opt, prop)
+		}
+		if prop > inter+0.02 {
+			t.Errorf("%s: proposed %.3f did not beat inter-task %.3f", name, prop, inter)
+		}
+		// DMR grows as days get darker for the baselines.
+		days := res.DMR[name]["Inter-task"]
+		if days[3] < days[0] {
+			t.Errorf("%s: inter-task DMR did not worsen by day 4: %v", name, days)
+		}
+	}
+}
+
+func TestFig9QuickShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a network")
+	}
+	cfg := Quick()
+	tbl, res, err := Fig9(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != len(SchedulerOrder) {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	if res.DMR["Optimal"] > res.DMR["Inter-task"] {
+		t.Errorf("optimal %.3f worse than inter baseline %.3f", res.DMR["Optimal"], res.DMR["Inter-task"])
+	}
+	if res.DMR["Proposed"] > res.DMR["Inter-task"]+0.02 {
+		t.Errorf("proposed %.3f did not beat inter baseline %.3f", res.DMR["Proposed"], res.DMR["Inter-task"])
+	}
+	// The counter-intuitive finding: the baselines' direct-use energy
+	// utilization is at least as high as the proposed scheduler's.
+	if res.DirectUse["Inter-task"]+0.02 < res.DirectUse["Proposed"] {
+		t.Errorf("inter-task direct use %.3f below proposed %.3f",
+			res.DirectUse["Inter-task"], res.DirectUse["Proposed"])
+	}
+	for _, name := range SchedulerOrder {
+		if len(res.Buckets[name]) == 0 {
+			t.Errorf("%s: no bucket series", name)
+		}
+	}
+}
+
+func TestFig10aQuickShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multiple horizon runs")
+	}
+	cfg := Quick()
+	tbl, res, err := Fig10a(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != len(cfg.Horizons) {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// Complexity grows monotonically with the horizon.
+	for i := 1; i < len(res); i++ {
+		if res[i].Expansions <= res[i-1].Expansions {
+			t.Errorf("expansions not growing: %v", res)
+		}
+	}
+	// Looking further helps: the longest horizon must not be worse than the
+	// shortest by more than noise.
+	if res[len(res)-1].DMR > res[0].DMR+0.02 {
+		t.Errorf("long horizon DMR %.3f much worse than short %.3f", res[len(res)-1].DMR, res[0].DMR)
+	}
+}
+
+func TestFig10bQuickShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("plans per bank size")
+	}
+	cfg := Quick()
+	tbl, res, err := Fig10b(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != len(cfg.CapCounts) {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// Migration efficiency must not decrease with more capacitors, and the
+	// multi-cap DMR must not exceed the single-cap DMR.
+	for i := 1; i < len(res); i++ {
+		if res[i].MigrationEff+1e-9 < res[i-1].MigrationEff {
+			t.Errorf("migration efficiency fell: %+v", res)
+		}
+	}
+	if res[len(res)-1].DMR > res[0].DMR+0.02 {
+		t.Errorf("multi-cap DMR %.3f worse than single-cap %.3f", res[len(res)-1].DMR, res[0].DMR)
+	}
+}
+
+func TestOverheadShape(t *testing.T) {
+	cfg := Default()
+	tbl, res := Overhead(cfg)
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for _, r := range res {
+		if r.Coarse.Seconds <= r.Fine.Seconds {
+			t.Errorf("%s: coarse %.2fs not above fine %.2fs", r.Benchmark, r.Coarse.Seconds, r.Fine.Seconds)
+		}
+		if r.EnergyFraction <= 0 || r.EnergyFraction >= 0.03 {
+			t.Errorf("%s: energy share %.4f outside (0, 3%%)", r.Benchmark, r.EnergyFraction)
+		}
+	}
+	if !strings.Contains(tbl.String(), "WAM") {
+		t.Error("WAM row missing")
+	}
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"solarsched/internal/solar"
+	"solarsched/internal/stats"
+	"solarsched/internal/task"
+)
+
+// RobustnessResult summarizes one scheduler's DMR distribution over many
+// independent weather draws.
+type RobustnessResult struct {
+	Scheduler string
+	DMRs      []float64
+	Mean, Std float64
+	Min, Max  float64
+}
+
+// Robustness goes beyond the paper's single-trace evaluation: it trains the
+// proposed scheduler once (ECG benchmark), then evaluates all four
+// schedulers over `draws` independent four-day weather draws and reports
+// the DMR distribution. A reproduction whose ranking only holds on one
+// lucky trace is no reproduction; this experiment shows the ordering is
+// stable in distribution.
+func Robustness(cfg Config, draws int) (*stats.Table, []RobustnessResult, error) {
+	if draws <= 0 {
+		draws = 10
+	}
+	g := task.ECG()
+	setup, err := NewSetup(g, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	perDraw := make([]map[string]float64, draws)
+	errs := make([]error, draws)
+	var wg sync.WaitGroup
+	for d := 0; d < draws; d++ {
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			tr := solar.MustGenerate(solar.GenConfig{
+				Base: solar.DefaultTimeBase(4),
+				Seed: 9000 + uint64(d),
+			})
+			scheds, banks, err := setup.schedulersFor(tr)
+			if err != nil {
+				errs[d] = err
+				return
+			}
+			out := map[string]float64{}
+			for _, name := range SchedulerOrder {
+				res, err := run(tr, g, banks[name], scheds[name])
+				if err != nil {
+					errs[d] = err
+					return
+				}
+				out[name] = res.DMR()
+			}
+			perDraw[d] = out
+		}(d)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+
+	t := stats.NewTable(
+		fmt.Sprintf("Robustness — DMR over %d independent 4-day weather draws (ECG)", draws),
+		"scheduler", "mean", "std", "min", "max")
+	var results []RobustnessResult
+	for _, name := range SchedulerOrder {
+		r := RobustnessResult{Scheduler: name, Min: 2, Max: -1}
+		for d := 0; d < draws; d++ {
+			v := perDraw[d][name]
+			r.DMRs = append(r.DMRs, v)
+			if v < r.Min {
+				r.Min = v
+			}
+			if v > r.Max {
+				r.Max = v
+			}
+		}
+		r.Mean = stats.Mean(r.DMRs)
+		r.Std = stats.Std(r.DMRs)
+		results = append(results, r)
+		t.AddRow(name, stats.Pct(r.Mean), stats.Pct(r.Std), stats.Pct(r.Min), stats.Pct(r.Max))
+	}
+	return t, results, nil
+}

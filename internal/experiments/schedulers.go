@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"sync"
+
+	"solarsched/internal/core"
+	"solarsched/internal/sim"
+	"solarsched/internal/solar"
+	"solarsched/internal/stats"
+	"solarsched/internal/task"
+)
+
+func taskRandom1() *task.Graph { return task.RandomCase(1) }
+
+func defaultPlan(g *task.Graph, base solar.TimeBase, bank []float64) core.PlanConfig {
+	return core.DefaultPlanConfig(g, base, bank)
+}
+
+func newClairvoyant(pc core.PlanConfig, tr *solar.Trace) (sim.Scheduler, error) {
+	return core.NewClairvoyant(pc, tr, 48)
+}
+
+// Fig8Result holds the DMR of every (benchmark, scheduler, day) cell.
+type Fig8Result struct {
+	Benchmarks []string
+	Days       int
+	// DMR[benchmark][scheduler][day]; scheduler keys follow SchedulerOrder.
+	DMR map[string]map[string][]float64
+	// Avg[benchmark][scheduler] over all days.
+	Avg map[string]map[string]float64
+}
+
+// Fig8 reproduces Figure 8: the DMR of the four schedulers over the four
+// representative days for the six benchmarks. Benchmarks are independent
+// and deterministic, so they run in parallel; the table preserves the
+// input order.
+func Fig8(cfg Config, benchmarks []*task.Graph) (*stats.Table, *Fig8Result, error) {
+	if benchmarks == nil {
+		benchmarks = task.AllBenchmarks()
+	}
+	tr := solar.RepresentativeDays(solar.DefaultTimeBase(4))
+	out := &Fig8Result{
+		Days: 4,
+		DMR:  map[string]map[string][]float64{},
+		Avg:  map[string]map[string]float64{},
+	}
+	t := stats.NewTable("Figure 8 — DMR over four representative days",
+		"benchmark", "scheduler", "Day1", "Day2", "Day3", "Day4", "avg")
+
+	type benchOut struct {
+		days map[string][]float64
+		avg  map[string]float64
+		err  error
+	}
+	results := make([]benchOut, len(benchmarks))
+	var wg sync.WaitGroup
+	for i, g := range benchmarks {
+		wg.Add(1)
+		go func(i int, g *task.Graph) {
+			defer wg.Done()
+			bo := benchOut{days: map[string][]float64{}, avg: map[string]float64{}}
+			defer func() { results[i] = bo }()
+			setup, err := NewSetup(g, cfg)
+			if err != nil {
+				bo.err = err
+				return
+			}
+			scheds, banks, err := setup.schedulersFor(tr)
+			if err != nil {
+				bo.err = err
+				return
+			}
+			for _, name := range SchedulerOrder {
+				res, err := run(tr, g, banks[name], scheds[name])
+				if err != nil {
+					bo.err = err
+					return
+				}
+				days := make([]float64, 4)
+				for d := 0; d < 4; d++ {
+					days[d] = res.DayDMR(d)
+				}
+				bo.days[name] = days
+				bo.avg[name] = res.DMR()
+			}
+		}(i, g)
+	}
+	wg.Wait()
+
+	for i, g := range benchmarks {
+		bo := results[i]
+		if bo.err != nil {
+			return nil, nil, bo.err
+		}
+		out.Benchmarks = append(out.Benchmarks, g.Name)
+		out.DMR[g.Name] = bo.days
+		out.Avg[g.Name] = bo.avg
+		for _, name := range SchedulerOrder {
+			cells := []string{g.Name, name}
+			for d := 0; d < 4; d++ {
+				cells = append(cells, stats.Pct(bo.days[name][d]))
+			}
+			t.AddRow(append(cells, stats.Pct(bo.avg[name]))...)
+		}
+	}
+	return t, out, nil
+}
+
+// Fig9Result holds the monthly comparison of DMR and energy utilization.
+type Fig9Result struct {
+	Days int
+	// Per scheduler: overall DMR, delivered/harvested utilization and the
+	// direct-use ratio (the load-matching "energy utilization" of the
+	// figure), plus per-bucket DMR series for the time axis.
+	DMR       map[string]float64
+	Util      map[string]float64
+	DirectUse map[string]float64
+	Buckets   map[string][]float64 // DMR per bucket
+	BucketLen int                  // days per bucket
+}
+
+// Fig9 reproduces Figure 9: DMR and energy utilization of the WAM workload
+// over two months.
+func Fig9(cfg Config) (*stats.Table, *Fig9Result, error) {
+	g := task.WAM()
+	tb := solar.DefaultTimeBase(cfg.MonthDays)
+	tr := solar.TwoMonthTrace(tb)
+	if cfg.MonthDays != 60 {
+		tr = tr.SliceDays(0, cfg.MonthDays)
+	}
+	// Train in the same season the deployment runs in (early summer).
+	cfg.TrainDayOfYear = 150
+	setup, err := NewSetup(g, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	scheds, banks, err := setup.schedulersFor(tr)
+	if err != nil {
+		return nil, nil, err
+	}
+	bucketLen := cfg.MonthDays / 4
+	if bucketLen < 1 {
+		bucketLen = 1
+	}
+	out := &Fig9Result{
+		Days: cfg.MonthDays, BucketLen: bucketLen,
+		DMR: map[string]float64{}, Util: map[string]float64{},
+		DirectUse: map[string]float64{}, Buckets: map[string][]float64{},
+	}
+	t := stats.NewTable("Figure 9 — DMR and energy utilization over two months (WAM)",
+		"scheduler", "DMR", "energy util (direct-use)", "delivered/harvested")
+	for _, name := range SchedulerOrder {
+		res, err := run(tr, g, banks[name], scheds[name])
+		if err != nil {
+			return nil, nil, err
+		}
+		out.DMR[name] = res.DMR()
+		out.Util[name] = res.EnergyUtilization()
+		out.DirectUse[name] = res.DirectUseRatio()
+		for from := 0; from+bucketLen <= cfg.MonthDays; from += bucketLen {
+			out.Buckets[name] = append(out.Buckets[name], res.RangeDMR(from, from+bucketLen))
+		}
+		t.AddRow(name, stats.Pct(res.DMR()), stats.Pct(res.DirectUseRatio()),
+			stats.Pct(res.EnergyUtilization()))
+	}
+	return t, out, nil
+}

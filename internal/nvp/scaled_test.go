@@ -1,0 +1,69 @@
+package nvp
+
+import (
+	"testing"
+
+	"solarsched/internal/task"
+)
+
+func scaledGraph() *task.Graph {
+	return task.NewGraph("sg", []task.Task{
+		{ID: 0, Name: "a", ExecTime: 120, Power: 0.040, Deadline: 1800, NVP: 0},
+		{ID: 1, Name: "b", ExecTime: 60, Power: 0.020, Deadline: 1800, NVP: 1},
+	}, nil, 2)
+}
+
+func TestRunScaledProgressAndPower(t *testing.T) {
+	s := NewSet(scaledGraph())
+	p := s.RunScaled([]int{0, 1}, []float64{0.5, 1.0}, 3, 60)
+	if s.Remaining(0) != 90 {
+		t.Fatalf("half-speed remaining = %v, want 90", s.Remaining(0))
+	}
+	if s.Remaining(1) != 0 {
+		t.Fatalf("full-speed remaining = %v, want 0", s.Remaining(1))
+	}
+	want := 0.040*0.125 + 0.020 // 0.5³ and 1³
+	if d := p - want; d > 1e-12 || d < -1e-12 {
+		t.Fatalf("power = %v, want %v", p, want)
+	}
+}
+
+func TestRunScaledClampsAtZero(t *testing.T) {
+	s := NewSet(scaledGraph())
+	s.RunScaled([]int{1}, []float64{1}, 3, 1e6)
+	if s.Remaining(1) != 0 {
+		t.Fatal("remaining went negative")
+	}
+}
+
+func TestRunScaledPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch accepted")
+		}
+	}()
+	NewSet(scaledGraph()).RunScaled([]int{0, 1}, []float64{1}, 3, 60)
+}
+
+func TestRunScaledPanicsOnBadSpeed(t *testing.T) {
+	for _, f := range []float64{0, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("speed %v accepted", f)
+				}
+			}()
+			NewSet(scaledGraph()).RunScaled([]int{0}, []float64{f}, 3, 60)
+		}()
+	}
+}
+
+func TestRunScaledNonIntegerExponent(t *testing.T) {
+	// The rare-path integer loop: exponent 2 via the generic branch still
+	// computes f² correctly for f = 0.5.
+	s := NewSet(scaledGraph())
+	p := s.RunScaled([]int{0}, []float64{0.5}, 2, 60)
+	if d := p - 0.040*0.25; d > 1e-12 || d < -1e-12 {
+		t.Fatalf("power = %v, want %v", p, 0.040*0.25)
+	}
+}

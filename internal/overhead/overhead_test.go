@@ -1,0 +1,84 @@
+package overhead
+
+import (
+	"testing"
+
+	"solarsched/internal/ann"
+	"solarsched/internal/task"
+)
+
+func evalNet() *ann.Network {
+	// The evaluation's network shape: FeatureDim(4 caps) inputs, the
+	// default trunk, 4 capacitor classes, 8 tasks.
+	return ann.New(ann.Config{InputDim: 13, Hidden: []int{32, 16}, CapClasses: 4, TaskCount: 8, Seed: 1})
+}
+
+func TestCoarseCostNearPaper(t *testing.T) {
+	c := CoarseCost(evalNet(), DefaultMCU())
+	// Paper: 14.6 s at 3.0 mW. The model must land in the same ballpark.
+	if c.Seconds < 5 || c.Seconds > 30 {
+		t.Fatalf("coarse time %.2f s outside [5, 30] (paper: 14.6 s)", c.Seconds)
+	}
+	if c.Power != 0.0030 {
+		t.Fatalf("coarse power %v", c.Power)
+	}
+	if c.Energy <= 0 {
+		t.Fatal("non-positive energy")
+	}
+}
+
+func TestFineCostNearPaper(t *testing.T) {
+	c := FineCost(task.WAM(), 30, DefaultMCU())
+	// Paper: 3.47 s at 2.94 mW for the fine-grained procedure.
+	if c.Seconds < 1 || c.Seconds > 10 {
+		t.Fatalf("fine time %.2f s outside [1, 10] (paper: 3.47 s)", c.Seconds)
+	}
+	if c.Power != 0.00294 {
+		t.Fatalf("fine power %v", c.Power)
+	}
+}
+
+func TestCoarseDominatesFine(t *testing.T) {
+	m := DefaultMCU()
+	coarse := CoarseCost(evalNet(), m)
+	fine := FineCost(task.WAM(), 30, m)
+	if coarse.Seconds <= fine.Seconds {
+		t.Fatalf("coarse %.2fs should exceed fine %.2fs, as in the paper", coarse.Seconds, fine.Seconds)
+	}
+}
+
+func TestEnergyFractionUnderThreePercent(t *testing.T) {
+	m := DefaultMCU()
+	coarse := CoarseCost(evalNet(), m)
+	fine := FineCost(task.WAM(), 30, m)
+	frac := EnergyFraction(coarse, fine, task.WAM().PeriodEnergy())
+	if frac <= 0 || frac >= 0.03 {
+		t.Fatalf("energy fraction %.4f outside (0, 0.03) (paper: <3%%)", frac)
+	}
+}
+
+func TestEnergyFractionDegenerate(t *testing.T) {
+	if EnergyFraction(Cost{}, Cost{}, 0) != 0 {
+		t.Fatal("zero-everything fraction not zero")
+	}
+}
+
+func TestCostScalesWithClock(t *testing.T) {
+	slow := DefaultMCU()
+	fast := DefaultMCU()
+	fast.ClockHz *= 10
+	cs := CoarseCost(evalNet(), slow)
+	cf := CoarseCost(evalNet(), fast)
+	if cf.Seconds*10 != cs.Seconds {
+		t.Fatalf("time did not scale with clock: %v vs %v", cs.Seconds, cf.Seconds)
+	}
+}
+
+func TestFineCostGrowsWithTasks(t *testing.T) {
+	m := DefaultMCU()
+	small := FineCost(task.SHM(), 30, m) // 5 tasks
+	big := FineCost(task.WAM(), 30, m)   // 8 tasks
+	if big.Cycles <= small.Cycles {
+		t.Fatal("fine cost did not grow with task count")
+	}
+}

@@ -1,0 +1,171 @@
+// Package rng provides a small, deterministic, splittable pseudo-random
+// number generator used by every stochastic component in the repository.
+//
+// Determinism matters here: the experiments in the paper are defined over
+// fixed solar traces and fixed random benchmarks, so two runs with the same
+// seed must produce bit-identical results. The generator is a SplitMix64
+// core (Steele, Lea, Flood; OOPSLA 2014), which passes BigCrush, is trivially
+// seedable, and — unlike math/rand's global source — can be split into
+// independent streams so that adding randomness to one subsystem never
+// perturbs another.
+package rng
+
+import "math"
+
+// Source is a deterministic SplitMix64 pseudo-random source.
+// The zero value is a valid generator seeded with 0.
+type Source struct {
+	state uint64
+	// cached spare normal deviate for Box-Muller
+	spare    float64
+	hasSpare bool
+}
+
+// New returns a Source seeded with the given value.
+func New(seed uint64) *Source {
+	return &Source{state: seed}
+}
+
+// golden gamma, the SplitMix64 increment.
+const gamma = 0x9E3779B97F4A7C15
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (s *Source) Uint64() uint64 {
+	s.state += gamma
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Split returns a new Source whose stream is statistically independent of
+// the receiver's. The receiver advances by one step.
+func (s *Source) Split() *Source {
+	return New(s.Uint64())
+}
+
+// SplitLabeled returns an independent Source derived from the receiver's
+// current state and a label, without advancing the receiver. Two calls with
+// the same label return identical sources, which lets subsystems derive
+// stable per-name streams.
+func (s *Source) SplitLabeled(label string) *Source {
+	h := s.state ^ 0xA24BAED4963EE407
+	for i := 0; i < len(label); i++ {
+		h = (h ^ uint64(label[i])) * 0x9FB21C651E98DF25
+		h ^= h >> 35
+	}
+	return New(h)
+}
+
+// Float64 returns a uniform deviate in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Range returns a uniform deviate in [lo, hi).
+func (s *Source) Range(lo, hi float64) float64 {
+	return lo + (hi-lo)*s.Float64()
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire's nearly-divisionless method is overkill at these sizes;
+	// plain modulo bias is < 2^-50 for the n used in this repository,
+	// but we keep the rejection loop for correctness.
+	bound := uint64(n)
+	threshold := -bound % bound
+	for {
+		v := s.Uint64()
+		if v >= threshold {
+			return int(v % bound)
+		}
+	}
+}
+
+// IntRange returns a uniform integer in [lo, hi]. It panics if hi < lo.
+func (s *Source) IntRange(lo, hi int) int {
+	if hi < lo {
+		panic("rng: IntRange with hi < lo")
+	}
+	return lo + s.Intn(hi-lo+1)
+}
+
+// Norm returns a normally distributed deviate with the given mean and
+// standard deviation, via the Box-Muller transform.
+func (s *Source) Norm(mean, stddev float64) float64 {
+	if s.hasSpare {
+		s.hasSpare = false
+		return mean + stddev*s.spare
+	}
+	var u, v, r2 float64
+	for {
+		u = 2*s.Float64() - 1
+		v = 2*s.Float64() - 1
+		r2 = u*u + v*v
+		if r2 > 0 && r2 < 1 {
+			break
+		}
+	}
+	f := math.Sqrt(-2 * math.Log(r2) / r2)
+	s.spare = v * f
+	s.hasSpare = true
+	return mean + stddev*u*f
+}
+
+// Bool returns true with probability p.
+func (s *Source) Bool(p float64) bool {
+	return s.Float64() < p
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Choice returns a pseudo-random index in [0, len(weights)) with probability
+// proportional to weights[i]. Non-positive weights are treated as zero. If
+// all weights are zero it returns a uniform index.
+func (s *Source) Choice(weights []float64) int {
+	if len(weights) == 0 {
+		panic("rng: Choice with empty weights")
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		return s.Intn(len(weights))
+	}
+	x := s.Float64() * total
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// Shuffle pseudo-randomly reorders the first n elements using swap.
+func (s *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		swap(i, j)
+	}
+}

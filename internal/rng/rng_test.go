@@ -1,0 +1,244 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical outputs", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(7)
+	for i := 0; i < 10000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := New(11)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("uniform mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	s := New(3)
+	seen := make(map[int]int)
+	for i := 0; i < 6000; i++ {
+		v := s.Intn(6)
+		if v < 0 || v >= 6 {
+			t.Fatalf("Intn(6) out of range: %d", v)
+		}
+		seen[v]++
+	}
+	for v := 0; v < 6; v++ {
+		if seen[v] < 700 {
+			t.Fatalf("value %d badly under-represented: %d/6000", v, seen[v])
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntRange(t *testing.T) {
+	s := New(5)
+	for i := 0; i < 1000; i++ {
+		v := s.IntRange(4, 8)
+		if v < 4 || v > 8 {
+			t.Fatalf("IntRange(4,8) out of range: %d", v)
+		}
+	}
+	if got := s.IntRange(3, 3); got != 3 {
+		t.Fatalf("IntRange(3,3) = %d", got)
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	s := New(9)
+	const n = 200000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := s.Norm(2.0, 3.0)
+		sum += x
+		sumsq += x * x
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean-2.0) > 0.05 {
+		t.Fatalf("normal mean = %v, want ~2", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-3.0) > 0.05 {
+		t.Fatalf("normal stddev = %v, want ~3", math.Sqrt(variance))
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(13)
+	child := parent.Split()
+	// The child stream should not be a shifted copy of the parent stream.
+	a := make([]uint64, 32)
+	for i := range a {
+		a[i] = parent.Uint64()
+	}
+	matches := 0
+	for i := 0; i < 32; i++ {
+		v := child.Uint64()
+		for _, x := range a {
+			if v == x {
+				matches++
+			}
+		}
+	}
+	if matches > 0 {
+		t.Fatalf("child stream overlaps parent stream (%d matches)", matches)
+	}
+}
+
+func TestSplitLabeledStable(t *testing.T) {
+	s := New(21)
+	a := s.SplitLabeled("solar")
+	b := s.SplitLabeled("solar")
+	c := s.SplitLabeled("tasks")
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("same label produced different streams")
+	}
+	a2 := New(21).SplitLabeled("solar")
+	a3 := New(21).SplitLabeled("solar")
+	if a2.Uint64() != a3.Uint64() {
+		t.Fatal("SplitLabeled not reproducible from equal parents")
+	}
+	if x, y := New(21).SplitLabeled("solar").Uint64(), c.Uint64(); x == y {
+		t.Fatal("different labels produced identical streams")
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := New(seed)
+		n := 1 + s.Intn(64)
+		p := s.Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChoiceRespectsWeights(t *testing.T) {
+	s := New(17)
+	counts := [3]int{}
+	for i := 0; i < 30000; i++ {
+		counts[s.Choice([]float64{1, 2, 0})]++
+	}
+	if counts[2] != 0 {
+		t.Fatalf("zero-weight entry chosen %d times", counts[2])
+	}
+	ratio := float64(counts[1]) / float64(counts[0])
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Fatalf("weight ratio = %v, want ~2", ratio)
+	}
+}
+
+func TestChoiceAllZeroUniform(t *testing.T) {
+	s := New(19)
+	seen := map[int]bool{}
+	for i := 0; i < 100; i++ {
+		seen[s.Choice([]float64{0, 0, 0})] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("all-zero weights not uniform, saw %v", seen)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	s := New(23)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if s.Bool(0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / n
+	if math.Abs(p-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) frequency = %v", p)
+	}
+}
+
+func TestShuffleKeepsElements(t *testing.T) {
+	s := New(29)
+	xs := []int{1, 2, 3, 4, 5, 6, 7}
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	s.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	got := 0
+	for _, x := range xs {
+		got += x
+	}
+	if got != sum {
+		t.Fatalf("shuffle changed multiset: sum %d != %d", got, sum)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.Uint64()
+	}
+}
+
+func BenchmarkNorm(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.Norm(0, 1)
+	}
+}

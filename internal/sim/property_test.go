@@ -1,0 +1,169 @@
+package sim_test
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"solarsched/internal/rng"
+	"solarsched/internal/sim"
+	"solarsched/internal/solar"
+	"solarsched/internal/task"
+)
+
+// chaosScheduler makes pseudo-random (but deterministic per seed) decisions
+// every period and slot — a worst-case client for the engine's invariants.
+type chaosScheduler struct {
+	src *rng.Source
+	g   *task.Graph
+	h   int
+}
+
+func (c *chaosScheduler) Name() string { return "chaos" }
+
+func (c *chaosScheduler) BeginPeriod(v *sim.PeriodView) sim.PeriodPlan {
+	plan := sim.PeriodPlan{SwitchTo: -1}
+	if c.src.Bool(0.3) {
+		plan.SwitchTo = c.src.Intn(c.h)
+		plan.Migrate = c.src.Bool(0.5)
+	}
+	if c.src.Bool(0.3) {
+		allowed := make([]bool, c.g.N())
+		for i := range allowed {
+			allowed[i] = c.src.Bool(0.7)
+		}
+		plan.Allowed = allowed
+	}
+	return plan
+}
+
+func (c *chaosScheduler) Slot(v *sim.SlotView) []int {
+	// A random subset in random order, possibly with duplicates of valid ids.
+	n := c.g.N()
+	out := make([]int, 0, n)
+	for _, i := range c.src.Perm(n) {
+		if c.src.Bool(0.8) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Property: whatever a scheduler does, the engine preserves the physical
+// invariants — no energy creation, bounded DMR, consistent ledger.
+func TestEngineInvariantsUnderChaosProperty(t *testing.T) {
+	graphs := task.AllBenchmarks()
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		g := graphs[src.Intn(len(graphs))]
+		tb := solar.TimeBase{Days: 1, PeriodsPerDay: 6, SlotsPerPeriod: 30, SlotSeconds: 60}
+		tr := solar.MustGenerate(solar.GenConfig{Base: tb, Seed: src.Uint64()})
+		caps := []float64{1, 10, 50}
+		eng, err := sim.New(sim.Config{Trace: tr, Graph: g, Capacitances: caps})
+		if err != nil {
+			return false
+		}
+		res, err := eng.Run(&chaosScheduler{src: src.Split(), g: g, h: len(caps)})
+		if err != nil {
+			return false
+		}
+		if res.Delivered > res.Harvested+1e-9 {
+			return false
+		}
+		if res.DrawnOut > res.StoredIn+1e-9 {
+			return false
+		}
+		if d := res.DMR(); d < 0 || d > 1 {
+			return false
+		}
+		if res.Leaked < -1e-9 || res.StoreLoss < -1e-9 || res.MigrationLoss < -1e-9 {
+			return false
+		}
+		if res.FinalStored < 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the engine is deterministic — identical configurations and
+// scheduler seeds produce identical results.
+func TestEngineDeterminismProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		mk := func() *sim.Result {
+			src := rng.New(seed)
+			g := task.ECG()
+			tb := solar.TimeBase{Days: 1, PeriodsPerDay: 4, SlotsPerPeriod: 30, SlotSeconds: 60}
+			tr := solar.MustGenerate(solar.GenConfig{Base: tb, Seed: seed})
+			eng, err := sim.New(sim.Config{Trace: tr, Graph: g, Capacitances: []float64{5, 20}})
+			if err != nil {
+				return nil
+			}
+			res, err := eng.Run(&chaosScheduler{src: src, g: g, h: 2})
+			if err != nil {
+				return nil
+			}
+			return res
+		}
+		a, b := mk(), mk()
+		if a == nil || b == nil {
+			return false
+		}
+		if a.Delivered != b.Delivered || a.MissedTasks() != b.MissedTasks() ||
+			a.Leaked != b.Leaked || a.CapSwitches != b.CapSwitches {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: more solar never hurts — scaling the trace up cannot increase
+// the miss count under a deterministic work-conserving scheduler.
+func TestMoreSolarNeverWorseProperty(t *testing.T) {
+	g := task.ECG()
+	order := make([]int, g.N())
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return g.Tasks[order[a]].Deadline < g.Tasks[order[b]].Deadline
+	})
+	edf := fixedOrder(order)
+
+	f := func(seed uint64) bool {
+		tb := solar.TimeBase{Days: 1, PeriodsPerDay: 6, SlotsPerPeriod: 30, SlotSeconds: 60}
+		tr := solar.MustGenerate(solar.GenConfig{Base: tb, Seed: seed})
+		brighter := solar.NewTrace(tb)
+		for i, p := range tr.Power {
+			brighter.Power[i] = p * 1.5
+		}
+		run := func(trace *solar.Trace) int {
+			eng, err := sim.New(sim.Config{Trace: trace, Graph: g, Capacitances: []float64{10}})
+			if err != nil {
+				return -1
+			}
+			res, err := eng.Run(edf)
+			if err != nil {
+				return -1
+			}
+			return res.MissedTasks()
+		}
+		dim, bright := run(tr), run(brighter)
+		return dim >= 0 && bright >= 0 && bright <= dim
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type fixedOrder []int
+
+func (fixedOrder) Name() string                               { return "fixed" }
+func (fixedOrder) BeginPeriod(*sim.PeriodView) sim.PeriodPlan { return sim.KeepCap }
+func (f fixedOrder) Slot(*sim.SlotView) []int                 { return f }

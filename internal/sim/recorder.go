@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"encoding/csv"
+	"io"
+	"strconv"
+)
+
+// SlotRecord is one row of the engine's optional state log: everything an
+// engineer needs to replay why a deadline was missed — the supply, the
+// load, the active capacitor's state and what actually ran.
+type SlotRecord struct {
+	Day, Period, Slot int
+	SolarW            float64
+	LoadW             float64
+	ActiveCap         int
+	ActiveV           float64
+	UsableJ           float64
+	Ran               []int
+	PeriodMisses      int // misses so far in the current period
+}
+
+// Recorder receives a record after every simulated slot.
+type Recorder interface {
+	Record(rec SlotRecord)
+}
+
+// CSVRecorder streams slot records as CSV rows.
+type CSVRecorder struct {
+	w      *csv.Writer
+	header bool
+}
+
+// NewCSVRecorder returns a recorder writing to w. Call Flush when done.
+func NewCSVRecorder(w io.Writer) *CSVRecorder {
+	return &CSVRecorder{w: csv.NewWriter(w)}
+}
+
+// Record implements Recorder.
+func (r *CSVRecorder) Record(rec SlotRecord) {
+	if !r.header {
+		r.header = true
+		r.w.Write([]string{"day", "period", "slot", "solar_w", "load_w",
+			"active_cap", "active_v", "usable_j", "ran", "period_misses"})
+	}
+	ran := ""
+	for i, n := range rec.Ran {
+		if i > 0 {
+			ran += " "
+		}
+		ran += strconv.Itoa(n)
+	}
+	r.w.Write([]string{
+		strconv.Itoa(rec.Day), strconv.Itoa(rec.Period), strconv.Itoa(rec.Slot),
+		strconv.FormatFloat(rec.SolarW, 'g', 6, 64),
+		strconv.FormatFloat(rec.LoadW, 'g', 6, 64),
+		strconv.Itoa(rec.ActiveCap),
+		strconv.FormatFloat(rec.ActiveV, 'f', 4, 64),
+		strconv.FormatFloat(rec.UsableJ, 'f', 3, 64),
+		ran,
+		strconv.Itoa(rec.PeriodMisses),
+	})
+}
+
+// Flush drains buffered rows and returns any write error.
+func (r *CSVRecorder) Flush() error {
+	r.w.Flush()
+	return r.w.Error()
+}
+
+// FuncRecorder adapts a function to the Recorder interface.
+type FuncRecorder func(rec SlotRecord)
+
+// Record implements Recorder.
+func (f FuncRecorder) Record(rec SlotRecord) { f(rec) }

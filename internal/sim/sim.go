@@ -1,0 +1,360 @@
+// Package sim is the discrete-time simulator of the dual-channel
+// solar-powered nonvolatile sensor node (the paper's Figure 3). It advances
+// the node slot by slot: the scheduler proposes a priority-ordered task
+// list for each slot, the engine enforces physical feasibility (direct
+// channel first, then the active super capacitor down to its cut-off
+// voltage, trimming lowest-priority tasks on brownout), performs the energy
+// bookkeeping of equations (1)–(3), fires deadline misses (eq. (5)) and
+// accumulates the DMR and energy-utilization metrics reported in §6.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"solarsched/internal/nvp"
+	"solarsched/internal/solar"
+	"solarsched/internal/supercap"
+	"solarsched/internal/task"
+)
+
+// DefaultDirectEff is the efficiency of the direct supply channel — the
+// high-efficiency path of the dual-channel architecture [11].
+const DefaultDirectEff = 0.95
+
+// PeriodView is what a scheduler sees at the beginning of each period: the
+// clock, the capacitor bank voltages, the harvest of the period that just
+// ended and the accumulated DMR — exactly the online inputs of the paper's
+// ANN (§5.1).
+type PeriodView struct {
+	Day, Period      int
+	Base             solar.TimeBase
+	Graph            *task.Graph
+	Bank             *supercap.Bank
+	LastPeriodEnergy float64 // J harvested during the previous period
+	AccumulatedDMR   float64 // paper's DMR^acc over all completed periods
+}
+
+// PeriodPlan is a scheduler's period-level decision: which capacitor to
+// activate (the C_{h,i} selection) and which tasks it intends to execute
+// this period (the te_{i,j}(n) set). A nil Allowed permits every task.
+type PeriodPlan struct {
+	// SwitchTo activates the given capacitor index; negative keeps the
+	// current one.
+	SwitchTo int
+	// Migrate moves the residual usable energy of the old capacitor into
+	// the new one through both regulators when switching.
+	Migrate bool
+	// Allowed masks the tasks the scheduler will execute this period.
+	Allowed []bool
+}
+
+// KeepCap is the PeriodPlan that changes nothing.
+var KeepCap = PeriodPlan{SwitchTo: -1}
+
+// SlotView is what a scheduler sees at each slot: the clock, the measured
+// solar power of the current slot, the active capacitor and the execution
+// state of the tasks.
+type SlotView struct {
+	Day, Period, Slot int
+	Base              solar.TimeBase
+	SolarPower        float64 // W, measured for the current slot
+	Cap               *supercap.Capacitor
+	Bank              *supercap.Bank // nil inside planner-local simulations
+	Tasks             *nvp.Set
+	DirectEff         float64
+}
+
+// Elapsed returns the seconds elapsed in the current period at the
+// beginning of the slot.
+func (v *SlotView) Elapsed() float64 { return float64(v.Slot) * v.Base.SlotSeconds }
+
+// Scheduler is the contract every scheduling algorithm implements.
+type Scheduler interface {
+	// Name identifies the scheduler in reports.
+	Name() string
+	// BeginPeriod is called once at every period boundary.
+	BeginPeriod(v *PeriodView) PeriodPlan
+	// Slot returns the tasks to execute in this slot, highest priority
+	// first. The engine filters the list for readiness and one-task-per-NVP
+	// and trims it from the tail if the energy cannot carry the load.
+	Slot(v *SlotView) []int
+}
+
+// SlotPolicy is a slot-level scheduling function, used standalone by the
+// planners in internal/core to simulate candidate periods.
+type SlotPolicy func(v *SlotView) []int
+
+// SpeedScheduler is an optional Scheduler extension for DVFS-capable nodes
+// (the paper's related work [5–8]): after the engine filters a slot's task
+// list, it asks the scheduler for a per-task speed f ∈ (0, 1]. A task at
+// speed f advances f·Δt of work while drawing P_n·f^DVFSPowerExponent —
+// voltage-frequency scaling trades latency for energy. Schedulers that do
+// not implement this run everything at full speed.
+type SpeedScheduler interface {
+	Scheduler
+	// Speeds returns one speed per entry of selected (the engine's
+	// post-filter task list for this slot). Values are clamped to
+	// [MinDVFSSpeed, 1].
+	Speeds(v *SlotView, selected []int) []float64
+}
+
+// DVFSPowerExponent is the power-vs-frequency exponent: P ∝ f³ from
+// P ≈ C·V²·f with V ∝ f, so energy per unit work scales as f².
+const DVFSPowerExponent = 3
+
+// MinDVFSSpeed is the lowest supported frequency ratio.
+const MinDVFSSpeed = 0.25
+
+// Config describes one simulation run.
+type Config struct {
+	Trace        *solar.Trace
+	Graph        *task.Graph
+	Capacitances []float64       // the distributed bank (C_h)
+	Params       supercap.Params // zero value → supercap.DefaultParams()
+	DirectEff    float64         // zero → DefaultDirectEff
+}
+
+// Engine runs schedulers over a configuration.
+type Engine struct {
+	cfg Config
+}
+
+// New validates the configuration and returns an engine.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Trace == nil {
+		return nil, fmt.Errorf("sim: nil trace")
+	}
+	if err := cfg.Trace.Base.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Graph == nil {
+		return nil, fmt.Errorf("sim: nil graph")
+	}
+	if err := cfg.Graph.Validate(cfg.Trace.Base.PeriodSeconds()); err != nil {
+		return nil, err
+	}
+	if len(cfg.Capacitances) == 0 {
+		return nil, fmt.Errorf("sim: empty capacitor bank")
+	}
+	for _, c := range cfg.Capacitances {
+		if c <= 0 {
+			return nil, fmt.Errorf("sim: non-positive capacitance %g", c)
+		}
+	}
+	if cfg.Params == (supercap.Params{}) {
+		cfg.Params = supercap.DefaultParams()
+	}
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.DirectEff == 0 {
+		cfg.DirectEff = DefaultDirectEff
+	}
+	if cfg.DirectEff < 0 || cfg.DirectEff > 1 {
+		return nil, fmt.Errorf("sim: direct efficiency %g outside [0,1]", cfg.DirectEff)
+	}
+	return &Engine{cfg: cfg}, nil
+}
+
+// Config returns the engine's (validated, defaulted) configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Run simulates the whole trace under the given scheduler.
+func (e *Engine) Run(s Scheduler) (*Result, error) {
+	return e.RunRecorded(s, nil)
+}
+
+// RunRecorded is Run with an optional per-slot state recorder (nil is
+// allowed), used for debugging and trace visualization.
+func (e *Engine) RunRecorded(s Scheduler, rec Recorder) (*Result, error) {
+	tb := e.cfg.Trace.Base
+	bank := supercap.NewBank(e.cfg.Capacitances, e.cfg.Params)
+	ts := nvp.NewSet(e.cfg.Graph)
+	res := newResult(s.Name(), tb, e.cfg.Graph.N())
+	dt := tb.SlotSeconds
+
+	lastEnergy := 0.0
+	for day := 0; day < tb.Days; day++ {
+		for period := 0; period < tb.PeriodsPerDay; period++ {
+			pv := &PeriodView{
+				Day: day, Period: period, Base: tb,
+				Graph: e.cfg.Graph, Bank: bank,
+				LastPeriodEnergy: lastEnergy,
+				AccumulatedDMR:   res.DMR(),
+			}
+			plan := s.BeginPeriod(pv)
+			if plan.SwitchTo >= 0 && plan.SwitchTo != bank.ActiveIndex() {
+				if plan.SwitchTo >= bank.Size() {
+					return nil, fmt.Errorf("sim: scheduler %s switched to capacitor %d of %d",
+						s.Name(), plan.SwitchTo, bank.Size())
+				}
+				if plan.Migrate {
+					res.MigrationLoss += bank.MigrateTo(plan.SwitchTo)
+				} else {
+					bank.SwitchTo(plan.SwitchTo)
+				}
+				res.CapSwitches++
+			}
+			ts.ResetPeriod()
+
+			for slot := 0; slot < tb.SlotsPerPeriod; slot++ {
+				solarW := e.cfg.Trace.At(day, period, slot)
+				sv := &SlotView{
+					Day: day, Period: period, Slot: slot, Base: tb,
+					SolarPower: solarW, Cap: bank.Active(), Bank: bank,
+					Tasks: ts, DirectEff: e.cfg.DirectEff,
+				}
+				order := s.Slot(sv)
+				if plan.Allowed != nil {
+					order = filterAllowed(order, plan.Allowed)
+				}
+				var st SlotStats
+				if ss, ok := s.(SpeedScheduler); ok {
+					st = ExecSlotDVFS(bank.Active(), ts, order,
+						func(run []int) []float64 { return ss.Speeds(sv, run) },
+						solarW, dt, e.cfg.DirectEff)
+				} else {
+					st = ExecSlot(bank.Active(), ts, order, solarW, dt, e.cfg.DirectEff)
+				}
+				res.Harvested += solarW * dt
+				res.Delivered += st.LoadPower * dt
+				res.StoredIn += st.Stored
+				res.StoreLoss += st.SurplusOffered - st.Stored
+				res.DrawnOut += st.DrawnOut
+
+				before := bankEnergy(bank)
+				bank.LeakAll(dt)
+				res.Leaked += before - bankEnergy(bank)
+
+				ts.CheckDeadlines(float64(slot+1) * dt)
+				if rec != nil {
+					rec.Record(SlotRecord{
+						Day: day, Period: period, Slot: slot,
+						SolarW: solarW, LoadW: st.LoadPower,
+						ActiveCap: bank.ActiveIndex(), ActiveV: bank.Active().V,
+						UsableJ:      bank.Active().UsableEnergy(),
+						Ran:          append([]int(nil), st.Ran...),
+						PeriodMisses: ts.Misses(),
+					})
+				}
+			}
+			res.recordPeriod(ts.Misses())
+			lastEnergy = e.cfg.Trace.PeriodEnergy(day, period)
+		}
+	}
+	res.FinalStored = bank.TotalUsable()
+	return res, nil
+}
+
+func filterAllowed(order []int, allowed []bool) []int {
+	out := order[:0:0]
+	for _, n := range order {
+		if n >= 0 && n < len(allowed) && allowed[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func bankEnergy(b *supercap.Bank) float64 {
+	sum := 0.0
+	for _, c := range b.Caps {
+		sum += c.Energy()
+	}
+	return sum
+}
+
+// SlotStats is the energy ledger of one executed slot.
+type SlotStats struct {
+	Ran            []int   // tasks that actually executed
+	LoadPower      float64 // W delivered to the NVPs
+	SurplusOffered float64 // J offered to the capacitor input
+	Stored         float64 // J actually stored (after η_chr·η_cycle and spill)
+	DrawnOut       float64 // J delivered by the capacitor output
+}
+
+// ExecSlot performs the physical execution of one slot: it filters the
+// priority-ordered candidate list for readiness and NVP exclusivity, trims
+// it from the tail until the direct channel plus the capacitor can carry
+// the load (brownout behavior: an NVP whose task is trimmed simply retains
+// its state), runs the survivors, draws the deficit from the capacitor and
+// offers the surplus to it. It mutates cap and ts.
+func ExecSlot(cap *supercap.Capacitor, ts *nvp.Set, order []int, solarW, dt, directEff float64) SlotStats {
+	run := ts.FilterRunnable(order)
+	directCap := solarW * directEff // W available at the load via direct channel
+	for len(run) > 0 {
+		load := 0.0
+		for _, n := range run {
+			load += ts.G.Tasks[n].Power
+		}
+		deficit := (load - directCap) * dt
+		if deficit <= cap.Deliverable()+1e-12 {
+			break
+		}
+		run = run[:len(run)-1]
+	}
+	var st SlotStats
+	st.Ran = run
+	st.LoadPower = ts.Run(run, dt)
+	settleEnergy(cap, &st, solarW, dt, directEff)
+	return st
+}
+
+// ExecSlotDVFS is ExecSlot for DVFS-capable runs: speedsFor returns a speed
+// per task of the filtered list; the load of task n is P_n·f^3 while its
+// progress is f·Δt. Trimming drops the lowest-priority task together with
+// its speed.
+func ExecSlotDVFS(cap *supercap.Capacitor, ts *nvp.Set, order []int,
+	speedsFor func(run []int) []float64, solarW, dt, directEff float64) SlotStats {
+
+	run := ts.FilterRunnable(order)
+	speeds := speedsFor(run)
+	if len(speeds) != len(run) {
+		panic(fmt.Sprintf("sim: %d speeds for %d tasks", len(speeds), len(run)))
+	}
+	speeds = append([]float64(nil), speeds...)
+	for i, f := range speeds {
+		speeds[i] = math.Min(1, math.Max(MinDVFSSpeed, f))
+	}
+	directCap := solarW * directEff
+	for len(run) > 0 {
+		load := 0.0
+		for i, n := range run {
+			f := speeds[i]
+			load += ts.G.Tasks[n].Power * f * f * f
+		}
+		deficit := (load - directCap) * dt
+		if deficit <= cap.Deliverable()+1e-12 {
+			break
+		}
+		run = run[:len(run)-1]
+		speeds = speeds[:len(speeds)-1]
+	}
+	var st SlotStats
+	st.Ran = run
+	st.LoadPower = ts.RunScaled(run, speeds, DVFSPowerExponent, dt)
+	settleEnergy(cap, &st, solarW, dt, directEff)
+	return st
+}
+
+// settleEnergy routes the slot's energy: the load draws from the direct
+// channel first, the deficit comes from the capacitor, and the remaining
+// solar input charges it.
+func settleEnergy(cap *supercap.Capacitor, st *SlotStats, solarW, dt, directEff float64) {
+	directCap := solarW * directEff
+	directUsed := math.Min(st.LoadPower, directCap)
+	if deficit := (st.LoadPower - directUsed) * dt; deficit > 1e-15 {
+		st.DrawnOut = cap.Discharge(deficit)
+	}
+	// Solar input power not consumed by the load is offered to the storage
+	// channel. The load consumed directUsed/directEff at the panel side.
+	surplusW := solarW
+	if directEff > 0 {
+		surplusW = solarW - directUsed/directEff
+	}
+	if surplusW > 1e-15 {
+		st.SurplusOffered = surplusW * dt
+		st.Stored = cap.Charge(st.SurplusOffered)
+	}
+}

@@ -1,0 +1,170 @@
+package sizing
+
+import (
+	"math"
+	"testing"
+
+	"solarsched/internal/solar"
+	"solarsched/internal/supercap"
+	"solarsched/internal/task"
+)
+
+func TestMigrationPatternShape(t *testing.T) {
+	tb := solar.DefaultTimeBase(4)
+	tr := solar.RepresentativeDays(tb)
+	g := task.WAM()
+	pat := MigrationPattern(tr, 0, g, 0.95)
+	if len(pat.Deltas) != tb.SlotsPerDay() {
+		t.Fatalf("pattern length %d", len(pat.Deltas))
+	}
+	// Night slots (first periods) have no harvest and, after the ASAP burst,
+	// no load: deltas ≤ 0 early, and positive surplus must exist at midday.
+	hasSurplus, hasDeficit := false, false
+	for _, d := range pat.Deltas {
+		if d > 0 {
+			hasSurplus = true
+		}
+		if d < 0 {
+			hasDeficit = true
+		}
+	}
+	if !hasSurplus || !hasDeficit {
+		t.Fatalf("pattern lacks surplus (%v) or deficit (%v)", hasSurplus, hasDeficit)
+	}
+}
+
+func TestPatternLossPositive(t *testing.T) {
+	tb := solar.DefaultTimeBase(4)
+	tr := solar.RepresentativeDays(tb)
+	pat := MigrationPattern(tr, 1, task.WAM(), 0.95)
+	p := supercap.DefaultParams()
+	for _, c := range []float64{1, 10, 100} {
+		if l := PatternLoss(c, pat, p); l <= 0 {
+			t.Fatalf("loss %v for C=%v", l, c)
+		}
+	}
+}
+
+func TestOptimalCapacityFindsInteriorMinimum(t *testing.T) {
+	tb := solar.DefaultTimeBase(4)
+	tr := solar.RepresentativeDays(tb)
+	pat := MigrationPattern(tr, 0, task.WAM(), 0.95)
+	p := supercap.DefaultParams()
+	best, loss := OptimalCapacity(pat, p, 0.5, 200)
+	if best <= 0.5 || best >= 200 {
+		t.Fatalf("optimum %vF on the search boundary", best)
+	}
+	// It must beat clearly-off capacitances.
+	if l := PatternLoss(0.5, pat, p); l < loss {
+		t.Fatalf("0.5F loss %v beats optimum %v", l, loss)
+	}
+	if l := PatternLoss(200, pat, p); l < loss {
+		t.Fatalf("200F loss %v beats optimum %v", l, loss)
+	}
+}
+
+func TestOptimalCapacityPanicsOnBadRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad range accepted")
+		}
+	}()
+	OptimalCapacity(DayPattern{Deltas: []float64{1}, SlotSeconds: 60}, supercap.DefaultParams(), 5, 1)
+}
+
+func TestDayOptimaTrackSolarScale(t *testing.T) {
+	// A sunnier day migrates more energy, which favors a larger capacitor
+	// (Table 2's crossover). Compare the sunny day and the rainy day.
+	tb := solar.DefaultTimeBase(4)
+	tr := solar.RepresentativeDays(tb)
+	caps, energy := DayOptima(tr, task.WAM(), supercap.DefaultParams(), 0.95)
+	if len(caps) != 4 || len(energy) != 4 {
+		t.Fatalf("lengths %d, %d", len(caps), len(energy))
+	}
+	if !(energy[0] > energy[3]) {
+		t.Fatalf("day energies not ordered: %v", energy)
+	}
+	if caps[0] <= caps[3] {
+		t.Fatalf("sunny-day optimum %vF not larger than rainy-day %vF", caps[0], caps[3])
+	}
+}
+
+func TestCluster1D(t *testing.T) {
+	feats := []float64{1, 1.1, 0.9, 10, 10.5, 9.5}
+	assign := Cluster1D(feats, 2)
+	if assign[0] != assign[1] || assign[1] != assign[2] {
+		t.Fatalf("low cluster split: %v", assign)
+	}
+	if assign[3] != assign[4] || assign[4] != assign[5] {
+		t.Fatalf("high cluster split: %v", assign)
+	}
+	if assign[0] == assign[3] {
+		t.Fatalf("clusters merged: %v", assign)
+	}
+}
+
+func TestCluster1DDegenerate(t *testing.T) {
+	// k larger than n collapses to one point per cluster without panicking.
+	assign := Cluster1D([]float64{3, 7}, 5)
+	if len(assign) != 2 {
+		t.Fatalf("assign length %d", len(assign))
+	}
+	// All-equal features: everything in one cluster.
+	same := Cluster1D([]float64{2, 2, 2, 2}, 2)
+	for _, a := range same[1:] {
+		if a != same[0] {
+			t.Fatalf("equal features split: %v", same)
+		}
+	}
+}
+
+func TestSizeBankProducesSortedDistinct(t *testing.T) {
+	tb := solar.DefaultTimeBase(4)
+	tr := solar.RepresentativeDays(tb)
+	bank := SizeBank(tr, task.WAM(), 3, supercap.DefaultParams(), 0.95)
+	if len(bank) == 0 || len(bank) > 3 {
+		t.Fatalf("bank size %d", len(bank))
+	}
+	for i := 1; i < len(bank); i++ {
+		if bank[i] <= bank[i-1] {
+			t.Fatalf("bank not strictly increasing: %v", bank)
+		}
+	}
+	for _, c := range bank {
+		if c < 0.5 || c > 200 {
+			t.Fatalf("capacitance %v outside the search range", c)
+		}
+	}
+}
+
+func TestBankMigrationEfficiencyImprovesWithMoreCaps(t *testing.T) {
+	// Figure 10(b): more distributed capacitors → higher migration
+	// efficiency, with diminishing returns.
+	tb := solar.DefaultTimeBase(4)
+	tr := solar.RepresentativeDays(tb)
+	g := task.RandomCase(1)
+	p := supercap.DefaultParams()
+	prev := -1.0
+	for _, h := range []int{1, 2, 4} {
+		bank := SizeBank(tr, g, h, p, 0.95)
+		eff := BankMigrationEfficiency(tr, g, bank, p, 0.95)
+		if eff < 0 || eff > 1 {
+			t.Fatalf("efficiency %v out of range for H=%d", eff, h)
+		}
+		if eff+1e-9 < prev {
+			t.Fatalf("efficiency decreased with more caps: %v -> %v", prev, eff)
+		}
+		prev = eff
+	}
+}
+
+func TestBankMigrationEfficiencyBounds(t *testing.T) {
+	tb := solar.DefaultTimeBase(4)
+	tr := solar.RepresentativeDays(tb)
+	g := task.WAM()
+	p := supercap.DefaultParams()
+	eff := BankMigrationEfficiency(tr, g, []float64{10}, p, 0.95)
+	if math.IsNaN(eff) || eff <= 0 || eff >= 1 {
+		t.Fatalf("single-cap efficiency %v implausible", eff)
+	}
+}

@@ -1,0 +1,234 @@
+package solar
+
+import (
+	"fmt"
+	"math"
+
+	"solarsched/internal/rng"
+)
+
+// Panel models the photovoltaic panel of the dual-channel node [11]:
+// a 3.5×4.5 cm² cell with a tested average conversion efficiency of 6 %.
+type Panel struct {
+	AreaM2     float64 // cell area in m²
+	Efficiency float64 // irradiance → electrical conversion efficiency
+}
+
+// DefaultPanel is the panel of the paper's prototype node.
+func DefaultPanel() Panel {
+	return Panel{AreaM2: 0.035 * 0.045, Efficiency: 0.06}
+}
+
+// Power converts irradiance (W/m²) to electrical output power (W).
+func (p Panel) Power(irradianceWm2 float64) float64 {
+	if irradianceWm2 <= 0 {
+		return 0
+	}
+	return irradianceWm2 * p.AreaM2 * p.Efficiency
+}
+
+// Condition is a day-level weather pattern. The four values correspond to
+// the four representative day shapes of the paper's Figure 7, ordered by
+// decreasing harvested energy.
+type Condition int
+
+const (
+	Sunny Condition = iota
+	PartlyCloudy
+	Overcast
+	Rainy
+	numConditions
+)
+
+// String implements fmt.Stringer.
+func (c Condition) String() string {
+	switch c {
+	case Sunny:
+		return "sunny"
+	case PartlyCloudy:
+		return "partly-cloudy"
+	case Overcast:
+		return "overcast"
+	case Rainy:
+		return "rainy"
+	default:
+		return fmt.Sprintf("Condition(%d)", int(c))
+	}
+}
+
+// conditionParams are the per-condition attenuation statistics.
+// base is the mean clear-sky attenuation factor, vary the amplitude of the
+// slow AR(1) attenuation walk, dipProb the per-slot probability of a deep
+// cloud transient and dipDepth its multiplicative depth.
+type conditionParams struct {
+	base     float64
+	vary     float64
+	dipProb  float64
+	dipDepth float64
+}
+
+func paramsFor(c Condition) conditionParams {
+	switch c {
+	case Sunny:
+		return conditionParams{base: 0.97, vary: 0.03, dipProb: 0.002, dipDepth: 0.3}
+	case PartlyCloudy:
+		return conditionParams{base: 0.70, vary: 0.18, dipProb: 0.04, dipDepth: 0.55}
+	case Overcast:
+		return conditionParams{base: 0.34, vary: 0.10, dipProb: 0.02, dipDepth: 0.4}
+	case Rainy:
+		return conditionParams{base: 0.13, vary: 0.06, dipProb: 0.03, dipDepth: 0.5}
+	default:
+		panic(fmt.Sprintf("solar: unknown condition %d", int(c)))
+	}
+}
+
+// markovNext holds the day-to-day weather transition probabilities used for
+// the long (monthly) traces: weather is persistent but mixes over ~3 days.
+var markovNext = [numConditions][numConditions]float64{
+	Sunny:        {0.55, 0.30, 0.10, 0.05},
+	PartlyCloudy: {0.30, 0.40, 0.20, 0.10},
+	Overcast:     {0.10, 0.30, 0.40, 0.20},
+	Rainy:        {0.10, 0.25, 0.30, 0.35},
+}
+
+// GenConfig configures the synthetic irradiance generator.
+type GenConfig struct {
+	Base  TimeBase
+	Panel Panel
+	Seed  uint64
+
+	// Conditions optionally pins the weather of each day. When shorter than
+	// Base.Days, the remaining days follow the weather Markov chain seeded
+	// from the last pinned day (or Sunny when none are pinned).
+	Conditions []Condition
+
+	// DayOfYearStart shifts the seasonal envelope (day length and peak
+	// irradiance). Zero means the spring equinox regime.
+	DayOfYearStart int
+
+	// LatitudeDeg controls the seasonal day-length swing. Defaults to 40°N
+	// when zero.
+	LatitudeDeg float64
+}
+
+// Generate produces a deterministic solar power trace. The model is
+// clear-sky envelope × seasonal trend × weather attenuation:
+//
+//	G(t) = G_peak(season) · sin^1.3(π·(t−sunrise)/(sunset−sunrise)) · a(t)
+//
+// where a(t) is a per-day attenuation process: an AR(1) walk around the
+// condition's base level plus occasional deep cloud transients. Output is
+// panel electrical power per slot.
+func Generate(cfg GenConfig) (*Trace, error) {
+	if err := cfg.Base.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Panel == (Panel{}) {
+		cfg.Panel = DefaultPanel()
+	}
+	if cfg.LatitudeDeg == 0 {
+		cfg.LatitudeDeg = 40
+	}
+	src := rng.New(cfg.Seed)
+	weatherSrc := src.SplitLabeled("weather")
+	cloudSrc := src.SplitLabeled("clouds")
+
+	conds := make([]Condition, cfg.Base.Days)
+	prev := Sunny
+	for d := range conds {
+		if d < len(cfg.Conditions) {
+			conds[d] = cfg.Conditions[d]
+		} else {
+			row := markovNext[prev]
+			conds[d] = Condition(weatherSrc.Choice(row[:]))
+		}
+		prev = conds[d]
+	}
+
+	t := NewTrace(cfg.Base)
+	for d := 0; d < cfg.Base.Days; d++ {
+		genDay(t, d, conds[d], cfg, cloudSrc.SplitLabeled(fmt.Sprintf("day-%d", d)))
+	}
+	return t, nil
+}
+
+// MustGenerate is Generate for statically-known-good configurations.
+func MustGenerate(cfg GenConfig) *Trace {
+	t, err := Generate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func genDay(t *Trace, day int, cond Condition, cfg GenConfig, src *rng.Source) {
+	tb := cfg.Base
+	doy := cfg.DayOfYearStart + day
+	// Seasonal day length around 12 h with a latitude-scaled swing, and a
+	// seasonal peak-irradiance modulation.
+	swing := 3.0 * cfg.LatitudeDeg / 45.0 // hours, half-amplitude
+	season := math.Sin(2 * math.Pi * float64(doy-80) / 365.0)
+	dayLen := 12.0 + swing*season                      // hours
+	peak := 1000.0 * (0.85 + 0.15*math.Max(0, season)) // W/m²
+	sunrise := (24.0 - dayLen) / 2.0 / 24.0            // day fraction
+	sunset := 1.0 - sunrise
+
+	p := paramsFor(cond)
+	atten := p.base
+	dipLeft := 0
+	dipFactor := 1.0
+	for period := 0; period < tb.PeriodsPerDay; period++ {
+		for slot := 0; slot < tb.SlotsPerPeriod; slot++ {
+			frac := tb.SlotDayFraction(period, slot)
+			envelope := 0.0
+			if frac > sunrise && frac < sunset {
+				x := math.Sin(math.Pi * (frac - sunrise) / (sunset - sunrise))
+				envelope = math.Pow(x, 1.3)
+			}
+			// AR(1) attenuation walk, clamped to [5 % of base, 1].
+			atten += 0.12*(p.base-atten) + src.Norm(0, p.vary*0.25)
+			if atten > 1 {
+				atten = 1
+			}
+			if lo := p.base * 0.05; atten < lo {
+				atten = lo
+			}
+			// Deep cloud transients lasting a few slots.
+			if dipLeft > 0 {
+				dipLeft--
+			} else {
+				dipFactor = 1.0
+				if src.Bool(p.dipProb) {
+					dipLeft = 1 + src.Intn(5)
+					dipFactor = 1 - p.dipDepth*src.Range(0.5, 1.0)
+				}
+			}
+			g := peak * envelope * atten * dipFactor
+			t.Set(day, period, slot, cfg.Panel.Power(g))
+		}
+	}
+}
+
+// RepresentativeDays returns the four-day trace of the paper's Figure 7:
+// one sunny, one partly cloudy, one overcast and one rainy day, ordered by
+// decreasing solar energy (the paper's Day 1 … Day 4).
+func RepresentativeDays(tb TimeBase) *Trace {
+	tb.Days = 4
+	return MustGenerate(GenConfig{
+		Base:       tb,
+		Seed:       20150607, // DAC'15 conference date; any fixed seed works
+		Conditions: []Condition{Sunny, PartlyCloudy, Overcast, Rainy},
+	})
+}
+
+// TwoMonthTrace returns the 60-day trace used by the paper's monthly
+// experiments (Figure 9 and Figure 10a), generated with the weather Markov
+// chain starting in early summer.
+func TwoMonthTrace(tb TimeBase) *Trace {
+	tb.Days = 60
+	return MustGenerate(GenConfig{
+		Base:           tb,
+		Seed:           1505,
+		DayOfYearStart: 150,
+	})
+}

@@ -1,0 +1,73 @@
+package solar
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPanelPower(t *testing.T) {
+	p := DefaultPanel()
+	if got := p.Power(-5); got != 0 {
+		t.Fatalf("negative irradiance produced %v W", got)
+	}
+	if got := p.Power(0); got != 0 {
+		t.Fatalf("zero irradiance produced %v W", got)
+	}
+	want := 1000 * 0.035 * 0.045 * 0.06
+	if got := p.Power(1000); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Power(1000) = %v, want %v", got, want)
+	}
+}
+
+func TestConditionString(t *testing.T) {
+	cases := map[Condition]string{
+		Sunny:        "sunny",
+		PartlyCloudy: "partly-cloudy",
+		Overcast:     "overcast",
+		Rainy:        "rainy",
+	}
+	for c, want := range cases {
+		if c.String() != want {
+			t.Fatalf("%d.String() = %q", int(c), c.String())
+		}
+	}
+	if got := Condition(99).String(); got != "Condition(99)" {
+		t.Fatalf("unknown condition = %q", got)
+	}
+}
+
+func TestSlotDayFraction(t *testing.T) {
+	tb := DefaultTimeBase(1)
+	// Middle of the first slot of period 24 (noon): 12h + 30s into the day.
+	frac := tb.SlotDayFraction(24, 0)
+	want := (12*3600 + 30.0) / 86400
+	if math.Abs(frac-want) > 1e-12 {
+		t.Fatalf("SlotDayFraction = %v, want %v", frac, want)
+	}
+	// Fractions are strictly increasing across slots.
+	prev := -1.0
+	for p := 0; p < tb.PeriodsPerDay; p++ {
+		for s := 0; s < tb.SlotsPerPeriod; s++ {
+			f := tb.SlotDayFraction(p, s)
+			if f <= prev || f >= 1 {
+				t.Fatalf("fraction not increasing at (%d,%d): %v", p, s, f)
+			}
+			prev = f
+		}
+	}
+}
+
+func TestGenerateRejectsBadBase(t *testing.T) {
+	if _, err := Generate(GenConfig{Base: TimeBase{}}); err == nil {
+		t.Fatal("invalid base accepted")
+	}
+}
+
+func TestMustGeneratePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustGenerate did not panic on bad config")
+		}
+	}()
+	MustGenerate(GenConfig{Base: TimeBase{}})
+}

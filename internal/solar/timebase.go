@@ -1,0 +1,91 @@
+// Package solar models the energy supply side of the sensor node: a
+// photovoltaic panel, a synthetic-but-realistic irradiance generator with
+// per-day weather conditions, discrete solar power traces indexed by
+// (day, period, slot), and the solar predictors used by the schedulers
+// (persistence, EWMA, and the WCMA predictor of the paper's baseline [3]).
+//
+// The paper uses the NREL MIDC measured database; this package substitutes a
+// deterministic generator that reproduces the properties the scheduling
+// algorithms actually depend on — the day/night structure, day-to-day
+// variability across weather patterns, and within-day cloud transients —
+// and persists traces to CSV so experiments are replayable.
+package solar
+
+import "fmt"
+
+// TimeBase describes the discrete time structure shared by every component:
+// Days days, each split into PeriodsPerDay task periods (ΔT), each split
+// into SlotsPerPeriod scheduling slots of SlotSeconds (Δt).
+//
+// These correspond to the paper's (N_d, N_p, ΔT, N_s, Δt).
+type TimeBase struct {
+	Days           int
+	PeriodsPerDay  int
+	SlotsPerPeriod int
+	SlotSeconds    float64
+}
+
+// DefaultTimeBase is the configuration used throughout the evaluation:
+// 48 periods of 30 minutes per day, each with 30 one-minute slots.
+func DefaultTimeBase(days int) TimeBase {
+	return TimeBase{Days: days, PeriodsPerDay: 48, SlotsPerPeriod: 30, SlotSeconds: 60}
+}
+
+// Validate reports whether the time base is well formed.
+func (tb TimeBase) Validate() error {
+	switch {
+	case tb.Days <= 0:
+		return fmt.Errorf("solar: TimeBase.Days = %d, must be positive", tb.Days)
+	case tb.PeriodsPerDay <= 0:
+		return fmt.Errorf("solar: TimeBase.PeriodsPerDay = %d, must be positive", tb.PeriodsPerDay)
+	case tb.SlotsPerPeriod <= 0:
+		return fmt.Errorf("solar: TimeBase.SlotsPerPeriod = %d, must be positive", tb.SlotsPerPeriod)
+	case tb.SlotSeconds <= 0:
+		return fmt.Errorf("solar: TimeBase.SlotSeconds = %g, must be positive", tb.SlotSeconds)
+	}
+	return nil
+}
+
+// PeriodSeconds returns ΔT, the duration of one period in seconds.
+func (tb TimeBase) PeriodSeconds() float64 {
+	return float64(tb.SlotsPerPeriod) * tb.SlotSeconds
+}
+
+// DaySeconds returns the duration of one modeled day in seconds.
+func (tb TimeBase) DaySeconds() float64 {
+	return float64(tb.PeriodsPerDay) * tb.PeriodSeconds()
+}
+
+// SlotsPerDay returns the number of slots in one day.
+func (tb TimeBase) SlotsPerDay() int { return tb.PeriodsPerDay * tb.SlotsPerPeriod }
+
+// TotalSlots returns the number of slots in the whole trace.
+func (tb TimeBase) TotalSlots() int { return tb.Days * tb.SlotsPerDay() }
+
+// TotalPeriods returns the number of periods in the whole trace.
+func (tb TimeBase) TotalPeriods() int { return tb.Days * tb.PeriodsPerDay }
+
+// Index maps (day, period, slot) to a flat slot index. Indices are
+// zero-based; the paper's (i, j, m) are one-based.
+func (tb TimeBase) Index(day, period, slot int) int {
+	if day < 0 || day >= tb.Days || period < 0 || period >= tb.PeriodsPerDay ||
+		slot < 0 || slot >= tb.SlotsPerPeriod {
+		panic(fmt.Sprintf("solar: index (%d,%d,%d) out of range for %+v", day, period, slot, tb))
+	}
+	return (day*tb.PeriodsPerDay+period)*tb.SlotsPerPeriod + slot
+}
+
+// SlotDayFraction returns the fraction of the day [0,1) at the *middle*
+// of the given slot, used to evaluate the irradiance envelope.
+func (tb TimeBase) SlotDayFraction(period, slot int) float64 {
+	secs := (float64(period)*float64(tb.SlotsPerPeriod) + float64(slot) + 0.5) * tb.SlotSeconds
+	return secs / tb.DaySeconds()
+}
+
+// PeriodIndex maps (day, period) to a flat period index.
+func (tb TimeBase) PeriodIndex(day, period int) int {
+	if day < 0 || day >= tb.Days || period < 0 || period >= tb.PeriodsPerDay {
+		panic(fmt.Sprintf("solar: period index (%d,%d) out of range for %+v", day, period, tb))
+	}
+	return day*tb.PeriodsPerDay + period
+}

@@ -1,0 +1,131 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Chart renders one or more series as an ASCII line chart — enough to see
+// the *shape* of every figure (the diurnal solar curve, the DMR-vs-horizon
+// knee, the capacitor-count plateau) straight from the terminal.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // plot columns (default 64)
+	Height int // plot rows (default 16)
+	Series []Series
+}
+
+// seriesMarks assigns one glyph per series.
+var seriesMarks = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Render draws the chart.
+func (c *Chart) Render(w io.Writer) {
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 64
+	}
+	if height <= 0 {
+		height = 16
+	}
+	xmin, xmax, ymin, ymax, any := c.bounds()
+	if !any {
+		fmt.Fprintf(w, "%s\n  (no data)\n", c.Title)
+		return
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range c.Series {
+		mark := seriesMarks[si%len(seriesMarks)]
+		for i := range s.X {
+			col := int(float64(width-1) * (s.X[i] - xmin) / (xmax - xmin))
+			row := int(float64(height-1) * (s.Y[i] - ymin) / (ymax - ymin))
+			row = height - 1 - row
+			if col >= 0 && col < width && row >= 0 && row < height {
+				grid[row][col] = mark
+			}
+		}
+		// Connect consecutive points with linear interpolation so sparse
+		// series still read as lines.
+		for i := 1; i < len(s.X); i++ {
+			c0 := int(float64(width-1) * (s.X[i-1] - xmin) / (xmax - xmin))
+			c1 := int(float64(width-1) * (s.X[i] - xmin) / (xmax - xmin))
+			if c1 <= c0+1 {
+				continue
+			}
+			for col := c0 + 1; col < c1; col++ {
+				fr := float64(col-c0) / float64(c1-c0)
+				y := s.Y[i-1] + fr*(s.Y[i]-s.Y[i-1])
+				row := height - 1 - int(float64(height-1)*(y-ymin)/(ymax-ymin))
+				if row >= 0 && row < height && grid[row][col] == ' ' {
+					grid[row][col] = '.'
+				}
+			}
+		}
+	}
+
+	if c.Title != "" {
+		fmt.Fprintf(w, "%s\n", c.Title)
+	}
+	yHi := fmt.Sprintf("%.3g", ymax)
+	yLo := fmt.Sprintf("%.3g", ymin)
+	pad := len(yHi)
+	if len(yLo) > pad {
+		pad = len(yLo)
+	}
+	for i, row := range grid {
+		label := strings.Repeat(" ", pad)
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%*s", pad, yHi)
+		case height - 1:
+			label = fmt.Sprintf("%*s", pad, yLo)
+		}
+		fmt.Fprintf(w, "  %s |%s|\n", label, string(row))
+	}
+	fmt.Fprintf(w, "  %s +%s+\n", strings.Repeat(" ", pad), strings.Repeat("-", width))
+	fmt.Fprintf(w, "  %s  %-*.3g%*.3g\n", strings.Repeat(" ", pad), width/2, xmin, width-width/2, xmax)
+	if len(c.Series) > 1 || c.Series[0].Name != "" {
+		legend := make([]string, 0, len(c.Series))
+		for si, s := range c.Series {
+			legend = append(legend, fmt.Sprintf("%c %s", seriesMarks[si%len(seriesMarks)], s.Name))
+		}
+		fmt.Fprintf(w, "  legend: %s\n", strings.Join(legend, "   "))
+	}
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(w, "  x: %s   y: %s\n", c.XLabel, c.YLabel)
+	}
+}
+
+func (c *Chart) bounds() (xmin, xmax, ymin, ymax float64, any bool) {
+	xmin, ymin = math.Inf(1), math.Inf(1)
+	xmax, ymax = math.Inf(-1), math.Inf(-1)
+	for _, s := range c.Series {
+		for i := range s.X {
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+			any = true
+		}
+	}
+	return xmin, xmax, ymin, ymax, any
+}
+
+// String renders the chart to a string.
+func (c *Chart) String() string {
+	var b strings.Builder
+	c.Render(&b)
+	return b.String()
+}

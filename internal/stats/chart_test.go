@@ -1,0 +1,69 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartRendersSeries(t *testing.T) {
+	var s Series
+	s.Name = "line"
+	for i := 0; i < 10; i++ {
+		s.Add(float64(i), float64(i*i))
+	}
+	c := Chart{Title: "squares", XLabel: "x", YLabel: "y", Series: []Series{s}}
+	out := c.String()
+	if !strings.Contains(out, "squares") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatal("marks missing")
+	}
+	if !strings.Contains(out, "legend: * line") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "x: x   y: y") {
+		t.Fatal("axis labels missing")
+	}
+	// 16 plot rows by default.
+	rows := strings.Count(out, "|") / 2
+	if rows != 16 {
+		t.Fatalf("plot rows = %d", rows)
+	}
+}
+
+func TestChartMultiSeriesMarks(t *testing.T) {
+	a := Series{Name: "a", X: []float64{0, 1}, Y: []float64{0, 1}}
+	b := Series{Name: "b", X: []float64{0, 1}, Y: []float64{1, 0}}
+	c := Chart{Series: []Series{a, b}, Width: 20, Height: 5}
+	out := c.String()
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("distinct marks missing:\n%s", out)
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	c := Chart{Title: "void"}
+	out := c.String()
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("empty chart output:\n%s", out)
+	}
+}
+
+func TestChartConstantSeries(t *testing.T) {
+	s := Series{Name: "flat", X: []float64{0, 1, 2}, Y: []float64{5, 5, 5}}
+	c := Chart{Series: []Series{s}, Width: 12, Height: 4}
+	out := c.String() // must not divide by zero
+	if !strings.Contains(out, "*") {
+		t.Fatalf("flat series missing:\n%s", out)
+	}
+}
+
+func TestChartInterpolatesGaps(t *testing.T) {
+	s := Series{Name: "sparse", X: []float64{0, 10}, Y: []float64{0, 10}}
+	c := Chart{Series: []Series{s}, Width: 40, Height: 10}
+	out := c.String()
+	if !strings.Contains(out, ".") {
+		t.Fatalf("no interpolation dots:\n%s", out)
+	}
+}

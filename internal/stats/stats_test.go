@@ -1,0 +1,89 @@
+package stats
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRow("bb", "22")
+	out := tb.String()
+	if !strings.Contains(out, "Demo") || !strings.Contains(out, "alpha") {
+		t.Fatalf("render missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title + header + separator + 2 rows.
+	if len(lines) != 5 {
+		t.Fatalf("render has %d lines:\n%s", len(lines), out)
+	}
+	if len(lines[1]) != len(lines[2]) {
+		t.Fatalf("header and separator misaligned:\n%s", out)
+	}
+}
+
+func TestTableAddRowPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched row accepted")
+		}
+	}()
+	NewTable("x", "a", "b").AddRow("only-one")
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddRow("1", "2")
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "a,b\n1,2\n" {
+		t.Fatalf("CSV = %q", got)
+	}
+}
+
+func TestFormatting(t *testing.T) {
+	if F(3.14159, 2) != "3.14" {
+		t.Fatal("F")
+	}
+	if Pct(0.278) != "27.8%" {
+		t.Fatalf("Pct = %s", Pct(0.278))
+	}
+}
+
+func TestSeriesAdd(t *testing.T) {
+	var s Series
+	s.Add(1, 2)
+	s.Add(3, 4)
+	if len(s.X) != 2 || s.Y[1] != 4 {
+		t.Fatalf("series = %+v", s)
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if Mean(xs) != 5 {
+		t.Fatalf("Mean = %v", Mean(xs))
+	}
+	if Std(xs) != 2 {
+		t.Fatalf("Std = %v", Std(xs))
+	}
+	if Mean(nil) != 0 || Std(nil) != 0 {
+		t.Fatal("empty input not zero")
+	}
+}
+
+func TestMeanAbsRelErr(t *testing.T) {
+	got := MeanAbsRelErr([]float64{1.1, 0.9}, []float64{1, 1})
+	if math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("MeanAbsRelErr = %v", got)
+	}
+	// Zero references are skipped.
+	if MeanAbsRelErr([]float64{5}, []float64{0}) != 0 {
+		t.Fatal("zero reference not skipped")
+	}
+}

@@ -1,0 +1,132 @@
+package supercap
+
+import (
+	"math"
+	"testing"
+)
+
+// Table 2 of the paper, as shape assertions: the optimal capacitance moves
+// from the smallest (1 F) for a small short migration to a mid-size (10 F)
+// for a large long one, and the efficiency spread across capacitances is
+// large (paper: up to 30.5 %).
+func TestTable2Shape(t *testing.T) {
+	p := DefaultParams()
+	caps := []float64{1, 10, 50, 100}
+	small := Pattern{Quantity: 7, Duration: 60 * 60}
+	large := Pattern{Quantity: 30, Duration: 400 * 60}
+
+	effSmall := make([]float64, len(caps))
+	effLarge := make([]float64, len(caps))
+	for i, c := range caps {
+		effSmall[i] = MigrationEfficiency(c, small, p, 60)
+		effLarge[i] = MigrationEfficiency(c, large, p, 60)
+	}
+
+	// (7 J, 60 min): 1 F must be the best, efficiencies decreasing in C.
+	for i := 1; i < len(caps); i++ {
+		if effSmall[i] >= effSmall[0] {
+			t.Fatalf("small pattern: %vF (%.3f) not worse than 1F (%.3f)",
+				caps[i], effSmall[i], effSmall[0])
+		}
+	}
+	// (30 J, 400 min): 10 F must be the best; 1 F must collapse (capacity).
+	best := 0
+	for i := range caps {
+		if effLarge[i] > effLarge[best] {
+			best = i
+		}
+	}
+	if caps[best] != 10 {
+		t.Fatalf("large pattern: best capacitance %vF, want 10F (effs %v)", caps[best], effLarge)
+	}
+	if effLarge[0] > 0.15 {
+		t.Fatalf("1F at 30J should collapse below 15%%, got %.3f", effLarge[0])
+	}
+	// The spread across capacitances is large, as in the paper (30.5 %).
+	spread := effLarge[1] - effLarge[0]
+	if spread < 0.20 {
+		t.Fatalf("efficiency spread %.3f too small (paper: ~0.30)", spread)
+	}
+	// Sanity bands close to the paper's absolute levels.
+	if effSmall[0] < 0.30 || effSmall[0] > 0.50 {
+		t.Fatalf("1F @ (7J,60min) = %.3f outside [0.30, 0.50] (paper 0.368)", effSmall[0])
+	}
+	if effLarge[1] < 0.33 || effLarge[1] > 0.48 {
+		t.Fatalf("10F @ (30J,400min) = %.3f outside [0.33, 0.48] (paper 0.407)", effLarge[1])
+	}
+}
+
+// The model must track the high-fidelity reference within a reasonable
+// error, like the paper's 5.38 % average model-vs-measurement error.
+func TestModelTracksHiFi(t *testing.T) {
+	p := DefaultParams()
+	pats := []Pattern{{Quantity: 7, Duration: 3600}, {Quantity: 30, Duration: 24000}}
+	totalRel, n := 0.0, 0
+	for _, c := range []float64{1, 10, 50, 100} {
+		for _, pat := range pats {
+			m := MigrationEfficiency(c, pat, p, 60)
+			h := HiFiMigrationEfficiency(c, pat, p)
+			if h <= 0 {
+				t.Fatalf("hifi efficiency %v for C=%v", h, c)
+			}
+			rel := math.Abs(m-h) / h
+			if rel > 0.20 {
+				t.Fatalf("model error %0.1f%% at C=%vF %v J", rel*100, c, pat.Quantity)
+			}
+			totalRel += rel
+			n++
+		}
+	}
+	if avg := totalRel / float64(n); avg > 0.12 {
+		t.Fatalf("average model error %.1f%% too large (paper: 5.38%%)", avg*100)
+	}
+}
+
+func TestMigrationEfficiencyDegenerate(t *testing.T) {
+	p := DefaultParams()
+	if MigrationEfficiency(10, Pattern{}, p, 60) != 0 {
+		t.Fatal("zero pattern should yield zero efficiency")
+	}
+	if HiFiMigrationEfficiency(10, Pattern{Quantity: -1, Duration: 60}, p) != 0 {
+		t.Fatal("negative quantity should yield zero efficiency")
+	}
+}
+
+func TestEfficiencyFallsWithDuration(t *testing.T) {
+	// Longer holds leak more: efficiency must not increase with duration for
+	// a fixed quantity and capacitance.
+	p := DefaultParams()
+	short := MigrationEfficiency(10, Pattern{Quantity: 10, Duration: 3600}, p, 60)
+	long := MigrationEfficiency(10, Pattern{Quantity: 10, Duration: 10 * 3600}, p, 60)
+	if long > short {
+		t.Fatalf("efficiency grew with duration: %v -> %v", short, long)
+	}
+}
+
+func TestProbeTimestepInsensitive(t *testing.T) {
+	// The coarse model at 60 s and at 10 s steps should agree closely —
+	// guards against step-size artifacts in the probe.
+	p := DefaultParams()
+	pat := Pattern{Quantity: 30, Duration: 24000}
+	a := MigrationEfficiency(10, pat, p, 60)
+	b := MigrationEfficiency(10, pat, p, 10)
+	if math.Abs(a-b) > 0.03 {
+		t.Fatalf("probe sensitive to timestep: %v vs %v", a, b)
+	}
+}
+
+func BenchmarkMigrationProbe(b *testing.B) {
+	p := DefaultParams()
+	pat := Pattern{Quantity: 30, Duration: 24000}
+	for i := 0; i < b.N; i++ {
+		MigrationEfficiency(10, pat, p, 60)
+	}
+}
+
+func BenchmarkHiFiProbe(b *testing.B) {
+	p := DefaultParams()
+	pat := Pattern{Quantity: 30, Duration: 24000}
+	for i := 0; i < b.N; i++ {
+		HiFiMigrationEfficiency(10, pat, p)
+	}
+}

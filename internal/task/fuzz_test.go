@@ -1,0 +1,34 @@
+package task
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadJSON hardens the workload parser: arbitrary input must produce
+// an error or a graph that passes Validate — never a panic.
+func FuzzReadJSON(f *testing.F) {
+	var seed bytes.Buffer
+	if err := WAM().WriteJSON(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add(`{"name":"x","nvps":1,"tasks":[{"name":"a","exec_seconds":60,"power_mw":10,"deadline_seconds":600,"nvp":0}]}`)
+	f.Add(`{"name":"x","nvps":0,"tasks":[]}`)
+	f.Add(`{`)
+	f.Add(`{"name":"x","nvps":1,"tasks":[{"name":"a","exec_seconds":-1,"power_mw":10,"deadline_seconds":600,"nvp":0}]}`)
+
+	f.Fuzz(func(t *testing.T, data string) {
+		g, err := ReadJSON(strings.NewReader(data), 1800)
+		if err != nil {
+			return
+		}
+		if verr := g.Validate(1800); verr != nil {
+			t.Fatalf("ReadJSON accepted invalid graph: %v", verr)
+		}
+		if _, terr := g.TopoOrder(); terr != nil {
+			t.Fatalf("accepted graph has a cycle: %v", terr)
+		}
+	})
+}

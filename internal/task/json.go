@@ -1,0 +1,100 @@
+package task
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// graphJSON is the on-disk workload format: a self-describing task graph
+// users can author by hand and feed to cmd/solarsched simulate.
+type graphJSON struct {
+	Name    string     `json:"name"`
+	NumNVPs int        `json:"nvps"`
+	Tasks   []taskJSON `json:"tasks"`
+	Edges   []edgeJSON `json:"edges,omitempty"`
+}
+
+type taskJSON struct {
+	Name     string  `json:"name"`
+	ExecSecs float64 `json:"exec_seconds"`
+	PowerMW  float64 `json:"power_mw"`
+	Deadline float64 `json:"deadline_seconds"`
+	NVP      int     `json:"nvp"`
+}
+
+type edgeJSON struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+}
+
+// WriteJSON serializes the graph. Powers are externalized in milliwatts —
+// the unit the paper (and any datasheet) uses.
+func (g *Graph) WriteJSON(w io.Writer) error {
+	out := graphJSON{Name: g.Name, NumNVPs: g.NumNVPs}
+	for _, t := range g.Tasks {
+		out.Tasks = append(out.Tasks, taskJSON{
+			Name:     t.Name,
+			ExecSecs: t.ExecTime,
+			PowerMW:  t.Power * 1000,
+			Deadline: t.Deadline,
+			NVP:      t.NVP,
+		})
+	}
+	for _, e := range g.Edges {
+		out.Edges = append(out.Edges, edgeJSON{From: g.Tasks[e.From].Name, To: g.Tasks[e.To].Name})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadJSON parses a workload file and validates it against the given
+// period length.
+func ReadJSON(r io.Reader, periodSeconds float64) (*Graph, error) {
+	var in graphJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("task: parsing workload: %w", err)
+	}
+	if len(in.Tasks) == 0 {
+		return nil, fmt.Errorf("task: workload %q has no tasks", in.Name)
+	}
+	byName := map[string]int{}
+	tasks := make([]Task, len(in.Tasks))
+	for i, t := range in.Tasks {
+		if t.Name == "" {
+			return nil, fmt.Errorf("task: workload %q: task %d has no name", in.Name, i)
+		}
+		if _, dup := byName[t.Name]; dup {
+			return nil, fmt.Errorf("task: workload %q: duplicate task name %q", in.Name, t.Name)
+		}
+		byName[t.Name] = i
+		tasks[i] = Task{
+			ID:       i,
+			Name:     t.Name,
+			ExecTime: t.ExecSecs,
+			Power:    t.PowerMW / 1000,
+			Deadline: t.Deadline,
+			NVP:      t.NVP,
+		}
+	}
+	var edges []Edge
+	for _, e := range in.Edges {
+		from, ok := byName[e.From]
+		if !ok {
+			return nil, fmt.Errorf("task: workload %q: edge from unknown task %q", in.Name, e.From)
+		}
+		to, ok := byName[e.To]
+		if !ok {
+			return nil, fmt.Errorf("task: workload %q: edge to unknown task %q", in.Name, e.To)
+		}
+		edges = append(edges, Edge{From: from, To: to})
+	}
+	g := NewGraph(in.Name, tasks, edges, in.NumNVPs)
+	if err := g.Validate(periodSeconds); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

@@ -1,0 +1,64 @@
+package task
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	for _, g := range AllBenchmarks() {
+		var buf bytes.Buffer
+		if err := g.WriteJSON(&buf); err != nil {
+			t.Fatalf("%s: %v", g.Name, err)
+		}
+		got, err := ReadJSON(&buf, 1800)
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name, err)
+		}
+		if got.Name != g.Name || got.N() != g.N() || got.NumNVPs != g.NumNVPs {
+			t.Fatalf("%s: header mismatch", g.Name)
+		}
+		for i := range g.Tasks {
+			a, b := g.Tasks[i], got.Tasks[i]
+			if a.Name != b.Name || a.ExecTime != b.ExecTime || a.Deadline != b.Deadline || a.NVP != b.NVP {
+				t.Fatalf("%s: task %d mismatch: %+v vs %+v", g.Name, i, a, b)
+			}
+			if diff := a.Power - b.Power; diff > 1e-12 || diff < -1e-12 {
+				t.Fatalf("%s: task %d power drift %v", g.Name, i, diff)
+			}
+		}
+		if len(got.Edges) != len(g.Edges) {
+			t.Fatalf("%s: edge count mismatch", g.Name)
+		}
+	}
+}
+
+func TestReadJSONRejects(t *testing.T) {
+	cases := map[string]string{
+		"garbage":        `{not json`,
+		"unknown field":  `{"name":"x","nvps":1,"bogus":true,"tasks":[{"name":"a","exec_seconds":60,"power_mw":10,"deadline_seconds":600,"nvp":0}]}`,
+		"no tasks":       `{"name":"x","nvps":1,"tasks":[]}`,
+		"unnamed task":   `{"name":"x","nvps":1,"tasks":[{"exec_seconds":60,"power_mw":10,"deadline_seconds":600,"nvp":0}]}`,
+		"duplicate name": `{"name":"x","nvps":1,"tasks":[{"name":"a","exec_seconds":60,"power_mw":10,"deadline_seconds":600,"nvp":0},{"name":"a","exec_seconds":60,"power_mw":10,"deadline_seconds":900,"nvp":0}]}`,
+		"unknown edge":   `{"name":"x","nvps":1,"tasks":[{"name":"a","exec_seconds":60,"power_mw":10,"deadline_seconds":600,"nvp":0}],"edges":[{"from":"a","to":"zzz"}]}`,
+		"infeasible":     `{"name":"x","nvps":1,"tasks":[{"name":"a","exec_seconds":9999,"power_mw":10,"deadline_seconds":600,"nvp":0}]}`,
+		"bad nvp":        `{"name":"x","nvps":1,"tasks":[{"name":"a","exec_seconds":60,"power_mw":10,"deadline_seconds":600,"nvp":3}]}`,
+	}
+	for name, src := range cases {
+		if _, err := ReadJSON(strings.NewReader(src), 1800); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestReadJSONUnitsAreMilliwatts(t *testing.T) {
+	src := `{"name":"x","nvps":1,"tasks":[{"name":"a","exec_seconds":60,"power_mw":45,"deadline_seconds":600,"nvp":0}]}`
+	g, err := ReadJSON(strings.NewReader(src), 1800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Tasks[0].Power != 0.045 {
+		t.Fatalf("power = %v W, want 0.045", g.Tasks[0].Power)
+	}
+}

@@ -1,0 +1,298 @@
+// Package solarsched is a library-level reproduction of "Deadline-aware
+// Task Scheduling for Solar-powered Nonvolatile Sensor Nodes with Global
+// Energy Migration" (Zhang et al., DAC 2015).
+//
+// It simulates a dual-channel solar-powered sensor node — a direct supply
+// channel plus a "store and use" channel over distributed super capacitors
+// — executing periodic task graphs on nonvolatile processors, and provides
+// the paper's full scheduling stack:
+//
+//   - baseline schedulers: a WCMA-driven lazy inter-task scheduler and an
+//     intra-task load-matching scheduler;
+//   - the offline stage: super-capacitor sizing, a per-period
+//     minimum-energy optimizer, and a long-term DP over periods and days;
+//   - the online stage: a from-scratch deep belief network that selects the
+//     capacitor of the day, the scheduling pattern and the task set each
+//     period, followed by inter/intra fine-grained slot scheduling.
+//
+// This root package is a facade: it re-exports the user-facing API of the
+// internal packages so applications can depend on a single import.
+//
+//	tr := solarsched.RepresentativeDays(solarsched.DefaultTimeBase(4))
+//	g := solarsched.WAM()
+//	eng, _ := solarsched.NewEngine(solarsched.EngineConfig{
+//		Trace: tr, Graph: g, Capacitances: []float64{10},
+//	})
+//	res, _ := eng.Run(solarsched.NewIntraMatch(g))
+//	fmt.Println(res.DMR())
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured record of every table and figure.
+package solarsched
+
+import (
+	"solarsched/internal/ann"
+	"solarsched/internal/core"
+	"solarsched/internal/experiments"
+	"solarsched/internal/overhead"
+	"solarsched/internal/sched"
+	"solarsched/internal/sim"
+	"solarsched/internal/sizing"
+	"solarsched/internal/solar"
+	"solarsched/internal/stats"
+	"solarsched/internal/supercap"
+	"solarsched/internal/task"
+)
+
+// ---- Time and solar supply -------------------------------------------------
+
+// TimeBase is the discrete time structure (days / periods / slots).
+type TimeBase = solar.TimeBase
+
+// Trace is a per-slot solar power trace.
+type Trace = solar.Trace
+
+// GenConfig configures the synthetic solar generator.
+type GenConfig = solar.GenConfig
+
+// Panel is the photovoltaic panel model.
+type Panel = solar.Panel
+
+// Condition is a day-level weather pattern.
+type Condition = solar.Condition
+
+// Weather conditions of the synthetic generator.
+const (
+	Sunny        = solar.Sunny
+	PartlyCloudy = solar.PartlyCloudy
+	Overcast     = solar.Overcast
+	Rainy        = solar.Rainy
+)
+
+// DefaultTimeBase returns the evaluation time base: 48 periods of 30 min,
+// 30 slots of 60 s, over the given number of days.
+func DefaultTimeBase(days int) TimeBase { return solar.DefaultTimeBase(days) }
+
+// GenerateTrace produces a deterministic synthetic solar trace.
+func GenerateTrace(cfg GenConfig) (*Trace, error) { return solar.Generate(cfg) }
+
+// RepresentativeDays returns the paper's four representative days (Fig. 7).
+func RepresentativeDays(tb TimeBase) *Trace { return solar.RepresentativeDays(tb) }
+
+// TwoMonthTrace returns the 60-day evaluation trace (Fig. 9, Fig. 10a).
+func TwoMonthTrace(tb TimeBase) *Trace { return solar.TwoMonthTrace(tb) }
+
+// ReadTraceCSV reads a trace written by Trace.WriteCSV.
+var ReadTraceCSV = solar.ReadCSV
+
+// Predictor forecasts per-period harvest energy.
+type Predictor = solar.Predictor
+
+// WCMA is the Weather-Conditioned Moving Average predictor (baseline [3]).
+type WCMA = solar.WCMA
+
+// NewWCMA returns a WCMA predictor.
+func NewWCMA(alpha float64, days, k, periodsPerDay int) *WCMA {
+	return solar.NewWCMA(alpha, days, k, periodsPerDay)
+}
+
+// HorizonForecast perturbs a true trace with lead-time-dependent error.
+type HorizonForecast = solar.HorizonForecast
+
+// NewHorizonForecast returns a forecaster over a true trace.
+func NewHorizonForecast(tr *Trace, seed uint64) *HorizonForecast {
+	return solar.NewHorizonForecast(tr, seed)
+}
+
+// ---- Workload ---------------------------------------------------------------
+
+// Task is one periodic task τ_n.
+type Task = task.Task
+
+// TaskGraph is a periodic task DAG with NVP bindings.
+type TaskGraph = task.Graph
+
+// Edge is one dependence W_{n,l}.
+type Edge = task.Edge
+
+// NewTaskGraph builds a task graph.
+func NewTaskGraph(name string, tasks []Task, edges []Edge, numNVPs int) *TaskGraph {
+	return task.NewGraph(name, tasks, edges, numNVPs)
+}
+
+// The six evaluation benchmarks of §6.1.
+var (
+	WAM           = task.WAM
+	ECG           = task.ECG
+	SHM           = task.SHM
+	RandomCase    = task.RandomCase
+	AllBenchmarks = task.AllBenchmarks
+)
+
+// RandomTaskGraph generates a seeded random benchmark.
+func RandomTaskGraph(name string, seed uint64, periodSeconds, slotSeconds float64) *TaskGraph {
+	return task.Random(name, seed, periodSeconds, slotSeconds)
+}
+
+// ---- Energy storage ----------------------------------------------------------
+
+// CapParams holds the storage-channel data-fit constants (Fig. 5, [12]).
+type CapParams = supercap.Params
+
+// Capacitor is the slot-level super-capacitor model (eq. (1)).
+type Capacitor = supercap.Capacitor
+
+// CapBank is the distributed super-capacitor bank.
+type CapBank = supercap.Bank
+
+// MigrationPattern describes a Table 2 migration experiment.
+type MigrationPattern = supercap.Pattern
+
+// DefaultCapParams returns the calibrated storage constants.
+func DefaultCapParams() CapParams { return supercap.DefaultParams() }
+
+// NewCapacitor returns a capacitor of c farads at cut-off voltage.
+func NewCapacitor(c float64, p CapParams) *Capacitor { return supercap.New(c, p) }
+
+// NewCapBank builds a bank of distributed capacitors.
+func NewCapBank(capacitances []float64, p CapParams) *CapBank {
+	return supercap.NewBank(capacitances, p)
+}
+
+// MigrationEfficiency runs the Table 2 probe on the coarse model.
+func MigrationEfficiency(c float64, pat MigrationPattern, p CapParams, dt float64) float64 {
+	return supercap.MigrationEfficiency(c, pat, p, dt)
+}
+
+// HiFiMigrationEfficiency runs the probe on the measurement-grade reference
+// simulator (the "Test" column of Table 2).
+func HiFiMigrationEfficiency(c float64, pat MigrationPattern, p CapParams) float64 {
+	return supercap.HiFiMigrationEfficiency(c, pat, p)
+}
+
+// SizeBank runs the offline capacitor sizing of §4.1.
+func SizeBank(tr *Trace, g *TaskGraph, h int, p CapParams, directEff float64) []float64 {
+	return sizing.SizeBank(tr, g, h, p, directEff)
+}
+
+// BankMigrationEfficiency estimates a sized bank's migration efficiency.
+func BankMigrationEfficiency(tr *Trace, g *TaskGraph, bank []float64, p CapParams, directEff float64) float64 {
+	return sizing.BankMigrationEfficiency(tr, g, bank, p, directEff)
+}
+
+// ---- Node simulation ----------------------------------------------------------
+
+// EngineConfig describes one simulation run.
+type EngineConfig = sim.Config
+
+// Engine is the discrete-time node simulator.
+type Engine = sim.Engine
+
+// Result carries the DMR and energy ledger of a run.
+type Result = sim.Result
+
+// Scheduler is the contract every scheduling algorithm implements.
+type Scheduler = sim.Scheduler
+
+// PeriodView and SlotView are the scheduler-visible state snapshots.
+type (
+	PeriodView = sim.PeriodView
+	SlotView   = sim.SlotView
+	PeriodPlan = sim.PeriodPlan
+)
+
+// DefaultDirectEff is the direct supply channel efficiency.
+const DefaultDirectEff = sim.DefaultDirectEff
+
+// NewEngine validates a configuration and returns an engine.
+func NewEngine(cfg EngineConfig) (*Engine, error) { return sim.New(cfg) }
+
+// ---- Schedulers ------------------------------------------------------------------
+
+// NewASAP returns the as-soon-as-possible scheduler (§4.1's pattern source).
+func NewASAP(g *TaskGraph) Scheduler { return sched.NewASAP(g) }
+
+// NewInterLSA returns the paper's Inter-task baseline [3].
+func NewInterLSA(g *TaskGraph, tb TimeBase, directEff float64) Scheduler {
+	return sched.NewInterLSA(g, tb, directEff)
+}
+
+// NewIntraMatch returns the paper's Intra-task baseline [9].
+func NewIntraMatch(g *TaskGraph) Scheduler { return sched.NewIntraMatch(g) }
+
+// PlanConfig configures the long-term scheduler.
+type PlanConfig = core.PlanConfig
+
+// Network is the trained deep belief network.
+type Network = ann.Network
+
+// TrainOptions configures offline training.
+type TrainOptions = core.TrainOptions
+
+// DefaultPlanConfig returns the evaluation's long-term settings.
+func DefaultPlanConfig(g *TaskGraph, tb TimeBase, capacitances []float64) PlanConfig {
+	return core.DefaultPlanConfig(g, tb, capacitances)
+}
+
+// DefaultTrainOptions returns the evaluation's training settings.
+func DefaultTrainOptions() TrainOptions { return core.DefaultTrainOptions() }
+
+// Train runs the offline pipeline of Figure 4 (DP → samples → DBN).
+func Train(pc PlanConfig, trainTrace *Trace, opt TrainOptions) (*Network, float64, error) {
+	return core.Train(pc, trainTrace, opt)
+}
+
+// NewProposed wraps a trained network as the paper's online scheduler (§5).
+func NewProposed(pc PlanConfig, net *Network) (Scheduler, error) {
+	return core.NewProposed(pc, net)
+}
+
+// TrainProposed trains on a trace and returns the online scheduler.
+func TrainProposed(pc PlanConfig, trainTrace *Trace, opt TrainOptions) (Scheduler, error) {
+	return core.TrainProposed(pc, trainTrace, opt)
+}
+
+// NewClairvoyant returns the "Optimal" upper bound: the long-term DP fed
+// the true future solar powers.
+func NewClairvoyant(pc PlanConfig, tr *Trace, predictionHours float64) (Scheduler, error) {
+	return core.NewClairvoyant(pc, tr, predictionHours)
+}
+
+// NewHorizonScheduler returns the receding-horizon planner used in the
+// prediction-length study (Fig. 10a).
+func NewHorizonScheduler(pc PlanConfig, fc *HorizonForecast, predictionHours float64) (Scheduler, error) {
+	return core.NewHorizon(pc, fc, predictionHours)
+}
+
+// ---- Reporting and experiments ---------------------------------------------------
+
+// Table is an aligned text/CSV table.
+type Table = stats.Table
+
+// ExperimentConfig scales the paper-experiment harnesses.
+type ExperimentConfig = experiments.Config
+
+// DefaultExperiments returns the full-scale experiment configuration;
+// QuickExperiments the reduced one.
+var (
+	DefaultExperiments = experiments.Default
+	QuickExperiments   = experiments.Quick
+)
+
+// The per-figure/table harnesses of §6 (see EXPERIMENTS.md).
+var (
+	Fig5     = experiments.Fig5
+	Fig7     = experiments.Fig7
+	Table2   = experiments.Table2
+	Fig8     = experiments.Fig8
+	Fig9     = experiments.Fig9
+	Fig10a   = experiments.Fig10a
+	Fig10b   = experiments.Fig10b
+	Overhead = experiments.Overhead
+)
+
+// MCU is the 93.5 kHz on-node cost model of §6.5.
+type MCU = overhead.MCU
+
+// DefaultMCU returns the paper's node processor model.
+func DefaultMCU() MCU { return overhead.DefaultMCU() }

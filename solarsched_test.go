@@ -1,0 +1,97 @@
+package solarsched_test
+
+import (
+	"testing"
+
+	"solarsched"
+)
+
+// The facade must expose a workable end-to-end path without touching the
+// internal packages directly.
+func TestFacadeEndToEnd(t *testing.T) {
+	trace := solarsched.RepresentativeDays(solarsched.DefaultTimeBase(4)).SliceDays(0, 1)
+	graph := solarsched.WAM()
+	if err := graph.Validate(trace.Base.PeriodSeconds()); err != nil {
+		t.Fatal(err)
+	}
+	engine, err := solarsched.NewEngine(solarsched.EngineConfig{
+		Trace: trace, Graph: graph, Capacitances: []float64{25},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []solarsched.Scheduler{
+		solarsched.NewASAP(graph),
+		solarsched.NewInterLSA(graph, trace.Base, solarsched.DefaultDirectEff),
+		solarsched.NewIntraMatch(graph),
+	} {
+		res, err := engine.Run(s)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if d := res.DMR(); d < 0 || d > 1 {
+			t.Fatalf("%s: DMR %v", s.Name(), d)
+		}
+	}
+}
+
+func TestFacadeStorage(t *testing.T) {
+	p := solarsched.DefaultCapParams()
+	cap := solarsched.NewCapacitor(10, p)
+	if cap.UsableEnergy() != 0 {
+		t.Fatal("fresh capacitor not empty")
+	}
+	cap.Charge(10)
+	if cap.UsableEnergy() <= 0 {
+		t.Fatal("charge had no effect")
+	}
+	bank := solarsched.NewCapBank([]float64{1, 10}, p)
+	if bank.Size() != 2 {
+		t.Fatal("bank size")
+	}
+	pat := solarsched.MigrationPattern{Quantity: 7, Duration: 3600}
+	if eff := solarsched.MigrationEfficiency(1, pat, p, 60); eff <= 0 || eff >= 1 {
+		t.Fatalf("migration efficiency %v", eff)
+	}
+	if eff := solarsched.HiFiMigrationEfficiency(1, pat, p); eff <= 0 || eff >= 1 {
+		t.Fatalf("hifi efficiency %v", eff)
+	}
+}
+
+func TestFacadeSizingAndPlanning(t *testing.T) {
+	trace := solarsched.RepresentativeDays(solarsched.DefaultTimeBase(4))
+	graph := solarsched.ECG()
+	p := solarsched.DefaultCapParams()
+	bank := solarsched.SizeBank(trace, graph, 2, p, solarsched.DefaultDirectEff)
+	if len(bank) == 0 {
+		t.Fatal("empty sized bank")
+	}
+	pc := solarsched.DefaultPlanConfig(graph, trace.Base, bank)
+	opt, err := solarsched.NewClairvoyant(pc, trace, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := solarsched.NewEngine(solarsched.EngineConfig{
+		Trace: trace, Graph: graph, Capacitances: bank,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalTasks() == 0 {
+		t.Fatal("no tasks simulated")
+	}
+}
+
+func TestFacadeBenchmarksPresent(t *testing.T) {
+	all := solarsched.AllBenchmarks()
+	if len(all) != 6 {
+		t.Fatalf("benchmark count %d", len(all))
+	}
+	if solarsched.RandomCase(2).Name != "Random2" {
+		t.Fatal("random case naming")
+	}
+}
