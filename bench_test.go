@@ -154,10 +154,28 @@ func BenchmarkAblationPredictor(b *testing.B) {
 // BenchmarkEngineDay measures the raw simulator throughput: one full day
 // of the WAM workload under the intra-task baseline.
 func BenchmarkEngineDay(b *testing.B) {
+	benchEngineDay(b, nil)
+}
+
+// BenchmarkEngineBare is the instrumentation-overhead control: the same
+// day with a nil observer, where every metrics call must reduce to one
+// pointer check. Compare against BenchmarkEngineInstrumented.
+func BenchmarkEngineBare(b *testing.B) {
+	benchEngineDay(b, nil)
+}
+
+// BenchmarkEngineInstrumented runs the same day with a live metrics
+// registry attached; the gap to BenchmarkEngineBare is the cost of the
+// per-slot atomic updates and per-period span timings (budget: <5%).
+func BenchmarkEngineInstrumented(b *testing.B) {
+	benchEngineDay(b, solarsched.NewMetricsRegistry())
+}
+
+func benchEngineDay(b *testing.B, reg *solarsched.MetricsRegistry) {
 	tr := solarsched.RepresentativeDays(solarsched.DefaultTimeBase(4)).SliceDays(0, 1)
 	g := solarsched.WAM()
 	eng, err := solarsched.NewEngine(solarsched.EngineConfig{
-		Trace: tr, Graph: g, Capacitances: []float64{25},
+		Trace: tr, Graph: g, Capacitances: []float64{25}, Observer: reg,
 	})
 	if err != nil {
 		b.Fatal(err)

@@ -12,6 +12,11 @@
 //
 // Schedulers: asap, inter, intra, dvfs, optimal, proposed.
 // Without -trace, the four representative days are simulated.
+//
+// Every subcommand additionally accepts the observability flags
+// (-metrics, -metrics-format, -metrics-out, -cpuprofile, -memprofile,
+// -exectrace) and -quiet, which silences diagnostics so that only the
+// metrics emission can reach stdout.
 package main
 
 import (
@@ -25,6 +30,7 @@ import (
 	"solarsched/internal/ann"
 	"solarsched/internal/core"
 	"solarsched/internal/dvfs"
+	"solarsched/internal/obs"
 	"solarsched/internal/sched"
 	"solarsched/internal/sim"
 	"solarsched/internal/sizing"
@@ -58,13 +64,58 @@ func main() {
 	}
 }
 
-func workloadCmd(args []string) error {
+// obsFlags registers the shared diagnostic and observability flags on a
+// subcommand's flag set. After fs.Parse, call the returned setup: it
+// starts the requested profilers and hands back the diagnostic writer
+// (io.Discard under -quiet), the observer registry (nil unless -metrics)
+// and the profiler stop function. The caller must defer finish with a
+// pointer to its named error so profiles are flushed and metrics emitted
+// on every exit path.
+func obsFlags(fs *flag.FlagSet, of *obs.Flags) (setup func() (io.Writer, *obs.Registry, func() error, error)) {
+	quiet := fs.Bool("quiet", false, "suppress diagnostics; only metrics output reaches stdout")
+	of.Register(fs)
+	return func() (io.Writer, *obs.Registry, func() error, error) {
+		diag := io.Writer(os.Stdout)
+		if *quiet {
+			diag = io.Discard
+		}
+		var reg *obs.Registry
+		if of.Metrics {
+			reg = obs.Default()
+		}
+		stop, err := of.Start()
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return diag, reg, stop, nil
+	}
+}
+
+// finish stops profilers and emits metrics, folding any of their errors
+// into the subcommand's named return error (work errors win).
+func finish(of *obs.Flags, stop func() error, errp *error) {
+	if serr := stop(); serr != nil && *errp == nil {
+		*errp = serr
+	}
+	if *errp == nil {
+		*errp = of.Emit(os.Stdout, obs.Default())
+	}
+}
+
+func workloadCmd(args []string) (err error) {
 	fs := flag.NewFlagSet("workload", flag.ExitOnError)
 	name := fs.String("benchmark", "wam", "builtin benchmark to export (wam, ecg, shm, random1..3)")
 	out := fs.String("o", "", "output path (default stdout)")
+	var of obs.Flags
+	setup := obsFlags(fs, &of)
 	fs.Parse(args)
+	_, _, stop, err := setup()
+	if err != nil {
+		return err
+	}
+	defer finish(&of, stop, &err)
 
-	w := os.Stdout
+	w := io.Writer(os.Stdout)
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
@@ -125,13 +176,20 @@ func trainingTrace(days int, seed uint64) (*solar.Trace, error) {
 	return solar.Generate(solar.GenConfig{Base: solar.DefaultTimeBase(days), Seed: seed})
 }
 
-func sizeCmd(args []string) error {
+func sizeCmd(args []string) (err error) {
 	fs := flag.NewFlagSet("size", flag.ExitOnError)
 	workload := fs.String("workload", "", "workload JSON path")
 	days := fs.Int("days", 16, "training history length (days)")
 	seed := fs.Uint64("seed", 777, "training trace seed")
 	h := fs.Int("h", 4, "number of distributed capacitors")
+	var of obs.Flags
+	setup := obsFlags(fs, &of)
 	fs.Parse(args)
+	diag, reg, stop, err := setup()
+	if err != nil {
+		return err
+	}
+	defer finish(&of, stop, &err)
 
 	tb := solar.DefaultTimeBase(*days)
 	g, err := loadWorkload(*workload, tb.PeriodSeconds())
@@ -142,25 +200,34 @@ func sizeCmd(args []string) error {
 	if err != nil {
 		return err
 	}
+	span := reg.StartSpan("offline/sizing")
 	bank := sizing.SizeBank(tr, g, *h, supercap.DefaultParams(), sim.DefaultDirectEff)
 	eff := sizing.BankMigrationEfficiency(tr, g, bank, supercap.DefaultParams(), sim.DefaultDirectEff)
+	span.End()
 	parts := make([]string, len(bank))
 	for i, c := range bank {
 		parts[i] = fmt.Sprintf("%.2f", c)
 	}
-	fmt.Printf("bank: %s F\nmigration efficiency over history: %.1f%%\n",
+	fmt.Fprintf(diag, "bank: %s F\nmigration efficiency over history: %.1f%%\n",
 		strings.Join(parts, ","), 100*eff)
 	return nil
 }
 
-func trainCmd(args []string) error {
+func trainCmd(args []string) (err error) {
 	fs := flag.NewFlagSet("train", flag.ExitOnError)
 	workload := fs.String("workload", "", "workload JSON path")
 	days := fs.Int("days", 16, "training history length (days)")
 	seed := fs.Uint64("seed", 777, "training trace seed")
 	bankStr := fs.String("bank", "", "comma-separated capacitances (F)")
 	out := fs.String("o", "model.json", "model output path")
+	var of obs.Flags
+	setup := obsFlags(fs, &of)
 	fs.Parse(args)
+	diag, reg, stop, err := setup()
+	if err != nil {
+		return err
+	}
+	defer finish(&of, stop, &err)
 
 	tb := solar.DefaultTimeBase(*days)
 	g, err := loadWorkload(*workload, tb.PeriodSeconds())
@@ -176,6 +243,7 @@ func trainCmd(args []string) error {
 		return err
 	}
 	pc := core.DefaultPlanConfig(g, tb, bank)
+	pc.Observer = reg
 	net, loss, err := core.Train(pc, tr, core.DefaultTrainOptions())
 	if err != nil {
 		return err
@@ -188,11 +256,11 @@ func trainCmd(args []string) error {
 	if err := net.WriteJSON(f); err != nil {
 		return err
 	}
-	fmt.Printf("trained on %d days (final loss %.3f), model written to %s\n", *days, loss, *out)
+	fmt.Fprintf(diag, "trained on %d days (final loss %.3f), model written to %s\n", *days, loss, *out)
 	return nil
 }
 
-func runCmd(args []string) error {
+func runCmd(args []string) (err error) {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	workload := fs.String("workload", "", "workload JSON path")
 	schedName := fs.String("scheduler", "intra", "asap | inter | intra | dvfs | optimal | proposed")
@@ -200,7 +268,14 @@ func runCmd(args []string) error {
 	bankStr := fs.String("bank", "", "comma-separated capacitances (F)")
 	tracePath := fs.String("trace", "", "solar trace CSV (default: four representative days)")
 	logPath := fs.String("log", "", "write a per-slot state log (CSV) to this path")
+	var of obs.Flags
+	setup := obsFlags(fs, &of)
 	fs.Parse(args)
+	diag, reg, stop, err := setup()
+	if err != nil {
+		return err
+	}
+	defer finish(&of, stop, &err)
 
 	var tr *solar.Trace
 	if *tracePath == "" {
@@ -238,6 +313,7 @@ func runCmd(args []string) error {
 		s = dvfs.NewLoadTune(g)
 	case "optimal":
 		pc := core.DefaultPlanConfig(g, tr.Base, bank)
+		pc.Observer = reg
 		s, err = core.NewClairvoyant(pc, tr, 48)
 		if err != nil {
 			return err
@@ -256,6 +332,7 @@ func runCmd(args []string) error {
 			return rerr
 		}
 		pc := core.DefaultPlanConfig(g, tr.Base, bank)
+		pc.Observer = reg
 		s, err = core.NewProposed(pc, net)
 		if err != nil {
 			return err
@@ -264,7 +341,7 @@ func runCmd(args []string) error {
 		return fmt.Errorf("unknown scheduler %q", *schedName)
 	}
 
-	eng, err := sim.New(sim.Config{Trace: tr, Graph: g, Capacitances: bank})
+	eng, err := sim.New(sim.Config{Trace: tr, Graph: g, Capacitances: bank, Observer: reg})
 	if err != nil {
 		return err
 	}
@@ -288,16 +365,16 @@ func runCmd(args []string) error {
 			return err
 		}
 	}
-	fmt.Printf("scheduler: %s\nworkload:  %s (%d tasks, %d NVPs)\ntrace:     %d days, %.0f J harvest\n\n",
+	fmt.Fprintf(diag, "scheduler: %s\nworkload:  %s (%d tasks, %d NVPs)\ntrace:     %d days, %.0f J harvest\n\n",
 		s.Name(), g.Name, g.N(), g.NumNVPs, tr.Base.Days, tr.TotalEnergy())
-	fmt.Printf("deadline miss rate: %.1f%% (%d of %d task instances)\n",
+	fmt.Fprintf(diag, "deadline miss rate: %.1f%% (%d of %d task instances)\n",
 		100*res.DMR(), res.MissedTasks(), res.TotalTasks())
-	fmt.Printf("energy: delivered %.0f J of %.0f J harvested (util %.1f%%, direct-use %.1f%%)\n",
+	fmt.Fprintf(diag, "energy: delivered %.0f J of %.0f J harvested (util %.1f%%, direct-use %.1f%%)\n",
 		res.Delivered, res.Harvested, 100*res.EnergyUtilization(), 100*res.DirectUseRatio())
-	fmt.Printf("storage: banked %.0f J, drew %.0f J, leaked %.0f J, %d capacitor switches\n",
+	fmt.Fprintf(diag, "storage: banked %.0f J, drew %.0f J, leaked %.0f J, %d capacitor switches\n",
 		res.StoredIn, res.DrawnOut, res.Leaked, res.CapSwitches)
 	for d := 0; d < tr.Base.Days; d++ {
-		fmt.Printf("  day %2d: DMR %.1f%%\n", d+1, 100*res.DayDMR(d))
+		fmt.Fprintf(diag, "  day %2d: DMR %.1f%%\n", d+1, 100*res.DayDMR(d))
 	}
 	return nil
 }
@@ -310,5 +387,12 @@ usage:
   nodesim size     -workload wam.json [-days N] [-seed S] [-h H]
   nodesim train    -workload wam.json -bank 2,10,50 [-days N] [-seed S] [-o model.json]
   nodesim run      -workload wam.json -scheduler NAME -bank 2,10,50 [-model model.json] [-trace t.csv] [-log slots.csv]
+
+every subcommand also accepts:
+  -quiet                           suppress diagnostics (metrics output still reaches stdout)
+  -metrics                         collect and emit instrumentation when done
+  -metrics-format prom|json|summary
+  -metrics-out FILE                metrics destination (default stdout)
+  -cpuprofile/-memprofile/-exectrace FILE
 `)
 }

@@ -14,17 +14,23 @@
 //	-csv DIR        write each table as DIR/<experiment>.csv
 //	-benchmarks STR comma-separated benchmark filter for fig8
 //	                (Random1,Random2,Random3,WAM,ECG,SHM)
+//	-quiet          suppress tables and timing; only -metrics output
+//	                reaches stdout
+//	-metrics, -metrics-format, -metrics-out, -cpuprofile, -memprofile,
+//	-exectrace — see internal/obs.Flags
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"time"
 
 	"solarsched/internal/experiments"
+	"solarsched/internal/obs"
 	"solarsched/internal/stats"
 	"solarsched/internal/task"
 )
@@ -34,12 +40,27 @@ func main() {
 	csvDir := flag.String("csv", "", "directory to write CSV copies of each table")
 	benchFilter := flag.String("benchmarks", "", "comma-separated benchmark filter for fig8")
 	plot := flag.Bool("plot", false, "also render figures as ASCII charts")
+	quiet := flag.Bool("quiet", false, "suppress diagnostics; only metrics output reaches stdout")
+	var of obs.Flags
+	of.Register(flag.CommandLine)
 	flag.Usage = usage
 	flag.Parse()
 
 	if flag.NArg() == 0 {
 		usage()
 		os.Exit(2)
+	}
+	diag := io.Writer(os.Stdout)
+	if *quiet {
+		diag = io.Discard
+	}
+	if of.Metrics {
+		experiments.Observer = obs.Default()
+	}
+	stop, err := of.Start()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "solarsched: %v\n", err)
+		os.Exit(1)
 	}
 	cfg := experiments.Default()
 	if *quick {
@@ -61,22 +82,32 @@ func main() {
 	}
 	for _, name := range wanted {
 		start := time.Now()
+		span := experiments.Observer.StartSpan("experiments/" + name)
 		tbl, err := dispatch(name, cfg, *benchFilter)
+		span.End()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "solarsched: %s: %v\n", name, err)
 			os.Exit(1)
 		}
-		tbl.Render(os.Stdout)
+		tbl.Render(diag)
 		if *plot {
-			renderPlot(name, cfg)
+			renderPlot(diag, name, cfg)
 		}
-		fmt.Printf("  (%s in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(diag, "  (%s in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
 		if *csvDir != "" {
 			if err := writeCSV(*csvDir, name, tbl); err != nil {
 				fmt.Fprintf(os.Stderr, "solarsched: writing csv: %v\n", err)
 				os.Exit(1)
 			}
 		}
+	}
+	if err := stop(); err != nil {
+		fmt.Fprintf(os.Stderr, "solarsched: %v\n", err)
+		os.Exit(1)
+	}
+	if err := of.Emit(os.Stdout, obs.Default()); err != nil {
+		fmt.Fprintf(os.Stderr, "solarsched: %v\n", err)
+		os.Exit(1)
 	}
 }
 
@@ -130,12 +161,12 @@ func dispatch(name string, cfg experiments.Config, benchFilter string) (*stats.T
 }
 
 // renderPlot draws the figure-shaped experiments as ASCII charts.
-func renderPlot(name string, cfg experiments.Config) {
+func renderPlot(w io.Writer, name string, cfg experiments.Config) {
 	switch name {
 	case "fig5":
 		_, series := experiments.Fig5()
 		c := stats.Chart{Title: "Figure 5 (shape)", XLabel: "V", YLabel: "efficiency", Series: series}
-		c.Render(os.Stdout)
+		c.Render(w)
 	case "fig7":
 		_, tr := experiments.Fig7()
 		var series []stats.Series
@@ -147,7 +178,7 @@ func renderPlot(name string, cfg experiments.Config) {
 			series = append(series, s)
 		}
 		c := stats.Chart{Title: "Figure 7 (shape)", XLabel: "hour", YLabel: "mW", Series: series}
-		c.Render(os.Stdout)
+		c.Render(w)
 	case "fig10a":
 		_, res, err := experiments.Fig10a(cfg)
 		if err != nil {
@@ -159,7 +190,7 @@ func renderPlot(name string, cfg experiments.Config) {
 		}
 		c := stats.Chart{Title: "Figure 10a (shape)", XLabel: "prediction hours", YLabel: "DMR %",
 			Series: []stats.Series{s}, Height: 10}
-		c.Render(os.Stdout)
+		c.Render(w)
 	case "fig10b":
 		_, res, err := experiments.Fig10b(cfg)
 		if err != nil {
@@ -173,7 +204,7 @@ func renderPlot(name string, cfg experiments.Config) {
 		}
 		c := stats.Chart{Title: "Figure 10b (shape)", XLabel: "capacitors H", YLabel: "%",
 			Series: []stats.Series{eff, dmr}, Height: 10}
-		c.Render(os.Stdout)
+		c.Render(w)
 	}
 }
 

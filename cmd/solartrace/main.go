@@ -9,6 +9,9 @@
 //
 // Conditions are a comma-separated list of sunny, partly-cloudy, overcast,
 // rainy; days beyond the list follow the weather Markov chain.
+//
+// Every subcommand also accepts the observability flags (-cpuprofile,
+// -memprofile, -exectrace, -metrics, -metrics-format, -metrics-out).
 package main
 
 import (
@@ -17,6 +20,7 @@ import (
 	"os"
 	"strings"
 
+	"solarsched/internal/obs"
 	"solarsched/internal/solar"
 	"solarsched/internal/stats"
 )
@@ -33,7 +37,7 @@ func main() {
 	case "info":
 		err = infoCmd(os.Args[2:])
 	case "days":
-		err = daysCmd()
+		err = daysCmd(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -51,31 +55,31 @@ func genCmd(args []string) error {
 	doy := fs.Int("doy", 80, "day-of-year of the first day (seasonal envelope)")
 	conds := fs.String("conditions", "", "comma-separated weather pins")
 	out := fs.String("out", "", "CSV output path (default stdout)")
-	fs.Parse(args)
-
-	conditions, err := parseConditions(*conds)
-	if err != nil {
-		return err
-	}
-	tr, err := solar.Generate(solar.GenConfig{
-		Base:           solar.DefaultTimeBase(*days),
-		Seed:           *seed,
-		DayOfYearStart: *doy,
-		Conditions:     conditions,
-	})
-	if err != nil {
-		return err
-	}
-	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
+	return obs.WithFlags(fs, args, func() error {
+		conditions, err := parseConditions(*conds)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		w = f
-	}
-	return tr.WriteCSV(w)
+		tr, err := solar.Generate(solar.GenConfig{
+			Base:           solar.DefaultTimeBase(*days),
+			Seed:           *seed,
+			DayOfYearStart: *doy,
+			Conditions:     conditions,
+		})
+		if err != nil {
+			return err
+		}
+		w := os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		return tr.WriteCSV(w)
+	})
 }
 
 func parseConditions(s string) ([]solar.Condition, error) {
@@ -103,29 +107,32 @@ func parseConditions(s string) ([]solar.Condition, error) {
 func infoCmd(args []string) error {
 	fs := flag.NewFlagSet("info", flag.ExitOnError)
 	in := fs.String("in", "", "CSV trace path (default stdin)")
-	fs.Parse(args)
-
-	r := os.Stdin
-	if *in != "" {
-		f, err := os.Open(*in)
+	return obs.WithFlags(fs, args, func() error {
+		r := os.Stdin
+		if *in != "" {
+			f, err := os.Open(*in)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			r = f
+		}
+		tr, err := solar.ReadCSV(r)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		r = f
-	}
-	tr, err := solar.ReadCSV(r)
-	if err != nil {
-		return err
-	}
-	printSummary(tr)
-	return nil
+		printSummary(tr)
+		return nil
+	})
 }
 
-func daysCmd() error {
-	tr := solar.RepresentativeDays(solar.DefaultTimeBase(4))
-	printSummary(tr)
-	return nil
+func daysCmd(args []string) error {
+	fs := flag.NewFlagSet("days", flag.ExitOnError)
+	return obs.WithFlags(fs, args, func() error {
+		tr := solar.RepresentativeDays(solar.DefaultTimeBase(4))
+		printSummary(tr)
+		return nil
+	})
 }
 
 func printSummary(tr *solar.Trace) {

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"solarsched/internal/mat"
+	"solarsched/internal/obs"
 	"solarsched/internal/rng"
 )
 
@@ -57,7 +58,15 @@ type Network struct {
 	alphaB float64
 	teW    *mat.Matrix // TaskCount × lastHidden
 	teB    mat.Vector
+
+	reg *obs.Registry // optional training telemetry sink
 }
+
+// SetObserver routes training telemetry (epoch counters, loss and
+// reconstruction-error gauges, per-phase spans) into reg. Nil disables
+// it; per-epoch reconstruction error is only computed when a sink is set,
+// since it costs a full pass over the data.
+func (n *Network) SetObserver(reg *obs.Registry) { n.reg = reg }
 
 // New builds an untrained network.
 func New(cfg Config) *Network {
@@ -128,12 +137,22 @@ func (n *Network) Pretrain(inputs []mat.Vector, epochs int, lr float64) {
 		return
 	}
 	src := rng.New(n.cfg.Seed).SplitLabeled("dbn-pretrain")
+	epochCount := n.reg.Counter("ann_pretrain_epochs_total")
+	reconErr := n.reg.Gauge("ann_pretrain_reconstruction_error")
 	data := inputs
 	for l := range n.trunkW {
+		span := n.reg.StartSpan(fmt.Sprintf("ann/pretrain/layer-%d", l))
 		nv := n.trunkW[l].Cols
 		nh := n.trunkW[l].Rows
 		rbm := NewRBM(nv, nh, src.SplitLabeled(fmt.Sprintf("layer-%d", l)))
-		rbm.TrainEpochs(data, epochs, lr, src.SplitLabeled(fmt.Sprintf("cd-%d", l)))
+		cd := src.SplitLabeled(fmt.Sprintf("cd-%d", l))
+		for e := 0; e < epochs; e++ {
+			rbm.TrainEpoch(data, lr, cd)
+			epochCount.Inc()
+			if n.reg != nil {
+				reconErr.Set(rbm.ReconstructionError(data))
+			}
+		}
 		n.trunkW[l] = rbm.W.Clone()
 		copy(n.trunkB[l], rbm.BHid)
 		// Propagate the data through the freshly trained layer.
@@ -142,6 +161,7 @@ func (n *Network) Pretrain(inputs []mat.Vector, epochs int, lr float64) {
 			next[i] = rbm.HiddenProbs(v)
 		}
 		data = next
+		span.End()
 	}
 }
 
@@ -168,6 +188,9 @@ func (n *Network) Train(inputs []mat.Vector, targets []Target, opt TrainOptions)
 		return 0
 	}
 	src := rng.New(n.cfg.Seed).SplitLabeled("dbn-train")
+	span := n.reg.StartSpan("ann/finetune")
+	epochCount := n.reg.Counter("ann_finetune_epochs_total")
+	lossGauge := n.reg.Gauge("ann_finetune_loss")
 	finalLoss := 0.0
 	for e := 0; e < opt.Epochs; e++ {
 		total := 0.0
@@ -176,7 +199,10 @@ func (n *Network) Train(inputs []mat.Vector, targets []Target, opt TrainOptions)
 			total += n.step(inputs[idx], targets[idx], lr, opt.AlphaWeight)
 		}
 		finalLoss = total / float64(len(inputs))
+		epochCount.Inc()
+		lossGauge.Set(finalLoss)
 	}
+	span.End()
 	return finalLoss
 }
 

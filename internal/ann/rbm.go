@@ -95,12 +95,18 @@ func (r *RBM) ReconstructionError(data []mat.Vector) float64 {
 	return total / float64(len(data)*len(data[0]))
 }
 
+// TrainEpoch runs one full pass of CD-1 over the data in a deterministic
+// shuffled order.
+func (r *RBM) TrainEpoch(data []mat.Vector, lr float64, src *rng.Source) {
+	for _, idx := range src.Perm(len(data)) {
+		r.CD1(data[idx], lr, src)
+	}
+}
+
 // TrainEpochs runs epochs full passes of CD-1 over the data in a
 // deterministic shuffled order.
 func (r *RBM) TrainEpochs(data []mat.Vector, epochs int, lr float64, src *rng.Source) {
 	for e := 0; e < epochs; e++ {
-		for _, idx := range src.Perm(len(data)) {
-			r.CD1(data[idx], lr, src)
-		}
+		r.TrainEpoch(data, lr, src)
 	}
 }

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"math"
 
+	"solarsched/internal/obs"
 	"solarsched/internal/sched"
 	"solarsched/internal/sim"
 	"solarsched/internal/solar"
@@ -50,6 +51,11 @@ type PlanConfig struct {
 	// EThFraction expresses the capacitor-switch threshold E_th (eq. (22))
 	// as a fraction of the active capacitor's usable capacity.
 	EThFraction float64
+
+	// Observer receives the offline stage's metrics: DP solve time and
+	// expansions, LUT hit/miss counts, training epochs and spans. Nil
+	// disables instrumentation.
+	Observer *obs.Registry
 }
 
 // DefaultPlanConfig returns the configuration used throughout the

@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 
+	"solarsched/internal/obs"
 	"solarsched/internal/sim"
 	"solarsched/internal/solar"
 )
@@ -26,6 +27,8 @@ type Horizon struct {
 	// the complexity series of Figure 10(a). Replans counts DP runs.
 	Expansions int
 	Replans    int
+
+	mReplans *obs.Counter
 }
 
 // NewHorizon returns a receding-horizon planner looking predictionHours
@@ -38,7 +41,10 @@ func NewHorizon(pc PlanConfig, fc *solar.HorizonForecast, predictionHours float6
 	if ahead < 1 {
 		ahead = 1
 	}
-	return &Horizon{pc: pc, lut: NewLUT(pc), fc: fc, ahead: ahead, name: "horizon-dp"}, nil
+	return &Horizon{
+		pc: pc, lut: NewLUT(pc), fc: fc, ahead: ahead, name: "horizon-dp",
+		mReplans: pc.Observer.Counter("core_replans_total"),
+	}, nil
 }
 
 // NewClairvoyant returns the evaluation's "Optimal" upper bound: the same
@@ -58,6 +64,17 @@ func NewClairvoyant(pc PlanConfig, tr *solar.Trace, predictionHours float64) (*H
 
 // Name implements sim.Scheduler.
 func (h *Horizon) Name() string { return h.name }
+
+// SetObserver implements sim.Observable: the engine hands its run
+// observer to the planner so DP metrics land in the same pipeline. A nil
+// registry is ignored.
+func (h *Horizon) SetObserver(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	h.mReplans = reg.Counter("core_replans_total")
+	h.lut.SetObserver(reg)
+}
 
 // LastDecision returns the decision taken at the most recent period
 // boundary (used by the training-sample recorder).
@@ -82,6 +99,7 @@ func (h *Horizon) BeginPeriod(v *sim.PeriodView) sim.PeriodPlan {
 	res := PlanHorizon(h.lut, powers, v.Period, active, v.Bank.Active().V)
 	h.Expansions += res.Expansions
 	h.Replans++
+	h.mReplans.Inc()
 	h.decision = res.Decisions[0]
 
 	// When this period's (forecast) harvest covers the entire task set,

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"solarsched/internal/obs"
 	"solarsched/internal/supercap"
 )
 
@@ -18,6 +19,13 @@ type LUT struct {
 	// Builds counts period-optimizer invocations (cache misses); Lookups
 	// counts queries. Their ratio shows how much the LUT compresses.
 	Builds, Lookups int
+
+	// Pre-resolved instruments (nil when pc.Observer is nil).
+	mHits    *obs.Counter
+	mMisses  *obs.Counter
+	mEntries *obs.Gauge
+	mSolve   *obs.Timer
+	mExpand  *obs.Counter
 }
 
 type lutKey struct {
@@ -31,11 +39,34 @@ func NewLUT(pc PlanConfig) *LUT {
 	if err := pc.Validate(); err != nil {
 		panic("core: " + err.Error())
 	}
-	return &LUT{pc: pc, entries: make(map[lutKey][]Option)}
+	reg := pc.Observer
+	return &LUT{
+		pc:       pc,
+		entries:  make(map[lutKey][]Option),
+		mHits:    reg.Counter("core_lut_hits_total"),
+		mMisses:  reg.Counter("core_lut_misses_total"),
+		mEntries: reg.Gauge("core_lut_entries"),
+		mSolve:   reg.Timer("core_dp_solve_seconds"),
+		mExpand:  reg.Counter("core_dp_expansions_total"),
+	}
 }
 
 // Config returns the table's plan configuration.
 func (l *LUT) Config() PlanConfig { return l.pc }
+
+// SetObserver re-resolves the table's instruments against reg. A nil reg
+// is ignored so an engine without an observer does not disable a sink
+// chosen at construction time.
+func (l *LUT) SetObserver(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	l.mHits = reg.Counter("core_lut_hits_total")
+	l.mMisses = reg.Counter("core_lut_misses_total")
+	l.mEntries = reg.Gauge("core_lut_entries")
+	l.mSolve = reg.Timer("core_dp_solve_seconds")
+	l.mExpand = reg.Counter("core_dp_expansions_total")
+}
 
 // ProfileKey quantizes a period's slot powers into the LUT key: a
 // logarithmic total-energy bucket plus a coarse peak bucket. Periods with
@@ -111,11 +142,14 @@ func (l *LUT) OptionsByKey(profile string, capIdx, vBucket int, powers []float64
 	l.Lookups++
 	key := lutKey{profile: profile, capIdx: capIdx, vBucket: vBucket}
 	if opts, ok := l.entries[key]; ok {
+		l.mHits.Inc()
 		return opts
 	}
 	l.Builds++
+	l.mMisses.Inc()
 	opts := PeriodOptions(l.pc.Capacitances[capIdx], l.BucketV(capIdx, vBucket), powers, l.pc)
 	l.entries[key] = opts
+	l.mEntries.Set(float64(len(l.entries)))
 	return opts
 }
 

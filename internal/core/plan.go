@@ -36,6 +36,14 @@ type PlanResult struct {
 // actions are the LUT's Pareto options (eq. (13)). The objective minimizes
 // total misses (eq. (12)), breaking ties toward more final stored energy.
 func PlanHorizon(l *LUT, powers [][]float64, startPeriodOfDay, startCap int, startV float64) PlanResult {
+	sw := l.mSolve.Start()
+	res := planHorizon(l, powers, startPeriodOfDay, startCap, startV)
+	sw.Stop()
+	l.mExpand.Add(float64(res.Expansions))
+	return res
+}
+
+func planHorizon(l *LUT, powers [][]float64, startPeriodOfDay, startCap int, startV float64) PlanResult {
 	pc := l.Config()
 	T := len(powers)
 	H := len(pc.Capacitances)

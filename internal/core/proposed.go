@@ -5,6 +5,7 @@ import (
 
 	"solarsched/internal/ann"
 	"solarsched/internal/mat"
+	"solarsched/internal/obs"
 	"solarsched/internal/sim"
 	"solarsched/internal/solar"
 	"solarsched/internal/task"
@@ -28,6 +29,22 @@ type Proposed struct {
 	curPowers  []float64
 	policy     sim.SlotPolicy
 	wcma       *solar.WCMA
+
+	// Guard telemetry (nil-safe): how often each §5.2 online repair fired
+	// and how often eq. (22) vetoed a network capacitor switch.
+	mFullOverride *obs.Counter
+	mFallback     *obs.Counter
+	mEthVeto      *obs.Counter
+}
+
+// SetObserver implements sim.Observable. A nil registry is ignored.
+func (s *Proposed) SetObserver(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	s.mFullOverride = reg.Counter("core_guard_full_overrides_total")
+	s.mFallback = reg.Counter("core_guard_fallbacks_total")
+	s.mEthVeto = reg.Counter("core_eth_switch_vetoes_total")
 }
 
 // NewProposed wraps a trained network as a scheduler. The network must have
@@ -99,10 +116,14 @@ func (s *Proposed) BeginPeriod(v *sim.PeriodView) sim.PeriodPlan {
 	}
 	if !s.DisableGuards {
 		if !cold && Alpha(s.pc.Graph, full, forecast) <= 1 {
+			if popcount(te) != s.pc.Graph.N() {
+				s.mFullOverride.Inc()
+			}
 			te = full
 		} else if popcount(te) == 0 {
 			budget := v.Bank.Active().Deliverable() + forecast*s.pc.DirectEff
 			te = cheapestAffordable(s.pc.Graph, budget)
+			s.mFallback.Inc()
 		}
 	}
 
@@ -124,6 +145,8 @@ func (s *Proposed) BeginPeriod(v *sim.PeriodView) sim.PeriodPlan {
 		if v.Bank.Active().UsableEnergy() < eth {
 			plan.SwitchTo = capStar
 			plan.Migrate = true
+		} else {
+			s.mEthVeto.Inc()
 		}
 	}
 	return plan
@@ -260,15 +283,17 @@ func CollectSamples(pc PlanConfig, tr *solar.Trace) ([]mat.Vector, []ann.Target,
 	}
 	eng, err := sim.New(sim.Config{
 		Trace: tr, Graph: pc.Graph, Capacitances: pc.Capacitances,
-		Params: pc.Params, DirectEff: pc.DirectEff,
+		Params: pc.Params, DirectEff: pc.DirectEff, Observer: pc.Observer,
 	})
 	if err != nil {
 		return nil, nil, err
 	}
+	span := pc.Observer.StartSpan("offline/collect-samples")
 	rec := &sampleRecorder{inner: teacher, pc: pc, trace: tr}
 	if _, err := eng.Run(rec); err != nil {
 		return nil, nil, err
 	}
+	span.End()
 	return rec.inputs, rec.targets, nil
 }
 
@@ -308,8 +333,11 @@ func Train(pc PlanConfig, trainTrace *solar.Trace, opt TrainOptions) (*ann.Netwo
 		TaskCount:  pc.Graph.N(),
 		Seed:       opt.Seed,
 	})
+	net.SetObserver(pc.Observer)
+	span := pc.Observer.StartSpan("offline/train")
 	net.Pretrain(inputs, opt.PretrainEpochs, 0.05)
 	loss := net.Train(inputs, targets, opt.Fine)
+	span.End()
 	return net, loss, nil
 }
 

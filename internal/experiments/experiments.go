@@ -10,6 +10,7 @@ import (
 
 	"solarsched/internal/ann"
 	"solarsched/internal/core"
+	"solarsched/internal/obs"
 	"solarsched/internal/sched"
 	"solarsched/internal/sim"
 	"solarsched/internal/sizing"
@@ -17,6 +18,12 @@ import (
 	"solarsched/internal/supercap"
 	"solarsched/internal/task"
 )
+
+// Observer, when non-nil, is handed to every engine and plan config the
+// harnesses build, so a -metrics CLI run aggregates instrumentation
+// across all experiments in the process. Set it before running any
+// harness; it is read at construction time only.
+var Observer *obs.Registry
 
 // Config scales the experiments. The zero value is not valid; use Default
 // or Quick.
@@ -96,6 +103,7 @@ func NewSetup(g *task.Graph, cfg Config) (*Setup, error) {
 	multi := sizing.SizeBank(trainTr, g, cfg.H, p, sim.DefaultDirectEff)
 
 	pc := core.DefaultPlanConfig(g, trainTr.Base, multi)
+	pc.Observer = Observer
 	topt := core.DefaultTrainOptions()
 	topt.Fine.Epochs = cfg.FineEpochs
 	net, _, err := core.Train(pc, trainTr, topt)
@@ -107,7 +115,7 @@ func NewSetup(g *task.Graph, cfg Config) (*Setup, error) {
 
 // run executes one scheduler over a trace with the given bank.
 func run(tr *solar.Trace, g *task.Graph, bank []float64, s sim.Scheduler) (*sim.Result, error) {
-	eng, err := sim.New(sim.Config{Trace: tr, Graph: g, Capacitances: bank})
+	eng, err := sim.New(sim.Config{Trace: tr, Graph: g, Capacitances: bank, Observer: Observer})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+)
+
+// Format names understood by WriteFormat and the CLI -metrics-format flag.
+const (
+	FormatProm    = "prom"
+	FormatJSON    = "json"
+	FormatSummary = "summary"
+)
+
+// WriteFormat writes the snapshot in the named format (prom, json,
+// summary).
+func WriteFormat(w io.Writer, s Snapshot, format string) error {
+	switch format {
+	case FormatProm:
+		return WritePrometheus(w, s)
+	case FormatJSON:
+		return WriteJSON(w, s)
+	case FormatSummary:
+		return WriteSummary(w, s)
+	default:
+		return fmt.Errorf("obs: unknown metrics format %q (want prom, json or summary)", format)
+	}
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func WriteJSON(w io.Writer, s Snapshot) error {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format (version 0.0.4): counters and gauges as single samples,
+// histograms with cumulative le buckets plus _sum/_count, and span
+// aggregates as obs_span_* series labeled by path.
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	var b strings.Builder
+	lastType := ""
+	typeLine := func(name, kind string) {
+		if name != lastType {
+			fmt.Fprintf(&b, "# TYPE %s %s\n", name, kind)
+			lastType = name
+		}
+	}
+	for _, c := range s.Counters {
+		typeLine(c.Name, "counter")
+		fmt.Fprintf(&b, "%s%s %s\n", c.Name, promLabels(c.Labels), promFloat(c.Value))
+	}
+	for _, g := range s.Gauges {
+		typeLine(g.Name, "gauge")
+		fmt.Fprintf(&b, "%s%s %s\n", g.Name, promLabels(g.Labels), promFloat(g.Value))
+	}
+	for _, h := range s.Histograms {
+		typeLine(h.Name, "histogram")
+		cum := uint64(0)
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			fmt.Fprintf(&b, "%s_bucket%s %d\n", h.Name, promLabels(h.Labels, L("le", promFloat(bound))), cum)
+		}
+		cum += h.Counts[len(h.Bounds)]
+		fmt.Fprintf(&b, "%s_bucket%s %d\n", h.Name, promLabels(h.Labels, L("le", "+Inf")), cum)
+		fmt.Fprintf(&b, "%s_sum%s %s\n", h.Name, promLabels(h.Labels), promFloat(h.Sum))
+		fmt.Fprintf(&b, "%s_count%s %d\n", h.Name, promLabels(h.Labels), h.Count)
+	}
+	for i, sp := range s.Spans {
+		if i == 0 {
+			b.WriteString("# TYPE obs_span_count counter\n" +
+				"# TYPE obs_span_seconds_total counter\n" +
+				"# TYPE obs_span_min_seconds gauge\n" +
+				"# TYPE obs_span_max_seconds gauge\n")
+		}
+		path := promLabels([]Label{L("path", sp.Path)})
+		fmt.Fprintf(&b, "obs_span_count%s %d\n", path, sp.Count)
+		fmt.Fprintf(&b, "obs_span_seconds_total%s %s\n", path, promFloat(sp.TotalSeconds))
+		fmt.Fprintf(&b, "obs_span_min_seconds%s %s\n", path, promFloat(sp.MinSeconds))
+		fmt.Fprintf(&b, "obs_span_max_seconds%s %s\n", path, promFloat(sp.MaxSeconds))
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func promFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func promLabels(labels []Label, extra ...Label) string {
+	all := append(append([]Label(nil), labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(promEscape(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func promEscape(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// WriteSummary writes a human-readable table of every instrument — the
+// default -metrics output of the CLIs.
+func WriteSummary(w io.Writer, s Snapshot) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	if len(s.Counters) > 0 {
+		fmt.Fprintln(tw, "counter\tvalue")
+		for _, c := range s.Counters {
+			fmt.Fprintf(tw, "%s%s\t%s\n", c.Name, summaryLabels(c.Labels), promFloat(c.Value))
+		}
+		fmt.Fprintln(tw)
+	}
+	if len(s.Gauges) > 0 {
+		fmt.Fprintln(tw, "gauge\tvalue")
+		for _, g := range s.Gauges {
+			fmt.Fprintf(tw, "%s%s\t%s\n", g.Name, summaryLabels(g.Labels), promFloat(g.Value))
+		}
+		fmt.Fprintln(tw)
+	}
+	if len(s.Histograms) > 0 {
+		fmt.Fprintln(tw, "histogram\tcount\tmean\tsum")
+		for _, h := range s.Histograms {
+			fmt.Fprintf(tw, "%s%s\t%d\t%s\t%s\n", h.Name, summaryLabels(h.Labels),
+				h.Count, promFloat(h.Mean()), promFloat(h.Sum))
+		}
+		fmt.Fprintln(tw)
+	}
+	if len(s.Spans) > 0 {
+		fmt.Fprintln(tw, "span\tcount\ttotal s\tmean s\tmin s\tmax s")
+		for _, sp := range s.Spans {
+			mean := 0.0
+			if sp.Count > 0 {
+				mean = sp.TotalSeconds / float64(sp.Count)
+			}
+			fmt.Fprintf(tw, "%s\t%d\t%.4f\t%.4f\t%.4f\t%.4f\n",
+				sp.Path, sp.Count, sp.TotalSeconds, mean, sp.MinSeconds, sp.MaxSeconds)
+		}
+	}
+	return tw.Flush()
+}
+
+func summaryLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	return promLabels(labels)
+}

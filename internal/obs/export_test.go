@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite the exporter golden files")
+
+// goldenSnapshot builds a fully deterministic snapshot: fixed counter and
+// gauge values, a histogram with every bucket kind populated, and span
+// aggregates recorded with constant durations.
+func goldenSnapshot() Snapshot {
+	r := NewRegistry()
+	r.Counter("sim_slots_total").Add(5760)
+	r.Counter("sim_channel_joules_total", L("channel", "direct")).Add(12.5)
+	r.Counter("sim_channel_joules_total", L("channel", "stored")).Add(3.25)
+	r.Gauge("sim_dmr").Set(0.0625)
+	h := r.Histogram("core_dp_solve_seconds", LinearBuckets(0.25, 0.25, 4))
+	for _, v := range []float64{0.1, 0.3, 0.8, 2.0} {
+		h.Observe(v)
+	}
+	r.recordSpan("sim/run", 2*time.Second)
+	r.recordSpan("sim/run/day", 500*time.Millisecond)
+	r.recordSpan("sim/run/day", 1500*time.Millisecond)
+	return r.Snapshot()
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/obs -update` to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s mismatch:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var b bytes.Buffer
+	if err := WritePrometheus(&b, goldenSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "snapshot.prom", b.Bytes())
+}
+
+func TestWriteJSONGolden(t *testing.T) {
+	var b bytes.Buffer
+	if err := WriteJSON(&b, goldenSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "snapshot.json", b.Bytes())
+	// The JSON must round-trip back to the same snapshot.
+	var s Snapshot
+	if err := json.Unmarshal(b.Bytes(), &s); err != nil {
+		t.Fatalf("exported JSON does not parse: %v", err)
+	}
+	if len(s.Counters) != 3 || len(s.Histograms) != 1 || len(s.Spans) != 2 {
+		t.Fatalf("round-trip lost instruments: %+v", s)
+	}
+}
+
+func TestWriteSummaryGolden(t *testing.T) {
+	var b bytes.Buffer
+	if err := WriteSummary(&b, goldenSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "snapshot.txt", b.Bytes())
+}
+
+func TestPrometheusFormatShape(t *testing.T) {
+	var b bytes.Buffer
+	if err := WritePrometheus(&b, goldenSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// Cumulative le buckets: 0.25→1, 0.5→2, 0.75→2, 1→3, +Inf→4.
+	for _, line := range []string{
+		`sim_channel_joules_total{channel="direct"} 12.5`,
+		`# TYPE core_dp_solve_seconds histogram`,
+		`core_dp_solve_seconds_bucket{le="0.25"} 1`,
+		`core_dp_solve_seconds_bucket{le="1"} 3`,
+		`core_dp_solve_seconds_bucket{le="+Inf"} 4`,
+		`core_dp_solve_seconds_count 4`,
+		`obs_span_seconds_total{path="sim/run/day"} 2`,
+		`obs_span_max_seconds{path="sim/run/day"} 1.5`,
+	} {
+		if !strings.Contains(out, line+"\n") {
+			t.Fatalf("prometheus output missing %q:\n%s", line, out)
+		}
+	}
+}
+
+func TestPromEscape(t *testing.T) {
+	s := Snapshot{Counters: []CounterSnap{{
+		Name:   "x_total",
+		Labels: []Label{L("p", `a"b\c`+"\n")},
+		Value:  1,
+	}}}
+	var b bytes.Buffer
+	if err := WritePrometheus(&b, s); err != nil {
+		t.Fatal(err)
+	}
+	want := `x_total{p="a\"b\\c\n"} 1`
+	if !strings.Contains(b.String(), want) {
+		t.Fatalf("escaping wrong: %s", b.String())
+	}
+}
+
+func TestWriteFormatRejectsUnknown(t *testing.T) {
+	if err := WriteFormat(io.Discard, Snapshot{}, "xml"); err == nil {
+		t.Fatal("unknown format must error")
+	}
+}

@@ -1,0 +1,299 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one constant key=value dimension of an instrument. Labels are
+// fixed at registration; two registrations with the same name but
+// different label sets are distinct instruments.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for building a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// labelKey serializes a label set canonically (sorted by key) for use in
+// the registry index and in deterministic snapshots.
+func labelKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(a, b int) bool { return ls[a].Key < ls[b].Key })
+	out := ""
+	for i, l := range ls {
+		if i > 0 {
+			out += ","
+		}
+		out += l.Key + "=" + l.Value
+	}
+	return out
+}
+
+// atomicFloat is a float64 updated with compare-and-swap on its bits.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) Store(v float64) { f.bits.Store(math.Float64bits(v)) }
+func (f *atomicFloat) Load() float64   { return math.Float64frombits(f.bits.Load()) }
+
+// Counter is a monotonically increasing value. All methods are safe on a
+// nil receiver (no-ops), so call sites need no enabled/disabled branches.
+type Counter struct {
+	name   string
+	labels []Label
+	v      atomicFloat
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds v; negative deltas are ignored (counters only go up).
+func (c *Counter) Add(v float64) {
+	if c == nil || v < 0 {
+		return
+	}
+	c.v.Add(v)
+}
+
+// Value returns the current total (0 on nil).
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a value that can go up and down; Set records the latest state.
+type Gauge struct {
+	name   string
+	labels []Label
+	v      atomicFloat
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the gauge by v (may be negative).
+func (g *Gauge) Add(v float64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(v)
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram counts observations into a fixed set of upper-bound buckets
+// (cumulative on export, per-bucket internally), plus a running sum and
+// count. Observe is lock-free and allocation-free.
+type Histogram struct {
+	name   string
+	labels []Label
+	bounds []float64 // strictly increasing upper bounds; +Inf is implicit
+	counts []atomic.Uint64
+	sum    atomicFloat
+	count  atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.counts[bucketIndex(h.bounds, v)].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// bucketIndex returns the index of the first bound >= v (le semantics),
+// or len(bounds) for the overflow bucket. Hand-rolled binary search: this
+// sits on the simulator's per-slot path, where the closure call of
+// sort.SearchFloat64s is measurable.
+func bucketIndex(bounds []float64, v float64) int {
+	lo, hi := 0, len(bounds)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Batch returns a local accumulator for a single-goroutine hot loop:
+// Observe updates plain fields (no atomics), Flush merges them into the
+// histogram's shared state in one pass. Use one batch per loop (per run,
+// per worker) and flush at natural boundaries — in the simulator, once
+// per period instead of ~30 atomic observations per period. A nil
+// histogram returns a nil batch whose methods no-op.
+func (h *Histogram) Batch() *HistogramBatch {
+	if h == nil {
+		return nil
+	}
+	return &HistogramBatch{h: h, bounds: h.bounds, counts: make([]uint64, len(h.counts))}
+}
+
+// HistogramBatch is a single-goroutine observation buffer for one
+// Histogram. Not safe for concurrent use; the Flush target is.
+type HistogramBatch struct {
+	h      *Histogram
+	bounds []float64 // == h.bounds, kept flat for the Observe fast path
+	counts []uint64
+	sum    float64
+	n      uint64
+}
+
+// Observe records one value locally.
+func (b *HistogramBatch) Observe(v float64) {
+	if b == nil {
+		return
+	}
+	b.counts[bucketIndex(b.bounds, v)]++
+	b.sum += v
+	b.n++
+}
+
+// Flush merges the buffered observations into the histogram and resets
+// the batch.
+func (b *HistogramBatch) Flush() {
+	if b == nil || b.n == 0 {
+		return
+	}
+	for i, c := range b.counts {
+		if c != 0 {
+			b.h.counts[i].Add(c)
+			b.counts[i] = 0
+		}
+	}
+	b.h.sum.Add(b.sum)
+	b.h.count.Add(b.n)
+	b.sum, b.n = 0, 0
+}
+
+// DefBuckets is the default histogram layout (seconds-friendly,
+// Prometheus-style).
+var DefBuckets = []float64{.0001, .00025, .0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+// ExpBuckets returns n buckets starting at start, each factor× the
+// previous — for quantities spanning orders of magnitude (joules, watts).
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("obs: ExpBuckets needs start > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start
+		start *= factor
+	}
+	return out
+}
+
+// LinearBuckets returns n buckets starting at start, spaced width apart.
+func LinearBuckets(start, width float64, n int) []float64 {
+	if width <= 0 || n < 1 {
+		panic("obs: LinearBuckets needs width > 0, n >= 1")
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + float64(i)*width
+	}
+	return out
+}
+
+// Timer is a Histogram over durations in seconds.
+type Timer struct {
+	h *Histogram
+}
+
+// Observe records one duration.
+func (t *Timer) Observe(d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.h.Observe(d.Seconds())
+}
+
+// Start returns a Stopwatch; call Stop to record the elapsed time.
+func (t *Timer) Start() Stopwatch {
+	if t == nil {
+		return Stopwatch{}
+	}
+	return Stopwatch{t: t, start: time.Now()}
+}
+
+// Count returns the number of recorded durations (0 on nil).
+func (t *Timer) Count() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.h.Count()
+}
+
+// Sum returns the total recorded seconds (0 on nil).
+func (t *Timer) Sum() float64 {
+	if t == nil {
+		return 0
+	}
+	return t.h.Sum()
+}
+
+// Stopwatch is one in-flight Timer measurement.
+type Stopwatch struct {
+	t     *Timer
+	start time.Time
+}
+
+// Stop records the elapsed duration and returns it (0 for a Stopwatch
+// from a nil Timer).
+func (s Stopwatch) Stop() time.Duration {
+	if s.t == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	s.t.Observe(d)
+	return d
+}

@@ -1,0 +1,53 @@
+// Package obs is the instrumentation layer of the simulation stack: a
+// dependency-free, allocation-conscious metrics registry plus a
+// hierarchical span/trace API, shared by the library facade and every
+// command-line tool.
+//
+// The design follows three rules:
+//
+//   - Nil is off. Every method is safe on a nil *Registry and on the nil
+//     instruments a nil registry hands out, and compiles down to a single
+//     pointer check. Hot paths pre-resolve their instruments once and pay
+//     nothing when observability is disabled.
+//   - Instruments are typed. A Counter only goes up, a Gauge holds the
+//     latest value, a Histogram has a fixed bucket layout chosen at
+//     registration, and a Timer is a Histogram over seconds. All of them
+//     are safe for concurrent use (atomics only, no locks after
+//     registration).
+//   - Snapshots are deterministic. Snapshot() returns instruments sorted
+//     by name and serialized label set, so exporters (Prometheus text,
+//     JSON, summary table) produce byte-identical output for identical
+//     metric states.
+//
+// The package-level Default registry is the pipeline the CLIs and the
+// root facade share; libraries accept an explicit *Registry so tests can
+// isolate their own.
+package obs
+
+import "sync"
+
+var (
+	defaultMu  sync.Mutex
+	defaultReg *Registry
+)
+
+// Default returns the process-wide shared registry, creating it on first
+// use. The root facade's Metrics() and every cmd binary's -metrics flag
+// read from here.
+func Default() *Registry {
+	defaultMu.Lock()
+	defer defaultMu.Unlock()
+	if defaultReg == nil {
+		defaultReg = NewRegistry()
+	}
+	return defaultReg
+}
+
+// ResetDefault replaces the process-wide registry with a fresh one and
+// returns it — used by tests and long-running hosts that scrape-and-reset.
+func ResetDefault() *Registry {
+	defaultMu.Lock()
+	defer defaultMu.Unlock()
+	defaultReg = NewRegistry()
+	return defaultReg
+}

@@ -1,0 +1,301 @@
+package obs
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilRegistryIsOff(t *testing.T) {
+	var r *Registry
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", nil)
+	tm := r.Timer("t")
+	// Every call must be a no-op, not a panic.
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(-1)
+	h.Observe(0.5)
+	tm.Observe(time.Second)
+	tm.Start().Stop()
+	r.StartSpan("x").Child("y").End()
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || tm.Count() != 0 {
+		t.Fatal("nil instruments must read as zero")
+	}
+	s := r.Snapshot()
+	if len(s.Counters)+len(s.Gauges)+len(s.Histograms)+len(s.Spans) != 0 {
+		t.Fatalf("nil registry snapshot not empty: %+v", s)
+	}
+}
+
+func TestRegistrationIsIdempotent(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Fatal("same name must return the same counter")
+	}
+	if r.Counter("a", L("k", "1")) == r.Counter("a", L("k", "2")) {
+		t.Fatal("different labels must be distinct instruments")
+	}
+	// Label order must not matter: the key is canonical.
+	if r.Counter("b", L("x", "1"), L("y", "2")) != r.Counter("b", L("y", "2"), L("x", "1")) {
+		t.Fatal("label order changed instrument identity")
+	}
+	if r.Gauge("a") != r.Gauge("a") {
+		t.Fatal("same name must return the same gauge")
+	}
+	if r.Histogram("h", DefBuckets) != r.Histogram("h", DefBuckets) {
+		t.Fatal("same name must return the same histogram")
+	}
+}
+
+func TestCounterIgnoresNegative(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Add(5)
+	c.Add(-3)
+	c.Inc()
+	if got := c.Value(); got != 6 {
+		t.Fatalf("counter = %v, want 6", got)
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []float64{1, 2, 3})
+	for _, v := range []float64{0.5, 1, 1.5, 2.5, 99} {
+		h.Observe(v)
+	}
+	s := r.Snapshot()
+	hs := s.Histograms[0]
+	// le semantics: a value equal to a bound lands in that bound's bucket.
+	want := []uint64{2, 1, 1, 1}
+	if !reflect.DeepEqual(hs.Counts, want) {
+		t.Fatalf("bucket counts = %v, want %v", hs.Counts, want)
+	}
+	if hs.Count != 5 {
+		t.Fatalf("count = %d, want 5", hs.Count)
+	}
+	if diff := hs.Sum - 104.5; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("sum = %v, want 104.5", hs.Sum)
+	}
+	if mean := hs.Mean(); mean != 104.5/5 {
+		t.Fatalf("mean = %v", mean)
+	}
+}
+
+// TestConcurrentHammering beats on every instrument type from many
+// goroutines while snapshots are taken; run under -race this is the
+// package's data-race proof, and the final totals must still be exact.
+func TestConcurrentHammering(t *testing.T) {
+	r := NewRegistry()
+	const workers, iters = 8, 5000
+	var wg sync.WaitGroup
+	stopSnaps := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stopSnaps:
+				return
+			default:
+				r.Snapshot()
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Registration races with registration and with updates.
+			c := r.Counter("hammer_total")
+			g := r.Gauge("hammer_gauge")
+			h := r.Histogram("hammer_hist", []float64{0.25, 0.5, 0.75})
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%4) * 0.25)
+				r.recordSpan("hammer/span", time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stopSnaps)
+	s := r.Snapshot()
+	if got := s.Counters[0].Value; got != workers*iters {
+		t.Fatalf("counter = %v, want %d", got, workers*iters)
+	}
+	if got := s.Gauges[0].Value; got != workers*iters {
+		t.Fatalf("gauge = %v, want %d", got, workers*iters)
+	}
+	if got := s.Histograms[0].Count; got != workers*iters {
+		t.Fatalf("histogram count = %d, want %d", got, workers*iters)
+	}
+	total := uint64(0)
+	for _, n := range s.Histograms[0].Counts {
+		total += n
+	}
+	if total != workers*iters {
+		t.Fatalf("bucket counts sum to %d, want %d", total, workers*iters)
+	}
+	if got := s.Spans[0].Count; got != workers*iters {
+		t.Fatalf("span count = %d, want %d", got, workers*iters)
+	}
+}
+
+// TestSnapshotDeterminism populates two registries with the same state in
+// different orders and requires deeply equal snapshots — the property the
+// golden-file exporter tests rely on.
+func TestSnapshotDeterminism(t *testing.T) {
+	build := func(reversed bool) Snapshot {
+		r := NewRegistry()
+		names := []string{"alpha_total", "beta_total", "gamma_total"}
+		if reversed {
+			names = []string{"gamma_total", "beta_total", "alpha_total"}
+		}
+		for i, n := range names {
+			r.Counter(n).Add(float64(i + 1))
+			r.Counter(n).Add(float64(len(names) - i)) // all end at len+1
+			r.Gauge(n + "_g").Set(2)
+			r.Histogram(n+"_h", []float64{1}).Observe(0.5)
+		}
+		r.Counter("labeled_total", L("b", "2"), L("a", "1")).Inc()
+		r.Counter("labeled_total", L("a", "1"), L("b", "2")).Inc()
+		r.recordSpan("z/path", time.Millisecond)
+		r.recordSpan("a/path", time.Millisecond)
+		return r.Snapshot()
+	}
+	a, b := build(false), build(true)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("snapshots differ:\n%+v\n%+v", a, b)
+	}
+	if a.Counters[len(a.Counters)-1].Value != 2 {
+		t.Fatal("label-order-insensitive registration did not merge")
+	}
+	if a.Spans[0].Path != "a/path" {
+		t.Fatalf("spans not sorted: %q first", a.Spans[0].Path)
+	}
+}
+
+func TestSpanHierarchyAndAggregation(t *testing.T) {
+	r := NewRegistry()
+	run := r.StartSpan("sim/run")
+	day := run.Child("day")
+	day.End()
+	run.Child("day").End()
+	run.End()
+	s := r.Snapshot()
+	if len(s.Spans) != 2 {
+		t.Fatalf("span paths = %d, want 2", len(s.Spans))
+	}
+	if s.Spans[0].Path != "sim/run" || s.Spans[1].Path != "sim/run/day" {
+		t.Fatalf("paths = %q, %q", s.Spans[0].Path, s.Spans[1].Path)
+	}
+	if s.Spans[1].Count != 2 || s.Spans[0].Count != 1 {
+		t.Fatalf("counts = %d, %d", s.Spans[0].Count, s.Spans[1].Count)
+	}
+	// Fixed durations exercise the min/max/total arithmetic exactly.
+	r2 := NewRegistry()
+	for _, d := range []time.Duration{500 * time.Millisecond, 1500 * time.Millisecond, time.Second} {
+		r2.recordSpan("p", d)
+	}
+	sp := r2.Snapshot().Spans[0]
+	if sp.MinSeconds != 0.5 || sp.MaxSeconds != 1.5 || sp.TotalSeconds != 3 || sp.Count != 3 {
+		t.Fatalf("span stats = %+v", sp)
+	}
+}
+
+// TestHistogramBatchMatchesDirect requires the batched path to land every
+// observation in the same bucket as direct Observe calls.
+func TestHistogramBatchMatchesDirect(t *testing.T) {
+	r := NewRegistry()
+	bounds := ExpBuckets(0.001, 2, 16)
+	direct := r.Histogram("direct", bounds)
+	batched := r.Histogram("batched", bounds)
+	b := batched.Batch()
+	values := []float64{0, 0.0005, 0.001, 0.0015, 0.004, 1.0, 40, -1}
+	for _, v := range values {
+		direct.Observe(v)
+		b.Observe(v)
+	}
+	// Nothing is visible until Flush.
+	if batched.Count() != 0 {
+		t.Fatal("batch leaked observations before Flush")
+	}
+	b.Flush()
+	b.Flush() // idempotent when empty
+	s := r.Snapshot()
+	if !reflect.DeepEqual(s.Histograms[0], HistSnap{
+		Name: "batched", Bounds: s.Histograms[1].Bounds,
+		Counts: s.Histograms[1].Counts, Sum: s.Histograms[1].Sum, Count: s.Histograms[1].Count,
+	}) {
+		t.Fatalf("batched %+v != direct %+v", s.Histograms[0], s.Histograms[1])
+	}
+	// A nil histogram's batch is a no-op.
+	var nilH *Histogram
+	nb := nilH.Batch()
+	nb.Observe(1)
+	nb.Flush()
+}
+
+func TestBucketIndex(t *testing.T) {
+	bounds := []float64{1, 2, 4}
+	for _, tc := range []struct {
+		v    float64
+		want int
+	}{{0.5, 0}, {1, 0}, {1.5, 1}, {2, 1}, {3, 2}, {4, 2}, {5, 3}} {
+		if got := bucketIndex(bounds, tc.v); got != tc.want {
+			t.Errorf("bucketIndex(%v) = %d, want %d", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestTimerRecords(t *testing.T) {
+	r := NewRegistry()
+	tm := r.Timer("t")
+	tm.Observe(250 * time.Millisecond)
+	sw := tm.Start()
+	if d := sw.Stop(); d < 0 {
+		t.Fatalf("stopwatch returned %v", d)
+	}
+	if tm.Count() != 2 {
+		t.Fatalf("timer count = %d, want 2", tm.Count())
+	}
+	if tm.Sum() < 0.25 {
+		t.Fatalf("timer sum = %v, want >= 0.25", tm.Sum())
+	}
+}
+
+func TestDefaultRegistryLifecycle(t *testing.T) {
+	r1 := Default()
+	if r1 == nil || Default() != r1 {
+		t.Fatal("Default must return one stable registry")
+	}
+	r1.Counter("leftover_total").Inc()
+	r2 := ResetDefault()
+	if r2 == r1 {
+		t.Fatal("ResetDefault must replace the registry")
+	}
+	if got := len(r2.Snapshot().Counters); got != 0 {
+		t.Fatalf("fresh default registry has %d counters", got)
+	}
+	if Default() != r2 {
+		t.Fatal("Default must return the reset registry")
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	if got := ExpBuckets(1, 2, 4); !reflect.DeepEqual(got, []float64{1, 2, 4, 8}) {
+		t.Fatalf("ExpBuckets = %v", got)
+	}
+	if got := LinearBuckets(0.5, 0.25, 3); !reflect.DeepEqual(got, []float64{0.5, 0.75, 1.0}) {
+		t.Fatalf("LinearBuckets = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-increasing bounds must panic at registration")
+		}
+	}()
+	NewRegistry().Histogram("bad", []float64{1, 1})
+}

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Flags bundles the opt-in profiling and metrics-emission flags every cmd
+// binary exposes. Register the flags, call Start before the work and
+// Finish after it:
+//
+//	var of obs.Flags
+//	of.Register(fs)
+//	fs.Parse(args)
+//	stop, err := of.Start()
+//	...
+//	defer stop()
+//	...
+//	of.Emit(os.Stdout, obs.Default())
+type Flags struct {
+	CPUProfile string
+	MemProfile string
+	TracePath  string
+	Metrics    bool
+	Format     string
+	Out        string
+}
+
+// Register installs the flags on the given flag set.
+func (f *Flags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to this file")
+	fs.StringVar(&f.MemProfile, "memprofile", "", "write a pprof heap profile to this file on exit")
+	fs.StringVar(&f.TracePath, "exectrace", "", "write a runtime execution trace to this file")
+	fs.BoolVar(&f.Metrics, "metrics", false, "emit collected metrics when done")
+	fs.StringVar(&f.Format, "metrics-format", FormatSummary, "metrics output format: prom, json or summary")
+	fs.StringVar(&f.Out, "metrics-out", "", "metrics output path (default stdout)")
+}
+
+// Start begins CPU profiling and execution tracing as requested. The
+// returned stop function ends them and writes the heap profile; it is
+// safe to call when nothing was started.
+func (f *Flags) Start() (stop func() error, err error) {
+	var cpuFile, traceFile *os.File
+	if f.CPUProfile != "" {
+		cpuFile, err = os.Create(f.CPUProfile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	if f.TracePath != "" {
+		traceFile, err = os.Create(f.TracePath)
+		if err != nil {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				cpuFile.Close()
+			}
+			return nil, err
+		}
+		if err := trace.Start(traceFile); err != nil {
+			traceFile.Close()
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				cpuFile.Close()
+			}
+			return nil, err
+		}
+	}
+	return func() error {
+		var first error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		if traceFile != nil {
+			trace.Stop()
+			if err := traceFile.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		if f.MemProfile != "" {
+			mf, err := os.Create(f.MemProfile)
+			if err != nil {
+				if first == nil {
+					first = err
+				}
+			} else {
+				runtime.GC()
+				if err := pprof.WriteHeapProfile(mf); err != nil && first == nil {
+					first = err
+				}
+				if err := mf.Close(); err != nil && first == nil {
+					first = err
+				}
+			}
+		}
+		return first
+	}, nil
+}
+
+// WithFlags is the one-call integration for simple subcommands: it
+// registers the observability flags on fs (after the caller's own), parses
+// args, and runs fn bracketed by profiler start/stop and metrics emission
+// from the process-default registry. fn's error wins over cleanup errors.
+//
+//	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+//	days := fs.Int("days", 7, "...")
+//	return obs.WithFlags(fs, args, func() error { ... })
+func WithFlags(fs *flag.FlagSet, args []string, fn func() error) error {
+	var f Flags
+	f.Register(fs)
+	fs.Parse(args)
+	stop, err := f.Start()
+	if err != nil {
+		return err
+	}
+	err = fn()
+	if serr := stop(); serr != nil && err == nil {
+		err = serr
+	}
+	if err == nil {
+		err = f.Emit(os.Stdout, Default())
+	}
+	return err
+}
+
+// Emit writes the registry's snapshot in the configured format when
+// -metrics was given. Output goes to -metrics-out when set, otherwise to
+// fallback (typically stdout).
+func (f *Flags) Emit(fallback io.Writer, reg *Registry) error {
+	if !f.Metrics {
+		return nil
+	}
+	w := fallback
+	if f.Out != "" {
+		file, err := os.Create(f.Out)
+		if err != nil {
+			return err
+		}
+		defer file.Close()
+		w = file
+	}
+	if err := WriteFormat(w, reg.Snapshot(), f.Format); err != nil {
+		return fmt.Errorf("obs: emitting metrics: %w", err)
+	}
+	return nil
+}

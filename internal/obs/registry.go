@@ -1,0 +1,223 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry owns a process- or run-scoped set of named instruments.
+// Registration (Counter, Gauge, Histogram, Timer, Span) is idempotent —
+// the first call creates the instrument, later calls with the same name
+// and label set return the same one. Registration takes a lock;
+// instrument updates never do.
+//
+// A nil *Registry is a valid "observability off" registry: every method
+// returns a nil instrument whose methods are no-ops.
+type Registry struct {
+	mu     sync.Mutex
+	counts map[instKey]*Counter
+	gauges map[instKey]*Gauge
+	hists  map[instKey]*Histogram
+	spans  map[string]*spanStats
+}
+
+type instKey struct {
+	name   string
+	labels string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counts: make(map[instKey]*Counter),
+		gauges: make(map[instKey]*Gauge),
+		hists:  make(map[instKey]*Histogram),
+		spans:  make(map[string]*spanStats),
+	}
+}
+
+// Counter returns the counter with the given name and labels, creating it
+// on first use. Returns nil (a no-op counter) on a nil registry.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	key := instKey{name, labelKey(labels)}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counts[key]; ok {
+		return c
+	}
+	c := &Counter{name: name, labels: append([]Label(nil), labels...)}
+	r.counts[key] = c
+	return c
+}
+
+// Gauge returns the gauge with the given name and labels, creating it on
+// first use. Returns nil on a nil registry.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	key := instKey{name, labelKey(labels)}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[key]; ok {
+		return g
+	}
+	g := &Gauge{name: name, labels: append([]Label(nil), labels...)}
+	r.gauges[key] = g
+	return g
+}
+
+// Histogram returns the histogram with the given name, labels and bucket
+// upper bounds, creating it on first use. The bounds of the first
+// registration win; they must be strictly increasing. Returns nil on a
+// nil registry.
+func (r *Registry) Histogram(name string, bounds []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	key := instKey{name, labelKey(labels)}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[key]; ok {
+		return h
+	}
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q bounds not increasing at %d", name, i))
+		}
+	}
+	h := &Histogram{
+		name:   name,
+		labels: append([]Label(nil), labels...),
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+	r.hists[key] = h
+	return h
+}
+
+// Timer returns a timer (a histogram over seconds) with the given name,
+// using DefBuckets. Returns nil on a nil registry.
+func (r *Registry) Timer(name string, labels ...Label) *Timer {
+	if r == nil {
+		return nil
+	}
+	return &Timer{h: r.Histogram(name, DefBuckets, labels...)}
+}
+
+// ---- Snapshots -------------------------------------------------------------
+
+// Snapshot is a deterministic point-in-time copy of a registry: every
+// slice is sorted by (name, serialized labels) or span path, so two
+// snapshots of identical metric states are deeply equal and export to
+// byte-identical text.
+type Snapshot struct {
+	Counters   []CounterSnap `json:"counters,omitempty"`
+	Gauges     []GaugeSnap   `json:"gauges,omitempty"`
+	Histograms []HistSnap    `json:"histograms,omitempty"`
+	Spans      []SpanSnap    `json:"spans,omitempty"`
+}
+
+// CounterSnap is one counter's state.
+type CounterSnap struct {
+	Name   string  `json:"name"`
+	Labels []Label `json:"labels,omitempty"`
+	Value  float64 `json:"value"`
+}
+
+// GaugeSnap is one gauge's state.
+type GaugeSnap struct {
+	Name   string  `json:"name"`
+	Labels []Label `json:"labels,omitempty"`
+	Value  float64 `json:"value"`
+}
+
+// HistSnap is one histogram's state. Counts are per-bucket (not
+// cumulative); Counts[len(Bounds)] is the overflow bucket.
+type HistSnap struct {
+	Name   string    `json:"name"`
+	Labels []Label   `json:"labels,omitempty"`
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	Sum    float64   `json:"sum"`
+	Count  uint64    `json:"count"`
+}
+
+// Mean returns the average observation (0 when empty).
+func (h HistSnap) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// SpanSnap is the aggregated timing of one span path.
+type SpanSnap struct {
+	Path         string  `json:"path"`
+	Count        uint64  `json:"count"`
+	TotalSeconds float64 `json:"total_seconds"`
+	MinSeconds   float64 `json:"min_seconds"`
+	MaxSeconds   float64 `json:"max_seconds"`
+}
+
+// Snapshot copies the current state of every instrument. Safe to call
+// concurrently with updates; each instrument is read atomically (the
+// snapshot is per-instrument consistent, not globally transactional).
+// Returns a zero Snapshot on a nil registry.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var s Snapshot
+	for _, c := range r.counts {
+		s.Counters = append(s.Counters, CounterSnap{Name: c.name, Labels: c.labels, Value: c.Value()})
+	}
+	for _, g := range r.gauges {
+		s.Gauges = append(s.Gauges, GaugeSnap{Name: g.name, Labels: g.labels, Value: g.Value()})
+	}
+	for _, h := range r.hists {
+		hs := HistSnap{
+			Name:   h.name,
+			Labels: h.labels,
+			Bounds: append([]float64(nil), h.bounds...),
+			Counts: make([]uint64, len(h.counts)),
+			Sum:    h.Sum(),
+			Count:  h.Count(),
+		}
+		for i := range h.counts {
+			hs.Counts[i] = h.counts[i].Load()
+		}
+		s.Histograms = append(s.Histograms, hs)
+	}
+	for path, st := range r.spans {
+		s.Spans = append(s.Spans, st.snap(path))
+	}
+	sort.Slice(s.Counters, func(a, b int) bool {
+		return snapLess(s.Counters[a].Name, s.Counters[a].Labels, s.Counters[b].Name, s.Counters[b].Labels)
+	})
+	sort.Slice(s.Gauges, func(a, b int) bool {
+		return snapLess(s.Gauges[a].Name, s.Gauges[a].Labels, s.Gauges[b].Name, s.Gauges[b].Labels)
+	})
+	sort.Slice(s.Histograms, func(a, b int) bool {
+		return snapLess(s.Histograms[a].Name, s.Histograms[a].Labels, s.Histograms[b].Name, s.Histograms[b].Labels)
+	})
+	sort.Slice(s.Spans, func(a, b int) bool { return s.Spans[a].Path < s.Spans[b].Path })
+	return s
+}
+
+func snapLess(an string, al []Label, bn string, bl []Label) bool {
+	if an != bn {
+		return an < bn
+	}
+	return labelKey(al) < labelKey(bl)
+}

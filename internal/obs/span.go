@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// spanStats aggregates every completed span of one path. Spans can fire
+// thousands of times per run (one per simulated period), so the tree is
+// stored as per-path aggregates — count, total, min, max — rather than
+// individual events.
+type spanStats struct {
+	mu    sync.Mutex
+	count uint64
+	total time.Duration
+	min   time.Duration
+	max   time.Duration
+}
+
+func (st *spanStats) record(d time.Duration) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.count == 0 || d < st.min {
+		st.min = d
+	}
+	if d > st.max {
+		st.max = d
+	}
+	st.count++
+	st.total += d
+}
+
+func (st *spanStats) snap(path string) SpanSnap {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return SpanSnap{
+		Path:         path,
+		Count:        st.count,
+		TotalSeconds: st.total.Seconds(),
+		MinSeconds:   st.min.Seconds(),
+		MaxSeconds:   st.max.Seconds(),
+	}
+}
+
+// Span is one in-flight timed region of a hierarchical trace. Paths are
+// slash-joined: StartSpan("sim/run").Child("day").Child("period") times
+// under "sim/run/day/period". A Span must be ended exactly once; ending
+// records its wall-clock duration into the owning registry's per-path
+// aggregate. A nil Span (from a nil registry) is a no-op.
+type Span struct {
+	reg   *Registry
+	path  string
+	start time.Time
+}
+
+// StartSpan opens a root span. Returns nil on a nil registry.
+func (r *Registry) StartSpan(path string) *Span {
+	if r == nil {
+		return nil
+	}
+	return &Span{reg: r, path: path, start: time.Now()}
+}
+
+// Child opens a sub-span named under the receiver's path. Children may
+// outlive or interleave with the parent arbitrarily; only the path
+// nesting is hierarchical. Returns nil on a nil span.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return &Span{reg: s.reg, path: s.path + "/" + name, start: time.Now()}
+}
+
+// End records the span's duration and returns it (0 on nil).
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	s.reg.recordSpan(s.path, d)
+	return d
+}
+
+func (r *Registry) recordSpan(path string, d time.Duration) {
+	r.mu.Lock()
+	st, ok := r.spans[path]
+	if !ok {
+		st = &spanStats{}
+		r.spans[path] = st
+	}
+	r.mu.Unlock()
+	st.record(d)
+}

@@ -19,6 +19,7 @@ package sched
 import (
 	"sort"
 
+	"solarsched/internal/obs"
 	"solarsched/internal/sim"
 	"solarsched/internal/solar"
 	"solarsched/internal/task"
@@ -116,6 +117,25 @@ type InterLSA struct {
 	pred      solar.Predictor
 	directEff float64
 	admitted  []bool
+
+	// Admission telemetry (nil-safe instruments): how many tasks each
+	// period admitted or rejected, and the WCMA forecast's absolute error
+	// against the harvest that actually arrived.
+	lastForecast  float64
+	haveForecast  bool
+	mAdmitted     *obs.Counter
+	mRejected     *obs.Counter
+	mForecastErrJ *obs.Histogram
+}
+
+// SetObserver implements sim.Observable. A nil registry is ignored.
+func (s *InterLSA) SetObserver(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	s.mAdmitted = reg.Counter("sched_admitted_tasks_total", obs.L("scheduler", "inter-task-lsa"))
+	s.mRejected = reg.Counter("sched_rejected_tasks_total", obs.L("scheduler", "inter-task-lsa"))
+	s.mForecastErrJ = reg.Histogram("sched_forecast_abs_error_joules", obs.ExpBuckets(0.125, 2, 14))
 }
 
 // NewInterLSA returns the Inter-task baseline for the graph over the given
@@ -151,8 +171,16 @@ func (s *InterLSA) BeginPeriod(v *sim.PeriodView) sim.PeriodPlan {
 	}
 	if !(v.Day == 0 && v.Period == 0) {
 		s.pred.Observe(v.Day, prev, v.LastPeriodEnergy)
+		if s.haveForecast && s.mForecastErrJ != nil {
+			err := s.lastForecast - v.LastPeriodEnergy
+			if err < 0 {
+				err = -err
+			}
+			s.mForecastErrJ.Observe(err)
+		}
 	}
 	forecast := s.pred.Predict(v.Day, v.Period)
+	s.lastForecast, s.haveForecast = forecast, true
 
 	// Admission: earliest (effective) deadline first until the energy
 	// budget runs out. A task is only admissible if all its predecessors
@@ -179,6 +207,16 @@ func (s *InterLSA) BeginPeriod(v *sim.PeriodView) sim.PeriodPlan {
 		}
 	}
 	allowed := append([]bool(nil), s.admitted...)
+	if s.mAdmitted != nil {
+		in := 0
+		for _, a := range allowed {
+			if a {
+				in++
+			}
+		}
+		s.mAdmitted.Add(float64(in))
+		s.mRejected.Add(float64(len(allowed) - in))
+	}
 	return sim.PeriodPlan{SwitchTo: -1, Allowed: allowed}
 }
 

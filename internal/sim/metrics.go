@@ -1,0 +1,112 @@
+package sim
+
+import "solarsched/internal/obs"
+
+// engineMetrics holds the engine's pre-resolved instruments. A nil
+// *engineMetrics (Config.Observer == nil) costs one branch per record
+// site. The hot loop never touches these atomics directly: per-slot
+// quantities accumulate in a plain slotTotals and land here once per
+// period (see flushPeriod), which is what keeps the instrumented run
+// within a few percent of the bare one. The instrument names are
+// documented in README.md §Observability and mapped to paper quantities
+// in DESIGN.md.
+type engineMetrics struct {
+	slots       *obs.Counter
+	periods     *obs.Counter
+	days        *obs.Counter
+	released    *obs.Counter
+	misses      *obs.Counter
+	trims       *obs.Counter
+	capSwitches *obs.Counter
+	dmr         *obs.Gauge
+
+	harvested *obs.Counter
+	delivered *obs.Counter
+	direct    *obs.Counter // joules reaching the load via the direct channel
+	drawn     *obs.Counter // joules reaching the load via store-and-use
+	stored    *obs.Counter
+	storeLoss *obs.Counter
+	leaked    *obs.Counter
+	migLoss   *obs.Counter
+
+	slotLoad *obs.Histogram // watts delivered per slot
+}
+
+func newEngineMetrics(reg *obs.Registry) *engineMetrics {
+	if reg == nil {
+		return nil
+	}
+	joules := func(channel string) *obs.Counter {
+		return reg.Counter("sim_channel_joules_total", obs.L("channel", channel))
+	}
+	return &engineMetrics{
+		slots:       reg.Counter("sim_slots_total"),
+		periods:     reg.Counter("sim_periods_total"),
+		days:        reg.Counter("sim_days_total"),
+		released:    reg.Counter("sim_tasks_released_total"),
+		misses:      reg.Counter("sim_deadline_misses_total"),
+		trims:       reg.Counter("sim_brownout_trims_total"),
+		capSwitches: reg.Counter("sim_cap_switches_total"),
+		dmr:         reg.Gauge("sim_dmr"),
+		harvested:   reg.Counter("sim_harvested_joules_total"),
+		delivered:   reg.Counter("sim_delivered_joules_total"),
+		direct:      joules("direct"),
+		drawn:       joules("stored"),
+		stored:      reg.Counter("sim_banked_joules_total"),
+		storeLoss:   reg.Counter("sim_store_loss_joules_total"),
+		leaked:      reg.Counter("sim_leaked_joules_total"),
+		migLoss:     reg.Counter("sim_migration_loss_joules_total"),
+		slotLoad:    reg.Histogram("sim_slot_load_watts", obs.ExpBuckets(0.001, 2, 16)),
+	}
+}
+
+// slotLoadBatch returns a run-local observation buffer for the slot-load
+// histogram (nil, and thus free, when metrics are off).
+func (m *engineMetrics) slotLoadBatch() *obs.HistogramBatch {
+	if m == nil {
+		return nil
+	}
+	return m.slotLoad.Batch()
+}
+
+// energyMarks remembers the Result's cumulative energy totals as of the
+// last flush, so flushPeriod can publish per-period deltas without the
+// hot loop accumulating anything the Result does not already track.
+type energyMarks struct {
+	harvested float64
+	delivered float64
+	drawn     float64
+	stored    float64
+	storeLoss float64
+	leaked    float64
+}
+
+// flushPeriod publishes one period's quantities into the shared
+// instruments: the energy series as deltas of the Result's running totals
+// since the previous flush, plus the period-level counts. The only
+// per-slot work the instrumented hot loop does itself is the brown-out
+// trim count and the slot-load histogram batch.
+func (m *engineMetrics) flushPeriod(res *Result, prev *energyMarks, slots, trims, misses, released int) {
+	m.slots.Add(float64(slots))
+	m.trims.Add(float64(trims))
+	m.harvested.Add(res.Harvested - prev.harvested)
+	m.delivered.Add(res.Delivered - prev.delivered)
+	m.direct.Add((res.Delivered - prev.delivered) - (res.DrawnOut - prev.drawn))
+	m.drawn.Add(res.DrawnOut - prev.drawn)
+	m.stored.Add(res.StoredIn - prev.stored)
+	m.storeLoss.Add(res.StoreLoss - prev.storeLoss)
+	m.leaked.Add(res.Leaked - prev.leaked)
+	*prev = energyMarks{
+		harvested: res.Harvested,
+		delivered: res.Delivered,
+		drawn:     res.DrawnOut,
+		stored:    res.StoredIn,
+		storeLoss: res.StoreLoss,
+		leaked:    res.Leaked,
+	}
+
+	m.periods.Inc()
+	m.released.Add(float64(released))
+	m.misses.Add(float64(misses))
+	m.dmr.Set(res.DMR())
+}

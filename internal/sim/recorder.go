@@ -4,6 +4,7 @@ import (
 	"encoding/csv"
 	"io"
 	"strconv"
+	"strings"
 )
 
 // SlotRecord is one row of the engine's optional state log: everything an
@@ -25,46 +26,73 @@ type Recorder interface {
 	Record(rec SlotRecord)
 }
 
-// CSVRecorder streams slot records as CSV rows.
+// CSVRecorder streams slot records as CSV rows. Write errors from the
+// underlying writer are sticky: the first one is kept, later Record
+// calls become no-ops, and Flush (or Err) reports it.
 type CSVRecorder struct {
 	w      *csv.Writer
 	header bool
+	err    error // first write error, sticky
+	ran    strings.Builder
 }
 
-// NewCSVRecorder returns a recorder writing to w. Call Flush when done.
+// NewCSVRecorder returns a recorder writing to w. Call Flush when done —
+// it drains the buffer and returns the first error of the whole stream.
 func NewCSVRecorder(w io.Writer) *CSVRecorder {
 	return &CSVRecorder{w: csv.NewWriter(w)}
 }
 
-// Record implements Recorder.
+// Record implements Recorder. After a write error it does nothing; the
+// error surfaces from Flush or Err.
 func (r *CSVRecorder) Record(rec SlotRecord) {
+	if r.err != nil {
+		return
+	}
 	if !r.header {
 		r.header = true
-		r.w.Write([]string{"day", "period", "slot", "solar_w", "load_w",
-			"active_cap", "active_v", "usable_j", "ran", "period_misses"})
+		if err := r.w.Write([]string{"day", "period", "slot", "solar_w", "load_w",
+			"active_cap", "active_v", "usable_j", "ran", "period_misses"}); err != nil {
+			r.err = err
+			return
+		}
 	}
-	ran := ""
+	r.ran.Reset()
 	for i, n := range rec.Ran {
 		if i > 0 {
-			ran += " "
+			r.ran.WriteByte(' ')
 		}
-		ran += strconv.Itoa(n)
+		r.ran.WriteString(strconv.Itoa(n))
 	}
-	r.w.Write([]string{
+	err := r.w.Write([]string{
 		strconv.Itoa(rec.Day), strconv.Itoa(rec.Period), strconv.Itoa(rec.Slot),
 		strconv.FormatFloat(rec.SolarW, 'g', 6, 64),
 		strconv.FormatFloat(rec.LoadW, 'g', 6, 64),
 		strconv.Itoa(rec.ActiveCap),
 		strconv.FormatFloat(rec.ActiveV, 'f', 4, 64),
 		strconv.FormatFloat(rec.UsableJ, 'f', 3, 64),
-		ran,
+		r.ran.String(),
 		strconv.Itoa(rec.PeriodMisses),
 	})
+	if err == nil {
+		// csv.Writer buffers; a failure of the underlying writer can also
+		// surface via its stored error rather than Write's return.
+		err = r.w.Error()
+	}
+	if err != nil {
+		r.err = err
+	}
 }
 
-// Flush drains buffered rows and returns any write error.
+// Err returns the first write error seen so far, if any.
+func (r *CSVRecorder) Err() error { return r.err }
+
+// Flush drains buffered rows and returns the first error of the stream —
+// a Record-time write error if one occurred, otherwise any flush error.
 func (r *CSVRecorder) Flush() error {
 	r.w.Flush()
+	if r.err != nil {
+		return r.err
+	}
 	return r.w.Error()
 }
 

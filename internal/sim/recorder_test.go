@@ -2,6 +2,7 @@ package sim_test
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 
@@ -65,5 +66,59 @@ func TestCSVRecorder(t *testing.T) {
 	}
 	if !strings.HasPrefix(lines[1], "0,0,0,") {
 		t.Fatalf("first row = %q", lines[1])
+	}
+}
+
+func TestCSVRecorderRanColumn(t *testing.T) {
+	var buf bytes.Buffer
+	rec := sim.NewCSVRecorder(&buf)
+	rec.Record(sim.SlotRecord{Ran: []int{3, 1, 2}})
+	rec.Record(sim.SlotRecord{}) // empty slot: the builder must be reset
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if !strings.Contains(lines[1], "3 1 2") {
+		t.Fatalf("ran column = %q, want \"3 1 2\"", lines[1])
+	}
+	if strings.Contains(lines[2], "3 1 2") {
+		t.Fatalf("second row leaked the first row's ran list: %q", lines[2])
+	}
+}
+
+var errSyntheticWrite = errors.New("synthetic write failure")
+
+// failWriter rejects every write, like a full disk.
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) { return 0, errSyntheticWrite }
+
+func TestCSVRecorderStickyWriteError(t *testing.T) {
+	rec := sim.NewCSVRecorder(failWriter{})
+	// The csv writer buffers ~4 KB before touching the underlying writer,
+	// so push enough rows that Record itself observes the failure.
+	for i := 0; i < 500 && rec.Err() == nil; i++ {
+		rec.Record(sim.SlotRecord{Day: i, Ran: []int{1, 2, 3}})
+	}
+	if !errors.Is(rec.Err(), errSyntheticWrite) {
+		t.Fatalf("Err() = %v, want the write failure", rec.Err())
+	}
+	// Later records are no-ops; the first error stays.
+	rec.Record(sim.SlotRecord{})
+	if !errors.Is(rec.Flush(), errSyntheticWrite) {
+		t.Fatalf("Flush() = %v, want the sticky write failure", rec.Flush())
+	}
+}
+
+func TestCSVRecorderFlushSurfacesError(t *testing.T) {
+	// A single row fits the csv buffer, so the failure only appears when
+	// Flush drains it — Record alone must stay clean.
+	rec := sim.NewCSVRecorder(failWriter{})
+	rec.Record(sim.SlotRecord{})
+	if rec.Err() != nil {
+		t.Fatalf("Err() = %v before any underlying write", rec.Err())
+	}
+	if !errors.Is(rec.Flush(), errSyntheticWrite) {
+		t.Fatal("Flush must surface the underlying write error")
 	}
 }

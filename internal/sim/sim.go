@@ -13,6 +13,7 @@ import (
 	"math"
 
 	"solarsched/internal/nvp"
+	"solarsched/internal/obs"
 	"solarsched/internal/solar"
 	"solarsched/internal/supercap"
 	"solarsched/internal/task"
@@ -113,11 +114,30 @@ type Config struct {
 	Capacitances []float64       // the distributed bank (C_h)
 	Params       supercap.Params // zero value → supercap.DefaultParams()
 	DirectEff    float64         // zero → DefaultDirectEff
+
+	// Observer receives the engine's metrics and run/day/period spans.
+	// Nil disables instrumentation entirely; the hot path then pays one
+	// branch per record site (see BenchmarkEngineBare).
+	Observer *obs.Registry
+
+	// SlotSpans additionally emits a span per simulated slot. Off by
+	// default: it samples the wall clock twice per slot, which is
+	// measurable next to the ~µs slot execution itself.
+	SlotSpans bool
+}
+
+// Observable is an optional Scheduler extension: the engine hands the
+// run's observer to any scheduler implementing it before the first
+// period, so schedulers can publish their own instruments (admission
+// counts, forecast error, guard overrides) into the same pipeline.
+type Observable interface {
+	SetObserver(*obs.Registry)
 }
 
 // Engine runs schedulers over a configuration.
 type Engine struct {
 	cfg Config
+	m   *engineMetrics
 }
 
 // New validates the configuration and returns an engine.
@@ -154,7 +174,7 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.DirectEff < 0 || cfg.DirectEff > 1 {
 		return nil, fmt.Errorf("sim: direct efficiency %g outside [0,1]", cfg.DirectEff)
 	}
-	return &Engine{cfg: cfg}, nil
+	return &Engine{cfg: cfg, m: newEngineMetrics(cfg.Observer)}, nil
 }
 
 // Config returns the engine's (validated, defaulted) configuration.
@@ -174,9 +194,25 @@ func (e *Engine) RunRecorded(s Scheduler, rec Recorder) (*Result, error) {
 	res := newResult(s.Name(), tb, e.cfg.Graph.N())
 	dt := tb.SlotSeconds
 
+	if o, ok := s.(Observable); ok {
+		o.SetObserver(e.cfg.Observer)
+	}
+	runSpan := e.cfg.Observer.StartSpan("sim/run")
+	defer runSpan.End()
+
+	// The instrumented hot loop only counts brown-out trims and feeds the
+	// slot-load histogram batch; everything else is published per period
+	// as deltas of res (see flushPeriod). All of this state is run-local,
+	// so concurrent Runs on one engine never share mutable state.
+	var marks energyMarks
+	trims := 0
+	loadBatch := e.m.slotLoadBatch()
+
 	lastEnergy := 0.0
 	for day := 0; day < tb.Days; day++ {
+		daySpan := runSpan.Child("day")
 		for period := 0; period < tb.PeriodsPerDay; period++ {
+			periodSpan := daySpan.Child("period")
 			pv := &PeriodView{
 				Day: day, Period: period, Base: tb,
 				Graph: e.cfg.Graph, Bank: bank,
@@ -190,15 +226,26 @@ func (e *Engine) RunRecorded(s Scheduler, rec Recorder) (*Result, error) {
 						s.Name(), plan.SwitchTo, bank.Size())
 				}
 				if plan.Migrate {
+					before := res.MigrationLoss
 					res.MigrationLoss += bank.MigrateTo(plan.SwitchTo)
+					if e.m != nil {
+						e.m.migLoss.Add(res.MigrationLoss - before)
+					}
 				} else {
 					bank.SwitchTo(plan.SwitchTo)
 				}
 				res.CapSwitches++
+				if e.m != nil {
+					e.m.capSwitches.Inc()
+				}
 			}
 			ts.ResetPeriod()
 
 			for slot := 0; slot < tb.SlotsPerPeriod; slot++ {
+				var slotSpan *obs.Span
+				if e.cfg.SlotSpans {
+					slotSpan = periodSpan.Child("slot")
+				}
 				solarW := e.cfg.Trace.At(day, period, slot)
 				sv := &SlotView{
 					Day: day, Period: period, Slot: slot, Base: tb,
@@ -225,7 +272,13 @@ func (e *Engine) RunRecorded(s Scheduler, rec Recorder) (*Result, error) {
 
 				before := bankEnergy(bank)
 				bank.LeakAll(dt)
-				res.Leaked += before - bankEnergy(bank)
+				leakedJ := before - bankEnergy(bank)
+				res.Leaked += leakedJ
+
+				if e.m != nil {
+					trims += st.Trimmed
+					loadBatch.Observe(st.LoadPower)
+				}
 
 				ts.CheckDeadlines(float64(slot+1) * dt)
 				if rec != nil {
@@ -238,9 +291,20 @@ func (e *Engine) RunRecorded(s Scheduler, rec Recorder) (*Result, error) {
 						PeriodMisses: ts.Misses(),
 					})
 				}
+				slotSpan.End()
 			}
 			res.recordPeriod(ts.Misses())
 			lastEnergy = e.cfg.Trace.PeriodEnergy(day, period)
+			if e.m != nil {
+				e.m.flushPeriod(res, &marks, tb.SlotsPerPeriod, trims, ts.Misses(), e.cfg.Graph.N())
+				trims = 0
+				loadBatch.Flush()
+			}
+			periodSpan.End()
+		}
+		daySpan.End()
+		if e.m != nil {
+			e.m.days.Inc()
 		}
 	}
 	res.FinalStored = bank.TotalUsable()
@@ -268,6 +332,7 @@ func bankEnergy(b *supercap.Bank) float64 {
 // SlotStats is the energy ledger of one executed slot.
 type SlotStats struct {
 	Ran            []int   // tasks that actually executed
+	Trimmed        int     // runnable tasks dropped on brownout
 	LoadPower      float64 // W delivered to the NVPs
 	SurplusOffered float64 // J offered to the capacitor input
 	Stored         float64 // J actually stored (after η_chr·η_cycle and spill)
@@ -282,6 +347,7 @@ type SlotStats struct {
 // offers the surplus to it. It mutates cap and ts.
 func ExecSlot(cap *supercap.Capacitor, ts *nvp.Set, order []int, solarW, dt, directEff float64) SlotStats {
 	run := ts.FilterRunnable(order)
+	runnable := len(run)
 	directCap := solarW * directEff // W available at the load via direct channel
 	for len(run) > 0 {
 		load := 0.0
@@ -296,6 +362,7 @@ func ExecSlot(cap *supercap.Capacitor, ts *nvp.Set, order []int, solarW, dt, dir
 	}
 	var st SlotStats
 	st.Ran = run
+	st.Trimmed = runnable - len(run)
 	st.LoadPower = ts.Run(run, dt)
 	settleEnergy(cap, &st, solarW, dt, directEff)
 	return st
@@ -309,6 +376,7 @@ func ExecSlotDVFS(cap *supercap.Capacitor, ts *nvp.Set, order []int,
 	speedsFor func(run []int) []float64, solarW, dt, directEff float64) SlotStats {
 
 	run := ts.FilterRunnable(order)
+	runnable := len(run)
 	speeds := speedsFor(run)
 	if len(speeds) != len(run) {
 		panic(fmt.Sprintf("sim: %d speeds for %d tasks", len(speeds), len(run)))
@@ -333,6 +401,7 @@ func ExecSlotDVFS(cap *supercap.Capacitor, ts *nvp.Set, order []int,
 	}
 	var st SlotStats
 	st.Ran = run
+	st.Trimmed = runnable - len(run)
 	st.LoadPower = ts.RunScaled(run, speeds, DVFSPowerExponent, dt)
 	settleEnergy(cap, &st, solarW, dt, directEff)
 	return st

@@ -31,9 +31,12 @@
 package solarsched
 
 import (
+	"io"
+
 	"solarsched/internal/ann"
 	"solarsched/internal/core"
 	"solarsched/internal/experiments"
+	"solarsched/internal/obs"
 	"solarsched/internal/overhead"
 	"solarsched/internal/sched"
 	"solarsched/internal/sim"
@@ -296,3 +299,39 @@ type MCU = overhead.MCU
 
 // DefaultMCU returns the paper's node processor model.
 func DefaultMCU() MCU { return overhead.DefaultMCU() }
+
+// ---- Observability ----------------------------------------------------------
+
+// MetricsRegistry is the instrumentation registry of internal/obs: typed
+// counters, gauges, histograms and timers plus hierarchical spans, safe
+// for concurrent use. Pass one as EngineConfig.Observer (and
+// PlanConfig.Observer) to collect per-run telemetry; a nil registry
+// disables instrumentation at negligible cost.
+type MetricsRegistry = obs.Registry
+
+// MetricsSnapshot is a deterministic point-in-time copy of a registry.
+type MetricsSnapshot = obs.Snapshot
+
+// MetricLabel is one constant key=value dimension of an instrument.
+type MetricLabel = obs.Label
+
+// Metrics returns the process-wide shared registry — the pipeline the
+// cmd binaries' -metrics flags and library callers share by default.
+func Metrics() *MetricsRegistry { return obs.Default() }
+
+// NewMetricsRegistry returns an isolated registry for callers that do not
+// want to share the process-wide pipeline (parallel runs, tests).
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// Metrics exposition formats accepted by WriteMetrics.
+const (
+	MetricsProm    = obs.FormatProm
+	MetricsJSON    = obs.FormatJSON
+	MetricsSummary = obs.FormatSummary
+)
+
+// WriteMetrics writes a snapshot in the given format: Prometheus text
+// exposition, indented JSON, or a human-readable summary table.
+func WriteMetrics(w io.Writer, s MetricsSnapshot, format string) error {
+	return obs.WriteFormat(w, s, format)
+}
