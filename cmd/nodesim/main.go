@@ -30,6 +30,7 @@ import (
 	"solarsched/internal/ann"
 	"solarsched/internal/core"
 	"solarsched/internal/dvfs"
+	"solarsched/internal/fault"
 	"solarsched/internal/obs"
 	"solarsched/internal/sched"
 	"solarsched/internal/sim"
@@ -268,6 +269,9 @@ func runCmd(args []string) (err error) {
 	bankStr := fs.String("bank", "", "comma-separated capacitances (F)")
 	tracePath := fs.String("trace", "", "solar trace CSV (default: four representative days)")
 	logPath := fs.String("log", "", "write a per-slot state log (CSV) to this path")
+	faultSpec := fs.String("faults", "", "fault injection: intensity λ (scales the reference profile) or key=value list, e.g. outage=0.01,volt-noise=0.05")
+	faultSeed := fs.Uint64("fault-seed", 1, "seed for the fault-injection streams")
+	harden := fs.Bool("harden", false, "enable graceful degradation on the proposed scheduler (sanitizer, watchdog fallback, E_th debounce)")
 	var of obs.Flags
 	setup := obsFlags(fs, &of)
 	fs.Parse(args)
@@ -299,6 +303,14 @@ func runCmd(args []string) (err error) {
 	bank, err := parseBank(*bankStr)
 	if err != nil {
 		return err
+	}
+	fc, err := fault.ParseSpec(*faultSpec)
+	if err != nil {
+		return err
+	}
+	fc.Seed = *faultSeed
+	if *harden && strings.ToLower(*schedName) != "proposed" {
+		return fmt.Errorf("-harden only applies to the proposed scheduler")
 	}
 
 	var s sim.Scheduler
@@ -333,15 +345,20 @@ func runCmd(args []string) (err error) {
 		}
 		pc := core.DefaultPlanConfig(g, tr.Base, bank)
 		pc.Observer = reg
-		s, err = core.NewProposed(pc, net)
-		if err != nil {
-			return err
+		p, perr := core.NewProposed(pc, net)
+		if perr != nil {
+			return perr
 		}
+		if *harden {
+			hc := core.DefaultHardenConfig()
+			p.Harden = &hc
+		}
+		s = p
 	default:
 		return fmt.Errorf("unknown scheduler %q", *schedName)
 	}
 
-	eng, err := sim.New(sim.Config{Trace: tr, Graph: g, Capacitances: bank, Observer: reg})
+	eng, err := sim.New(sim.Config{Trace: tr, Graph: g, Capacitances: bank, Observer: reg, Faults: fc})
 	if err != nil {
 		return err
 	}
@@ -373,6 +390,10 @@ func runCmd(args []string) (err error) {
 		res.Delivered, res.Harvested, 100*res.EnergyUtilization(), 100*res.DirectUseRatio())
 	fmt.Fprintf(diag, "storage: banked %.0f J, drew %.0f J, leaked %.0f J, %d capacitor switches\n",
 		res.StoredIn, res.DrawnOut, res.Leaked, res.CapSwitches)
+	if fc.Enabled() {
+		fmt.Fprintf(diag, "faults:  %d dead slots, %d dropped switches (seed %d)\n",
+			res.DeadSlots, res.DroppedSwitches, fc.Seed)
+	}
 	for d := 0; d < tr.Base.Days; d++ {
 		fmt.Fprintf(diag, "  day %2d: DMR %.1f%%\n", d+1, 100*res.DayDMR(d))
 	}
@@ -387,6 +408,15 @@ usage:
   nodesim size     -workload wam.json [-days N] [-seed S] [-h H]
   nodesim train    -workload wam.json -bank 2,10,50 [-days N] [-seed S] [-o model.json]
   nodesim run      -workload wam.json -scheduler NAME -bank 2,10,50 [-model model.json] [-trace t.csv] [-log slots.csv]
+                   [-faults SPEC] [-fault-seed N] [-harden]
+
+fault injection (run):
+  -faults λ                        scale the reference fault profile by λ (0 disables)
+  -faults key=value,...            set individual intensities; keys: outage, outage-slots,
+                                   solar-noise, solar-drop, volt-noise, volt-drop, volt-quant,
+                                   cap-fade, leak-growth, eff-fade, switch-drop, dbn
+  -fault-seed N                    make the injected fault pattern reproducible
+  -harden                          graceful degradation for -scheduler proposed
 
 every subcommand also accepts:
   -quiet                           suppress diagnostics (metrics output still reaches stdout)

@@ -26,6 +26,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 
@@ -39,6 +40,8 @@ func main() {
 	quick := flag.Bool("quick", false, "run the reduced (smoke-test) configuration")
 	csvDir := flag.String("csv", "", "directory to write CSV copies of each table")
 	benchFilter := flag.String("benchmarks", "", "comma-separated benchmark filter for fig8")
+	faultGridStr := flag.String("faults", "0,0.25,0.5,1", "comma-separated fault-intensity grid for faultsweep")
+	faultSeed := flag.Uint64("fault-seed", 1, "seed for the faultsweep fault-injection streams")
 	plot := flag.Bool("plot", false, "also render figures as ASCII charts")
 	quiet := flag.Bool("quiet", false, "suppress diagnostics; only metrics output reaches stdout")
 	var of obs.Flags
@@ -66,6 +69,11 @@ func main() {
 	if *quick {
 		cfg = experiments.Quick()
 	}
+	faultGrid, err := parseGrid(*faultGridStr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "solarsched: %v\n", err)
+		os.Exit(1)
+	}
 
 	var wanted []string
 	for _, arg := range flag.Args() {
@@ -83,7 +91,7 @@ func main() {
 	for _, name := range wanted {
 		start := time.Now()
 		span := experiments.Observer.StartSpan("experiments/" + name)
-		tbl, err := dispatch(name, cfg, *benchFilter)
+		tbl, err := dispatch(name, cfg, *benchFilter, faultGrid, *faultSeed)
 		span.End()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "solarsched: %s: %v\n", name, err)
@@ -111,7 +119,7 @@ func main() {
 	}
 }
 
-func dispatch(name string, cfg experiments.Config, benchFilter string) (*stats.Table, error) {
+func dispatch(name string, cfg experiments.Config, benchFilter string, faultGrid []float64, faultSeed uint64) (*stats.Table, error) {
 	switch name {
 	case "fig5":
 		t, _ := experiments.Fig5()
@@ -154,6 +162,9 @@ func dispatch(name string, cfg experiments.Config, benchFilter string) (*stats.T
 		return experiments.AblationDVFS(cfg)
 	case "robustness":
 		t, _, err := experiments.Robustness(cfg, 10)
+		return t, err
+	case "faultsweep":
+		t, _, err := experiments.FaultSweep(cfg, faultGrid, faultSeed)
 		return t, err
 	default:
 		return nil, fmt.Errorf("unknown experiment %q", name)
@@ -206,6 +217,26 @@ func renderPlot(w io.Writer, name string, cfg experiments.Config) {
 			Series: []stats.Series{eff, dmr}, Height: 10}
 		c.Render(w)
 	}
+}
+
+// parseGrid parses the -faults intensity grid.
+func parseGrid(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil || v < 0 || v != v {
+			return nil, fmt.Errorf("bad fault intensity %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty fault-intensity grid")
+	}
+	return out, nil
 }
 
 func selectBenchmarks(filter string) ([]*task.Graph, error) {
@@ -263,6 +294,8 @@ ablations (design-choice studies, not in the paper's figures):
   ablation-dvfs         DVFS load-tuning extension vs baselines
   ablations             all five
   robustness            DMR distribution over independent weather draws
+  faultsweep            DMR vs fault intensity, hardened vs plain proposed
+                        (-faults grid, -fault-seed)
 
 flags:
 `)

@@ -26,7 +26,7 @@ func TestSelectBenchmarks(t *testing.T) {
 func TestDispatchCheapExperiments(t *testing.T) {
 	cfg := experiments.Quick()
 	for _, name := range []string{"fig5", "fig7", "table2", "overhead", "ablation-predictor", "ablation-dvfs"} {
-		tbl, err := dispatch(name, cfg, "")
+		tbl, err := dispatch(name, cfg, "", []float64{0, 1}, 1)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -34,7 +34,7 @@ func TestDispatchCheapExperiments(t *testing.T) {
 			t.Fatalf("%s: empty table", name)
 		}
 	}
-	if _, err := dispatch("bogus", cfg, ""); err == nil {
+	if _, err := dispatch("bogus", cfg, "", []float64{0, 1}, 1); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }

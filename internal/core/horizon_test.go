@@ -24,7 +24,7 @@ func TestClairvoyantRunsEverythingWhenSupplyCovers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	bank := supercap.NewBank(pc.Capacitances, pc.Params)
+	bank := supercap.MustNewBank(pc.Capacitances, pc.Params)
 	plan := h.BeginPeriod(&sim.PeriodView{Day: 0, Period: 0, Base: tb, Graph: g, Bank: bank})
 	if plan.Allowed == nil {
 		t.Fatal("nil Allowed")
@@ -52,7 +52,7 @@ func TestClairvoyantGuardOffAtNight(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	bank := supercap.NewBank(pc.Capacitances, pc.Params)
+	bank := supercap.MustNewBank(pc.Capacitances, pc.Params)
 	h.BeginPeriod(&sim.PeriodView{Day: 0, Period: 0, Base: tb, Graph: g, Bank: bank})
 	d := h.LastDecision()
 	all := true

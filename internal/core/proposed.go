@@ -4,8 +4,10 @@ import (
 	"fmt"
 
 	"solarsched/internal/ann"
+	"solarsched/internal/fault"
 	"solarsched/internal/mat"
 	"solarsched/internal/obs"
+	"solarsched/internal/sched"
 	"solarsched/internal/sim"
 	"solarsched/internal/solar"
 	"solarsched/internal/task"
@@ -25,16 +27,34 @@ type Proposed struct {
 	// raw network outputs in charge. Used by the guard ablation study.
 	DisableGuards bool
 
+	// Harden, when non-nil, enables the graceful-degradation layer (output
+	// sanitizer, watchdog fallback to the WCMA lazy baseline, E_th switch
+	// debounce — see HardenConfig). Nil keeps the paper's exact behavior.
+	Harden *HardenConfig
+
 	prevPowers []float64
 	curPowers  []float64
 	policy     sim.SlotPolicy
 	wcma       *solar.WCMA
+
+	// Fault-injection hook (nil when faults are disabled) and the hardened
+	// variant's run state.
+	inj      *fault.Injector
+	fallback *sched.InterLSA
+	obsReg   *obs.Registry
+	hs       hardState
 
 	// Guard telemetry (nil-safe): how often each §5.2 online repair fired
 	// and how often eq. (22) vetoed a network capacitor switch.
 	mFullOverride *obs.Counter
 	mFallback     *obs.Counter
 	mEthVeto      *obs.Counter
+
+	// Hardening telemetry (nil-safe).
+	mSanitizerRejects *obs.Counter
+	mWatchdogTrips    *obs.Counter
+	mFallbackPeriods  *obs.Counter
+	mEthDebounceHolds *obs.Counter
 }
 
 // SetObserver implements sim.Observable. A nil registry is ignored.
@@ -42,9 +62,37 @@ func (s *Proposed) SetObserver(reg *obs.Registry) {
 	if reg == nil {
 		return
 	}
+	s.obsReg = reg
 	s.mFullOverride = reg.Counter("core_guard_full_overrides_total")
 	s.mFallback = reg.Counter("core_guard_fallbacks_total")
 	s.mEthVeto = reg.Counter("core_eth_switch_vetoes_total")
+	s.mSanitizerRejects = reg.Counter("core_sanitizer_rejects_total")
+	s.mWatchdogTrips = reg.Counter("core_watchdog_trips_total")
+	s.mFallbackPeriods = reg.Counter("core_fallback_periods_total")
+	s.mEthDebounceHolds = reg.Counter("core_eth_debounce_holds_total")
+	if s.fallback != nil {
+		s.fallback.SetObserver(reg)
+	}
+}
+
+// SetFaultInjector implements sim.FaultAware: the engine hands the
+// scheduler its per-run injector so DBN corruption strikes inside the
+// inference path, where a real bit-flip would. A nil injector (faults
+// disabled) leaves inference untouched.
+func (s *Proposed) SetFaultInjector(inj *fault.Injector) { s.inj = inj }
+
+// ensureFallback lazily builds the watchdog's fallback scheduler — the
+// paper's Inter-task LSA baseline, which needs no network — on the first
+// hardened period, and runs its BeginPeriod every period thereafter so its
+// WCMA predictor stays warm for the moment the watchdog trips.
+func (s *Proposed) ensureFallback(tb solar.TimeBase) {
+	if s.fallback != nil {
+		return
+	}
+	s.fallback = sched.NewInterLSA(s.pc.Graph, tb, s.pc.DirectEff)
+	if s.obsReg != nil {
+		s.fallback.SetObserver(s.obsReg)
+	}
 }
 
 // NewProposed wraps a trained network as a scheduler. The network must have
@@ -73,7 +121,12 @@ func NewProposed(pc PlanConfig, net *ann.Network) (*Proposed, error) {
 }
 
 // Name implements sim.Scheduler.
-func (s *Proposed) Name() string { return "proposed" }
+func (s *Proposed) Name() string {
+	if s.Harden != nil {
+		return "proposed-hardened"
+	}
+	return "proposed"
+}
 
 // BeginPeriod implements sim.Scheduler: one DBN forward pass (the
 // coarse-grained stage), then the E_th and δ selection rules.
@@ -97,10 +150,45 @@ func (s *Proposed) BeginPeriod(v *sim.PeriodView) sim.PeriodPlan {
 	}
 	forecast := s.wcma.Predict(v.Day, v.Period)
 
+	// The hardened variant keeps the fallback baseline's own predictor and
+	// admission state warm every period — its plan is discarded unless the
+	// watchdog has tripped.
+	hardened := s.Harden != nil
+	var fbPlan sim.PeriodPlan
+	if hardened {
+		s.ensureFallback(v.Base)
+		fbPlan = s.fallback.BeginPeriod(v)
+	}
+
 	x := Features(s.prevPowers, v.Bank.Voltages(), v.AccumulatedDMR,
 		v.Period, v.Base.PeriodsPerDay, s.pc.Params)
 	out := s.net.Forward(x)
-	te := closeUnderPredecessors(s.pc.Graph, out.TeMask())
+	if s.inj != nil {
+		out = s.inj.CorruptDBN(out)
+	}
+
+	// Output sanitizer: a corrupted inference (NaN/Inf, malformed heads,
+	// wild α) is rejected wholesale and replaced by the last accepted task
+	// set on the current capacitor — never act on garbage.
+	rejected := false
+	var te []bool
+	capStar := 0
+	if hardened && !saneOutput(out, v.Bank.Size(), s.pc.Graph.N(), s.Harden.MaxAlphaRaw) {
+		rejected = true
+		s.mSanitizerRejects.Inc()
+		if s.hs.lastGoodTe != nil {
+			te = append([]bool(nil), s.hs.lastGoodTe...)
+		} else {
+			te = make([]bool, s.pc.Graph.N())
+			for i := range te {
+				te[i] = true
+			}
+		}
+		capStar = v.Bank.ActiveIndex()
+	} else {
+		te = closeUnderPredecessors(s.pc.Graph, out.TeMask())
+		capStar = out.Cap()
+	}
 
 	// Online selection (§5.2): two guard rules repair degenerate network
 	// outputs. When the forecast supply covers the whole task set (α over
@@ -127,25 +215,50 @@ func (s *Proposed) BeginPeriod(v *sim.PeriodView) sim.PeriodPlan {
 		}
 	}
 
+	// Watchdog: fold this period's sanitizer verdict and the recent
+	// deadline-miss record in; while a tripped window is open, hand the
+	// period to the fallback baseline wholesale.
+	if hardened {
+		s.watchdogUpdate(v, rejected)
+		if s.hs.fallbackLeft > 0 {
+			s.hs.fallbackLeft--
+			s.hs.inFallback = true
+			s.mFallbackPeriods.Inc()
+			return fbPlan
+		}
+		s.hs.inFallback = false
+		if !rejected {
+			s.hs.lastGoodTe = append(s.hs.lastGoodTe[:0], te...)
+		}
+	}
+
 	// The pattern index: eq. (18) on the chosen task set with the WCMA
 	// supply estimate; the DBN's α head covers the cold start.
 	alpha := alphaFromOutput(out.Alpha)
 	if !cold {
 		alpha = Alpha(s.pc.Graph, te, forecast)
+	} else if rejected {
+		// Cold start with a corrupted α head: balanced pacing beats NaN.
+		alpha = 1
 	}
 	s.policy = FinePolicy(s.pc.Graph, alpha, s.pc.Delta)
 
 	plan := sim.PeriodPlan{SwitchTo: -1, Allowed: te}
-	capStar := out.Cap()
 	active := v.Bank.ActiveIndex()
+	// Eq. (22): only abandon the current capacitor when its stored energy
+	// is below E_th — migrating a full store is wasteful. The hardened
+	// variant debounces the below-threshold reading (see ethSwitchAllowed).
+	eth := s.pc.EThFraction * v.Bank.Active().CapacityEnergy()
+	below := v.Bank.Active().UsableEnergy() < eth
+	allowSwitch := s.ethSwitchAllowed(below)
 	if capStar != active {
-		// Eq. (22): only abandon the current capacitor when its stored
-		// energy is below E_th — migrating a full store is wasteful.
-		eth := s.pc.EThFraction * v.Bank.Active().CapacityEnergy()
-		if v.Bank.Active().UsableEnergy() < eth {
+		switch {
+		case allowSwitch:
 			plan.SwitchTo = capStar
 			plan.Migrate = true
-		} else {
+		case below:
+			s.mEthDebounceHolds.Inc()
+		default:
 			s.mEthVeto.Inc()
 		}
 	}
@@ -155,6 +268,9 @@ func (s *Proposed) BeginPeriod(v *sim.PeriodView) sim.PeriodPlan {
 // Slot implements sim.Scheduler.
 func (s *Proposed) Slot(v *sim.SlotView) []int {
 	s.curPowers[v.Slot] = v.SolarPower
+	if s.Harden != nil && s.hs.inFallback {
+		return s.fallback.Slot(v)
+	}
 	return s.policy(v)
 }
 

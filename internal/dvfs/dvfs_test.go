@@ -30,7 +30,7 @@ func TestLevelFor(t *testing.T) {
 func TestSlotPacesWithSlack(t *testing.T) {
 	g := task.ECG()
 	s := NewLoadTune(g)
-	ts := nvp.NewSet(g)
+	ts := nvp.MustNewSet(g)
 	cap := supercap.New(10, supercap.DefaultParams())
 	cap.Charge(20)
 	v := &sim.SlotView{Slot: 0, SolarPower: 0, Tasks: ts, Cap: cap, DirectEff: 0.95}
@@ -54,7 +54,7 @@ func TestSlotUrgentRunsFullSpeed(t *testing.T) {
 	// where remaining/slack > 0.75, the pace must be 1.0.
 	g := task.ECG()
 	s := NewLoadTune(g)
-	ts := nvp.NewSet(g)
+	ts := nvp.MustNewSet(g)
 	cap := supercap.New(10, supercap.DefaultParams())
 	cap.Charge(20)
 	// lpf's effective deadline: its own 480 shrinks through the chain; at
@@ -78,7 +78,7 @@ func TestSlotUrgentRunsFullSpeed(t *testing.T) {
 func TestBoostWhenCapacitorFull(t *testing.T) {
 	g := task.ECG()
 	s := NewLoadTune(g)
-	ts := nvp.NewSet(g)
+	ts := nvp.MustNewSet(g)
 	cap := supercap.New(10, supercap.DefaultParams())
 	cap.Charge(1e6) // slam to V_H
 	v := &sim.SlotView{Slot: 0, SolarPower: 0.2, Tasks: ts, Cap: cap, DirectEff: 0.95}
@@ -109,9 +109,9 @@ func TestRunScaledEnergyAdvantage(t *testing.T) {
 	g := task.NewGraph("one", []task.Task{
 		{ID: 0, Name: "x", ExecTime: 120, Power: 0.040, Deadline: 1800, NVP: 0},
 	}, nil, 1)
-	full := nvp.NewSet(g)
+	full := nvp.MustNewSet(g)
 	pFull := full.RunScaled([]int{0}, []float64{1}, sim.DVFSPowerExponent, 60)
-	half := nvp.NewSet(g)
+	half := nvp.MustNewSet(g)
 	pHalf := half.RunScaled([]int{0}, []float64{0.5}, sim.DVFSPowerExponent, 60)
 	if full.Remaining(0) != 60 || half.Remaining(0) != 90 {
 		t.Fatalf("progress wrong: full %v, half %v", full.Remaining(0), half.Remaining(0))
@@ -156,7 +156,7 @@ func TestExecSlotDVFSTrimsWithSpeeds(t *testing.T) {
 		{ID: 1, Name: "lo", ExecTime: 300, Power: 0.020, Deadline: 1800, NVP: 1},
 	}
 	g := task.NewGraph("pair", tasks, nil, 2)
-	ts := nvp.NewSet(g)
+	ts := nvp.MustNewSet(g)
 	cap := supercap.New(10, supercap.DefaultParams()) // empty
 	// Solar supports exactly one full-speed task.
 	st := sim.ExecSlotDVFS(cap, ts, []int{0, 1},
@@ -171,7 +171,7 @@ func TestExecSlotDVFSTrimsWithSpeeds(t *testing.T) {
 		t.Fatalf("ran %v, want 1 task", st.Ran)
 	}
 	// At quarter speed both fit (2 × 0.020·(1/64) ≪ 0.021).
-	ts2 := nvp.NewSet(g)
+	ts2 := nvp.MustNewSet(g)
 	st2 := sim.ExecSlotDVFS(cap, ts2, []int{0, 1},
 		func(run []int) []float64 {
 			out := make([]float64, len(run))

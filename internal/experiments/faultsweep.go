@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+
+	"solarsched/internal/core"
+	"solarsched/internal/fault"
+	"solarsched/internal/sim"
+	"solarsched/internal/solar"
+	"solarsched/internal/stats"
+	"solarsched/internal/task"
+)
+
+// FaultSweepRow is the measured outcome of one fault-intensity tier: the
+// DMR of every scheduler plus the injected-fault tallies of the proposed
+// scheduler's run (dead slots are scheduler-independent — the outage stream
+// draws once per slot regardless of what the scheduler does).
+type FaultSweepRow struct {
+	Intensity       float64
+	DMR             map[string]float64
+	DeadSlots       int
+	DroppedSwitches map[string]int
+}
+
+// FaultSchedulerOrder is the column order of the fault sweep: the paper's
+// four schedulers plus the hardened proposed variant, so every tier carries
+// its own hardening ablation.
+var FaultSchedulerOrder = []string{"Inter-task", "Intra-task", "Proposed", "Hardened", "Optimal"}
+
+// faultSweepTraceSeed fixes the evaluation weather of the sweep; the fault
+// intensity is the only thing that varies across tiers.
+const faultSweepTraceSeed = 4242
+
+// FaultSweep stresses all schedulers across a grid of fault intensities:
+// each tier runs every scheduler on the same 4-day trace under
+// fault.Reference().Scale(intensity) with a fixed fault seed, so the DMR
+// curve against intensity isolates fault sensitivity from weather luck.
+// Intensity 0 is the clean baseline (the fault layer is disabled outright).
+// The sweep is fully deterministic for a given (cfg, intensities, seed).
+func FaultSweep(cfg Config, intensities []float64, seed uint64) (*stats.Table, []FaultSweepRow, error) {
+	if len(intensities) == 0 {
+		intensities = []float64{0, 0.25, 0.5, 1}
+	}
+	g := task.ECG()
+	setup, err := NewSetup(g, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	tr := solar.MustGenerate(solar.GenConfig{
+		Base: solar.DefaultTimeBase(4),
+		Seed: faultSweepTraceSeed,
+	})
+
+	t := stats.NewTable(
+		fmt.Sprintf("Fault sweep — DMR vs fault intensity (ECG, 4 days, fault seed %d)", seed),
+		append([]string{"intensity", "dead slots"}, FaultSchedulerOrder...)...)
+	var rows []FaultSweepRow
+	for _, lam := range intensities {
+		fc := fault.Reference().Scale(lam)
+		fc.Seed = seed
+
+		// Fresh schedulers per tier: they are stateful (predictors, slot
+		// histories) and must not carry one tier's experience into the next.
+		scheds, banks, err := setup.schedulersFor(tr)
+		if err != nil {
+			return nil, nil, err
+		}
+		pcEval := setup.PlanCfg
+		pcEval.Base = tr.Base
+		hard, err := core.NewProposed(pcEval, setup.Net)
+		if err != nil {
+			return nil, nil, err
+		}
+		hc := core.DefaultHardenConfig()
+		hard.Harden = &hc
+		scheds["Hardened"] = hard
+		banks["Hardened"] = setup.MultiBank
+
+		row := FaultSweepRow{
+			Intensity:       lam,
+			DMR:             map[string]float64{},
+			DroppedSwitches: map[string]int{},
+		}
+		for _, name := range FaultSchedulerOrder {
+			eng, err := sim.New(sim.Config{
+				Trace: tr, Graph: g, Capacitances: banks[name],
+				Observer: Observer, Faults: fc,
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			res, err := eng.Run(scheds[name])
+			if err != nil {
+				return nil, nil, err
+			}
+			row.DMR[name] = res.DMR()
+			row.DroppedSwitches[name] = res.DroppedSwitches
+			if name == "Proposed" {
+				row.DeadSlots = res.DeadSlots
+			}
+		}
+		rows = append(rows, row)
+
+		cells := []string{fmt.Sprintf("%.2f", lam), fmt.Sprintf("%d", row.DeadSlots)}
+		for _, name := range FaultSchedulerOrder {
+			cells = append(cells, stats.Pct(row.DMR[name]))
+		}
+		t.AddRow(cells...)
+	}
+	return t, rows, nil
+}

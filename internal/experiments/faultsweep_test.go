@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// tinyConfig keeps the offline stage cheap enough to train twice in a test.
+func tinyConfig() Config {
+	cfg := Quick()
+	cfg.TrainDays = 4
+	cfg.FineEpochs = 120
+	return cfg
+}
+
+// One sweep, three claims: a fixed seed reproduces bit-identically, the
+// zero tier reports no injected faults, and at the top tier the hardened
+// proposed variant degrades less than the plain one (the whole point of
+// the graceful-degradation layer).
+func TestFaultSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training is slow")
+	}
+	cfg := tinyConfig()
+	intensities := []float64{0, 4}
+	const seed = 99
+
+	_, rows, err := FaultSweep(cfg, intensities, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+
+	clean, top := rows[0], rows[1]
+	if clean.DeadSlots != 0 {
+		t.Errorf("clean tier injected %d dead slots", clean.DeadSlots)
+	}
+	for name, n := range clean.DroppedSwitches {
+		if n != 0 {
+			t.Errorf("clean tier dropped %d switches for %s", n, name)
+		}
+	}
+	if top.DeadSlots == 0 {
+		t.Error("top tier injected no dead slots")
+	}
+	for _, name := range FaultSchedulerOrder {
+		if d := top.DMR[name]; d < 0 || d > 1 {
+			t.Errorf("%s: top-tier DMR %v out of range", name, d)
+		}
+	}
+
+	degPlain := top.DMR["Proposed"] - clean.DMR["Proposed"]
+	degHard := top.DMR["Hardened"] - clean.DMR["Hardened"]
+	t.Logf("clean: proposed=%.4f hardened=%.4f", clean.DMR["Proposed"], clean.DMR["Hardened"])
+	t.Logf("top:   proposed=%.4f hardened=%.4f (deg %.4f vs %.4f)",
+		top.DMR["Proposed"], top.DMR["Hardened"], degPlain, degHard)
+	if degHard >= degPlain {
+		t.Errorf("hardening did not help: degradation %.4f (hardened) vs %.4f (plain)", degHard, degPlain)
+	}
+
+	// Same config, same seed: the sweep must reproduce bit-identically.
+	_, again, err := FaultSweep(cfg, intensities, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rows, again) {
+		t.Fatalf("sweep not deterministic:\nfirst:  %+v\nsecond: %+v", rows, again)
+	}
+}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"solarsched/internal/solar"
@@ -34,34 +35,52 @@ func Robustness(cfg Config, draws int) (*stats.Table, []RobustnessResult, error)
 		return nil, nil, err
 	}
 
+	// A bounded worker pool: draws can number in the hundreds, and each one
+	// runs four full simulations — unbounded fan-out thrashes the scheduler
+	// and the allocator for no throughput gain. Results are keyed by draw
+	// index and each draw derives its trace from its own seed, so the
+	// assignment of draws to workers cannot change any number.
 	perDraw := make([]map[string]float64, draws)
 	errs := make([]error, draws)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > draws {
+		workers = draws
+	}
+	work := make(chan int)
 	var wg sync.WaitGroup
-	for d := 0; d < draws; d++ {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(d int) {
+		go func() {
 			defer wg.Done()
-			tr := solar.MustGenerate(solar.GenConfig{
-				Base: solar.DefaultTimeBase(4),
-				Seed: 9000 + uint64(d),
-			})
-			scheds, banks, err := setup.schedulersFor(tr)
-			if err != nil {
-				errs[d] = err
-				return
-			}
-			out := map[string]float64{}
-			for _, name := range SchedulerOrder {
-				res, err := run(tr, g, banks[name], scheds[name])
+			for d := range work {
+				tr := solar.MustGenerate(solar.GenConfig{
+					Base: solar.DefaultTimeBase(4),
+					Seed: 9000 + uint64(d),
+				})
+				scheds, banks, err := setup.schedulersFor(tr)
 				if err != nil {
 					errs[d] = err
-					return
+					continue
 				}
-				out[name] = res.DMR()
+				out := map[string]float64{}
+				for _, name := range SchedulerOrder {
+					res, err := run(tr, g, banks[name], scheds[name])
+					if err != nil {
+						errs[d] = err
+						break
+					}
+					out[name] = res.DMR()
+				}
+				if errs[d] == nil {
+					perDraw[d] = out
+				}
 			}
-			perDraw[d] = out
-		}(d)
+		}()
 	}
+	for d := 0; d < draws; d++ {
+		work <- d
+	}
+	close(work)
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {

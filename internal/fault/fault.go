@@ -1,0 +1,267 @@
+// Package fault is the deterministic fault-injection subsystem of the node
+// simulator. The paper evaluates the scheduler on clean inputs — exact
+// voltage readings, perfect solar measurements, fresh capacitors and a
+// trusted DBN — while real deployments of nonvolatile sensor nodes are
+// dominated by intermittency, measurement noise and component aging. This
+// package models five fault classes, each relaxing one idealization:
+//
+//   - power interruptions: forced dead slots in which no channel supplies
+//     the load and the NVP set suspends (retaining state, per the paper's
+//     preemption model) until power returns;
+//   - sensor faults: additive noise, quantization and dropout on the
+//     capacitor-voltage and solar-power readings schedulers observe — the
+//     engine keeps ground truth and hands schedulers a corrupted view;
+//   - capacitor aging: per-day capacitance fade, leakage growth and
+//     charge/discharge-efficiency drift on the supercap bank;
+//   - PMU switch failures: a capacitor-switch request that is silently
+//     ignored with some probability;
+//   - DBN corruption: NaN/out-of-range ANN outputs, exercising the
+//     hardened scheduler's sanitizer and watchdog.
+//
+// Everything is seed-reproducible: the injector derives one independent
+// SplitMix64 stream per fault class, so enabling or tuning one class never
+// perturbs the draws of another, and two runs with the same Config are
+// bit-identical. The zero Config disables every class and makes the whole
+// layer a no-op.
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Config holds the fault intensities of one simulation run. The zero value
+// disables fault injection entirely; sim.Config embeds one.
+type Config struct {
+	// Seed drives every stochastic fault class. Runs with equal Config
+	// (including Seed) produce identical fault patterns.
+	Seed uint64
+
+	// OutageProb is the per-slot probability that a power interruption
+	// begins. During an outage no channel supplies the load: the NVPs
+	// suspend (retaining state), the panel harvests nothing and the
+	// scheduler does not run.
+	OutageProb float64
+	// OutageSlots is the length of each outage in slots (default 1).
+	OutageSlots int
+
+	// SolarNoise is the relative standard deviation of multiplicative
+	// Gaussian noise on observed solar power readings.
+	SolarNoise float64
+	// SolarDropProb is the per-reading probability the solar sensor drops
+	// out and reads zero.
+	SolarDropProb float64
+
+	// VoltNoise is the absolute standard deviation (volts) of additive
+	// Gaussian noise on observed capacitor voltages.
+	VoltNoise float64
+	// VoltDropProb is the per-reading probability a voltage reading goes
+	// stale (the previous observation is returned).
+	VoltDropProb float64
+	// VoltQuantStep quantizes observed voltages to multiples of this step
+	// (volts), modeling a coarse ADC. Zero disables quantization.
+	VoltQuantStep float64
+
+	// CapFade is the fractional capacitance lost per simulated day.
+	CapFade float64
+	// LeakGrowth is the fractional leakage-current growth per day.
+	LeakGrowth float64
+	// EffFade is the fractional charge/discharge peak-efficiency drift
+	// per day.
+	EffFade float64
+
+	// SwitchDropProb is the probability the PMU silently ignores a
+	// capacitor-switch request.
+	SwitchDropProb float64
+
+	// DBNCorruptProb is the per-inference probability that the network's
+	// output is corrupted (NaN alpha, NaN task mask or NaN capacitor head).
+	DBNCorruptProb float64
+}
+
+// Enabled reports whether any fault class is active. A disabled config
+// makes the injection layer a strict no-op (the engine skips it entirely).
+func (c Config) Enabled() bool {
+	return c.OutageProb > 0 ||
+		c.SolarNoise > 0 || c.SolarDropProb > 0 ||
+		c.VoltNoise > 0 || c.VoltDropProb > 0 || c.VoltQuantStep > 0 ||
+		c.CapFade > 0 || c.LeakGrowth > 0 || c.EffFade > 0 ||
+		c.SwitchDropProb > 0 ||
+		c.DBNCorruptProb > 0
+}
+
+// SensorFaults reports whether the observation shim (corrupted scheduler
+// views) is needed.
+func (c Config) SensorFaults() bool {
+	return c.SolarNoise > 0 || c.SolarDropProb > 0 ||
+		c.VoltNoise > 0 || c.VoltDropProb > 0 || c.VoltQuantStep > 0
+}
+
+// Validate reports whether the configuration is physically sensible.
+func (c Config) Validate() error {
+	probs := map[string]float64{
+		"OutageProb":     c.OutageProb,
+		"SolarDropProb":  c.SolarDropProb,
+		"VoltDropProb":   c.VoltDropProb,
+		"SwitchDropProb": c.SwitchDropProb,
+		"DBNCorruptProb": c.DBNCorruptProb,
+	}
+	for name, p := range probs {
+		if p < 0 || p > 1 || p != p {
+			return fmt.Errorf("fault: %s %g outside [0,1]", name, p)
+		}
+	}
+	nonneg := map[string]float64{
+		"SolarNoise":    c.SolarNoise,
+		"VoltNoise":     c.VoltNoise,
+		"VoltQuantStep": c.VoltQuantStep,
+		"LeakGrowth":    c.LeakGrowth,
+	}
+	for name, v := range nonneg {
+		if v < 0 || v != v {
+			return fmt.Errorf("fault: negative %s %g", name, v)
+		}
+	}
+	if c.CapFade < 0 || c.CapFade >= 1 || c.CapFade != c.CapFade {
+		return fmt.Errorf("fault: CapFade %g outside [0,1)", c.CapFade)
+	}
+	if c.EffFade < 0 || c.EffFade >= 1 || c.EffFade != c.EffFade {
+		return fmt.Errorf("fault: EffFade %g outside [0,1)", c.EffFade)
+	}
+	if c.OutageSlots < 0 {
+		return fmt.Errorf("fault: negative OutageSlots %d", c.OutageSlots)
+	}
+	return nil
+}
+
+// Reference returns a moderate full-coverage fault profile — the unit
+// intensity of the FaultSweep grids. Scale it to move along the intensity
+// axis.
+func Reference() Config {
+	return Config{
+		OutageProb:     0.005,
+		OutageSlots:    3,
+		SolarNoise:     0.10,
+		SolarDropProb:  0.01,
+		VoltNoise:      0.05,
+		VoltDropProb:   0.02,
+		VoltQuantStep:  0.02,
+		CapFade:        0.004,
+		LeakGrowth:     0.02,
+		EffFade:        0.002,
+		SwitchDropProb: 0.05,
+		DBNCorruptProb: 0.05,
+	}
+}
+
+// Scale returns the config with every intensity multiplied by lambda
+// (probabilities clamped to 1, fades clamped below 1). Seed and
+// OutageSlots are preserved; Scale(0) is a disabled config.
+func (c Config) Scale(lambda float64) Config {
+	if lambda < 0 {
+		lambda = 0
+	}
+	p := func(v float64) float64 {
+		v *= lambda
+		if v > 1 {
+			v = 1
+		}
+		return v
+	}
+	frac := func(v float64) float64 {
+		v *= lambda
+		if v > 0.99 {
+			v = 0.99
+		}
+		return v
+	}
+	out := c
+	out.OutageProb = p(c.OutageProb)
+	out.SolarNoise = c.SolarNoise * lambda
+	out.SolarDropProb = p(c.SolarDropProb)
+	out.VoltNoise = c.VoltNoise * lambda
+	out.VoltDropProb = p(c.VoltDropProb)
+	out.VoltQuantStep = c.VoltQuantStep * lambda
+	out.CapFade = frac(c.CapFade)
+	out.LeakGrowth = c.LeakGrowth * lambda
+	out.EffFade = frac(c.EffFade)
+	out.SwitchDropProb = p(c.SwitchDropProb)
+	out.DBNCorruptProb = p(c.DBNCorruptProb)
+	return out
+}
+
+// specKeys maps -faults key=value spec keys to config fields.
+var specKeys = map[string]func(*Config, float64) error{
+	"outage":       func(c *Config, v float64) error { c.OutageProb = v; return nil },
+	"outage-slots": func(c *Config, v float64) error { c.OutageSlots = int(v); return nil },
+	"solar-noise":  func(c *Config, v float64) error { c.SolarNoise = v; return nil },
+	"solar-drop":   func(c *Config, v float64) error { c.SolarDropProb = v; return nil },
+	"volt-noise":   func(c *Config, v float64) error { c.VoltNoise = v; return nil },
+	"volt-drop":    func(c *Config, v float64) error { c.VoltDropProb = v; return nil },
+	"volt-quant":   func(c *Config, v float64) error { c.VoltQuantStep = v; return nil },
+	"cap-fade":     func(c *Config, v float64) error { c.CapFade = v; return nil },
+	"leak-growth":  func(c *Config, v float64) error { c.LeakGrowth = v; return nil },
+	"eff-fade":     func(c *Config, v float64) error { c.EffFade = v; return nil },
+	"switch-drop":  func(c *Config, v float64) error { c.SwitchDropProb = v; return nil },
+	"dbn":          func(c *Config, v float64) error { c.DBNCorruptProb = v; return nil },
+}
+
+// SpecKeys returns the accepted -faults spec keys, sorted (for usage text).
+func SpecKeys() []string {
+	keys := make([]string, 0, len(specKeys))
+	for k := range specKeys {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// ParseSpec parses a -faults flag value. The empty string disables fault
+// injection. A bare number λ scales the Reference profile by λ. Otherwise
+// the spec is a comma-separated key=value list over SpecKeys, e.g.
+// "outage=0.01,volt-noise=0.05,dbn=0.1". The returned config is validated.
+func ParseSpec(s string) (Config, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return Config{}, nil
+	}
+	if lambda, err := strconv.ParseFloat(s, 64); err == nil {
+		if lambda < 0 || lambda != lambda || lambda > 1e6 {
+			return Config{}, fmt.Errorf("fault: intensity %q outside [0, 1e6]", s)
+		}
+		cfg := Reference().Scale(lambda)
+		if err := cfg.Validate(); err != nil {
+			return Config{}, err
+		}
+		return cfg, nil
+	}
+	var cfg Config
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			return Config{}, fmt.Errorf("fault: bad spec element %q (want key=value)", part)
+		}
+		set, ok := specKeys[strings.TrimSpace(kv[0])]
+		if !ok {
+			return Config{}, fmt.Errorf("fault: unknown spec key %q (known: %s)",
+				kv[0], strings.Join(SpecKeys(), ", "))
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(kv[1]), 64)
+		if err != nil {
+			return Config{}, fmt.Errorf("fault: bad value in %q: %v", part, err)
+		}
+		if err := set(&cfg, v); err != nil {
+			return Config{}, err
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}

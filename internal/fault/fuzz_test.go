@@ -1,0 +1,65 @@
+package fault
+
+import (
+	"testing"
+
+	"solarsched/internal/ann"
+	"solarsched/internal/mat"
+	"solarsched/internal/supercap"
+)
+
+// FuzzSpec feeds arbitrary -faults flag strings through the parser and, when
+// one parses, briefly exercises the injector it configures: whatever a user
+// types on the command line, the fault layer must never panic and never
+// yield an invalid configuration.
+func FuzzSpec(f *testing.F) {
+	f.Add("")
+	f.Add("1")
+	f.Add("0.25")
+	f.Add("outage=0.01,volt-noise=0.05,dbn=0.1")
+	f.Add("outage=0.01, outage-slots=4,switch-drop=0.2")
+	f.Add("cap-fade=0.004,leak-growth=0.02,eff-fade=0.002")
+	f.Add("solar-drop=1,volt-drop=1,volt-quant=0.5")
+	f.Add("bogus=1")
+	f.Add("outage=2")
+	f.Add("-3")
+	f.Add("1e9")
+
+	bankParams := supercap.DefaultParams()
+	f.Fuzz(func(t *testing.T, spec string) {
+		cfg, err := ParseSpec(spec)
+		if err != nil {
+			return
+		}
+		if verr := cfg.Validate(); verr != nil {
+			t.Fatalf("ParseSpec(%q) returned invalid config %+v: %v", spec, cfg, verr)
+		}
+		cfg.Seed = 1
+		inj := NewInjector(cfg)
+		if inj == nil {
+			if cfg.Enabled() {
+				t.Fatalf("enabled config %+v got nil injector", cfg)
+			}
+			return
+		}
+		b := supercap.MustNewBank([]float64{2, 10}, bankParams)
+		for i := 0; i < 32; i++ {
+			inj.DeadSlot()
+			inj.ObserveSolar(0.1)
+			inj.DropSwitch()
+			inj.CorruptDBN(ann.Output{CapProbs: mat.NewVector(2), Alpha: 0.5, Te: mat.NewVector(4)})
+			ob := inj.ObserveBank(b)
+			for _, c := range ob.Caps {
+				if c.V < 0 || c.V != c.V {
+					t.Fatalf("observed voltage %v invalid under %+v", c.V, cfg)
+				}
+			}
+		}
+		inj.AgeDay(b)
+		for _, c := range b.Caps {
+			if c.C <= 0 || c.C != c.C {
+				t.Fatalf("aged capacitance %v invalid under %+v", c.C, cfg)
+			}
+		}
+	})
+}

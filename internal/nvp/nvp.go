@@ -25,12 +25,36 @@ type Set struct {
 }
 
 // NewSet returns a fresh execution state with every task's full execution
-// time remaining.
-func NewSet(g *task.Graph) *Set {
+// time remaining. It returns an error — not a panic — on degenerate input
+// (nil graph, no NVPs, or a task bound to an NVP outside the graph's
+// range): a fault-injecting simulator must survive bad configs.
+func NewSet(g *task.Graph) (*Set, error) {
+	if g == nil {
+		return nil, fmt.Errorf("nvp: nil graph")
+	}
+	if g.NumNVPs <= 0 {
+		return nil, fmt.Errorf("nvp: graph %q has %d NVPs", g.Name, g.NumNVPs)
+	}
+	for n, t := range g.Tasks {
+		if t.NVP < 0 || t.NVP >= g.NumNVPs {
+			return nil, fmt.Errorf("nvp: task %d bound to NVP %d of %d", n, t.NVP, g.NumNVPs)
+		}
+	}
 	s := &Set{G: g}
 	s.remaining = make([]float64, g.N())
 	s.missed = make([]bool, g.N())
 	s.ResetPeriod()
+	return s, nil
+}
+
+// MustNewSet is NewSet for call sites whose graph is already validated
+// (planner-local simulations on engine-checked configs); it panics on the
+// errors NewSet would return.
+func MustNewSet(g *task.Graph) *Set {
+	s, err := NewSet(g)
+	if err != nil {
+		panic(err)
+	}
 	return s
 }
 

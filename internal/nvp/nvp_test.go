@@ -17,7 +17,7 @@ func twoTaskGraph() *task.Graph {
 }
 
 func TestNewSetFullRemaining(t *testing.T) {
-	s := NewSet(twoTaskGraph())
+	s := MustNewSet(twoTaskGraph())
 	if s.Remaining(0) != 120 || s.Remaining(1) != 60 {
 		t.Fatalf("remaining = %v, %v", s.Remaining(0), s.Remaining(1))
 	}
@@ -27,7 +27,7 @@ func TestNewSetFullRemaining(t *testing.T) {
 }
 
 func TestReadyHonorsDependence(t *testing.T) {
-	s := NewSet(twoTaskGraph())
+	s := MustNewSet(twoTaskGraph())
 	if !s.Ready(0) {
 		t.Fatal("root task not ready")
 	}
@@ -44,7 +44,7 @@ func TestReadyHonorsDependence(t *testing.T) {
 }
 
 func TestRunDecrementsAndReportsPower(t *testing.T) {
-	s := NewSet(twoTaskGraph())
+	s := MustNewSet(twoTaskGraph())
 	p := s.Run([]int{0}, 60)
 	if p != 0.01 {
 		t.Fatalf("load power = %v", p)
@@ -66,7 +66,7 @@ func TestFilterRunnableOneTaskPerNVP(t *testing.T) {
 		{ID: 2, Name: "c", ExecTime: 60, Power: 0.01, Deadline: 1800, NVP: 1},
 	}
 	g := task.NewGraph("three", tasks, nil, 2)
-	s := NewSet(g)
+	s := MustNewSet(g)
 	got := s.FilterRunnable([]int{1, 0, 2})
 	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
 		t.Fatalf("FilterRunnable = %v, want [1 2]", got)
@@ -75,7 +75,7 @@ func TestFilterRunnableOneTaskPerNVP(t *testing.T) {
 
 func TestFilterRunnableSkipsDoneAndMissed(t *testing.T) {
 	g := twoTaskGraph()
-	s := NewSet(g)
+	s := MustNewSet(g)
 	s.Run([]int{0}, 120) // finish task 0
 	if got := s.FilterRunnable([]int{0, 1}); len(got) != 1 || got[0] != 1 {
 		t.Fatalf("FilterRunnable = %v, want [1]", got)
@@ -87,7 +87,7 @@ func TestFilterRunnableSkipsDoneAndMissed(t *testing.T) {
 }
 
 func TestCheckDeadlines(t *testing.T) {
-	s := NewSet(twoTaskGraph())
+	s := MustNewSet(twoTaskGraph())
 	// At t=600 task 0 (deadline 600) has not run: it misses; task 1
 	// (deadline 1800) does not.
 	newly := s.CheckDeadlines(600)
@@ -107,7 +107,7 @@ func TestCheckDeadlines(t *testing.T) {
 }
 
 func TestCompletedTaskNeverMisses(t *testing.T) {
-	s := NewSet(twoTaskGraph())
+	s := MustNewSet(twoTaskGraph())
 	s.Run([]int{0}, 120)
 	if newly := s.CheckDeadlines(600); len(newly) != 0 {
 		t.Fatalf("completed task reported missed: %v", newly)
@@ -115,7 +115,7 @@ func TestCompletedTaskNeverMisses(t *testing.T) {
 }
 
 func TestMissedPredecessorBlocksDependent(t *testing.T) {
-	s := NewSet(twoTaskGraph())
+	s := MustNewSet(twoTaskGraph())
 	s.CheckDeadlines(600) // task 0 misses and is aborted
 	if s.Ready(1) {
 		t.Fatal("dependent of a missed task became ready")
@@ -128,7 +128,7 @@ func TestMissedPredecessorBlocksDependent(t *testing.T) {
 }
 
 func TestResetPeriod(t *testing.T) {
-	s := NewSet(twoTaskGraph())
+	s := MustNewSet(twoTaskGraph())
 	s.Run([]int{0}, 120)
 	s.CheckDeadlines(1800)
 	s.ResetPeriod()
@@ -138,7 +138,7 @@ func TestResetPeriod(t *testing.T) {
 }
 
 func TestPendingEnergy(t *testing.T) {
-	s := NewSet(twoTaskGraph())
+	s := MustNewSet(twoTaskGraph())
 	want := 120*0.01 + 60*0.02
 	if got := s.PendingEnergy(); got != want {
 		t.Fatalf("PendingEnergy = %v, want %v", got, want)
@@ -154,7 +154,7 @@ func TestPendingEnergy(t *testing.T) {
 }
 
 func TestCloneIndependent(t *testing.T) {
-	s := NewSet(twoTaskGraph())
+	s := MustNewSet(twoTaskGraph())
 	c := s.Clone()
 	c.Run([]int{0}, 120)
 	if s.Remaining(0) != 120 {
@@ -168,7 +168,7 @@ func TestStateInvariantsProperty(t *testing.T) {
 	g := task.WAM()
 	f := func(seed uint64) bool {
 		src := rng.New(seed)
-		s := NewSet(g)
+		s := MustNewSet(g)
 		elapsed := 0.0
 		for i := 0; i < 50; i++ {
 			order := src.Perm(g.N())

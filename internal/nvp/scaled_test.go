@@ -14,7 +14,7 @@ func scaledGraph() *task.Graph {
 }
 
 func TestRunScaledProgressAndPower(t *testing.T) {
-	s := NewSet(scaledGraph())
+	s := MustNewSet(scaledGraph())
 	p := s.RunScaled([]int{0, 1}, []float64{0.5, 1.0}, 3, 60)
 	if s.Remaining(0) != 90 {
 		t.Fatalf("half-speed remaining = %v, want 90", s.Remaining(0))
@@ -29,7 +29,7 @@ func TestRunScaledProgressAndPower(t *testing.T) {
 }
 
 func TestRunScaledClampsAtZero(t *testing.T) {
-	s := NewSet(scaledGraph())
+	s := MustNewSet(scaledGraph())
 	s.RunScaled([]int{1}, []float64{1}, 3, 1e6)
 	if s.Remaining(1) != 0 {
 		t.Fatal("remaining went negative")
@@ -42,7 +42,7 @@ func TestRunScaledPanicsOnLengthMismatch(t *testing.T) {
 			t.Fatal("length mismatch accepted")
 		}
 	}()
-	NewSet(scaledGraph()).RunScaled([]int{0, 1}, []float64{1}, 3, 60)
+	MustNewSet(scaledGraph()).RunScaled([]int{0, 1}, []float64{1}, 3, 60)
 }
 
 func TestRunScaledPanicsOnBadSpeed(t *testing.T) {
@@ -53,7 +53,7 @@ func TestRunScaledPanicsOnBadSpeed(t *testing.T) {
 					t.Fatalf("speed %v accepted", f)
 				}
 			}()
-			NewSet(scaledGraph()).RunScaled([]int{0}, []float64{f}, 3, 60)
+			MustNewSet(scaledGraph()).RunScaled([]int{0}, []float64{f}, 3, 60)
 		}()
 	}
 }
@@ -61,7 +61,7 @@ func TestRunScaledPanicsOnBadSpeed(t *testing.T) {
 func TestRunScaledNonIntegerExponent(t *testing.T) {
 	// The rare-path integer loop: exponent 2 via the generic branch still
 	// computes f² correctly for f = 0.5.
-	s := NewSet(scaledGraph())
+	s := MustNewSet(scaledGraph())
 	p := s.RunScaled([]int{0}, []float64{0.5}, 2, 60)
 	if d := p - 0.040*0.25; d > 1e-12 || d < -1e-12 {
 		t.Fatalf("power = %v, want %v", p, 0.040*0.25)

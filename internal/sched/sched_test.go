@@ -98,7 +98,7 @@ func TestInterLSAAdmissionRespectsDependence(t *testing.T) {
 	g := task.WAM()
 	tb := smallBase(1)
 	s := NewInterLSA(g, tb, 0.95)
-	bank := supercap.NewBank([]float64{10}, supercap.DefaultParams())
+	bank := supercap.MustNewBank([]float64{10}, supercap.DefaultParams())
 	pv := &sim.PeriodView{Day: 0, Period: 0, Base: tb, Graph: g, Bank: bank}
 	plan := s.BeginPeriod(pv)
 	if plan.Allowed == nil {
@@ -116,7 +116,7 @@ func TestInterLSAAdmitsMoreWithMoreEnergy(t *testing.T) {
 	tb := smallBase(1)
 	count := func(charge float64) int {
 		s := NewInterLSA(g, tb, 0.95)
-		bank := supercap.NewBank([]float64{50}, supercap.DefaultParams())
+		bank := supercap.MustNewBank([]float64{50}, supercap.DefaultParams())
 		bank.Active().Charge(charge)
 		// Provide a bright observed history so WCMA forecasts something.
 		pv := &sim.PeriodView{Day: 1, Period: 1, Base: tb, Graph: g, Bank: bank, LastPeriodEnergy: 0}
@@ -145,7 +145,7 @@ func TestLazySlotIdleWhenNoUrgencyNoSun(t *testing.T) {
 	for i := range s.admitted {
 		s.admitted[i] = true
 	}
-	ts := nvp.NewSet(g)
+	ts := nvp.MustNewSet(g)
 	v := &sim.SlotView{
 		Slot: 0, SolarPower: 0, Tasks: ts, DirectEff: 0.95,
 		Cap: supercap.New(10, supercap.DefaultParams()),
@@ -162,7 +162,7 @@ func TestLazySlotForcesUrgentTask(t *testing.T) {
 	for i := range s.admitted {
 		s.admitted[i] = true
 	}
-	ts := nvp.NewSet(g)
+	ts := nvp.MustNewSet(g)
 	// lpf: S=120, effective deadline at most 420. At slot 4 (t=240s),
 	// 240+60+120=420 → not yet urgent by strict >. At slot 5 (t=300),
 	// 300+60+120 = 480 > eff → urgent.
@@ -184,7 +184,7 @@ func TestLazySlotForcesUrgentTask(t *testing.T) {
 func TestIntraMatchTracksSupply(t *testing.T) {
 	g := task.WAM()
 	s := NewIntraMatch(g)
-	ts := nvp.NewSet(g)
+	ts := nvp.MustNewSet(g)
 	mk := func(sun float64) float64 {
 		v := &sim.SlotView{Slot: 0, SolarPower: sun, Tasks: ts, DirectEff: 1.0,
 			Cap: supercap.New(10, supercap.DefaultParams())}
@@ -208,7 +208,7 @@ func TestIntraMatchTracksSupply(t *testing.T) {
 func TestIntraMatchRunsNothingInDarkSlack(t *testing.T) {
 	g := task.WAM()
 	s := NewIntraMatch(g)
-	ts := nvp.NewSet(g)
+	ts := nvp.MustNewSet(g)
 	v := &sim.SlotView{Slot: 0, SolarPower: 0, Tasks: ts, DirectEff: 0.95,
 		Cap: supercap.New(10, supercap.DefaultParams())}
 	v.Base = smallBase(1)
@@ -231,7 +231,7 @@ func TestBaselinesHaveHighUtilizationOnSunnyDay(t *testing.T) {
 
 func TestCheapestFirstPolicyOrdering(t *testing.T) {
 	g := task.WAM()
-	ts := nvp.NewSet(g)
+	ts := nvp.MustNewSet(g)
 	v := &sim.SlotView{Slot: 0, SolarPower: 0, Tasks: ts, DirectEff: 0.95,
 		Cap: supercap.New(10, supercap.DefaultParams())}
 	v.Base = smallBase(1)
@@ -264,7 +264,7 @@ func TestEDFPolicyOrdering(t *testing.T) {
 func TestLazyPolicyMatchesInterLSABehavior(t *testing.T) {
 	g := task.ECG()
 	pol := LazyPolicy(g, 0.95)
-	ts := nvp.NewSet(g)
+	ts := nvp.MustNewSet(g)
 	dark := &sim.SlotView{Slot: 0, SolarPower: 0, Tasks: ts, DirectEff: 0.95,
 		Cap: supercap.New(10, supercap.DefaultParams())}
 	dark.Base = smallBase(1)

@@ -1,0 +1,181 @@
+package sim_test
+
+import (
+	"reflect"
+	"testing"
+
+	"solarsched/internal/fault"
+	"solarsched/internal/sim"
+	"solarsched/internal/solar"
+	"solarsched/internal/task"
+)
+
+// A zero fault.Config must be a structural no-op: the engine takes the
+// exact same code path as before the fault layer existed, so the whole
+// Result — every ledger entry, every period — is deep-equal.
+func TestZeroFaultConfigBitIdentical(t *testing.T) {
+	tb := smallBase(3)
+	tr := solar.MustGenerate(solar.GenConfig{Base: tb, Seed: 4})
+	g := task.WAM()
+
+	clean := mustEngine(t, sim.Config{Trace: tr, Graph: g, Capacitances: []float64{10, 50}})
+	resClean, err := clean.Run(greedyEDF{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Faults set but all intensities zero — including a nonzero seed,
+	// which alone must not enable anything.
+	faulty := mustEngine(t, sim.Config{
+		Trace: tr, Graph: g, Capacitances: []float64{10, 50},
+		Faults: fault.Config{Seed: 12345, OutageSlots: 3},
+	})
+	resFaulty, err := faulty.Run(greedyEDF{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resClean, resFaulty) {
+		t.Fatalf("zero-intensity faults changed the result:\nclean:  %+v\nfaulty: %+v", resClean, resFaulty)
+	}
+}
+
+// Fixed seed, fixed config: two runs inject the identical fault pattern.
+func TestFaultRunsDeterministic(t *testing.T) {
+	tb := smallBase(3)
+	tr := solar.MustGenerate(solar.GenConfig{Base: tb, Seed: 4})
+	g := task.WAM()
+	// 4× the reference profile: dense enough that a 3-day run injects
+	// every fault class with near certainty.
+	fc := fault.Reference().Scale(4)
+	fc.Seed = 99
+
+	runOnce := func() *sim.Result {
+		e := mustEngine(t, sim.Config{
+			Trace: tr, Graph: g, Capacitances: []float64{10, 50}, Faults: fc,
+		})
+		res, err := e.Run(greedyEDF{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := runOnce(), runOnce()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different runs:\na: %+v\nb: %+v", a, b)
+	}
+	if a.DeadSlots == 0 {
+		t.Error("reference fault profile injected no dead slots over 3 days")
+	}
+}
+
+// A permanent outage kills everything: no slot executes, no energy is
+// harvested (the panel is down too), every deadline misses.
+func TestPermanentOutage(t *testing.T) {
+	tb := smallBase(2)
+	e := mustEngine(t, sim.Config{
+		Trace: constTrace(tb, 1.0), Graph: task.WAM(), Capacitances: []float64{10},
+		Faults: fault.Config{Seed: 1, OutageProb: 1, OutageSlots: 1},
+	})
+	res, err := e.Run(greedyEDF{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DMR() != 1 {
+		t.Fatalf("DMR = %v under permanent outage", res.DMR())
+	}
+	if res.Harvested != 0 {
+		t.Fatalf("Harvested = %v while the node was dead throughout", res.Harvested)
+	}
+	if want := tb.TotalPeriods() * tb.SlotsPerPeriod; res.DeadSlots != want {
+		t.Fatalf("DeadSlots = %d, want %d", res.DeadSlots, want)
+	}
+}
+
+// A PMU that drops every switch request: the schedule's switches are all
+// counted as dropped and none take effect.
+func TestSwitchDropSuppressesSwitches(t *testing.T) {
+	tb := smallBase(2)
+	e := mustEngine(t, sim.Config{
+		Trace: constTrace(tb, 0.08), Graph: task.ECG(), Capacitances: []float64{10, 50},
+		Faults: fault.Config{Seed: 1, SwitchDropProb: 1},
+	})
+	res, err := e.Run(capSwitcher{to: 1, migrate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CapSwitches != 0 {
+		t.Fatalf("CapSwitches = %d with a dead PMU", res.CapSwitches)
+	}
+	if res.DroppedSwitches != 1 {
+		t.Fatalf("DroppedSwitches = %d, want 1", res.DroppedSwitches)
+	}
+	if res.MigrationLoss != 0 {
+		t.Fatalf("MigrationLoss = %v though the migration was dropped", res.MigrationLoss)
+	}
+}
+
+// capProbe records the active capacitor's capacitance at every period
+// boundary, to observe aging from inside a run.
+type capProbe struct {
+	caps []float64
+}
+
+func (p *capProbe) Name() string { return "cap-probe" }
+func (p *capProbe) BeginPeriod(v *sim.PeriodView) sim.PeriodPlan {
+	p.caps = append(p.caps, v.Bank.Active().C)
+	return sim.KeepCap
+}
+func (p *capProbe) Slot(v *sim.SlotView) []int { return edfOrder(v.Tasks.G) }
+
+// Capacitor aging: with CapFade set, the capacitance a scheduler sees must
+// shrink day over day, and never within a day.
+func TestAgingFadesCapacitance(t *testing.T) {
+	tb := smallBase(4)
+	probe := &capProbe{}
+	e := mustEngine(t, sim.Config{
+		Trace: constTrace(tb, 0.05), Graph: task.WAM(), Capacitances: []float64{10},
+		Faults: fault.Config{Seed: 1, CapFade: 0.01},
+	})
+	if _, err := e.Run(probe); err != nil {
+		t.Fatal(err)
+	}
+	pp := tb.PeriodsPerDay
+	for day := 1; day < tb.Days; day++ {
+		prev, cur := probe.caps[(day-1)*pp], probe.caps[day*pp]
+		if cur >= prev {
+			t.Fatalf("day %d: capacitance %v did not fade from %v", day, cur, prev)
+		}
+	}
+	// Within a day, no aging is applied.
+	if probe.caps[0] != probe.caps[pp-1] {
+		t.Fatalf("capacitance changed mid-day: %v -> %v", probe.caps[0], probe.caps[pp-1])
+	}
+}
+
+// Sensor faults corrupt only what schedulers observe: the engine's ledger
+// must stay on ground truth. A scheduler that never acts on its readings
+// produces the same physical outcome with and without sensor noise.
+func TestSensorFaultsDoNotTouchGroundTruth(t *testing.T) {
+	tb := smallBase(3)
+	tr := solar.MustGenerate(solar.GenConfig{Base: tb, Seed: 4})
+	g := task.WAM()
+
+	clean := mustEngine(t, sim.Config{Trace: tr, Graph: g, Capacitances: []float64{10}})
+	resClean, err := clean.Run(greedyEDF{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy := mustEngine(t, sim.Config{
+		Trace: tr, Graph: g, Capacitances: []float64{10},
+		Faults: fault.Config{Seed: 5, SolarNoise: 0.5, VoltNoise: 0.5, VoltDropProb: 0.2, SolarDropProb: 0.2, VoltQuantStep: 0.05},
+	})
+	resNoisy, err := noisy.Run(greedyEDF{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// greedyEDF ignores every sensor reading, so the physics — harvest,
+	// delivery, misses — must be identical; only the observation changed.
+	if resClean.DMR() != resNoisy.DMR() || resClean.Harvested != resNoisy.Harvested ||
+		resClean.Delivered != resNoisy.Delivered {
+		t.Fatalf("sensor faults leaked into ground truth:\nclean: %+v\nnoisy: %+v", resClean, resNoisy)
+	}
+}

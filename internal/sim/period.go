@@ -28,7 +28,7 @@ type PeriodOutcome struct {
 func RunPeriodOnCap(cap *supercap.Capacitor, powers []float64, g *task.Graph,
 	allowed []bool, policy SlotPolicy, dt, directEff float64) PeriodOutcome {
 
-	ts := nvp.NewSet(g)
+	ts := nvp.MustNewSet(g)
 	out := PeriodOutcome{Executed: make([]bool, g.N())}
 	startUsable := cap.UsableEnergy()
 	for slot, solarW := range powers {

@@ -28,6 +28,10 @@ type Result struct {
 	FinalStored   float64 // usable energy left in the bank at the end
 
 	CapSwitches int
+
+	// Fault-layer tallies, all zero when sim.Config.Faults is disabled.
+	DeadSlots       int // slots lost to injected power interruptions
+	DroppedSwitches int // capacitor-switch requests the faulty PMU ignored
 }
 
 func newResult(name string, tb solar.TimeBase, n int) *Result {

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 
+	"solarsched/internal/fault"
 	"solarsched/internal/nvp"
 	"solarsched/internal/obs"
 	"solarsched/internal/solar"
@@ -120,6 +121,15 @@ type Config struct {
 	// branch per record site (see BenchmarkEngineBare).
 	Observer *obs.Registry
 
+	// Faults configures the deterministic fault-injection layer: power
+	// interruptions, sensor corruption of the scheduler's observations,
+	// capacitor aging, PMU switch drops and DBN corruption. The zero value
+	// disables injection entirely — the engine then follows the exact
+	// pre-fault code paths, bit for bit. Each Run derives its own injector
+	// from Faults.Seed, so concurrent Runs stay independent and two runs
+	// with equal configs produce identical fault patterns.
+	Faults fault.Config
+
 	// SlotSpans additionally emits a span per simulated slot. Off by
 	// default: it samples the wall clock twice per slot, which is
 	// measurable next to the ~µs slot execution itself.
@@ -132,6 +142,16 @@ type Config struct {
 // counts, forecast error, guard overrides) into the same pipeline.
 type Observable interface {
 	SetObserver(*obs.Registry)
+}
+
+// FaultAware is an optional Scheduler extension: the engine hands the
+// run's fault injector (nil when faults are disabled) to any scheduler
+// implementing it before the first period. Schedulers that embed a fault
+// surface of their own — the proposed scheduler's DBN inference — draw
+// their corruption from the same seeded streams as the engine, keeping the
+// whole run reproducible. Implementations must tolerate a nil injector.
+type FaultAware interface {
+	SetFaultInjector(*fault.Injector)
 }
 
 // Engine runs schedulers over a configuration.
@@ -174,6 +194,9 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.DirectEff < 0 || cfg.DirectEff > 1 {
 		return nil, fmt.Errorf("sim: direct efficiency %g outside [0,1]", cfg.DirectEff)
 	}
+	if err := cfg.Faults.Validate(); err != nil {
+		return nil, err
+	}
 	return &Engine{cfg: cfg, m: newEngineMetrics(cfg.Observer)}, nil
 }
 
@@ -189,13 +212,28 @@ func (e *Engine) Run(s Scheduler) (*Result, error) {
 // allowed), used for debugging and trace visualization.
 func (e *Engine) RunRecorded(s Scheduler, rec Recorder) (*Result, error) {
 	tb := e.cfg.Trace.Base
-	bank := supercap.NewBank(e.cfg.Capacitances, e.cfg.Params)
-	ts := nvp.NewSet(e.cfg.Graph)
+	bank, err := supercap.NewBank(e.cfg.Capacitances, e.cfg.Params)
+	if err != nil {
+		return nil, err
+	}
+	ts, err := nvp.NewSet(e.cfg.Graph)
+	if err != nil {
+		return nil, err
+	}
 	res := newResult(s.Name(), tb, e.cfg.Graph.N())
 	dt := tb.SlotSeconds
 
+	// The fault layer of this run. A nil injector (faults disabled) makes
+	// every call below a no-op returning its input, so the clean path is
+	// bit-identical to the pre-fault engine.
+	inj := fault.NewInjector(e.cfg.Faults)
+	inj.SetObserver(e.cfg.Observer)
+
 	if o, ok := s.(Observable); ok {
 		o.SetObserver(e.cfg.Observer)
+	}
+	if fa, ok := s.(FaultAware); ok {
+		fa.SetFaultInjector(inj)
 	}
 	runSpan := e.cfg.Observer.StartSpan("sim/run")
 	defer runSpan.End()
@@ -211,11 +249,17 @@ func (e *Engine) RunRecorded(s Scheduler, rec Recorder) (*Result, error) {
 	lastEnergy := 0.0
 	for day := 0; day < tb.Days; day++ {
 		daySpan := runSpan.Child("day")
+		if day > 0 {
+			// One day of component wear on the real bank (no-op without
+			// aging faults). Schedulers never learn the drifted constants
+			// directly — they only see the voltages their sensors report.
+			inj.AgeDay(bank)
+		}
 		for period := 0; period < tb.PeriodsPerDay; period++ {
 			periodSpan := daySpan.Child("period")
 			pv := &PeriodView{
 				Day: day, Period: period, Base: tb,
-				Graph: e.cfg.Graph, Bank: bank,
+				Graph: e.cfg.Graph, Bank: inj.ObserveBank(bank),
 				LastPeriodEnergy: lastEnergy,
 				AccumulatedDMR:   res.DMR(),
 			}
@@ -225,18 +269,24 @@ func (e *Engine) RunRecorded(s Scheduler, rec Recorder) (*Result, error) {
 					return nil, fmt.Errorf("sim: scheduler %s switched to capacitor %d of %d",
 						s.Name(), plan.SwitchTo, bank.Size())
 				}
-				if plan.Migrate {
-					before := res.MigrationLoss
-					res.MigrationLoss += bank.MigrateTo(plan.SwitchTo)
-					if e.m != nil {
-						e.m.migLoss.Add(res.MigrationLoss - before)
-					}
+				if inj.DropSwitch() {
+					// PMU fault: the switch request is silently ignored;
+					// the scheduler believes it switched.
+					res.DroppedSwitches++
 				} else {
-					bank.SwitchTo(plan.SwitchTo)
-				}
-				res.CapSwitches++
-				if e.m != nil {
-					e.m.capSwitches.Inc()
+					if plan.Migrate {
+						before := res.MigrationLoss
+						res.MigrationLoss += bank.MigrateTo(plan.SwitchTo)
+						if e.m != nil {
+							e.m.migLoss.Add(res.MigrationLoss - before)
+						}
+					} else {
+						bank.SwitchTo(plan.SwitchTo)
+					}
+					res.CapSwitches++
+					if e.m != nil {
+						e.m.capSwitches.Inc()
+					}
 				}
 			}
 			ts.ResetPeriod()
@@ -247,10 +297,45 @@ func (e *Engine) RunRecorded(s Scheduler, rec Recorder) (*Result, error) {
 					slotSpan = periodSpan.Child("slot")
 				}
 				solarW := e.cfg.Trace.At(day, period, slot)
+				if inj.DeadSlot() {
+					// Power interruption: no channel supplies the load, the
+					// panel harvests nothing and the node (scheduler
+					// included) does not run. The NVPs suspend at zero cost
+					// and retain state — only wall-clock physics continue:
+					// capacitors leak and deadlines keep approaching.
+					res.DeadSlots++
+					before := bankEnergy(bank)
+					bank.LeakAll(dt)
+					res.Leaked += before - bankEnergy(bank)
+					if e.m != nil {
+						loadBatch.Observe(0)
+					}
+					ts.CheckDeadlines(float64(slot+1) * dt)
+					if rec != nil {
+						rec.Record(SlotRecord{
+							Day: day, Period: period, Slot: slot,
+							SolarW: solarW, LoadW: 0,
+							ActiveCap: bank.ActiveIndex(), ActiveV: bank.Active().V,
+							UsableJ:      bank.Active().UsableEnergy(),
+							PeriodMisses: ts.Misses(),
+						})
+					}
+					slotSpan.End()
+					continue
+				}
 				sv := &SlotView{
 					Day: day, Period: period, Slot: slot, Base: tb,
 					SolarPower: solarW, Cap: bank.Active(), Bank: bank,
 					Tasks: ts, DirectEff: e.cfg.DirectEff,
+				}
+				if inj.SensorFaults() {
+					// Observation shim: the scheduler sees what the node's
+					// sensors report, never the ground truth the physics
+					// below run on.
+					obsBank := inj.ObserveBank(bank)
+					sv.SolarPower = inj.ObserveSolar(solarW)
+					sv.Bank = obsBank
+					sv.Cap = obsBank.Active()
 				}
 				order := s.Slot(sv)
 				if plan.Allowed != nil {

@@ -167,7 +167,7 @@ func TestBrownoutTrimsLowestPriority(t *testing.T) {
 		{ID: 1, Name: "lo", ExecTime: 60, Power: 0.010, Deadline: 1800, NVP: 1},
 	}
 	g := task.NewGraph("pair", tasks, nil, 2)
-	ts := nvp.NewSet(g)
+	ts := nvp.MustNewSet(g)
 	cap := supercap.New(10, supercap.DefaultParams()) // starts empty
 	st := sim.ExecSlot(cap, ts, []int{0, 1}, 0.012, 60, 1.0)
 	if len(st.Ran) != 1 || st.Ran[0] != 0 {
@@ -181,7 +181,7 @@ func TestBrownoutTrimsLowestPriority(t *testing.T) {
 func TestExecSlotUsesCapacitorForDeficit(t *testing.T) {
 	tasks := []task.Task{{ID: 0, Name: "x", ExecTime: 60, Power: 0.020, Deadline: 1800, NVP: 0}}
 	g := task.NewGraph("one", tasks, nil, 1)
-	ts := nvp.NewSet(g)
+	ts := nvp.MustNewSet(g)
 	cap := supercap.New(10, supercap.DefaultParams())
 	cap.Charge(10)                                    // plenty
 	st := sim.ExecSlot(cap, ts, []int{0}, 0, 60, 1.0) // no solar at all
@@ -196,7 +196,7 @@ func TestExecSlotUsesCapacitorForDeficit(t *testing.T) {
 
 func TestExecSlotStoresSurplus(t *testing.T) {
 	g := task.NewGraph("idle", []task.Task{{ID: 0, Name: "x", ExecTime: 60, Power: 0.01, Deadline: 1800, NVP: 0}}, nil, 1)
-	ts := nvp.NewSet(g)
+	ts := nvp.MustNewSet(g)
 	cap := supercap.New(10, supercap.DefaultParams())
 	st := sim.ExecSlot(cap, ts, nil, 0.05, 60, 0.95) // nothing scheduled
 	if st.SurplusOffered != 0.05*60 {

@@ -35,7 +35,7 @@ func MigrationPattern(tr *solar.Trace, day int, g *task.Graph, directEff float64
 	dt := tb.SlotSeconds
 	pat := DayPattern{Deltas: make([]float64, tb.SlotsPerDay()), SlotSeconds: dt}
 	order := sched.EDFPolicy(g)(nil)
-	ts := nvp.NewSet(g)
+	ts := nvp.MustNewSet(g)
 	i := 0
 	for p := 0; p < tb.PeriodsPerDay; p++ {
 		ts.ResetPeriod()

@@ -12,14 +12,32 @@ type Bank struct {
 }
 
 // NewBank builds a bank with the given capacitances (farads), all starting
-// at the cut-off voltage, with capacitor 0 active.
-func NewBank(capacitances []float64, p Params) *Bank {
+// at the cut-off voltage, with capacitor 0 active. It returns an error —
+// not a panic — on degenerate input: a fault-injecting simulator must
+// survive bad configs, not crash on them.
+func NewBank(capacitances []float64, p Params) (*Bank, error) {
 	if len(capacitances) == 0 {
-		panic("supercap: empty bank")
+		return nil, fmt.Errorf("supercap: empty bank")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
 	}
 	b := &Bank{Caps: make([]*Capacitor, len(capacitances))}
 	for i, c := range capacitances {
+		if c <= 0 || c != c {
+			return nil, fmt.Errorf("supercap: non-positive capacitance %g at index %d", c, i)
+		}
 		b.Caps[i] = New(c, p)
+	}
+	return b, nil
+}
+
+// MustNewBank is NewBank for call sites whose input is already validated;
+// it panics on the errors NewBank would return.
+func MustNewBank(capacitances []float64, p Params) *Bank {
+	b, err := NewBank(capacitances, p)
+	if err != nil {
+		panic(err)
 	}
 	return b
 }
@@ -70,6 +88,13 @@ func fromLoss(c *Capacitor, delivered float64) float64 {
 		return 0
 	}
 	return delivered * (1/eta - 1)
+}
+
+// AgeAll applies one day of wear to every capacitor (see Capacitor.Age).
+func (b *Bank) AgeAll(a Aging) {
+	for _, c := range b.Caps {
+		c.Age(a)
+	}
 }
 
 // LeakAll applies self-discharge to every capacitor over dt seconds.

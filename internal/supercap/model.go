@@ -200,3 +200,47 @@ func (s *Capacitor) Clone() *Capacitor {
 	c := *s
 	return &c
 }
+
+// Aging describes one day of super-capacitor wear, all as fractional
+// drifts per day: capacitance fade (electrode degradation), leakage-current
+// growth, and peak regulator-efficiency fade (charge/discharge drift).
+type Aging struct {
+	CapFade    float64 // fraction of capacitance lost per day, in [0, 1)
+	LeakGrowth float64 // fractional leakage-current growth per day, ≥ 0
+	EffFade    float64 // fractional charge/discharge peak-efficiency fade per day, in [0, 1)
+}
+
+// agedEffFloor keeps an aged regulator from decaying to uselessness: no
+// matter how long the drift runs, conversion never drops below this peak
+// efficiency (a broken-but-bounded regulator, not a dead one).
+const agedEffFloor = 0.30
+
+// Age applies one day of wear to the capacitor. The voltage is held and
+// the capacitance reduced, so stored energy ½CV² shrinks with the fade —
+// the charge lost to the degraded electrode is gone, not redistributed.
+// Leakage currents grow and the regulator peak efficiencies decay toward a
+// floor; all drifts are deterministic (aging is drift, not noise).
+func (s *Capacitor) Age(a Aging) {
+	if a.CapFade > 0 && a.CapFade < 1 {
+		s.C *= 1 - a.CapFade
+	}
+	if a.LeakGrowth > 0 {
+		g := 1 + a.LeakGrowth
+		s.P.LeakConst *= g
+		s.P.LeakLin *= g
+		s.P.LeakCubic *= g
+	}
+	if a.EffFade > 0 && a.EffFade < 1 {
+		f := 1 - a.EffFade
+		if v := s.P.ChrMax * f; v >= agedEffFloor {
+			s.P.ChrMax = v
+		} else {
+			s.P.ChrMax = agedEffFloor
+		}
+		if v := s.P.DisMax * f; v >= agedEffFloor {
+			s.P.DisMax = v
+		} else {
+			s.P.DisMax = agedEffFloor
+		}
+	}
+}

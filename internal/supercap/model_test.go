@@ -210,7 +210,7 @@ func TestNoFreeEnergyProperty(t *testing.T) {
 
 func TestBankSwitchAndMigrate(t *testing.T) {
 	p := DefaultParams()
-	b := NewBank([]float64{1, 10, 100}, p)
+	b := MustNewBank([]float64{1, 10, 100}, p)
 	if b.Size() != 3 || b.ActiveIndex() != 0 {
 		t.Fatal("bank initial state wrong")
 	}
@@ -240,7 +240,7 @@ func TestBankSwitchAndMigrate(t *testing.T) {
 }
 
 func TestBankMigrateToSelfNoop(t *testing.T) {
-	b := NewBank([]float64{10, 10}, DefaultParams())
+	b := MustNewBank([]float64{10, 10}, DefaultParams())
 	b.Active().Charge(5)
 	before := b.Active().UsableEnergy()
 	if lost := b.MigrateTo(0); lost != 0 {
@@ -252,7 +252,7 @@ func TestBankMigrateToSelfNoop(t *testing.T) {
 }
 
 func TestBankLeakAllAndVoltages(t *testing.T) {
-	b := NewBank([]float64{10, 50}, DefaultParams())
+	b := MustNewBank([]float64{10, 50}, DefaultParams())
 	b.Caps[0].Charge(10)
 	b.Caps[1].Charge(10)
 	before := b.TotalUsable()
@@ -267,7 +267,7 @@ func TestBankLeakAllAndVoltages(t *testing.T) {
 }
 
 func TestBankCloneIndependent(t *testing.T) {
-	b := NewBank([]float64{10}, DefaultParams())
+	b := MustNewBank([]float64{10}, DefaultParams())
 	b.Active().Charge(5)
 	c := b.Clone()
 	c.Active().Discharge(1e9)

@@ -36,6 +36,7 @@ import (
 	"solarsched/internal/ann"
 	"solarsched/internal/core"
 	"solarsched/internal/experiments"
+	"solarsched/internal/fault"
 	"solarsched/internal/obs"
 	"solarsched/internal/overhead"
 	"solarsched/internal/sched"
@@ -157,8 +158,9 @@ func DefaultCapParams() CapParams { return supercap.DefaultParams() }
 // NewCapacitor returns a capacitor of c farads at cut-off voltage.
 func NewCapacitor(c float64, p CapParams) *Capacitor { return supercap.New(c, p) }
 
-// NewCapBank builds a bank of distributed capacitors.
-func NewCapBank(capacitances []float64, p CapParams) *CapBank {
+// NewCapBank builds a bank of distributed capacitors. It returns an error
+// on degenerate input (empty bank, non-positive capacitance, bad params).
+func NewCapBank(capacitances []float64, p CapParams) (*CapBank, error) {
 	return supercap.NewBank(capacitances, p)
 }
 
@@ -210,6 +212,23 @@ const DefaultDirectEff = sim.DefaultDirectEff
 // NewEngine validates a configuration and returns an engine.
 func NewEngine(cfg EngineConfig) (*Engine, error) { return sim.New(cfg) }
 
+// ---- Fault injection ---------------------------------------------------------
+
+// FaultConfig holds the fault intensities of one run; set it as
+// EngineConfig.Faults. The zero value disables fault injection entirely
+// and the engine takes the exact pre-fault-layer code path.
+type FaultConfig = fault.Config
+
+// ReferenceFaults returns the moderate full-coverage fault profile — the
+// unit intensity of the fault sweep. Scale it to move along the intensity
+// axis.
+func ReferenceFaults() FaultConfig { return fault.Reference() }
+
+// ParseFaultSpec parses a -faults style spec: "" (disabled), a bare
+// intensity λ (scales the reference profile), or a key=value list such as
+// "outage=0.01,volt-noise=0.05,dbn=0.1".
+func ParseFaultSpec(s string) (FaultConfig, error) { return fault.ParseSpec(s) }
+
 // ---- Schedulers ------------------------------------------------------------------
 
 // NewASAP returns the as-soon-as-possible scheduler (§4.1's pattern source).
@@ -250,6 +269,25 @@ func NewProposed(pc PlanConfig, net *Network) (Scheduler, error) {
 	return core.NewProposed(pc, net)
 }
 
+// HardenConfig tunes the proposed scheduler's graceful-degradation layer:
+// output sanitizer, watchdog fallback to the lazy baseline, and E_th
+// switch debounce.
+type HardenConfig = core.HardenConfig
+
+// DefaultHardenConfig returns the fault sweep's hardening thresholds.
+func DefaultHardenConfig() HardenConfig { return core.DefaultHardenConfig() }
+
+// NewHardenedProposed wraps a trained network as the proposed scheduler
+// with the graceful-degradation layer enabled.
+func NewHardenedProposed(pc PlanConfig, net *Network, hc HardenConfig) (Scheduler, error) {
+	p, err := core.NewProposed(pc, net)
+	if err != nil {
+		return nil, err
+	}
+	p.Harden = &hc
+	return p, nil
+}
+
 // TrainProposed trains on a trace and returns the online scheduler.
 func TrainProposed(pc PlanConfig, trainTrace *Trace, opt TrainOptions) (Scheduler, error) {
 	return core.TrainProposed(pc, trainTrace, opt)
@@ -284,14 +322,15 @@ var (
 
 // The per-figure/table harnesses of §6 (see EXPERIMENTS.md).
 var (
-	Fig5     = experiments.Fig5
-	Fig7     = experiments.Fig7
-	Table2   = experiments.Table2
-	Fig8     = experiments.Fig8
-	Fig9     = experiments.Fig9
-	Fig10a   = experiments.Fig10a
-	Fig10b   = experiments.Fig10b
-	Overhead = experiments.Overhead
+	Fig5       = experiments.Fig5
+	Fig7       = experiments.Fig7
+	Table2     = experiments.Table2
+	Fig8       = experiments.Fig8
+	Fig9       = experiments.Fig9
+	Fig10a     = experiments.Fig10a
+	Fig10b     = experiments.Fig10b
+	Overhead   = experiments.Overhead
+	FaultSweep = experiments.FaultSweep
 )
 
 // MCU is the 93.5 kHz on-node cost model of §6.5.

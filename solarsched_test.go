@@ -45,7 +45,10 @@ func TestFacadeStorage(t *testing.T) {
 	if cap.UsableEnergy() <= 0 {
 		t.Fatal("charge had no effect")
 	}
-	bank := solarsched.NewCapBank([]float64{1, 10}, p)
+	bank, err := solarsched.NewCapBank([]float64{1, 10}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if bank.Size() != 2 {
 		t.Fatal("bank size")
 	}
