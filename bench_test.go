@@ -9,6 +9,7 @@
 package solarsched_test
 
 import (
+	"context"
 	"testing"
 
 	"solarsched"
@@ -56,7 +57,7 @@ func BenchmarkFig8DMR(b *testing.B) {
 	var res *experiments.Fig8Result
 	for i := 0; i < b.N; i++ {
 		var err error
-		_, res, err = experiments.Fig8(cfg, []*task.Graph{task.ECG()})
+		_, res, err = experiments.Fig8(context.Background(), cfg, []*task.Graph{task.ECG()})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -73,7 +74,7 @@ func BenchmarkFig9Monthly(b *testing.B) {
 	var res *experiments.Fig9Result
 	for i := 0; i < b.N; i++ {
 		var err error
-		_, res, err = experiments.Fig9(cfg)
+		_, res, err = experiments.Fig9(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -90,7 +91,7 @@ func BenchmarkFig10aPrediction(b *testing.B) {
 	var res []experiments.Fig10aResult
 	for i := 0; i < b.N; i++ {
 		var err error
-		_, res, err = experiments.Fig10a(cfg)
+		_, res, err = experiments.Fig10a(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -105,7 +106,7 @@ func BenchmarkFig10bCapCount(b *testing.B) {
 	var res []experiments.Fig10bResult
 	for i := 0; i < b.N; i++ {
 		var err error
-		_, res, err = experiments.Fig10b(cfg)
+		_, res, err = experiments.Fig10b(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -134,7 +135,7 @@ func BenchmarkOverhead(b *testing.B) {
 func BenchmarkAblationDVFS(b *testing.B) {
 	cfg := experiments.Quick()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.AblationDVFS(cfg); err != nil {
+		if _, err := experiments.AblationDVFS(context.Background(), cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -145,7 +146,7 @@ func BenchmarkAblationDVFS(b *testing.B) {
 func BenchmarkAblationPredictor(b *testing.B) {
 	cfg := experiments.Quick()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.AblationPredictor(cfg); err != nil {
+		if _, err := experiments.AblationPredictor(context.Background(), cfg); err != nil {
 			b.Fatal(err)
 		}
 	}

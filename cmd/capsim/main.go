@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 
+	"solarsched/internal/cli"
 	"solarsched/internal/obs"
 	"solarsched/internal/stats"
 	"solarsched/internal/supercap"
@@ -42,7 +43,7 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "capsim: %v\n", err)
-		os.Exit(1)
+		os.Exit(cli.ExitCode(err))
 	}
 }
 

@@ -17,9 +17,17 @@
 // (-metrics, -metrics-format, -metrics-out, -cpuprofile, -memprofile,
 // -exectrace) and -quiet, which silences diagnostics so that only the
 // metrics emission can reach stdout.
+//
+// The run subcommand checkpoints: `-checkpoint run.ckpt` persists the
+// complete run state crash-consistently during the simulation, and
+// `-resume` continues a killed run from its last checkpoint — the final
+// metrics digest is bit-identical to an uninterrupted run. SIGINT or
+// SIGTERM stops the run at the next period boundary (flushing a final
+// checkpoint) and exits with status 130.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -28,6 +36,8 @@ import (
 	"strings"
 
 	"solarsched/internal/ann"
+	"solarsched/internal/ckpt"
+	"solarsched/internal/cli"
 	"solarsched/internal/core"
 	"solarsched/internal/dvfs"
 	"solarsched/internal/fault"
@@ -61,7 +71,7 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "nodesim: %v\n", err)
-		os.Exit(1)
+		os.Exit(cli.ExitCode(err))
 	}
 }
 
@@ -116,16 +126,18 @@ func workloadCmd(args []string) (err error) {
 	}
 	defer finish(&of, stop, &err)
 
-	w := io.Writer(os.Stdout)
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		w = f
+	if *out == "" {
+		return workloadCmdTo(os.Stdout, *name)
 	}
-	return workloadCmdTo(w, *name)
+	w, err := ckpt.NewAtomicWriter(*out, 0o644)
+	if err != nil {
+		return err
+	}
+	defer w.Abort()
+	if err := workloadCmdTo(w, *name); err != nil {
+		return err
+	}
+	return w.Commit()
 }
 
 // workloadCmdTo writes the named builtin benchmark as workload JSON.
@@ -249,12 +261,15 @@ func trainCmd(args []string) (err error) {
 	if err != nil {
 		return err
 	}
-	f, err := os.Create(*out)
+	w, err := ckpt.NewAtomicWriter(*out, 0o644)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	if err := net.WriteJSON(f); err != nil {
+	defer w.Abort()
+	if err := net.WriteJSON(w); err != nil {
+		return err
+	}
+	if err := w.Commit(); err != nil {
 		return err
 	}
 	fmt.Fprintf(diag, "trained on %d days (final loss %.3f), model written to %s\n", *days, loss, *out)
@@ -272,6 +287,8 @@ func runCmd(args []string) (err error) {
 	faultSpec := fs.String("faults", "", "fault injection: intensity λ (scales the reference profile) or key=value list, e.g. outage=0.01,volt-noise=0.05")
 	faultSeed := fs.Uint64("fault-seed", 1, "seed for the fault-injection streams")
 	harden := fs.Bool("harden", false, "enable graceful degradation on the proposed scheduler (sanitizer, watchdog fallback, E_th debounce)")
+	var ck cli.CheckpointFlags
+	ck.Register(fs)
 	var of obs.Flags
 	setup := obsFlags(fs, &of)
 	fs.Parse(args)
@@ -280,6 +297,8 @@ func runCmd(args []string) (err error) {
 		return err
 	}
 	defer finish(&of, stop, &err)
+	ctx, cancel := cli.SignalContext()
+	defer cancel()
 
 	var tr *solar.Trace
 	if *tracePath == "" {
@@ -362,23 +381,40 @@ func runCmd(args []string) (err error) {
 	if err != nil {
 		return err
 	}
-	var rec sim.Recorder
+	opts := sim.RunOptions{Context: ctx}
 	var logRec *sim.CSVRecorder
+	var logW *ckpt.AtomicWriter
 	if *logPath != "" {
-		lf, err := os.Create(*logPath)
+		logW, err = ckpt.NewAtomicWriter(*logPath, 0o644)
 		if err != nil {
 			return err
 		}
-		defer lf.Close()
-		logRec = sim.NewCSVRecorder(lf)
-		rec = logRec
+		defer logW.Abort()
+		logRec = sim.NewCSVRecorder(logW)
+		opts.Recorder = logRec
 	}
-	res, err := eng.RunRecorded(s, rec)
+	store, err := ck.Apply(&opts)
 	if err != nil {
 		return err
 	}
+	if opts.Resume != nil {
+		fmt.Fprintf(diag, "resuming from %s at period %d of %d\n",
+			store.Path(), opts.Resume.NextPeriod, tr.Base.TotalPeriods())
+	}
+	res, err := eng.RunWithOptions(s, opts)
+	if err != nil {
+		if errors.Is(err, sim.ErrInterrupted) && store != nil {
+			fmt.Fprintf(os.Stderr, "nodesim: run interrupted; resume with -resume -checkpoint %s\n", store.Path())
+		}
+		return err
+	}
 	if logRec != nil {
+		// An interrupted run aborts the log (the previous file survives);
+		// only a completed run publishes it.
 		if err := logRec.Flush(); err != nil {
+			return err
+		}
+		if err := logW.Commit(); err != nil {
 			return err
 		}
 	}
@@ -397,6 +433,9 @@ func runCmd(args []string) (err error) {
 	for d := 0; d < tr.Base.Days; d++ {
 		fmt.Fprintf(diag, "  day %2d: DMR %.1f%%\n", d+1, 100*res.DayDMR(d))
 	}
+	// The digest covers every metric above; two runs printing the same
+	// digest produced bit-identical results (the resume guarantee).
+	fmt.Fprintf(diag, "metrics digest: %s\n", res.Digest())
 	return nil
 }
 
@@ -409,6 +448,15 @@ usage:
   nodesim train    -workload wam.json -bank 2,10,50 [-days N] [-seed S] [-o model.json]
   nodesim run      -workload wam.json -scheduler NAME -bank 2,10,50 [-model model.json] [-trace t.csv] [-log slots.csv]
                    [-faults SPEC] [-fault-seed N] [-harden]
+                   [-checkpoint run.ckpt [-resume] [-ckpt-every N]]
+
+checkpointing (run):
+  -checkpoint FILE                 persist the run state crash-consistently during the run
+  -ckpt-every N                    periods between durable checkpoints
+                                   (default 0: every period, at most one write per second)
+  -resume                          continue from the -checkpoint file; the final metrics
+                                   digest matches the uninterrupted run bit for bit
+  SIGINT/SIGTERM flush a final checkpoint at the next period boundary and exit 130
 
 fault injection (run):
   -faults λ                        scale the reference fault profile by λ (0 disables)

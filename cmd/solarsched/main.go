@@ -18,9 +18,14 @@
 //	                reaches stdout
 //	-metrics, -metrics-format, -metrics-out, -cpuprofile, -memprofile,
 //	-exectrace — see internal/obs.Flags
+//
+// SIGINT/SIGTERM stop the running experiment at the next period boundary
+// and exit with status 130; a second signal kills immediately.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -30,13 +35,23 @@ import (
 	"strings"
 	"time"
 
+	"solarsched/internal/ckpt"
+	"solarsched/internal/cli"
 	"solarsched/internal/experiments"
 	"solarsched/internal/obs"
+	"solarsched/internal/sim"
 	"solarsched/internal/stats"
 	"solarsched/internal/task"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run is main's body with an exit code instead of os.Exit calls, so every
+// return path — including graceful interruption — unwinds the deferred
+// signal handler and maps its error honestly onto the process status.
+func run() int {
 	quick := flag.Bool("quick", false, "run the reduced (smoke-test) configuration")
 	csvDir := flag.String("csv", "", "directory to write CSV copies of each table")
 	benchFilter := flag.String("benchmarks", "", "comma-separated benchmark filter for fig8")
@@ -51,8 +66,10 @@ func main() {
 
 	if flag.NArg() == 0 {
 		usage()
-		os.Exit(2)
+		return 2
 	}
+	ctx, cancel := cli.SignalContext()
+	defer cancel()
 	diag := io.Writer(os.Stdout)
 	if *quiet {
 		diag = io.Discard
@@ -63,7 +80,7 @@ func main() {
 	stop, err := of.Start()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "solarsched: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 	cfg := experiments.Default()
 	if *quick {
@@ -72,7 +89,7 @@ func main() {
 	faultGrid, err := parseGrid(*faultGridStr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "solarsched: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 
 	var wanted []string
@@ -91,35 +108,45 @@ func main() {
 	for _, name := range wanted {
 		start := time.Now()
 		span := experiments.Observer.StartSpan("experiments/" + name)
-		tbl, err := dispatch(name, cfg, *benchFilter, faultGrid, *faultSeed)
+		tbl, err := dispatch(ctx, name, cfg, *benchFilter, faultGrid, *faultSeed)
 		span.End()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "solarsched: %s: %v\n", name, err)
-			os.Exit(1)
+			if errors.Is(err, sim.ErrInterrupted) || errors.Is(err, context.Canceled) {
+				stopAndEmit(stop, &of) // flush what the finished experiments gathered
+			}
+			return cli.ExitCode(err)
 		}
 		tbl.Render(diag)
 		if *plot {
-			renderPlot(diag, name, cfg)
+			renderPlot(ctx, diag, name, cfg)
 		}
 		fmt.Fprintf(diag, "  (%s in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
 		if *csvDir != "" {
 			if err := writeCSV(*csvDir, name, tbl); err != nil {
 				fmt.Fprintf(os.Stderr, "solarsched: writing csv: %v\n", err)
-				os.Exit(1)
+				return 1
 			}
 		}
 	}
-	if err := stop(); err != nil {
+	if err := stopAndEmit(stop, &of); err != nil {
 		fmt.Fprintf(os.Stderr, "solarsched: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
-	if err := of.Emit(os.Stdout, obs.Default()); err != nil {
-		fmt.Fprintf(os.Stderr, "solarsched: %v\n", err)
-		os.Exit(1)
-	}
+	return 0
 }
 
-func dispatch(name string, cfg experiments.Config, benchFilter string, faultGrid []float64, faultSeed uint64) (*stats.Table, error) {
+// stopAndEmit finishes the observability session: stop the profiles, then
+// emit the metrics. The first error wins but both always run.
+func stopAndEmit(stop func() error, of *obs.Flags) error {
+	err := stop()
+	if e := of.Emit(os.Stdout, obs.Default()); err == nil {
+		err = e
+	}
+	return err
+}
+
+func dispatch(ctx context.Context, name string, cfg experiments.Config, benchFilter string, faultGrid []float64, faultSeed uint64) (*stats.Table, error) {
 	switch name {
 	case "fig5":
 		t, _ := experiments.Fig5()
@@ -136,35 +163,35 @@ func dispatch(name string, cfg experiments.Config, benchFilter string, faultGrid
 		if err != nil {
 			return nil, err
 		}
-		t, _, err := experiments.Fig8(cfg, benchmarks)
+		t, _, err := experiments.Fig8(ctx, cfg, benchmarks)
 		return t, err
 	case "fig9":
-		t, _, err := experiments.Fig9(cfg)
+		t, _, err := experiments.Fig9(ctx, cfg)
 		return t, err
 	case "fig10a":
-		t, _, err := experiments.Fig10a(cfg)
+		t, _, err := experiments.Fig10a(ctx, cfg)
 		return t, err
 	case "fig10b":
-		t, _, err := experiments.Fig10b(cfg)
+		t, _, err := experiments.Fig10b(ctx, cfg)
 		return t, err
 	case "overhead":
 		t, _ := experiments.Overhead(cfg)
 		return t, nil
 	case "ablation-thresholds":
-		return experiments.AblationThresholds(cfg)
+		return experiments.AblationThresholds(ctx, cfg)
 	case "ablation-ann":
-		return experiments.AblationANN(cfg)
+		return experiments.AblationANN(ctx, cfg)
 	case "ablation-guards":
-		return experiments.AblationGuards(cfg)
+		return experiments.AblationGuards(ctx, cfg)
 	case "ablation-predictor":
-		return experiments.AblationPredictor(cfg)
+		return experiments.AblationPredictor(ctx, cfg)
 	case "ablation-dvfs":
-		return experiments.AblationDVFS(cfg)
+		return experiments.AblationDVFS(ctx, cfg)
 	case "robustness":
-		t, _, err := experiments.Robustness(cfg, 10)
+		t, _, err := experiments.Robustness(ctx, cfg, 10)
 		return t, err
 	case "faultsweep":
-		t, _, err := experiments.FaultSweep(cfg, faultGrid, faultSeed)
+		t, _, err := experiments.FaultSweep(ctx, cfg, faultGrid, faultSeed)
 		return t, err
 	default:
 		return nil, fmt.Errorf("unknown experiment %q", name)
@@ -172,7 +199,7 @@ func dispatch(name string, cfg experiments.Config, benchFilter string, faultGrid
 }
 
 // renderPlot draws the figure-shaped experiments as ASCII charts.
-func renderPlot(w io.Writer, name string, cfg experiments.Config) {
+func renderPlot(ctx context.Context, w io.Writer, name string, cfg experiments.Config) {
 	switch name {
 	case "fig5":
 		_, series := experiments.Fig5()
@@ -191,7 +218,7 @@ func renderPlot(w io.Writer, name string, cfg experiments.Config) {
 		c := stats.Chart{Title: "Figure 7 (shape)", XLabel: "hour", YLabel: "mW", Series: series}
 		c.Render(w)
 	case "fig10a":
-		_, res, err := experiments.Fig10a(cfg)
+		_, res, err := experiments.Fig10a(ctx, cfg)
 		if err != nil {
 			return
 		}
@@ -203,7 +230,7 @@ func renderPlot(w io.Writer, name string, cfg experiments.Config) {
 			Series: []stats.Series{s}, Height: 10}
 		c.Render(w)
 	case "fig10b":
-		_, res, err := experiments.Fig10b(cfg)
+		_, res, err := experiments.Fig10b(ctx, cfg)
 		if err != nil {
 			return
 		}
@@ -262,12 +289,15 @@ func writeCSV(dir, name string, tbl *stats.Table) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	f, err := os.Create(filepath.Join(dir, name+".csv"))
+	w, err := ckpt.NewAtomicWriter(filepath.Join(dir, name+".csv"), 0o644)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	return tbl.WriteCSV(f)
+	defer w.Abort()
+	if err := tbl.WriteCSV(w); err != nil {
+		return err
+	}
+	return w.Commit()
 }
 
 func usage() {

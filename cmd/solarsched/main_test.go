@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"testing"
 
 	"solarsched/internal/experiments"
@@ -26,7 +27,7 @@ func TestSelectBenchmarks(t *testing.T) {
 func TestDispatchCheapExperiments(t *testing.T) {
 	cfg := experiments.Quick()
 	for _, name := range []string{"fig5", "fig7", "table2", "overhead", "ablation-predictor", "ablation-dvfs"} {
-		tbl, err := dispatch(name, cfg, "", []float64{0, 1}, 1)
+		tbl, err := dispatch(context.Background(), name, cfg, "", []float64{0, 1}, 1)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -34,7 +35,7 @@ func TestDispatchCheapExperiments(t *testing.T) {
 			t.Fatalf("%s: empty table", name)
 		}
 	}
-	if _, err := dispatch("bogus", cfg, "", []float64{0, 1}, 1); err == nil {
+	if _, err := dispatch(context.Background(), "bogus", cfg, "", []float64{0, 1}, 1); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }

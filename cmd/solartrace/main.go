@@ -15,11 +15,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
+	"solarsched/internal/atomicio"
+	"solarsched/internal/cli"
 	"solarsched/internal/obs"
 	"solarsched/internal/solar"
 	"solarsched/internal/stats"
@@ -30,10 +33,12 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	ctx, cancel := cli.SignalContext()
+	defer cancel()
 	var err error
 	switch os.Args[1] {
 	case "gen":
-		err = genCmd(os.Args[2:])
+		err = genCmd(ctx, os.Args[2:])
 	case "info":
 		err = infoCmd(os.Args[2:])
 	case "days":
@@ -44,11 +49,11 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "solartrace: %v\n", err)
-		os.Exit(1)
+		os.Exit(cli.ExitCode(err))
 	}
 }
 
-func genCmd(args []string) error {
+func genCmd(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("gen", flag.ExitOnError)
 	days := fs.Int("days", 7, "number of days")
 	seed := fs.Uint64("seed", 1, "generator seed")
@@ -69,16 +74,21 @@ func genCmd(args []string) error {
 		if err != nil {
 			return err
 		}
-		w := os.Stdout
-		if *out != "" {
-			f, err := os.Create(*out)
-			if err != nil {
-				return err
-			}
-			defer f.Close()
-			w = f
+		if err := ctx.Err(); err != nil {
+			return err // interrupted before publishing: leave any old file intact
 		}
-		return tr.WriteCSV(w)
+		if *out == "" {
+			return tr.WriteCSV(os.Stdout)
+		}
+		w, err := atomicio.NewWriter(*out, 0o644)
+		if err != nil {
+			return err
+		}
+		defer w.Abort()
+		if err := tr.WriteCSV(w); err != nil {
+			return err
+		}
+		return w.Commit()
 	})
 }
 

@@ -1,0 +1,39 @@
+package ckpt
+
+import (
+	"os"
+
+	"solarsched/internal/atomicio"
+)
+
+// WriteFileAtomic writes data to path with crash consistency: the bytes
+// land in a temporary file in the same directory, are fsynced, and the file
+// is renamed over path. A crash at any instant leaves either the old
+// contents or the new contents at path — never a truncated or interleaved
+// file. The containing directory is fsynced after the rename so the new
+// name itself survives a power failure.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	return atomicio.WriteFile(path, data, perm)
+}
+
+// AtomicWriter is an io.Writer whose output becomes visible at the target
+// path only on Commit, via the same temp-fsync-rename protocol as
+// WriteFileAtomic. Stream writers (CSV tables, slot logs) use it so an
+// interrupted run never leaves a torn output file: either the previous file
+// survives untouched or the complete new one replaces it.
+//
+// The implementation lives in internal/atomicio, a leaf package, so writers
+// below sim in the dependency graph (internal/obs) share the protocol.
+type AtomicWriter = atomicio.Writer
+
+// NewAtomicWriter opens a temporary file next to path. Call Commit to
+// publish it at path, or Abort to discard it.
+func NewAtomicWriter(path string, perm os.FileMode) (*AtomicWriter, error) {
+	return atomicio.NewWriter(path, perm)
+}
+
+// syncDir fsyncs a directory so a just-committed rename survives power
+// loss.
+func syncDir(dir string) error {
+	return atomicio.SyncDir(dir)
+}

@@ -1,0 +1,88 @@
+package ckpt
+
+import (
+	"path/filepath"
+	"testing"
+
+	"solarsched/internal/sched"
+	"solarsched/internal/sim"
+	"solarsched/internal/solar"
+	"solarsched/internal/task"
+)
+
+func benchEngine(b *testing.B, days int) (*sim.Engine, sim.Scheduler) {
+	b.Helper()
+	tb := solar.DefaultTimeBase(days)
+	tr := solar.MustGenerate(solar.GenConfig{Base: tb, Seed: 8})
+	g := task.WAM()
+	e, err := sim.New(sim.Config{Trace: tr, Graph: g, Capacitances: []float64{10}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return e, sched.NewInterLSA(g, tb, sim.DefaultDirectEff)
+}
+
+// BenchmarkRunBare is the baseline: a two-week simulation, no
+// checkpointing.
+func BenchmarkRunBare(b *testing.B) {
+	e, s := benchEngine(b, 14)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunCheckpointed is the same simulation with checkpointing
+// enabled exactly as the CLIs wire it: a checkpoint offered at every
+// period boundary, persisted at most once per DefaultInterval of wall
+// time. The acceptance bar for the subsystem: within 5% of
+// BenchmarkRunBare.
+func BenchmarkRunCheckpointed(b *testing.B) {
+	e, s := benchEngine(b, 14)
+	store, err := NewStore(filepath.Join(b.TempDir(), "run.ckpt"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	gate := Throttle(DefaultInterval)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.RunWithOptions(s, sim.RunOptions{
+			Sink: store.Sink(),
+			Gate: gate,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreSave isolates the cost of persisting one checkpoint:
+// serialize, write, fsync, roll generations.
+func BenchmarkStoreSave(b *testing.B) {
+	e, s := benchEngine(b, 1)
+	var rs *sim.RunState
+	stop := make(chan struct{})
+	_, _ = e.RunWithOptions(s, sim.RunOptions{Sink: func(r *sim.RunState) error {
+		rs = r
+		select {
+		case <-stop:
+		default:
+			close(stop)
+		}
+		return ErrSimulatedKill
+	}})
+	if rs == nil {
+		b.Fatal("no checkpoint captured")
+	}
+	store, err := NewStore(filepath.Join(b.TempDir(), "run.ckpt"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := store.Save(rs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package ckpt
+
+import (
+	"errors"
+	"fmt"
+
+	"solarsched/internal/sim"
+)
+
+// ErrSimulatedKill is the sentinel the harness injects to model a SIGKILL:
+// the run dies without flushing the checkpoint that was about to be
+// written, exactly the on-disk state a real kill between checkpoints
+// leaves behind.
+var ErrSimulatedKill = errors.New("ckpt: simulated kill")
+
+// Harness drives the headline correctness property of the checkpoint
+// subsystem: a run killed after an arbitrary number of checkpoints and
+// resumed from disk must produce a final metrics digest bit-identical to
+// the uninterrupted run. Engines and schedulers are built fresh for every
+// attempt — resuming must not depend on any in-process leftovers.
+type Harness struct {
+	// NewEngine builds a fresh engine for one attempt.
+	NewEngine func() (*sim.Engine, error)
+	// NewScheduler builds a fresh scheduler for one attempt.
+	NewScheduler func() (sim.Scheduler, error)
+	// CheckpointEvery is the checkpoint cadence in periods (<= 0: every
+	// period).
+	CheckpointEvery int
+}
+
+// Uninterrupted runs to completion without checkpointing and returns the
+// final result.
+func (h Harness) Uninterrupted() (*sim.Result, error) {
+	eng, err := h.NewEngine()
+	if err != nil {
+		return nil, err
+	}
+	s, err := h.NewScheduler()
+	if err != nil {
+		return nil, err
+	}
+	return eng.Run(s)
+}
+
+// KillResume runs with checkpointing into a Store at path, kills the run
+// at the (killAfter+1)-th checkpoint attempt (the state on disk is then
+// the killAfter-th checkpoint — the kill strikes before the next one
+// lands), then builds a fresh engine and scheduler, loads the newest valid
+// generation from disk and runs to completion. It returns the resumed
+// run's final result and whether the kill actually fired (a killAfter
+// beyond the run's checkpoint count completes uninterrupted).
+func (h Harness) KillResume(path string, killAfter int) (*sim.Result, bool, error) {
+	if killAfter < 1 {
+		return nil, false, fmt.Errorf("ckpt: killAfter %d, need at least one surviving checkpoint", killAfter)
+	}
+	store, err := NewStore(path)
+	if err != nil {
+		return nil, false, err
+	}
+
+	// Attempt 1: run until the simulated kill.
+	eng, err := h.NewEngine()
+	if err != nil {
+		return nil, false, err
+	}
+	s, err := h.NewScheduler()
+	if err != nil {
+		return nil, false, err
+	}
+	saves := 0
+	_, runErr := eng.RunWithOptions(s, sim.RunOptions{
+		CheckpointEvery: h.CheckpointEvery,
+		Sink: func(rs *sim.RunState) error {
+			if saves >= killAfter {
+				return ErrSimulatedKill
+			}
+			saves++
+			return store.Save(rs)
+		},
+	})
+	if runErr == nil {
+		// The run finished before the kill point; nothing to resume.
+		res, err := h.Uninterrupted()
+		return res, false, err
+	}
+	if !errors.Is(runErr, ErrSimulatedKill) {
+		return nil, false, runErr
+	}
+
+	// Attempt 2: a fresh process image resumes from disk.
+	eng, err = h.NewEngine()
+	if err != nil {
+		return nil, true, err
+	}
+	s, err = h.NewScheduler()
+	if err != nil {
+		return nil, true, err
+	}
+	rs, _, _, err := store.Load()
+	if err != nil {
+		return nil, true, err
+	}
+	res, err := eng.RunWithOptions(s, sim.RunOptions{
+		Resume:          rs,
+		CheckpointEvery: h.CheckpointEvery,
+		Sink:            store.Sink(),
+	})
+	return res, true, err
+}
+
+// VerifyBitIdentical runs the full property at one kill point: the resumed
+// digest must equal the uninterrupted digest bit for bit. It returns the
+// common digest on success.
+func (h Harness) VerifyBitIdentical(path string, killAfter int) (string, error) {
+	want, err := h.Uninterrupted()
+	if err != nil {
+		return "", err
+	}
+	got, killed, err := h.KillResume(path, killAfter)
+	if err != nil {
+		return "", err
+	}
+	if !killed {
+		return "", fmt.Errorf("ckpt: kill point %d beyond the run's checkpoints; property not exercised", killAfter)
+	}
+	wd, gd := want.Digest(), got.Digest()
+	if wd != gd {
+		return "", fmt.Errorf("ckpt: resumed digest %s != uninterrupted %s\nuninterrupted: %v\nresumed:       %v",
+			gd, wd, want, got)
+	}
+	return wd, nil
+}

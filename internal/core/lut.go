@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"solarsched/internal/obs"
 	"solarsched/internal/supercap"
@@ -155,6 +156,46 @@ func (l *LUT) OptionsByKey(profile string, capIdx, vBucket int, powers []float64
 
 // Size returns the number of materialized entries.
 func (l *LUT) Size() int { return len(l.entries) }
+
+// LUTEntry is one memoized entry in serialized form, for checkpointing.
+type LUTEntry struct {
+	Profile string   `json:"profile"`
+	CapIdx  int      `json:"cap_idx"`
+	VBucket int      `json:"v_bucket"`
+	Options []Option `json:"options"`
+}
+
+// SnapshotEntries returns every memoized entry, sorted by key so equal
+// tables serialize identically. The memo is genuine cross-period state:
+// the first profile seen with a given key becomes the bucket's
+// representative (ProfileKey), so a table rebuilt from a different query
+// order holds different options. A resumed run must inherit the table,
+// not regrow it.
+func (l *LUT) SnapshotEntries() []LUTEntry {
+	out := make([]LUTEntry, 0, len(l.entries))
+	for k, opts := range l.entries {
+		out = append(out, LUTEntry{Profile: k.profile, CapIdx: k.capIdx, VBucket: k.vBucket, Options: opts})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Profile != out[j].Profile {
+			return out[i].Profile < out[j].Profile
+		}
+		if out[i].CapIdx != out[j].CapIdx {
+			return out[i].CapIdx < out[j].CapIdx
+		}
+		return out[i].VBucket < out[j].VBucket
+	})
+	return out
+}
+
+// RestoreEntries replaces the memo with the given entries.
+func (l *LUT) RestoreEntries(entries []LUTEntry) {
+	l.entries = make(map[lutKey][]Option, len(entries))
+	for _, e := range entries {
+		l.entries[lutKey{profile: e.Profile, capIdx: e.CapIdx, vBucket: e.VBucket}] = e.Options
+	}
+	l.mEntries.Set(float64(len(l.entries)))
+}
 
 // TransferBucket estimates the DP transition of migrating the usable energy
 // of capacitor `from` at bucket bFrom into capacitor `to` (starting empty):

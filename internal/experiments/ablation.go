@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"solarsched/internal/core"
@@ -20,10 +21,10 @@ import (
 // AblationThresholds sweeps the two §5.2 selection thresholds on the ECG
 // benchmark over the four representative days: the pattern threshold δ and
 // the capacitor-switch threshold E_th (as a fraction of capacity).
-func AblationThresholds(cfg Config) (*stats.Table, error) {
+func AblationThresholds(ctx context.Context, cfg Config) (*stats.Table, error) {
 	g := task.ECG()
 	tr := solar.RepresentativeDays(solar.DefaultTimeBase(4))
-	setup, err := NewSetup(g, cfg)
+	setup, err := NewSetup(ctx, g, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -39,7 +40,7 @@ func AblationThresholds(cfg Config) (*stats.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			res, err := run(tr, g, setup.MultiBank, prop)
+			res, err := run(ctx, tr, g, setup.MultiBank, prop)
 			if err != nil {
 				return nil, err
 			}
@@ -51,7 +52,7 @@ func AblationThresholds(cfg Config) (*stats.Table, error) {
 
 // AblationANN sweeps the DBN's hidden architecture (the §6.4 "layers and
 // neurons" factor), reporting the training loss and the online DMR.
-func AblationANN(cfg Config) (*stats.Table, error) {
+func AblationANN(ctx context.Context, cfg Config) (*stats.Table, error) {
 	g := task.ECG()
 	tr := solar.RepresentativeDays(solar.DefaultTimeBase(4))
 	trainTr := trainingTrace(cfg)
@@ -60,6 +61,9 @@ func AblationANN(cfg Config) (*stats.Table, error) {
 	t := stats.NewTable("Ablation — DBN architecture (ECG, four days)",
 		"hidden layers", "final loss", "DMR")
 	for _, hidden := range [][]int{{8}, {16, 8}, {32, 16}, {48, 24}} {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		topt := core.DefaultTrainOptions()
 		topt.Hidden = hidden
 		topt.Fine.Epochs = cfg.FineEpochs
@@ -73,7 +77,7 @@ func AblationANN(cfg Config) (*stats.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := run(tr, g, p.Capacitances, prop)
+		res, err := run(ctx, tr, g, p.Capacitances, prop)
 		if err != nil {
 			return nil, err
 		}
@@ -85,10 +89,10 @@ func AblationANN(cfg Config) (*stats.Table, error) {
 // AblationGuards compares the proposed scheduler with and without the
 // §5.2 online selection guards (te closure repair stays on in both — a
 // non-closed set cannot execute at all).
-func AblationGuards(cfg Config) (*stats.Table, error) {
+func AblationGuards(ctx context.Context, cfg Config) (*stats.Table, error) {
 	g := task.WAM()
 	tr := solar.RepresentativeDays(solar.DefaultTimeBase(4))
-	setup, err := NewSetup(g, cfg)
+	setup, err := NewSetup(ctx, g, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -103,7 +107,7 @@ func AblationGuards(cfg Config) (*stats.Table, error) {
 			return nil, err
 		}
 		prop.DisableGuards = disable
-		res, err := run(tr, g, setup.MultiBank, prop)
+		res, err := run(ctx, tr, g, setup.MultiBank, prop)
 		if err != nil {
 			return nil, err
 		}
@@ -119,7 +123,7 @@ func AblationGuards(cfg Config) (*stats.Table, error) {
 // AblationPredictor swaps the Inter-task baseline's solar predictor:
 // persistence vs EWMA vs the paper's WCMA, over the four representative
 // days on WAM.
-func AblationPredictor(cfg Config) (*stats.Table, error) {
+func AblationPredictor(ctx context.Context, cfg Config) (*stats.Table, error) {
 	g := task.WAM()
 	tr := solar.RepresentativeDays(solar.DefaultTimeBase(4))
 	bank := []float64{25}
@@ -133,7 +137,7 @@ func AblationPredictor(cfg Config) (*stats.Table, error) {
 	}
 	for _, pred := range preds {
 		s := sched.NewInterLSAWithPredictor(g, sim.DefaultDirectEff, pred)
-		res, err := run(tr, g, bank, s)
+		res, err := run(ctx, tr, g, bank, s)
 		if err != nil {
 			return nil, err
 		}
@@ -146,7 +150,7 @@ func AblationPredictor(cfg Config) (*stats.Table, error) {
 // two baselines across the six benchmarks (four representative days,
 // single 25 F capacitor): pacing tasks at f < 1 stretches stored energy
 // (work per joule ∝ 1/f²).
-func AblationDVFS(cfg Config) (*stats.Table, error) {
+func AblationDVFS(ctx context.Context, cfg Config) (*stats.Table, error) {
 	tr := solar.RepresentativeDays(solar.DefaultTimeBase(4))
 	bank := []float64{25}
 	t := stats.NewTable("Ablation — DVFS load tuning (four days, 25 F)",
@@ -158,7 +162,7 @@ func AblationDVFS(cfg Config) (*stats.Table, error) {
 			sched.NewIntraMatch(g),
 			dvfs.NewLoadTune(g),
 		} {
-			res, err := run(tr, g, bank, s)
+			res, err := run(ctx, tr, g, bank, s)
 			if err != nil {
 				return nil, err
 			}

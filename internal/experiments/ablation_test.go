@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -10,7 +11,7 @@ func TestAblationThresholds(t *testing.T) {
 	if testing.Short() {
 		t.Skip("trains a network")
 	}
-	tbl, err := AblationThresholds(Quick())
+	tbl, err := AblationThresholds(context.Background(), Quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,7 +31,7 @@ func TestAblationANN(t *testing.T) {
 		t.Skip("trains four networks")
 	}
 	cfg := Quick()
-	tbl, err := AblationANN(cfg)
+	tbl, err := AblationANN(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +44,7 @@ func TestAblationGuards(t *testing.T) {
 	if testing.Short() {
 		t.Skip("trains a network")
 	}
-	tbl, err := AblationGuards(Quick())
+	tbl, err := AblationGuards(context.Background(), Quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +60,7 @@ func TestAblationGuards(t *testing.T) {
 }
 
 func TestAblationPredictor(t *testing.T) {
-	tbl, err := AblationPredictor(Quick())
+	tbl, err := AblationPredictor(context.Background(), Quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +76,7 @@ func TestAblationPredictor(t *testing.T) {
 }
 
 func TestAblationDVFS(t *testing.T) {
-	tbl, err := AblationDVFS(Quick())
+	tbl, err := AblationDVFS(context.Background(), Quick())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"solarsched/internal/ann"
 	"solarsched/internal/core"
 	"solarsched/internal/overhead"
@@ -24,7 +26,7 @@ type Fig10aResult struct {
 // lengths (random case 1 over a month). Forecast error grows with lead
 // time, so DMR improves with the horizon up to a knee and then stops
 // improving while complexity keeps growing.
-func Fig10a(cfg Config) (*stats.Table, []Fig10aResult, error) {
+func Fig10a(ctx context.Context, cfg Config) (*stats.Table, []Fig10aResult, error) {
 	g := taskRandom1()
 	tb := solar.DefaultTimeBase(cfg.SweepDays)
 	tr := solar.TwoMonthTrace(tb)
@@ -44,7 +46,7 @@ func Fig10a(cfg Config) (*stats.Table, []Fig10aResult, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		res, err := run(tr, g, bank, h)
+		res, err := run(ctx, tr, g, bank, h)
 		if err != nil {
 			return nil, nil, err
 		}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"solarsched/internal/sim"
 	"solarsched/internal/sizing"
 	"solarsched/internal/solar"
@@ -139,7 +141,7 @@ type Fig10bResult struct {
 // the per-day capacitor *selection* — the mechanism that distinguishes
 // H > 1 — is actually exercised, and report both the Day 2 and the
 // four-day DMR.
-func Fig10b(cfg Config) (*stats.Table, []Fig10bResult, error) {
+func Fig10b(ctx context.Context, cfg Config) (*stats.Table, []Fig10bResult, error) {
 	g := taskRandom1()
 	tr := solar.RepresentativeDays(solar.DefaultTimeBase(4))
 	hist := trainingTrace(cfg)
@@ -155,7 +157,7 @@ func Fig10b(cfg Config) (*stats.Table, []Fig10bResult, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		res, err := run(tr, g, bank, opt)
+		res, err := run(ctx, tr, g, bank, opt)
 		if err != nil {
 			return nil, nil, err
 		}

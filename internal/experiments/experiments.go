@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"solarsched/internal/ann"
@@ -95,12 +96,16 @@ func trainingTrace(cfg Config) *solar.Trace {
 
 // NewSetup runs the full offline stage for one benchmark: capacitor sizing
 // (§4.1) on the training trace, then DP sample generation and DBN training
-// (§4.2, §5.1).
-func NewSetup(g *task.Graph, cfg Config) (*Setup, error) {
+// (§4.2, §5.1). The context is checked between the offline stages — a
+// canceled run stops before the next expensive phase.
+func NewSetup(ctx context.Context, g *task.Graph, cfg Config) (*Setup, error) {
 	trainTr := trainingTrace(cfg)
 	p := supercap.DefaultParams()
 	single := sizing.SizeBank(trainTr, g, 1, p, sim.DefaultDirectEff)
 	multi := sizing.SizeBank(trainTr, g, cfg.H, p, sim.DefaultDirectEff)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	pc := core.DefaultPlanConfig(g, trainTr.Base, multi)
 	pc.Observer = Observer
@@ -113,13 +118,15 @@ func NewSetup(g *task.Graph, cfg Config) (*Setup, error) {
 	return &Setup{Graph: g, SingleBank: single, MultiBank: multi, Net: net, PlanCfg: pc}, nil
 }
 
-// run executes one scheduler over a trace with the given bank.
-func run(tr *solar.Trace, g *task.Graph, bank []float64, s sim.Scheduler) (*sim.Result, error) {
+// run executes one scheduler over a trace with the given bank. A canceled
+// context stops the engine at the next period boundary with
+// sim.ErrInterrupted.
+func run(ctx context.Context, tr *solar.Trace, g *task.Graph, bank []float64, s sim.Scheduler) (*sim.Result, error) {
 	eng, err := sim.New(sim.Config{Trace: tr, Graph: g, Capacitances: bank, Observer: Observer})
 	if err != nil {
 		return nil, err
 	}
-	return eng.Run(s)
+	return eng.RunWithOptions(s, sim.RunOptions{Context: ctx})
 }
 
 // schedulersFor builds the four compared schedulers of Figures 8 and 9 for

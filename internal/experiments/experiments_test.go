@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -74,7 +75,7 @@ func TestFig8QuickShape(t *testing.T) {
 	}
 	cfg := Quick()
 	// One real and one random benchmark keep the test affordable.
-	tbl, res, err := Fig8(cfg, []*task.Graph{task.ECG(), task.RandomCase(1)})
+	tbl, res, err := Fig8(context.Background(), cfg, []*task.Graph{task.ECG(), task.RandomCase(1)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +108,7 @@ func TestFig9QuickShape(t *testing.T) {
 		t.Skip("trains a network")
 	}
 	cfg := Quick()
-	tbl, res, err := Fig9(cfg)
+	tbl, res, err := Fig9(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +139,7 @@ func TestFig10aQuickShape(t *testing.T) {
 		t.Skip("multiple horizon runs")
 	}
 	cfg := Quick()
-	tbl, res, err := Fig10a(cfg)
+	tbl, res, err := Fig10a(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +164,7 @@ func TestFig10bQuickShape(t *testing.T) {
 		t.Skip("plans per bank size")
 	}
 	cfg := Quick()
-	tbl, res, err := Fig10b(cfg)
+	tbl, res, err := Fig10b(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"solarsched/internal/core"
@@ -37,12 +38,12 @@ const faultSweepTraceSeed = 4242
 // curve against intensity isolates fault sensitivity from weather luck.
 // Intensity 0 is the clean baseline (the fault layer is disabled outright).
 // The sweep is fully deterministic for a given (cfg, intensities, seed).
-func FaultSweep(cfg Config, intensities []float64, seed uint64) (*stats.Table, []FaultSweepRow, error) {
+func FaultSweep(ctx context.Context, cfg Config, intensities []float64, seed uint64) (*stats.Table, []FaultSweepRow, error) {
 	if len(intensities) == 0 {
 		intensities = []float64{0, 0.25, 0.5, 1}
 	}
 	g := task.ECG()
-	setup, err := NewSetup(g, cfg)
+	setup, err := NewSetup(ctx, g, cfg)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -89,7 +90,7 @@ func FaultSweep(cfg Config, intensities []float64, seed uint64) (*stats.Table, [
 			if err != nil {
 				return nil, nil, err
 			}
-			res, err := eng.Run(scheds[name])
+			res, err := eng.RunWithOptions(scheds[name], sim.RunOptions{Context: ctx})
 			if err != nil {
 				return nil, nil, err
 			}

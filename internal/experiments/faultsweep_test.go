@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"reflect"
 	"testing"
 )
@@ -25,7 +26,7 @@ func TestFaultSweep(t *testing.T) {
 	intensities := []float64{0, 4}
 	const seed = 99
 
-	_, rows, err := FaultSweep(cfg, intensities, seed)
+	_, rows, err := FaultSweep(context.Background(), cfg, intensities, seed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +62,7 @@ func TestFaultSweep(t *testing.T) {
 	}
 
 	// Same config, same seed: the sweep must reproduce bit-identically.
-	_, again, err := FaultSweep(cfg, intensities, seed)
+	_, again, err := FaultSweep(context.Background(), cfg, intensities, seed)
 	if err != nil {
 		t.Fatal(err)
 	}

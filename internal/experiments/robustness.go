@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -25,12 +26,12 @@ type RobustnessResult struct {
 // the DMR distribution. A reproduction whose ranking only holds on one
 // lucky trace is no reproduction; this experiment shows the ordering is
 // stable in distribution.
-func Robustness(cfg Config, draws int) (*stats.Table, []RobustnessResult, error) {
+func Robustness(ctx context.Context, cfg Config, draws int) (*stats.Table, []RobustnessResult, error) {
 	if draws <= 0 {
 		draws = 10
 	}
 	g := task.ECG()
-	setup, err := NewSetup(g, cfg)
+	setup, err := NewSetup(ctx, g, cfg)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -53,6 +54,10 @@ func Robustness(cfg Config, draws int) (*stats.Table, []RobustnessResult, error)
 		go func() {
 			defer wg.Done()
 			for d := range work {
+				if err := ctx.Err(); err != nil {
+					errs[d] = err
+					continue
+				}
 				tr := solar.MustGenerate(solar.GenConfig{
 					Base: solar.DefaultTimeBase(4),
 					Seed: 9000 + uint64(d),
@@ -64,7 +69,7 @@ func Robustness(cfg Config, draws int) (*stats.Table, []RobustnessResult, error)
 				}
 				out := map[string]float64{}
 				for _, name := range SchedulerOrder {
-					res, err := run(tr, g, banks[name], scheds[name])
+					res, err := run(ctx, tr, g, banks[name], scheds[name])
 					if err != nil {
 						errs[d] = err
 						break

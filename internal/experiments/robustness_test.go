@@ -1,12 +1,15 @@
 package experiments
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestRobustnessOrderingHolds(t *testing.T) {
 	if testing.Short() {
 		t.Skip("trains a network and runs many draws")
 	}
-	_, res, err := Robustness(Quick(), 6)
+	_, res, err := Robustness(context.Background(), Quick(), 6)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"sync"
 
 	"solarsched/internal/core"
@@ -34,7 +35,7 @@ type Fig8Result struct {
 // representative days for the six benchmarks. Benchmarks are independent
 // and deterministic, so they run in parallel; the table preserves the
 // input order.
-func Fig8(cfg Config, benchmarks []*task.Graph) (*stats.Table, *Fig8Result, error) {
+func Fig8(ctx context.Context, cfg Config, benchmarks []*task.Graph) (*stats.Table, *Fig8Result, error) {
 	if benchmarks == nil {
 		benchmarks = task.AllBenchmarks()
 	}
@@ -60,7 +61,7 @@ func Fig8(cfg Config, benchmarks []*task.Graph) (*stats.Table, *Fig8Result, erro
 			defer wg.Done()
 			bo := benchOut{days: map[string][]float64{}, avg: map[string]float64{}}
 			defer func() { results[i] = bo }()
-			setup, err := NewSetup(g, cfg)
+			setup, err := NewSetup(ctx, g, cfg)
 			if err != nil {
 				bo.err = err
 				return
@@ -71,7 +72,7 @@ func Fig8(cfg Config, benchmarks []*task.Graph) (*stats.Table, *Fig8Result, erro
 				return
 			}
 			for _, name := range SchedulerOrder {
-				res, err := run(tr, g, banks[name], scheds[name])
+				res, err := run(ctx, tr, g, banks[name], scheds[name])
 				if err != nil {
 					bo.err = err
 					return
@@ -121,7 +122,7 @@ type Fig9Result struct {
 
 // Fig9 reproduces Figure 9: DMR and energy utilization of the WAM workload
 // over two months.
-func Fig9(cfg Config) (*stats.Table, *Fig9Result, error) {
+func Fig9(ctx context.Context, cfg Config) (*stats.Table, *Fig9Result, error) {
 	g := task.WAM()
 	tb := solar.DefaultTimeBase(cfg.MonthDays)
 	tr := solar.TwoMonthTrace(tb)
@@ -130,7 +131,7 @@ func Fig9(cfg Config) (*stats.Table, *Fig9Result, error) {
 	}
 	// Train in the same season the deployment runs in (early summer).
 	cfg.TrainDayOfYear = 150
-	setup, err := NewSetup(g, cfg)
+	setup, err := NewSetup(ctx, g, cfg)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -150,7 +151,7 @@ func Fig9(cfg Config) (*stats.Table, *Fig9Result, error) {
 	t := stats.NewTable("Figure 9 — DMR and energy utilization over two months (WAM)",
 		"scheduler", "DMR", "energy util (direct-use)", "delivered/harvested")
 	for _, name := range SchedulerOrder {
-		res, err := run(tr, g, banks[name], scheds[name])
+		res, err := run(ctx, tr, g, banks[name], scheds[name])
 		if err != nil {
 			return nil, nil, err
 		}

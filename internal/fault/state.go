@@ -1,0 +1,68 @@
+package fault
+
+import (
+	"fmt"
+
+	"solarsched/internal/rng"
+)
+
+// InjectorState is the complete serializable state of an Injector: every
+// per-class stream position, the in-flight outage countdown, the stale
+// voltage cache, and the tallies. An injector restored from its state
+// injects the exact same fault sequence a surviving injector would have.
+type InjectorState struct {
+	Outage rng.State `json:"outage"`
+	Solar  rng.State `json:"solar"`
+	Volt   rng.State `json:"volt"`
+	PMU    rng.State `json:"pmu"`
+	DBN    rng.State `json:"dbn"`
+
+	OutageLeft int       `json:"outage_left"`
+	LastVolts  []float64 `json:"last_volts"`
+	HaveVolts  []bool    `json:"have_volts"`
+	Counts     Counts    `json:"counts"`
+}
+
+// State captures the injector's complete state. Nil receivers (faults
+// disabled) return the nil state, matching Restore's handling.
+func (inj *Injector) State() *InjectorState {
+	if inj == nil {
+		return nil
+	}
+	return &InjectorState{
+		Outage:     inj.outage.State(),
+		Solar:      inj.solarS.State(),
+		Volt:       inj.voltS.State(),
+		PMU:        inj.pmu.State(),
+		DBN:        inj.dbn.State(),
+		OutageLeft: inj.outageLeft,
+		LastVolts:  append([]float64(nil), inj.lastVolts...),
+		HaveVolts:  append([]bool(nil), inj.haveVolts...),
+		Counts:     inj.counts,
+	}
+}
+
+// Restore overwrites the injector's stream positions and fault bookkeeping
+// with a previously captured state. A nil state is only valid for a nil
+// injector (both mean "faults disabled").
+func (inj *Injector) Restore(st *InjectorState) error {
+	if inj == nil {
+		if st == nil {
+			return nil
+		}
+		return fmt.Errorf("fault: restoring injector state into a disabled injector")
+	}
+	if st == nil {
+		return fmt.Errorf("fault: nil state for an enabled injector")
+	}
+	inj.outage.SetState(st.Outage)
+	inj.solarS.SetState(st.Solar)
+	inj.voltS.SetState(st.Volt)
+	inj.pmu.SetState(st.PMU)
+	inj.dbn.SetState(st.DBN)
+	inj.outageLeft = st.OutageLeft
+	inj.lastVolts = append([]float64(nil), st.LastVolts...)
+	inj.haveVolts = append([]bool(nil), st.HaveVolts...)
+	inj.counts = st.Counts
+	return nil
+}

@@ -8,6 +8,8 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"runtime/trace"
+
+	"solarsched/internal/atomicio"
 )
 
 // Flags bundles the opt-in profiling and metrics-emission flags every cmd
@@ -141,16 +143,20 @@ func (f *Flags) Emit(fallback io.Writer, reg *Registry) error {
 	if !f.Metrics {
 		return nil
 	}
-	w := fallback
 	if f.Out != "" {
-		file, err := os.Create(f.Out)
+		// Publish atomically: a crash mid-emission leaves the previous
+		// metrics file intact rather than a truncated one.
+		w, err := atomicio.NewWriter(f.Out, 0o644)
 		if err != nil {
 			return err
 		}
-		defer file.Close()
-		w = file
+		defer w.Abort()
+		if err := WriteFormat(w, reg.Snapshot(), f.Format); err != nil {
+			return fmt.Errorf("obs: emitting metrics: %w", err)
+		}
+		return w.Commit()
 	}
-	if err := WriteFormat(w, reg.Snapshot(), f.Format); err != nil {
+	if err := WriteFormat(fallback, reg.Snapshot(), f.Format); err != nil {
 		return fmt.Errorf("obs: emitting metrics: %w", err)
 	}
 	return nil

@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"fmt"
+	"time"
+)
+
+// RestoreSnapshot loads a previously captured Snapshot into the registry,
+// creating any missing instruments and overwriting the state of existing
+// ones. It is the checkpoint/resume counterpart of Snapshot: a fresh
+// registry restored from a snapshot exports the same metrics the original
+// registry would have at capture time, so counters accumulated before a
+// crash are not lost on resume.
+//
+// Restoring is not additive — each restored instrument's state is replaced,
+// not merged. A nil registry ignores the call.
+func (r *Registry) RestoreSnapshot(s Snapshot) error {
+	if r == nil {
+		return nil
+	}
+	for _, cs := range s.Counters {
+		c := r.Counter(cs.Name, cs.Labels...)
+		c.v.Store(cs.Value)
+	}
+	for _, gs := range s.Gauges {
+		g := r.Gauge(gs.Name, gs.Labels...)
+		g.v.Store(gs.Value)
+	}
+	for _, hs := range s.Histograms {
+		h := r.Histogram(hs.Name, hs.Bounds, hs.Labels...)
+		if len(hs.Counts) != len(h.counts) {
+			return fmt.Errorf("obs: histogram %q restore with %d buckets into %d",
+				hs.Name, len(hs.Counts), len(h.counts))
+		}
+		for i, c := range hs.Counts {
+			h.counts[i].Store(c)
+		}
+		h.sum.Store(hs.Sum)
+		h.count.Store(hs.Count)
+	}
+	for _, ss := range s.Spans {
+		r.mu.Lock()
+		st, ok := r.spans[ss.Path]
+		if !ok {
+			st = &spanStats{}
+			r.spans[ss.Path] = st
+		}
+		r.mu.Unlock()
+		st.mu.Lock()
+		st.count = ss.Count
+		st.total = time.Duration(ss.TotalSeconds * float64(time.Second))
+		st.min = time.Duration(ss.MinSeconds * float64(time.Second))
+		st.max = time.Duration(ss.MaxSeconds * float64(time.Second))
+		st.mu.Unlock()
+	}
+	return nil
+}

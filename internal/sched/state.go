@@ -1,0 +1,58 @@
+package sched
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"solarsched/internal/solar"
+)
+
+// interLSAState is the cross-period state of the Inter-task baseline: the
+// learned predictor, the current admission mask and the forecast-error
+// telemetry memory. Structural fields (graph, deadlines, EDF order) are
+// configuration and recreated by the constructor.
+type interLSAState struct {
+	Predictor    solar.PredictorState `json:"predictor"`
+	Admitted     []bool               `json:"admitted"`
+	LastForecast float64              `json:"last_forecast"`
+	HaveForecast bool                 `json:"have_forecast"`
+}
+
+// SnapshotState implements sim.Checkpointable. It fails when the configured
+// predictor does not support snapshotting (all predictors in this
+// repository do).
+func (s *InterLSA) SnapshotState() ([]byte, error) {
+	snap, ok := s.pred.(solar.Snapshottable)
+	if !ok {
+		return nil, fmt.Errorf("sched: predictor %s does not support checkpointing", s.pred.Name())
+	}
+	return json.Marshal(interLSAState{
+		Predictor:    snap.Snapshot(),
+		Admitted:     append([]bool(nil), s.admitted...),
+		LastForecast: s.lastForecast,
+		HaveForecast: s.haveForecast,
+	})
+}
+
+// RestoreState implements sim.Checkpointable.
+func (s *InterLSA) RestoreState(data []byte) error {
+	var st interLSAState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("sched: inter-task restore: %w", err)
+	}
+	snap, ok := s.pred.(solar.Snapshottable)
+	if !ok {
+		return fmt.Errorf("sched: predictor %s does not support checkpointing", s.pred.Name())
+	}
+	if err := snap.RestoreState(st.Predictor); err != nil {
+		return err
+	}
+	if len(st.Admitted) != len(s.admitted) {
+		return fmt.Errorf("sched: inter-task restore with %d tasks, graph has %d",
+			len(st.Admitted), len(s.admitted))
+	}
+	copy(s.admitted, st.Admitted)
+	s.lastForecast = st.LastForecast
+	s.haveForecast = st.HaveForecast
+	return nil
+}

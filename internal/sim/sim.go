@@ -9,6 +9,8 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 
@@ -203,15 +205,67 @@ func New(cfg Config) (*Engine, error) {
 // Config returns the engine's (validated, defaulted) configuration.
 func (e *Engine) Config() Config { return e.cfg }
 
+// ErrInterrupted is returned (wrapped) by RunWithOptions when the run's
+// context is canceled at a period boundary. The partial Result up to the
+// boundary is returned alongside it, and — when a checkpoint sink is
+// configured — a final checkpoint has already been flushed, so the run can
+// be resumed with bit-identical results.
+var ErrInterrupted = errors.New("sim: run interrupted")
+
+// RunOptions controls one simulation run beyond the scheduler itself.
+// The zero value reproduces Run exactly.
+type RunOptions struct {
+	// Recorder receives a record after every simulated slot (nil is off).
+	Recorder Recorder
+
+	// Context cancels the run at the next period boundary; the run then
+	// flushes a final checkpoint (if a sink is set) and returns
+	// ErrInterrupted. Nil means never canceled.
+	Context context.Context
+
+	// Resume restarts the run from a previously captured RunState instead
+	// of from scratch. The state must validate against this engine and
+	// scheduler (same config digest, same scheduler name).
+	Resume *RunState
+
+	// Sink receives checkpoints at period boundaries. Nil disables
+	// checkpointing.
+	Sink func(*RunState) error
+
+	// Gate, when non-nil, is consulted before a periodic checkpoint is
+	// captured; returning false skips both the capture and the Sink call.
+	// Capturing a RunState serializes the whole run state, so wall-clock
+	// throttles (ckpt.Throttle) belong here, where a skipped checkpoint
+	// costs one function call. The final flush on context cancellation
+	// bypasses the gate — a graceful stop never loses its stopping point.
+	Gate func() bool
+
+	// CheckpointEvery is the number of periods between checkpoints when a
+	// Sink is set; <= 0 means every period.
+	CheckpointEvery int
+}
+
 // Run simulates the whole trace under the given scheduler.
 func (e *Engine) Run(s Scheduler) (*Result, error) {
-	return e.RunRecorded(s, nil)
+	return e.RunWithOptions(s, RunOptions{})
 }
 
 // RunRecorded is Run with an optional per-slot state recorder (nil is
 // allowed), used for debugging and trace visualization.
 func (e *Engine) RunRecorded(s Scheduler, rec Recorder) (*Result, error) {
+	return e.RunWithOptions(s, RunOptions{Recorder: rec})
+}
+
+// RunWithOptions simulates the trace under the given scheduler with
+// checkpoint/resume and cancellation support. The period loop is flat —
+// day = k / PeriodsPerDay, period-of-day = k % PeriodsPerDay — so a resumed
+// run re-enters at an arbitrary flat period index. Checkpoints are captured
+// at period boundaries, before the day-boundary aging of the next day (the
+// resumed run reapplies it), which is exactly the state a surviving run
+// would carry across that boundary.
+func (e *Engine) RunWithOptions(s Scheduler, opts RunOptions) (*Result, error) {
 	tb := e.cfg.Trace.Base
+	rec := opts.Recorder
 	bank, err := supercap.NewBank(e.cfg.Capacitances, e.cfg.Params)
 	if err != nil {
 		return nil, err
@@ -235,161 +289,217 @@ func (e *Engine) RunRecorded(s Scheduler, rec Recorder) (*Result, error) {
 	if fa, ok := s.(FaultAware); ok {
 		fa.SetFaultInjector(inj)
 	}
+
+	lastEnergy := 0.0
+	startPeriod := 0
+	if opts.Resume != nil {
+		res, lastEnergy, err = e.restoreState(opts.Resume, s, bank, ts, inj)
+		if err != nil {
+			return nil, err
+		}
+		startPeriod = opts.Resume.NextPeriod
+	}
+
 	runSpan := e.cfg.Observer.StartSpan("sim/run")
 	defer runSpan.End()
 
 	// The instrumented hot loop only counts brown-out trims and feeds the
 	// slot-load histogram batch; everything else is published per period
 	// as deltas of res (see flushPeriod). All of this state is run-local,
-	// so concurrent Runs on one engine never share mutable state.
-	var marks energyMarks
+	// so concurrent Runs on one engine never share mutable state. On
+	// resume the marks seed from the restored totals — the restored obs
+	// snapshot already accounts for everything before the boundary.
+	marks := energyMarks{
+		harvested: res.Harvested,
+		delivered: res.Delivered,
+		drawn:     res.DrawnOut,
+		stored:    res.StoredIn,
+		storeLoss: res.StoreLoss,
+		leaked:    res.Leaked,
+	}
 	trims := 0
 	loadBatch := e.m.slotLoadBatch()
 
-	lastEnergy := 0.0
-	for day := 0; day < tb.Days; day++ {
-		daySpan := runSpan.Child("day")
-		if day > 0 {
+	every := opts.CheckpointEvery
+	if every <= 0 {
+		every = 1
+	}
+	checkpoint := func(next int) error {
+		if opts.Sink == nil {
+			return nil
+		}
+		st, err := e.captureState(s, next, bank, ts, res, lastEnergy, inj)
+		if err != nil {
+			return err
+		}
+		return opts.Sink(st)
+	}
+
+	var daySpan *obs.Span
+	for k := startPeriod; k < tb.TotalPeriods(); k++ {
+		day, period := k/tb.PeriodsPerDay, k%tb.PeriodsPerDay
+		if opts.Context != nil && opts.Context.Err() != nil {
+			// Canceled: flush a final checkpoint at this boundary — the
+			// same state a periodic checkpoint at the end of period k-1
+			// would have captured — and hand back the partial result.
+			daySpan.End()
+			if err := checkpoint(k); err != nil {
+				return res, err
+			}
+			return res, fmt.Errorf("%w at period %d/%d: %v",
+				ErrInterrupted, k, tb.TotalPeriods(), opts.Context.Err())
+		}
+		if daySpan == nil {
+			daySpan = runSpan.Child("day")
+		}
+		if period == 0 && day > 0 {
 			// One day of component wear on the real bank (no-op without
 			// aging faults). Schedulers never learn the drifted constants
 			// directly — they only see the voltages their sensors report.
 			inj.AgeDay(bank)
 		}
-		for period := 0; period < tb.PeriodsPerDay; period++ {
-			periodSpan := daySpan.Child("period")
-			pv := &PeriodView{
-				Day: day, Period: period, Base: tb,
-				Graph: e.cfg.Graph, Bank: inj.ObserveBank(bank),
-				LastPeriodEnergy: lastEnergy,
-				AccumulatedDMR:   res.DMR(),
+		periodSpan := daySpan.Child("period")
+		pv := &PeriodView{
+			Day: day, Period: period, Base: tb,
+			Graph: e.cfg.Graph, Bank: inj.ObserveBank(bank),
+			LastPeriodEnergy: lastEnergy,
+			AccumulatedDMR:   res.DMR(),
+		}
+		plan := s.BeginPeriod(pv)
+		if plan.SwitchTo >= 0 && plan.SwitchTo != bank.ActiveIndex() {
+			if plan.SwitchTo >= bank.Size() {
+				return nil, fmt.Errorf("sim: scheduler %s switched to capacitor %d of %d",
+					s.Name(), plan.SwitchTo, bank.Size())
 			}
-			plan := s.BeginPeriod(pv)
-			if plan.SwitchTo >= 0 && plan.SwitchTo != bank.ActiveIndex() {
-				if plan.SwitchTo >= bank.Size() {
-					return nil, fmt.Errorf("sim: scheduler %s switched to capacitor %d of %d",
-						s.Name(), plan.SwitchTo, bank.Size())
-				}
-				if inj.DropSwitch() {
-					// PMU fault: the switch request is silently ignored;
-					// the scheduler believes it switched.
-					res.DroppedSwitches++
-				} else {
-					if plan.Migrate {
-						before := res.MigrationLoss
-						res.MigrationLoss += bank.MigrateTo(plan.SwitchTo)
-						if e.m != nil {
-							e.m.migLoss.Add(res.MigrationLoss - before)
-						}
-					} else {
-						bank.SwitchTo(plan.SwitchTo)
-					}
-					res.CapSwitches++
+			if inj.DropSwitch() {
+				// PMU fault: the switch request is silently ignored;
+				// the scheduler believes it switched.
+				res.DroppedSwitches++
+			} else {
+				if plan.Migrate {
+					before := res.MigrationLoss
+					res.MigrationLoss += bank.MigrateTo(plan.SwitchTo)
 					if e.m != nil {
-						e.m.capSwitches.Inc()
+						e.m.migLoss.Add(res.MigrationLoss - before)
 					}
+				} else {
+					bank.SwitchTo(plan.SwitchTo)
+				}
+				res.CapSwitches++
+				if e.m != nil {
+					e.m.capSwitches.Inc()
 				}
 			}
-			ts.ResetPeriod()
+		}
+		ts.ResetPeriod()
 
-			for slot := 0; slot < tb.SlotsPerPeriod; slot++ {
-				var slotSpan *obs.Span
-				if e.cfg.SlotSpans {
-					slotSpan = periodSpan.Child("slot")
-				}
-				solarW := e.cfg.Trace.At(day, period, slot)
-				if inj.DeadSlot() {
-					// Power interruption: no channel supplies the load, the
-					// panel harvests nothing and the node (scheduler
-					// included) does not run. The NVPs suspend at zero cost
-					// and retain state — only wall-clock physics continue:
-					// capacitors leak and deadlines keep approaching.
-					res.DeadSlots++
-					before := bankEnergy(bank)
-					bank.LeakAll(dt)
-					res.Leaked += before - bankEnergy(bank)
-					if e.m != nil {
-						loadBatch.Observe(0)
-					}
-					ts.CheckDeadlines(float64(slot+1) * dt)
-					if rec != nil {
-						rec.Record(SlotRecord{
-							Day: day, Period: period, Slot: slot,
-							SolarW: solarW, LoadW: 0,
-							ActiveCap: bank.ActiveIndex(), ActiveV: bank.Active().V,
-							UsableJ:      bank.Active().UsableEnergy(),
-							PeriodMisses: ts.Misses(),
-						})
-					}
-					slotSpan.End()
-					continue
-				}
-				sv := &SlotView{
-					Day: day, Period: period, Slot: slot, Base: tb,
-					SolarPower: solarW, Cap: bank.Active(), Bank: bank,
-					Tasks: ts, DirectEff: e.cfg.DirectEff,
-				}
-				if inj.SensorFaults() {
-					// Observation shim: the scheduler sees what the node's
-					// sensors report, never the ground truth the physics
-					// below run on.
-					obsBank := inj.ObserveBank(bank)
-					sv.SolarPower = inj.ObserveSolar(solarW)
-					sv.Bank = obsBank
-					sv.Cap = obsBank.Active()
-				}
-				order := s.Slot(sv)
-				if plan.Allowed != nil {
-					order = filterAllowed(order, plan.Allowed)
-				}
-				var st SlotStats
-				if ss, ok := s.(SpeedScheduler); ok {
-					st = ExecSlotDVFS(bank.Active(), ts, order,
-						func(run []int) []float64 { return ss.Speeds(sv, run) },
-						solarW, dt, e.cfg.DirectEff)
-				} else {
-					st = ExecSlot(bank.Active(), ts, order, solarW, dt, e.cfg.DirectEff)
-				}
-				res.Harvested += solarW * dt
-				res.Delivered += st.LoadPower * dt
-				res.StoredIn += st.Stored
-				res.StoreLoss += st.SurplusOffered - st.Stored
-				res.DrawnOut += st.DrawnOut
-
+		for slot := 0; slot < tb.SlotsPerPeriod; slot++ {
+			var slotSpan *obs.Span
+			if e.cfg.SlotSpans {
+				slotSpan = periodSpan.Child("slot")
+			}
+			solarW := e.cfg.Trace.At(day, period, slot)
+			if inj.DeadSlot() {
+				// Power interruption: no channel supplies the load, the
+				// panel harvests nothing and the node (scheduler
+				// included) does not run. The NVPs suspend at zero cost
+				// and retain state — only wall-clock physics continue:
+				// capacitors leak and deadlines keep approaching.
+				res.DeadSlots++
 				before := bankEnergy(bank)
 				bank.LeakAll(dt)
-				leakedJ := before - bankEnergy(bank)
-				res.Leaked += leakedJ
-
+				res.Leaked += before - bankEnergy(bank)
 				if e.m != nil {
-					trims += st.Trimmed
-					loadBatch.Observe(st.LoadPower)
+					loadBatch.Observe(0)
 				}
-
 				ts.CheckDeadlines(float64(slot+1) * dt)
 				if rec != nil {
 					rec.Record(SlotRecord{
 						Day: day, Period: period, Slot: slot,
-						SolarW: solarW, LoadW: st.LoadPower,
+						SolarW: solarW, LoadW: 0,
 						ActiveCap: bank.ActiveIndex(), ActiveV: bank.Active().V,
 						UsableJ:      bank.Active().UsableEnergy(),
-						Ran:          append([]int(nil), st.Ran...),
 						PeriodMisses: ts.Misses(),
 					})
 				}
 				slotSpan.End()
+				continue
 			}
-			res.recordPeriod(ts.Misses())
-			lastEnergy = e.cfg.Trace.PeriodEnergy(day, period)
+			sv := &SlotView{
+				Day: day, Period: period, Slot: slot, Base: tb,
+				SolarPower: solarW, Cap: bank.Active(), Bank: bank,
+				Tasks: ts, DirectEff: e.cfg.DirectEff,
+			}
+			if inj.SensorFaults() {
+				// Observation shim: the scheduler sees what the node's
+				// sensors report, never the ground truth the physics
+				// below run on.
+				obsBank := inj.ObserveBank(bank)
+				sv.SolarPower = inj.ObserveSolar(solarW)
+				sv.Bank = obsBank
+				sv.Cap = obsBank.Active()
+			}
+			order := s.Slot(sv)
+			if plan.Allowed != nil {
+				order = filterAllowed(order, plan.Allowed)
+			}
+			var st SlotStats
+			if ss, ok := s.(SpeedScheduler); ok {
+				st = ExecSlotDVFS(bank.Active(), ts, order,
+					func(run []int) []float64 { return ss.Speeds(sv, run) },
+					solarW, dt, e.cfg.DirectEff)
+			} else {
+				st = ExecSlot(bank.Active(), ts, order, solarW, dt, e.cfg.DirectEff)
+			}
+			res.Harvested += solarW * dt
+			res.Delivered += st.LoadPower * dt
+			res.StoredIn += st.Stored
+			res.StoreLoss += st.SurplusOffered - st.Stored
+			res.DrawnOut += st.DrawnOut
+
+			before := bankEnergy(bank)
+			bank.LeakAll(dt)
+			leakedJ := before - bankEnergy(bank)
+			res.Leaked += leakedJ
+
 			if e.m != nil {
-				e.m.flushPeriod(res, &marks, tb.SlotsPerPeriod, trims, ts.Misses(), e.cfg.Graph.N())
-				trims = 0
-				loadBatch.Flush()
+				trims += st.Trimmed
+				loadBatch.Observe(st.LoadPower)
 			}
-			periodSpan.End()
+
+			ts.CheckDeadlines(float64(slot+1) * dt)
+			if rec != nil {
+				rec.Record(SlotRecord{
+					Day: day, Period: period, Slot: slot,
+					SolarW: solarW, LoadW: st.LoadPower,
+					ActiveCap: bank.ActiveIndex(), ActiveV: bank.Active().V,
+					UsableJ:      bank.Active().UsableEnergy(),
+					Ran:          append([]int(nil), st.Ran...),
+					PeriodMisses: ts.Misses(),
+				})
+			}
+			slotSpan.End()
 		}
-		daySpan.End()
+		res.recordPeriod(ts.Misses())
+		lastEnergy = e.cfg.Trace.PeriodEnergy(day, period)
 		if e.m != nil {
-			e.m.days.Inc()
+			e.m.flushPeriod(res, &marks, tb.SlotsPerPeriod, trims, ts.Misses(), e.cfg.Graph.N())
+			trims = 0
+			loadBatch.Flush()
+		}
+		periodSpan.End()
+		if period == tb.PeriodsPerDay-1 {
+			daySpan.End()
+			daySpan = nil
+			if e.m != nil {
+				e.m.days.Inc()
+			}
+		}
+		if opts.Sink != nil && (k+1)%every == 0 && k+1 < tb.TotalPeriods() &&
+			(opts.Gate == nil || opts.Gate()) {
+			if err := checkpoint(k + 1); err != nil {
+				return res, err
+			}
 		}
 	}
 	res.FinalStored = bank.TotalUsable()

@@ -1,0 +1,203 @@
+package sim
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"solarsched/internal/fault"
+	"solarsched/internal/nvp"
+	"solarsched/internal/obs"
+	"solarsched/internal/supercap"
+)
+
+// Checkpointable is an optional Scheduler extension: schedulers that carry
+// cross-period state (predictors, slot histories, watchdog status, learned
+// weights) expose it as an opaque byte blob so the engine can checkpoint
+// and restore it. The contract mirrors the run's headline determinism
+// property: a freshly constructed scheduler (same constructor inputs)
+// restored from a snapshot must make every future decision bit-identically
+// to the instance that produced the snapshot. Stateless schedulers simply
+// do not implement the interface.
+type Checkpointable interface {
+	// SnapshotState serializes the scheduler's cross-period state.
+	SnapshotState() ([]byte, error)
+	// RestoreState loads a snapshot produced by the same scheduler type
+	// configured identically.
+	RestoreState(data []byte) error
+}
+
+// RunStateVersion identifies the RunState schema; bumped on incompatible
+// layout changes so stale checkpoints are rejected instead of misread.
+const RunStateVersion = 1
+
+// RunState is the complete simulation state at a period boundary — the
+// simulator's analogue of the paper's NVP backup: everything that must
+// survive a power failure for the run to continue exactly where it stopped.
+// It is captured just before period NextPeriod begins (and before any
+// day-boundary aging of that period's day, which the resumed run reapplies).
+type RunState struct {
+	Version       int    `json:"version"`
+	SchedulerName string `json:"scheduler"`
+	ConfigDigest  string `json:"config_digest"`
+
+	// NextPeriod is the flat period index the resumed run executes first.
+	NextPeriod int `json:"next_period"`
+
+	Bank       supercap.BankState `json:"bank"`
+	Tasks      nvp.State          `json:"tasks"`
+	LastEnergy float64            `json:"last_energy"`
+	Result     *Result            `json:"result"`
+
+	// Scheduler is the opaque Checkpointable blob; nil for stateless
+	// schedulers.
+	Scheduler []byte `json:"scheduler_state,omitempty"`
+
+	// Injector is the fault-layer state; nil when faults are disabled.
+	Injector *fault.InjectorState `json:"injector,omitempty"`
+
+	// Obs is the observer snapshot at capture time; zero when the run has
+	// no observer.
+	Obs obs.Snapshot `json:"obs,omitempty"`
+}
+
+// Validate checks a decoded RunState against the engine and scheduler that
+// will resume it.
+func (st *RunState) Validate(e *Engine, s Scheduler) error {
+	if st.Version != RunStateVersion {
+		return fmt.Errorf("sim: checkpoint version %d, this build reads %d", st.Version, RunStateVersion)
+	}
+	if st.SchedulerName != s.Name() {
+		return fmt.Errorf("sim: checkpoint of scheduler %q resumed with %q", st.SchedulerName, s.Name())
+	}
+	if d := e.ConfigDigest(); st.ConfigDigest != d {
+		return fmt.Errorf("sim: checkpoint config digest %s does not match engine %s", st.ConfigDigest, d)
+	}
+	if total := e.cfg.Trace.Base.TotalPeriods(); st.NextPeriod < 0 || st.NextPeriod > total {
+		return fmt.Errorf("sim: checkpoint period %d outside [0,%d]", st.NextPeriod, total)
+	}
+	if st.Result == nil {
+		return fmt.Errorf("sim: checkpoint without result state")
+	}
+	if got, want := len(st.Result.PeriodMisses), st.NextPeriod; got != want {
+		return fmt.Errorf("sim: checkpoint has %d recorded periods, cursor at %d", got, want)
+	}
+	if len(st.Bank.Caps) != len(e.cfg.Capacitances) {
+		return fmt.Errorf("sim: checkpoint bank of %d capacitors, config has %d",
+			len(st.Bank.Caps), len(e.cfg.Capacitances))
+	}
+	return nil
+}
+
+// ConfigDigest returns a hex digest identifying the run configuration: the
+// time base, the full solar trace, the task graph shape, the capacitor bank,
+// the channel parameters and the fault config. A checkpoint only resumes
+// onto an engine with the same digest — resuming onto different physics
+// would silently produce garbage.
+func (e *Engine) ConfigDigest() string {
+	h := sha256.New()
+	writeJSON := func(v any) {
+		b, err := json.Marshal(v)
+		if err != nil {
+			panic(fmt.Sprintf("sim: config digest: %v", err))
+		}
+		h.Write(b)
+		h.Write([]byte{'\n'})
+	}
+	writeJSON(e.cfg.Trace.Base)
+	var buf [8]byte
+	for _, p := range e.cfg.Trace.Power {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(p))
+		h.Write(buf[:])
+	}
+	writeJSON(struct {
+		Graph string
+		Tasks int
+		NVPs  int
+	}{e.cfg.Graph.Name, e.cfg.Graph.N(), e.cfg.Graph.NumNVPs})
+	writeJSON(e.cfg.Capacitances)
+	writeJSON(e.cfg.Params)
+	writeJSON(e.cfg.DirectEff)
+	writeJSON(e.cfg.Faults)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Digest returns a hex digest of the run's complete metrics — the quantity
+// the kill/resume harness compares: a resumed run is correct iff its final
+// digest is bit-identical to the uninterrupted run's. JSON encoding of
+// float64 round-trips exactly (strconv shortest form), so equal digests
+// mean equal bits, not approximately equal values.
+func (r *Result) Digest() string {
+	b, err := json.Marshal(r)
+	if err != nil {
+		panic(fmt.Sprintf("sim: result digest: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// captureState snapshots the complete run state at the boundary before flat
+// period next.
+func (e *Engine) captureState(s Scheduler, next int, bank *supercap.Bank,
+	ts *nvp.Set, res *Result, lastEnergy float64, inj *fault.Injector) (*RunState, error) {
+
+	st := &RunState{
+		Version:       RunStateVersion,
+		SchedulerName: s.Name(),
+		ConfigDigest:  e.ConfigDigest(),
+		NextPeriod:    next,
+		Bank:          bank.State(),
+		Tasks:         ts.State(),
+		LastEnergy:    lastEnergy,
+		Injector:      inj.State(),
+		Obs:           e.cfg.Observer.Snapshot(),
+	}
+	resCopy := *res
+	resCopy.PeriodMisses = append([]int(nil), res.PeriodMisses...)
+	st.Result = &resCopy
+	if c, ok := s.(Checkpointable); ok {
+		blob, err := c.SnapshotState()
+		if err != nil {
+			return nil, fmt.Errorf("sim: scheduler %s snapshot: %w", s.Name(), err)
+		}
+		st.Scheduler = blob
+	}
+	return st, nil
+}
+
+// restoreState loads a validated RunState into the freshly built run
+// components. It returns the restored cumulative result and harvest memory.
+func (e *Engine) restoreState(st *RunState, s Scheduler, bank *supercap.Bank,
+	ts *nvp.Set, inj *fault.Injector) (*Result, float64, error) {
+
+	if err := st.Validate(e, s); err != nil {
+		return nil, 0, err
+	}
+	if err := bank.Restore(st.Bank); err != nil {
+		return nil, 0, err
+	}
+	if err := ts.Restore(st.Tasks); err != nil {
+		return nil, 0, err
+	}
+	if err := inj.Restore(st.Injector); err != nil {
+		return nil, 0, err
+	}
+	if st.Scheduler != nil {
+		c, ok := s.(Checkpointable)
+		if !ok {
+			return nil, 0, fmt.Errorf("sim: checkpoint carries state for %s, which cannot restore it", s.Name())
+		}
+		if err := c.RestoreState(st.Scheduler); err != nil {
+			return nil, 0, fmt.Errorf("sim: scheduler %s restore: %w", s.Name(), err)
+		}
+	}
+	if err := e.cfg.Observer.RestoreSnapshot(st.Obs); err != nil {
+		return nil, 0, err
+	}
+	res := *st.Result
+	res.PeriodMisses = append([]int(nil), st.Result.PeriodMisses...)
+	return &res, st.LastEnergy, nil
+}

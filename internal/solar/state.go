@@ -1,0 +1,112 @@
+package solar
+
+import "fmt"
+
+// PredictorState is the serializable learned state of any of the package's
+// causal predictors. It is a tagged union: Kind selects which predictor the
+// state belongs to and only that predictor's fields are populated. Structural
+// parameters (alpha, D, K, periods per day) are configuration, recreated by
+// the constructor; the state carries only what observation accumulates.
+type PredictorState struct {
+	Kind string `json:"kind"`
+
+	// Persistence
+	Last float64 `json:"last,omitempty"`
+
+	// EWMA
+	PerPeriod []float64 `json:"per_period,omitempty"`
+	Seen      []bool    `json:"seen,omitempty"`
+
+	// WCMA
+	PerDay  [][]float64 `json:"per_day,omitempty"`
+	Today   []float64   `json:"today,omitempty"`
+	TodayOk []bool      `json:"today_ok,omitempty"`
+	Filled  int         `json:"filled,omitempty"`
+	LastObs float64     `json:"last_obs,omitempty"`
+}
+
+// Snapshottable is implemented by predictors whose learned state can be
+// captured and restored for checkpointing. Restoring a freshly constructed
+// predictor (same constructor arguments) from a snapshot makes every future
+// Predict bit-identical to the uninterrupted instance.
+type Snapshottable interface {
+	Snapshot() PredictorState
+	RestoreState(PredictorState) error
+}
+
+// Snapshot implements Snapshottable.
+func (p *Persistence) Snapshot() PredictorState {
+	return PredictorState{Kind: "persistence", Last: p.last}
+}
+
+// RestoreState implements Snapshottable.
+func (p *Persistence) RestoreState(st PredictorState) error {
+	if st.Kind != "persistence" {
+		return fmt.Errorf("solar: restoring %q state into persistence predictor", st.Kind)
+	}
+	p.last = st.Last
+	return nil
+}
+
+// Snapshot implements Snapshottable.
+func (e *EWMA) Snapshot() PredictorState {
+	return PredictorState{
+		Kind:      "ewma",
+		PerPeriod: append([]float64(nil), e.perP...),
+		Seen:      append([]bool(nil), e.seen...),
+	}
+}
+
+// RestoreState implements Snapshottable.
+func (e *EWMA) RestoreState(st PredictorState) error {
+	if st.Kind != "ewma" {
+		return fmt.Errorf("solar: restoring %q state into ewma predictor", st.Kind)
+	}
+	if len(st.PerPeriod) != len(e.perP) || len(st.Seen) != len(e.seen) {
+		return fmt.Errorf("solar: ewma restore with %d periods into predictor of %d",
+			len(st.PerPeriod), len(e.perP))
+	}
+	copy(e.perP, st.PerPeriod)
+	copy(e.seen, st.Seen)
+	return nil
+}
+
+// Snapshot implements Snapshottable.
+func (w *WCMA) Snapshot() PredictorState {
+	st := PredictorState{
+		Kind:    "wcma",
+		PerDay:  make([][]float64, len(w.perDay)),
+		Today:   append([]float64(nil), w.today...),
+		TodayOk: append([]bool(nil), w.todayOk...),
+		Filled:  w.filled,
+		LastObs: w.lastObs,
+	}
+	for i, d := range w.perDay {
+		st.PerDay[i] = append([]float64(nil), d...)
+	}
+	return st
+}
+
+// RestoreState implements Snapshottable.
+func (w *WCMA) RestoreState(st PredictorState) error {
+	if st.Kind != "wcma" {
+		return fmt.Errorf("solar: restoring %q state into wcma predictor", st.Kind)
+	}
+	if len(st.PerDay) != len(w.perDay) || len(st.Today) != len(w.today) ||
+		len(st.TodayOk) != len(w.todayOk) {
+		return fmt.Errorf("solar: wcma restore shape mismatch (%d days, %d periods) into (%d, %d)",
+			len(st.PerDay), len(st.Today), len(w.perDay), len(w.today))
+	}
+	for i := range w.perDay {
+		if len(st.PerDay[i]) != len(w.perDay[i]) {
+			return fmt.Errorf("solar: wcma restore day %d has %d periods, want %d",
+				i, len(st.PerDay[i]), len(w.perDay[i]))
+		}
+		copy(w.perDay[i], st.PerDay[i])
+	}
+	copy(w.today, st.Today)
+	copy(w.todayOk, st.TodayOk)
+	w.filled = st.Filled
+	w.lastObs = st.LastObs
+	return nil
+}

@@ -1,0 +1,58 @@
+package supercap
+
+import "fmt"
+
+// CapacitorState is the full serializable state of one capacitor. Params are
+// included because aging mutates them in place (leakage growth, peak
+// efficiency fade): a capacitor restored from its state behaves identically
+// to one that lived through the wear.
+type CapacitorState struct {
+	C float64 `json:"c"`
+	V float64 `json:"v"`
+	P Params  `json:"params"`
+}
+
+// BankState is the full serializable state of a capacitor bank.
+type BankState struct {
+	Caps   []CapacitorState `json:"caps"`
+	Active int              `json:"active"`
+}
+
+// State captures the capacitor's complete state.
+func (s *Capacitor) State() CapacitorState {
+	return CapacitorState{C: s.C, V: s.V, P: s.P}
+}
+
+// Restore overwrites the capacitor with a previously captured state.
+func (s *Capacitor) Restore(st CapacitorState) {
+	s.C = st.C
+	s.V = st.V
+	s.P = st.P
+}
+
+// State captures the bank's complete state: every capacitor (including aged
+// parameters) and the active-capacitor index.
+func (b *Bank) State() BankState {
+	st := BankState{Caps: make([]CapacitorState, len(b.Caps)), Active: b.active}
+	for i, c := range b.Caps {
+		st.Caps[i] = c.State()
+	}
+	return st
+}
+
+// Restore overwrites the bank with a previously captured state. The bank
+// shape (capacitor count) must match; restoring across different bank
+// configurations is a caller error.
+func (b *Bank) Restore(st BankState) error {
+	if len(st.Caps) != len(b.Caps) {
+		return fmt.Errorf("supercap: restore with %d capacitors into bank of %d", len(st.Caps), len(b.Caps))
+	}
+	if st.Active < 0 || st.Active >= len(b.Caps) {
+		return fmt.Errorf("supercap: restore active index %d out of range [0,%d)", st.Active, len(b.Caps))
+	}
+	for i := range b.Caps {
+		b.Caps[i].Restore(st.Caps[i])
+	}
+	b.active = st.Active
+	return nil
+}

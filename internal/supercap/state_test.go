@@ -1,0 +1,88 @@
+package supercap
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// exerciseBank applies a deterministic mixed workload: charge, discharge,
+// leak, migrate and age — everything that mutates capacitor state,
+// including the Params drift of aging.
+func exerciseBank(b *Bank, steps int) {
+	a := Aging{CapFade: 0.01, LeakGrowth: 0.05, EffFade: 0.005}
+	for i := 0; i < steps; i++ {
+		b.Active().Charge(float64(i%7) * 0.3)
+		b.Active().Discharge(float64(i%5) * 0.2)
+		b.LeakAll(30)
+		switch i % 10 {
+		case 3:
+			b.SwitchTo((b.ActiveIndex() + 1) % b.Size())
+		case 7:
+			b.MigrateTo((b.ActiveIndex() + 2) % b.Size())
+		case 9:
+			b.AgeAll(a)
+		}
+	}
+}
+
+// Property: a bank restored from its state has identical future voltages
+// under any identical workload — including aged Params, which Age mutates
+// in place.
+func TestBankStateRoundTripIdenticalFuture(t *testing.T) {
+	caps := []float64{2, 10, 50}
+	p := DefaultParams()
+	live := MustNewBank(caps, p)
+	exerciseBank(live, 137)
+
+	st := live.State()
+	// JSON round trip: bank state rides inside checkpoint payloads.
+	data, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back BankState
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+
+	restored := MustNewBank(caps, p)
+	if err := restored.Restore(back); err != nil {
+		t.Fatal(err)
+	}
+	if restored.ActiveIndex() != live.ActiveIndex() {
+		t.Fatalf("active %d != %d", restored.ActiveIndex(), live.ActiveIndex())
+	}
+	for i := range live.Caps {
+		if live.Caps[i].V != restored.Caps[i].V || live.Caps[i].C != restored.Caps[i].C {
+			t.Fatalf("cap %d: V %v/%v C %v/%v", i,
+				live.Caps[i].V, restored.Caps[i].V, live.Caps[i].C, restored.Caps[i].C)
+		}
+		if live.Caps[i].P != restored.Caps[i].P {
+			t.Fatalf("cap %d params drifted: %+v != %+v", i, live.Caps[i].P, restored.Caps[i].P)
+		}
+	}
+
+	// The decisive property: identical behavior from here on, bit for bit.
+	exerciseBank(live, 211)
+	exerciseBank(restored, 211)
+	for i := range live.Caps {
+		if live.Caps[i].V != restored.Caps[i].V {
+			t.Fatalf("future voltage diverged at cap %d: %v != %v",
+				i, live.Caps[i].V, restored.Caps[i].V)
+		}
+	}
+}
+
+func TestBankRestoreRejectsShapeMismatch(t *testing.T) {
+	p := DefaultParams()
+	b := MustNewBank([]float64{2, 10}, p)
+	st := MustNewBank([]float64{2, 10, 50}, p).State()
+	if err := b.Restore(st); err == nil {
+		t.Fatal("restore with wrong capacitor count accepted")
+	}
+	bad := b.State()
+	bad.Active = 5
+	if err := b.Restore(bad); err == nil {
+		t.Fatal("restore with out-of-range active index accepted")
+	}
+}
