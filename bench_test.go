@@ -183,7 +183,7 @@ func benchEngineDay(b *testing.B, reg *solarsched.MetricsRegistry) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := eng.Run(solarsched.NewIntraMatch(g)); err != nil {
+		if _, err := eng.Run(context.Background(), solarsched.NewIntraMatch(g)); err != nil {
 			b.Fatal(err)
 		}
 	}

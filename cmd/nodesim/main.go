@@ -381,7 +381,7 @@ func runCmd(args []string) (err error) {
 	if err != nil {
 		return err
 	}
-	opts := sim.RunOptions{Context: ctx}
+	var opts []sim.RunOption
 	var logRec *sim.CSVRecorder
 	var logW *ckpt.AtomicWriter
 	if *logPath != "" {
@@ -391,19 +391,20 @@ func runCmd(args []string) (err error) {
 		}
 		defer logW.Abort()
 		logRec = sim.NewCSVRecorder(logW)
-		opts.Recorder = logRec
+		opts = append(opts, sim.WithRecorder(logRec))
 	}
-	store, err := ck.Apply(&opts)
+	ckOpts, store, resumed, err := ck.Apply()
 	if err != nil {
 		return err
 	}
-	if opts.Resume != nil {
+	opts = append(opts, ckOpts...)
+	if resumed != nil {
 		fmt.Fprintf(diag, "resuming from %s at period %d of %d\n",
-			store.Path(), opts.Resume.NextPeriod, tr.Base.TotalPeriods())
+			store.Path(), resumed.NextPeriod, tr.Base.TotalPeriods())
 	}
-	res, err := eng.RunWithOptions(s, opts)
+	res, err := eng.Run(ctx, s, opts...)
 	if err != nil {
-		if errors.Is(err, sim.ErrInterrupted) && store != nil {
+		if errors.Is(err, sim.ErrCanceled) && store != nil {
 			fmt.Fprintf(os.Stderr, "nodesim: run interrupted; resume with -resume -checkpoint %s\n", store.Path())
 		}
 		return err

@@ -1,0 +1,131 @@
+// The fleet subcommand runs a batch of simulations described by a JSON
+// spec file on the shared-cache worker pool of internal/fleet:
+//
+//	solarsched fleet [flags] <spec.json>
+//
+// Flags:
+//
+//	-workers N   worker-pool size (default GOMAXPROCS)
+//	-csv FILE    write the per-run report as CSV
+//	-json FILE   write the full report (metrics included) as JSON
+//	-digest      print only the aggregate digest (for golden comparisons)
+//	-quiet       suppress the table; errors still reach stderr
+//	-metrics...  see internal/obs.Flags
+//
+// The process exits 0 when every run succeeded, 1 when any run failed and
+// 130 on SIGINT/SIGTERM; a partial report is still written on interruption.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"solarsched/internal/ckpt"
+	"solarsched/internal/cli"
+	"solarsched/internal/fleet"
+	"solarsched/internal/obs"
+)
+
+// runFleet is the `fleet` subcommand body, dispatched before the global
+// flag.Parse so its flag set stays independent of the experiment flags.
+func runFleet(args []string) int {
+	fs := flag.NewFlagSet("fleet", flag.ContinueOnError)
+	workers := fs.Int("workers", 0, "worker-pool size (default GOMAXPROCS)")
+	csvPath := fs.String("csv", "", "write the per-run report as CSV to this file")
+	jsonPath := fs.String("json", "", "write the full JSON report to this file")
+	digestOnly := fs.Bool("digest", false, "print only the aggregate digest")
+	quiet := fs.Bool("quiet", false, "suppress the table; errors still reach stderr")
+	var of obs.Flags
+	of.Register(fs)
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: solarsched fleet [flags] <spec.json>\n\nflags:\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return 2
+	}
+
+	ctx, cancel := cli.SignalContext()
+	defer cancel()
+	var reg *obs.Registry
+	if of.Metrics {
+		reg = obs.Default()
+	}
+	stop, err := of.Start()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "solarsched: fleet: %v\n", err)
+		return 1
+	}
+
+	specs, err := fleet.LoadSpecFile(fs.Arg(0), reg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "solarsched: fleet: %v\n", err)
+		return 1
+	}
+	diag := io.Writer(os.Stdout)
+	if *quiet || *digestOnly {
+		diag = io.Discard
+	}
+	fmt.Fprintf(diag, "fleet: %d runs from %s\n", len(specs), fs.Arg(0))
+
+	rep, runErr := fleet.Run(ctx, specs, fleet.Options{
+		Workers:  *workers,
+		Observer: reg,
+	})
+	// A canceled fleet still returns the partial report; render and persist
+	// what completed before mapping the error onto the exit status.
+	if rep != nil {
+		rep.Table().Render(diag)
+		if *digestOnly {
+			fmt.Fprintln(os.Stdout, rep.AggregateDigest())
+		} else {
+			fmt.Fprintf(diag, "  aggregate digest: %s\n", rep.AggregateDigest())
+			fmt.Fprintf(diag, "  cache: %d hits, %d misses (%.1f%% hit rate)\n",
+				rep.CacheHits, rep.CacheMisses, 100*rep.HitRate())
+		}
+		if *csvPath != "" {
+			if err := writeReport(*csvPath, rep.WriteCSV); err != nil {
+				fmt.Fprintf(os.Stderr, "solarsched: fleet: writing csv: %v\n", err)
+				return 1
+			}
+		}
+		if *jsonPath != "" {
+			if err := writeReport(*jsonPath, rep.WriteJSON); err != nil {
+				fmt.Fprintf(os.Stderr, "solarsched: fleet: writing json: %v\n", err)
+				return 1
+			}
+		}
+	}
+	if err := stopAndEmit(stop, &of); err != nil {
+		fmt.Fprintf(os.Stderr, "solarsched: fleet: %v\n", err)
+		return 1
+	}
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "solarsched: fleet: %v\n", runErr)
+		return cli.ExitCode(runErr)
+	}
+	if err := rep.FirstErr(); err != nil {
+		fmt.Fprintf(os.Stderr, "solarsched: fleet: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// writeReport writes one report rendering atomically.
+func writeReport(path string, render func(io.Writer) error) error {
+	w, err := ckpt.NewAtomicWriter(path, 0o644)
+	if err != nil {
+		return err
+	}
+	defer w.Abort()
+	if err := render(w); err != nil {
+		return err
+	}
+	return w.Commit()
+}

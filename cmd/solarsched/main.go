@@ -8,6 +8,10 @@
 //
 // Experiments: fig5 fig7 table2 fig8 fig9 fig10a fig10b overhead all
 //
+// The fleet subcommand (solarsched fleet <spec.json>) runs a batch of
+// simulations on the internal/fleet worker pool with a shared offline
+// artifact cache; see cmd/solarsched/fleet.go.
+//
 // Flags:
 //
 //	-quick          reduced configuration (smoke-test scale)
@@ -52,6 +56,11 @@ func main() {
 // return path — including graceful interruption — unwinds the deferred
 // signal handler and maps its error honestly onto the process status.
 func run() int {
+	// The fleet subcommand carries its own flag set; dispatch before the
+	// global flag.Parse so the two never collide.
+	if len(os.Args) > 1 && os.Args[1] == "fleet" {
+		return runFleet(os.Args[2:])
+	}
 	quick := flag.Bool("quick", false, "run the reduced (smoke-test) configuration")
 	csvDir := flag.String("csv", "", "directory to write CSV copies of each table")
 	benchFilter := flag.String("benchmarks", "", "comma-separated benchmark filter for fig8")
@@ -326,6 +335,10 @@ ablations (design-choice studies, not in the paper's figures):
   robustness            DMR distribution over independent weather draws
   faultsweep            DMR vs fault intensity, hardened vs plain proposed
                         (-faults grid, -fault-seed)
+
+batch runs:
+  fleet <spec.json>     run a batch of simulations on the shared-cache
+                        worker pool (see \"solarsched fleet -h\")
 
 flags:
 `)

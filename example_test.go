@@ -1,6 +1,7 @@
 package solarsched_test
 
 import (
+	"context"
 	"fmt"
 
 	"solarsched"
@@ -18,7 +19,7 @@ func Example() {
 	if err != nil {
 		panic(err)
 	}
-	res, err := engine.Run(solarsched.NewIntraMatch(graph))
+	res, err := engine.Run(context.Background(), solarsched.NewIntraMatch(graph))
 	if err != nil {
 		panic(err)
 	}

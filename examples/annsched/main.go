@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -106,7 +107,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := engine.Run(s)
+		res, err := engine.Run(context.Background(), s)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -37,7 +38,7 @@ func main() {
 		solarsched.NewIntraMatch(graph),
 	}
 	for _, s := range schedulers {
-		res, err := engine.Run(s)
+		res, err := engine.Run(context.Background(), s)
 		if err != nil {
 			log.Fatal(err)
 		}

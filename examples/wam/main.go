@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -73,7 +74,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := engine.Run(r.sched)
+		res, err := engine.Run(context.Background(), r.sched)
 		if err != nil {
 			log.Fatal(err)
 		}

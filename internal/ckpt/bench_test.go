@@ -1,6 +1,7 @@
 package ckpt
 
 import (
+	"context"
 	"path/filepath"
 	"testing"
 
@@ -28,7 +29,7 @@ func BenchmarkRunBare(b *testing.B) {
 	e, s := benchEngine(b, 14)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := e.Run(s); err != nil {
+		if _, err := e.Run(context.Background(), s); err != nil {
 			b.Fatal(err)
 		}
 	}

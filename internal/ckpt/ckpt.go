@@ -20,6 +20,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -34,6 +35,13 @@ const (
 	Magic         = "solarsched-ckpt"
 	FormatVersion = 1
 )
+
+// ErrCorruptCheckpoint is wrapped into every Decode rejection of a torn,
+// truncated or foreign checkpoint file: missing or malformed header, wrong
+// magic or format version, payload length or checksum mismatch, undecodable
+// payload. Callers use errors.Is(err, ckpt.ErrCorruptCheckpoint) instead of
+// string-matching; Load falls back to the previous generation on it.
+var ErrCorruptCheckpoint = errors.New("ckpt: corrupt checkpoint")
 
 // DefaultInterval is the wall-clock throttle the CLIs apply to periodic
 // checkpoint writes: at most one durable (fsynced) checkpoint per second.
@@ -92,29 +100,29 @@ func Decode(data []byte) (*sim.RunState, Header, error) {
 	var hdr Header
 	nl := bytes.IndexByte(data, '\n')
 	if nl < 0 {
-		return nil, hdr, fmt.Errorf("ckpt: missing header line")
+		return nil, hdr, fmt.Errorf("%w: missing header line", ErrCorruptCheckpoint)
 	}
 	if err := json.Unmarshal(data[:nl], &hdr); err != nil {
-		return nil, hdr, fmt.Errorf("ckpt: bad header: %w", err)
+		return nil, hdr, fmt.Errorf("%w: bad header: %v", ErrCorruptCheckpoint, err)
 	}
 	if hdr.Magic != Magic {
-		return nil, hdr, fmt.Errorf("ckpt: not a checkpoint file (magic %q)", hdr.Magic)
+		return nil, hdr, fmt.Errorf("%w: not a checkpoint file (magic %q)", ErrCorruptCheckpoint, hdr.Magic)
 	}
 	if hdr.Version != FormatVersion {
-		return nil, hdr, fmt.Errorf("ckpt: format version %d, this build reads %d", hdr.Version, FormatVersion)
+		return nil, hdr, fmt.Errorf("%w: format version %d, this build reads %d", ErrCorruptCheckpoint, hdr.Version, FormatVersion)
 	}
 	payload := data[nl+1:]
 	if len(payload) != hdr.PayloadBytes {
-		return nil, hdr, fmt.Errorf("ckpt: payload is %d bytes, header says %d (torn write)",
-			len(payload), hdr.PayloadBytes)
+		return nil, hdr, fmt.Errorf("%w: payload is %d bytes, header says %d (torn write)",
+			ErrCorruptCheckpoint, len(payload), hdr.PayloadBytes)
 	}
 	sum := sha256.Sum256(payload)
 	if got := hex.EncodeToString(sum[:]); got != hdr.PayloadSHA256 {
-		return nil, hdr, fmt.Errorf("ckpt: payload checksum mismatch (torn write)")
+		return nil, hdr, fmt.Errorf("%w: payload checksum mismatch (torn write)", ErrCorruptCheckpoint)
 	}
 	var rs sim.RunState
 	if err := json.Unmarshal(payload, &rs); err != nil {
-		return nil, hdr, fmt.Errorf("ckpt: decode payload: %w", err)
+		return nil, hdr, fmt.Errorf("%w: decode payload: %v", ErrCorruptCheckpoint, err)
 	}
 	return &rs, hdr, nil
 }
@@ -249,7 +257,7 @@ func (st *Store) Load() (*sim.RunState, Header, bool, error) {
 	if errPrev == nil {
 		return rs, hdr, true, nil
 	}
-	return nil, Header{}, false, fmt.Errorf("ckpt: no loadable checkpoint at %s (%v; prev: %v)",
+	return nil, Header{}, false, fmt.Errorf("ckpt: no loadable checkpoint at %s (%w; prev: %v)",
 		st.path, errCur, errPrev)
 }
 

@@ -1,6 +1,7 @@
 package ckpt
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -39,7 +40,7 @@ func (h Harness) Uninterrupted() (*sim.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return eng.Run(s)
+	return eng.Run(context.Background(), s)
 }
 
 // KillResume runs with checkpointing into a Store at path, kills the run
@@ -68,16 +69,15 @@ func (h Harness) KillResume(path string, killAfter int) (*sim.Result, bool, erro
 		return nil, false, err
 	}
 	saves := 0
-	_, runErr := eng.RunWithOptions(s, sim.RunOptions{
-		CheckpointEvery: h.CheckpointEvery,
-		Sink: func(rs *sim.RunState) error {
+	_, runErr := eng.Run(context.Background(), s,
+		sim.WithCheckpointEvery(h.CheckpointEvery),
+		sim.WithSink(func(rs *sim.RunState) error {
 			if saves >= killAfter {
 				return ErrSimulatedKill
 			}
 			saves++
 			return store.Save(rs)
-		},
-	})
+		}))
 	if runErr == nil {
 		// The run finished before the kill point; nothing to resume.
 		res, err := h.Uninterrupted()
@@ -100,11 +100,10 @@ func (h Harness) KillResume(path string, killAfter int) (*sim.Result, bool, erro
 	if err != nil {
 		return nil, true, err
 	}
-	res, err := eng.RunWithOptions(s, sim.RunOptions{
-		Resume:          rs,
-		CheckpointEvery: h.CheckpointEvery,
-		Sink:            store.Sink(),
-	})
+	res, err := eng.Run(context.Background(), s,
+		sim.WithResume(rs),
+		sim.WithCheckpointEvery(h.CheckpointEvery),
+		sim.WithSink(store.Sink()))
 	return res, true, err
 }
 

@@ -36,7 +36,7 @@ func ExitCode(err error) int {
 	switch {
 	case err == nil:
 		return 0
-	case errors.Is(err, sim.ErrInterrupted), errors.Is(err, context.Canceled):
+	case errors.Is(err, sim.ErrCanceled), errors.Is(err, context.Canceled):
 		return ExitCodeInterrupted
 	default:
 		return 1
@@ -66,39 +66,43 @@ func (c *CheckpointFlags) Register(fs *flag.FlagSet) {
 		"periods between durable checkpoints (0 = every period, throttled to one write per second)")
 }
 
-// Apply opens the checkpoint store and wires it into opts: the sink, the
-// write cadence, and — under -resume — the restored run state. It
-// returns the store (nil when checkpointing is disabled) so the caller
-// can report the checkpoint location.
-func (c *CheckpointFlags) Apply(opts *sim.RunOptions) (*ckpt.Store, error) {
+// Apply opens the checkpoint store and translates the flag bundle into
+// sim.RunOption values: the sink, the write cadence, and — under -resume —
+// the restored run state. It returns the options, the store (nil when
+// checkpointing is disabled) and the restored state (nil unless resuming)
+// so the caller can report the checkpoint location and resume point.
+func (c *CheckpointFlags) Apply() ([]sim.RunOption, *ckpt.Store, *sim.RunState, error) {
 	if c.Path == "" {
 		if c.Resume {
-			return nil, fmt.Errorf("-resume requires -checkpoint")
+			return nil, nil, nil, fmt.Errorf("-resume requires -checkpoint")
 		}
-		return nil, nil
+		return nil, nil, nil, nil
 	}
 	if c.Every < 0 {
-		return nil, fmt.Errorf("-ckpt-every must be >= 0, got %d", c.Every)
+		return nil, nil, nil, fmt.Errorf("-ckpt-every must be >= 0, got %d", c.Every)
 	}
 	store, err := ckpt.NewStore(c.Path)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
-	opts.Sink = store.Sink()
+	opts := []sim.RunOption{sim.WithSink(store.Sink())}
 	if c.Every > 0 {
-		opts.CheckpointEvery = c.Every
+		opts = append(opts, sim.WithCheckpointEvery(c.Every))
 	} else {
-		opts.Gate = ckpt.Throttle(ckpt.DefaultInterval)
+		opts = append(opts, sim.WithGate(ckpt.Throttle(ckpt.DefaultInterval)))
 	}
+	var rs *sim.RunState
 	if c.Resume {
-		rs, hdr, usedPrev, err := store.Load()
+		var hdr ckpt.Header
+		var usedPrev bool
+		rs, hdr, usedPrev, err = store.Load()
 		if err != nil {
-			return nil, err
+			return nil, nil, nil, err
 		}
 		if usedPrev {
 			fmt.Fprintf(os.Stderr, "warning: newest checkpoint unreadable; resuming from previous generation (seq %d)\n", hdr.Seq)
 		}
-		opts.Resume = rs
+		opts = append(opts, sim.WithResume(rs))
 	}
-	return store, nil
+	return opts, store, rs, nil
 }

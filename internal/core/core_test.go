@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -302,7 +303,7 @@ func TestOptimalStaticRuns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := eng.Run(opt)
+	res, err := eng.Run(context.Background(), opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -335,15 +336,15 @@ func TestClairvoyantBeatsBaselines(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	optRes, err := eng.Run(opt)
+	optRes, err := eng.Run(context.Background(), opt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	inter, err := eng.Run(sched.NewInterLSA(pc.Graph, pc.Base, pc.DirectEff))
+	inter, err := eng.Run(context.Background(), sched.NewInterLSA(pc.Graph, pc.Base, pc.DirectEff))
 	if err != nil {
 		t.Fatal(err)
 	}
-	intra, err := eng.Run(sched.NewIntraMatch(pc.Graph))
+	intra, err := eng.Run(context.Background(), sched.NewIntraMatch(pc.Graph))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -363,14 +364,14 @@ func TestNoisyHorizonNoBetterThanClairvoyant(t *testing.T) {
 	pc, tr := testConfig(task.ECG(), 2)
 	eng, _ := sim.New(sim.Config{Trace: tr, Graph: pc.Graph, Capacitances: pc.Capacitances})
 	clair, _ := NewClairvoyant(pc, tr, 24)
-	clairRes, err := eng.Run(clair)
+	clairRes, err := eng.Run(context.Background(), clair)
 	if err != nil {
 		t.Fatal(err)
 	}
 	fc := solar.NewHorizonForecast(tr, 9)
 	fc.Sigma0, fc.SigmaPerDay = 0.3, 1.0 // deliberately bad forecasts
 	noisy, _ := NewHorizon(pc, fc, 24)
-	noisyRes, err := eng.Run(noisy)
+	noisyRes, err := eng.Run(context.Background(), noisy)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -453,7 +454,7 @@ func TestProposedEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	eng, _ := sim.New(sim.Config{Trace: tr, Graph: g, Capacitances: pc.Capacitances})
-	res, err := eng.Run(eval)
+	res, err := eng.Run(context.Background(), eval)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -461,7 +462,7 @@ func TestProposedEndToEnd(t *testing.T) {
 		t.Fatalf("proposed DMR = %v implausible", d)
 	}
 	// It must not be worse than the weakest baseline by a wide margin.
-	intra, _ := eng.Run(sched.NewIntraMatch(g))
+	intra, _ := eng.Run(context.Background(), sched.NewIntraMatch(g))
 	if res.DMR() > intra.DMR()+0.10 {
 		t.Fatalf("proposed DMR %.3f far worse than intra baseline %.3f", res.DMR(), intra.DMR())
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -103,7 +104,7 @@ func TestHardenedSurvivesCorruptDBN(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := eng.Run(p)
+	res, err := eng.Run(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +140,7 @@ func TestUnhardenedCompletesUnderCorruptDBN(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := eng.Run(p)
+	res, err := eng.Run(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +169,7 @@ func TestHardenedHealthyRunCompletes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := eng.Run(p)
+	res, err := eng.Run(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -22,11 +22,24 @@ type Optimal struct {
 // NewOptimal plans the whole trace. The trace's time base must match the
 // configuration's.
 func NewOptimal(pc PlanConfig, tr *solar.Trace) (*Optimal, error) {
-	if err := pc.Validate(); err != nil {
+	plan, entries, err := PlanTrace(pc, tr)
+	if err != nil {
 		return nil, err
 	}
+	return NewOptimalFromPlan(pc, tr, plan, entries)
+}
+
+// PlanTrace runs the long-term DP of §4.2 over the whole trace and returns
+// the plan plus the minimum-energy LUT entries materialized while solving
+// it. Both are plain data (JSON-serializable), so a batch runner can compute
+// them once per configuration and replay them into any number of Optimal
+// instances via NewOptimalFromPlan.
+func PlanTrace(pc PlanConfig, tr *solar.Trace) (PlanResult, []LUTEntry, error) {
+	if err := pc.Validate(); err != nil {
+		return PlanResult{}, nil, err
+	}
 	if tr.Base != pc.Base {
-		return nil, fmt.Errorf("core: trace base %+v != config base %+v", tr.Base, pc.Base)
+		return PlanResult{}, nil, fmt.Errorf("core: trace base %+v != config base %+v", tr.Base, pc.Base)
 	}
 	lut := NewLUT(pc)
 	powers := make([][]float64, tr.Base.TotalPeriods())
@@ -36,6 +49,28 @@ func NewOptimal(pc PlanConfig, tr *solar.Trace) (*Optimal, error) {
 		}
 	}
 	plan := PlanHorizon(lut, powers, 0, 0, pc.Params.VLow)
+	return plan, lut.SnapshotEntries(), nil
+}
+
+// NewOptimalFromPlan wraps a precomputed plan as the replay scheduler
+// without re-running the DP. entries may be nil; when given, they warm the
+// instance's LUT so its statistics match a freshly planned one. Each call
+// builds a private LUT — the returned scheduler shares no mutable state
+// with its siblings and is safe to run concurrently with them.
+func NewOptimalFromPlan(pc PlanConfig, tr *solar.Trace, plan PlanResult, entries []LUTEntry) (*Optimal, error) {
+	if err := pc.Validate(); err != nil {
+		return nil, err
+	}
+	if tr.Base != pc.Base {
+		return nil, fmt.Errorf("core: trace base %+v != config base %+v", tr.Base, pc.Base)
+	}
+	if got, want := len(plan.Decisions), tr.Base.TotalPeriods(); got != want {
+		return nil, fmt.Errorf("core: plan covers %d periods, trace has %d", got, want)
+	}
+	lut := NewLUT(pc)
+	if entries != nil {
+		lut.RestoreEntries(entries)
+	}
 	o := &Optimal{pc: pc, lut: lut, plan: plan, decisions: plan.Decisions}
 	o.policies = make([]sim.SlotPolicy, len(plan.Decisions))
 	for i, d := range plan.Decisions {

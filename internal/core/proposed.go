@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"solarsched/internal/ann"
@@ -406,7 +407,7 @@ func CollectSamples(pc PlanConfig, tr *solar.Trace) ([]mat.Vector, []ann.Target,
 	}
 	span := pc.Observer.StartSpan("offline/collect-samples")
 	rec := &sampleRecorder{inner: teacher, pc: pc, trace: tr}
-	if _, err := eng.Run(rec); err != nil {
+	if _, err := eng.Run(context.Background(), rec); err != nil {
 		return nil, nil, err
 	}
 	span.End()
@@ -441,6 +442,20 @@ func Train(pc PlanConfig, trainTrace *solar.Trace, opt TrainOptions) (*ann.Netwo
 	inputs, targets, err := CollectSamples(pc, trainTrace)
 	if err != nil {
 		return nil, 0, err
+	}
+	return TrainOnSamples(pc, inputs, targets, opt)
+}
+
+// TrainOnSamples is the network half of Train: RBM pretraining plus BP
+// fine-tuning on already-collected DP teacher samples. Splitting it from
+// CollectSamples lets a batch runner cache the (expensive) DP solutions and
+// the trained weights as separate artifacts.
+func TrainOnSamples(pc PlanConfig, inputs []mat.Vector, targets []ann.Target, opt TrainOptions) (*ann.Network, float64, error) {
+	if err := pc.Validate(); err != nil {
+		return nil, 0, err
+	}
+	if len(inputs) == 0 || len(inputs) != len(targets) {
+		return nil, 0, fmt.Errorf("core: %d inputs, %d targets", len(inputs), len(targets))
 	}
 	net := ann.New(ann.Config{
 		InputDim:   FeatureDim(len(pc.Capacitances)),

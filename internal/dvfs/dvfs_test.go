@@ -1,6 +1,7 @@
 package dvfs
 
 import (
+	"context"
 	"testing"
 
 	"solarsched/internal/nvp"
@@ -136,7 +137,7 @@ func TestLoadTuneBeatsIntraMatch(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			res, err := eng.Run(s)
+			res, err := eng.Run(context.Background(), s)
 			if err != nil {
 				t.Fatal(err)
 			}

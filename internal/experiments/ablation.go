@@ -6,6 +6,7 @@ import (
 
 	"solarsched/internal/core"
 	"solarsched/internal/dvfs"
+	"solarsched/internal/fleet"
 	"solarsched/internal/sched"
 	"solarsched/internal/sim"
 	"solarsched/internal/solar"
@@ -20,30 +21,59 @@ import (
 
 // AblationThresholds sweeps the two §5.2 selection thresholds on the ECG
 // benchmark over the four representative days: the pattern threshold δ and
-// the capacitor-switch threshold E_th (as a fraction of capacity).
+// the capacitor-switch threshold E_th (as a fraction of capacity). The
+// grid runs as a fleet; all twelve members share the trained network and
+// the evaluation trace through the cache.
 func AblationThresholds(ctx context.Context, cfg Config) (*stats.Table, error) {
 	g := task.ECG()
-	tr := solar.RepresentativeDays(solar.DefaultTimeBase(4))
+	tb := solar.DefaultTimeBase(4)
 	setup, err := NewSetup(ctx, g, cfg)
 	if err != nil {
 		return nil, err
 	}
+	deltas := []float64{0.05, 0.25, 0.50, 1.00}
+	eths := []float64{0.02, 0.10, 0.30}
+
+	var specs []fleet.Spec
+	for _, delta := range deltas {
+		for _, eth := range eths {
+			delta, eth := delta, eth
+			specs = append(specs, fleet.Spec{
+				ID: fmt.Sprintf("delta%.2f/eth%.2f", delta, eth),
+				Prepare: func(ctx context.Context, c *fleet.Cache) (*fleet.Job, error) {
+					tr, err := c.BuiltinTrace(ctx, "representative", tb)
+					if err != nil {
+						return nil, err
+					}
+					pc := setup.PlanCfg
+					pc.Base = tr.Base
+					pc.Delta = delta
+					pc.EThFraction = eth
+					prop, err := core.NewProposed(pc, setup.Net)
+					if err != nil {
+						return nil, err
+					}
+					return &fleet.Job{
+						Config:    sim.Config{Trace: tr, Graph: g, Capacitances: setup.MultiBank, Observer: Observer},
+						Scheduler: prop,
+					}, nil
+				},
+			})
+		}
+	}
+	rep, err := fleet.Run(ctx, specs, fleet.Options{Cache: artifactCache(), Observer: Observer})
+	if err != nil {
+		return nil, err
+	}
+	if err := rep.FirstErr(); err != nil {
+		return nil, err
+	}
+
 	t := stats.NewTable("Ablation — selection thresholds (ECG, four days)",
 		"delta", "eth fraction", "DMR")
-	for _, delta := range []float64{0.05, 0.25, 0.50, 1.00} {
-		for _, eth := range []float64{0.02, 0.10, 0.30} {
-			pc := setup.PlanCfg
-			pc.Base = tr.Base
-			pc.Delta = delta
-			pc.EThFraction = eth
-			prop, err := core.NewProposed(pc, setup.Net)
-			if err != nil {
-				return nil, err
-			}
-			res, err := run(ctx, tr, g, setup.MultiBank, prop)
-			if err != nil {
-				return nil, err
-			}
+	for i, delta := range deltas {
+		for j, eth := range eths {
+			res := rep.Results[i*len(eths)+j].Result
 			t.AddRow(stats.F(delta, 2), stats.F(eth, 2), stats.Pct(res.DMR()))
 		}
 	}
@@ -55,7 +85,11 @@ func AblationThresholds(ctx context.Context, cfg Config) (*stats.Table, error) {
 func AblationANN(ctx context.Context, cfg Config) (*stats.Table, error) {
 	g := task.ECG()
 	tr := solar.RepresentativeDays(solar.DefaultTimeBase(4))
-	trainTr := trainingTrace(cfg)
+	trainTr, err := trainingTrace(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	c := artifactCache()
 	p := defaultPlan(g, trainTr.Base, []float64{2, 10, 50})
 
 	t := stats.NewTable("Ablation — DBN architecture (ECG, four days)",
@@ -67,7 +101,11 @@ func AblationANN(ctx context.Context, cfg Config) (*stats.Table, error) {
 		topt := core.DefaultTrainOptions()
 		topt.Hidden = hidden
 		topt.Fine.Epochs = cfg.FineEpochs
-		net, loss, err := core.Train(p, trainTr, topt)
+		samples, err := c.Samples(ctx, p, trainTr)
+		if err != nil {
+			return nil, err
+		}
+		net, loss, err := core.TrainOnSamples(p, samples.Inputs, samples.Targets, topt)
 		if err != nil {
 			return nil, err
 		}
@@ -149,24 +187,56 @@ func AblationPredictor(ctx context.Context, cfg Config) (*stats.Table, error) {
 // AblationDVFS compares the DVFS load-tuning extension against the paper's
 // two baselines across the six benchmarks (four representative days,
 // single 25 F capacitor): pacing tasks at f < 1 stretches stored energy
-// (work per joule ∝ 1/f²).
+// (work per joule ∝ 1/f²). The 6×3 grid runs as a fleet.
 func AblationDVFS(ctx context.Context, cfg Config) (*stats.Table, error) {
-	tr := solar.RepresentativeDays(solar.DefaultTimeBase(4))
+	tb := solar.DefaultTimeBase(4)
 	bank := []float64{25}
+	benchmarks := task.AllBenchmarks()
+	variants := []struct {
+		name string
+		make func(g *task.Graph, base solar.TimeBase) sim.Scheduler
+	}{
+		{"Inter-task", func(g *task.Graph, base solar.TimeBase) sim.Scheduler {
+			return sched.NewInterLSA(g, base, sim.DefaultDirectEff)
+		}},
+		{"Intra-task", func(g *task.Graph, _ solar.TimeBase) sim.Scheduler { return sched.NewIntraMatch(g) }},
+		{"DVFS load-tune", func(g *task.Graph, _ solar.TimeBase) sim.Scheduler { return dvfs.NewLoadTune(g) }},
+	}
+
+	var specs []fleet.Spec
+	for _, g := range benchmarks {
+		g := g
+		for _, v := range variants {
+			v := v
+			specs = append(specs, fleet.Spec{
+				ID: g.Name + "/" + v.name,
+				Prepare: func(ctx context.Context, c *fleet.Cache) (*fleet.Job, error) {
+					tr, err := c.BuiltinTrace(ctx, "representative", tb)
+					if err != nil {
+						return nil, err
+					}
+					return &fleet.Job{
+						Config:    sim.Config{Trace: tr, Graph: g, Capacitances: bank, Observer: Observer},
+						Scheduler: v.make(g, tr.Base),
+					}, nil
+				},
+			})
+		}
+	}
+	rep, err := fleet.Run(ctx, specs, fleet.Options{Cache: artifactCache(), Observer: Observer})
+	if err != nil {
+		return nil, err
+	}
+	if err := rep.FirstErr(); err != nil {
+		return nil, err
+	}
+
 	t := stats.NewTable("Ablation — DVFS load tuning (four days, 25 F)",
 		"benchmark", "Inter-task", "Intra-task", "DVFS load-tune")
-	for _, g := range task.AllBenchmarks() {
+	for i, g := range benchmarks {
 		row := []string{g.Name}
-		for _, s := range []sim.Scheduler{
-			sched.NewInterLSA(g, tr.Base, sim.DefaultDirectEff),
-			sched.NewIntraMatch(g),
-			dvfs.NewLoadTune(g),
-		} {
-			res, err := run(ctx, tr, g, bank, s)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, stats.Pct(res.DMR()))
+		for j := range variants {
+			row = append(row, stats.Pct(rep.Results[i*len(variants)+j].Result.DMR()))
 		}
 		t.AddRow(row...)
 	}

@@ -7,7 +7,6 @@ import (
 	"solarsched/internal/core"
 	"solarsched/internal/overhead"
 	"solarsched/internal/sim"
-	"solarsched/internal/sizing"
 	"solarsched/internal/solar"
 	"solarsched/internal/stats"
 	"solarsched/internal/supercap"
@@ -34,7 +33,14 @@ func Fig10a(ctx context.Context, cfg Config) (*stats.Table, []Fig10aResult, erro
 		tr = tr.SliceDays(0, cfg.SweepDays)
 	}
 	p := supercap.DefaultParams()
-	bank := sizing.SizeBank(trainingTrace(cfg), g, cfg.H, p, sim.DefaultDirectEff)
+	hist, err := trainingTrace(ctx, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	bank, err := artifactCache().Sizing(ctx, hist, g, cfg.H, p, sim.DefaultDirectEff)
+	if err != nil {
+		return nil, nil, err
+	}
 	pc := defaultPlan(g, tr.Base, bank)
 
 	t := stats.NewTable("Figure 10(a) — prediction length (random case 1, one month)",

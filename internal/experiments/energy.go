@@ -144,14 +144,22 @@ type Fig10bResult struct {
 func Fig10b(ctx context.Context, cfg Config) (*stats.Table, []Fig10bResult, error) {
 	g := taskRandom1()
 	tr := solar.RepresentativeDays(solar.DefaultTimeBase(4))
-	hist := trainingTrace(cfg)
+	hist, err := trainingTrace(ctx, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	c := artifactCache()
+	pats, err := c.Patterns(ctx, hist, g, sim.DefaultDirectEff)
+	if err != nil {
+		return nil, nil, err
+	}
 	p := supercap.DefaultParams()
 	t := stats.NewTable("Figure 10(b) — distributed capacitor count (random case 1)",
 		"H", "bank (F)", "migration eff", "Day2 DMR", "4-day DMR")
 	var out []Fig10bResult
 	for _, h := range cfg.CapCounts {
-		bank := sizing.SizeBank(hist, g, h, p, sim.DefaultDirectEff)
-		eff := sizing.BankMigrationEfficiency(hist, g, bank, p, sim.DefaultDirectEff)
+		bank := sizing.SizeBankFromPatterns(pats, hist, h, p)
+		eff := sizing.BankMigrationEfficiencyFromPatterns(pats, bank, p)
 		pc := defaultPlan(g, tr.Base, bank)
 		opt, err := newClairvoyant(pc, tr)
 		if err != nil {

@@ -4,9 +4,8 @@ import (
 	"context"
 	"fmt"
 
-	"solarsched/internal/core"
 	"solarsched/internal/fault"
-	"solarsched/internal/sim"
+	"solarsched/internal/fleet"
 	"solarsched/internal/solar"
 	"solarsched/internal/stats"
 	"solarsched/internal/task"
@@ -37,7 +36,11 @@ const faultSweepTraceSeed = 4242
 // fault.Reference().Scale(intensity) with a fixed fault seed, so the DMR
 // curve against intensity isolates fault sensitivity from weather luck.
 // Intensity 0 is the clean baseline (the fault layer is disabled outright).
-// The sweep is fully deterministic for a given (cfg, intensities, seed).
+// The sweep is fully deterministic for a given (cfg, intensities, seed):
+// it runs as a fleet with one spec per (intensity, scheduler), every
+// member sharing the offline artifacts and the evaluation trace through
+// the fleet cache, and fresh schedulers per member so no tier's experience
+// leaks into another.
 func FaultSweep(ctx context.Context, cfg Config, intensities []float64, seed uint64) (*stats.Table, []FaultSweepRow, error) {
 	if len(intensities) == 0 {
 		intensities = []float64{0, 0.25, 0.5, 1}
@@ -47,53 +50,40 @@ func FaultSweep(ctx context.Context, cfg Config, intensities []float64, seed uin
 	if err != nil {
 		return nil, nil, err
 	}
-	tr := solar.MustGenerate(solar.GenConfig{
-		Base: solar.DefaultTimeBase(4),
-		Seed: faultSweepTraceSeed,
-	})
+	gc := solar.GenConfig{Base: solar.DefaultTimeBase(4), Seed: faultSweepTraceSeed}
+	trace := func(ctx context.Context, c *fleet.Cache) (*solar.Trace, error) {
+		return c.Trace(ctx, gc)
+	}
+
+	var specs []fleet.Spec
+	for _, lam := range intensities {
+		fc := fault.Reference().Scale(lam)
+		fc.Seed = seed
+		for _, name := range FaultSchedulerOrder {
+			specs = append(specs, setup.fleetSpec(
+				fmt.Sprintf("lam%.2f/%s", lam, name), name, trace, fc))
+		}
+	}
+	rep, err := fleet.Run(ctx, specs, fleet.Options{Cache: artifactCache(), Observer: Observer})
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := rep.FirstErr(); err != nil {
+		return nil, nil, err
+	}
 
 	t := stats.NewTable(
 		fmt.Sprintf("Fault sweep — DMR vs fault intensity (ECG, 4 days, fault seed %d)", seed),
 		append([]string{"intensity", "dead slots"}, FaultSchedulerOrder...)...)
 	var rows []FaultSweepRow
-	for _, lam := range intensities {
-		fc := fault.Reference().Scale(lam)
-		fc.Seed = seed
-
-		// Fresh schedulers per tier: they are stateful (predictors, slot
-		// histories) and must not carry one tier's experience into the next.
-		scheds, banks, err := setup.schedulersFor(tr)
-		if err != nil {
-			return nil, nil, err
-		}
-		pcEval := setup.PlanCfg
-		pcEval.Base = tr.Base
-		hard, err := core.NewProposed(pcEval, setup.Net)
-		if err != nil {
-			return nil, nil, err
-		}
-		hc := core.DefaultHardenConfig()
-		hard.Harden = &hc
-		scheds["Hardened"] = hard
-		banks["Hardened"] = setup.MultiBank
-
+	for i, lam := range intensities {
 		row := FaultSweepRow{
 			Intensity:       lam,
 			DMR:             map[string]float64{},
 			DroppedSwitches: map[string]int{},
 		}
-		for _, name := range FaultSchedulerOrder {
-			eng, err := sim.New(sim.Config{
-				Trace: tr, Graph: g, Capacitances: banks[name],
-				Observer: Observer, Faults: fc,
-			})
-			if err != nil {
-				return nil, nil, err
-			}
-			res, err := eng.RunWithOptions(scheds[name], sim.RunOptions{Context: ctx})
-			if err != nil {
-				return nil, nil, err
-			}
+		for j, name := range FaultSchedulerOrder {
+			res := rep.Results[i*len(FaultSchedulerOrder)+j].Result
 			row.DMR[name] = res.DMR()
 			row.DroppedSwitches[name] = res.DroppedSwitches
 			if name == "Proposed" {

@@ -3,9 +3,10 @@ package experiments
 import (
 	"context"
 	"fmt"
-	"runtime"
-	"sync"
 
+	"solarsched/internal/fault"
+	"solarsched/internal/fleet"
+	"solarsched/internal/sim"
 	"solarsched/internal/solar"
 	"solarsched/internal/stats"
 	"solarsched/internal/task"
@@ -20,12 +21,43 @@ type RobustnessResult struct {
 	Min, Max  float64
 }
 
+// fleetSpec wraps one (trace, scheduler) evaluation as a fleet member:
+// the trace comes from the shared cache, the scheduler is built fresh
+// (schedulers are stateful), and the bank follows the scheduler kind.
+func (s *Setup) fleetSpec(id, name string, trace func(ctx context.Context, c *fleet.Cache) (*solar.Trace, error), fc fault.Config) fleet.Spec {
+	return fleet.Spec{
+		ID: id,
+		Prepare: func(ctx context.Context, c *fleet.Cache) (*fleet.Job, error) {
+			tr, err := trace(ctx, c)
+			if err != nil {
+				return nil, err
+			}
+			sc, bank, err := s.schedulerFor(name, tr)
+			if err != nil {
+				return nil, err
+			}
+			return &fleet.Job{
+				Config: sim.Config{
+					Trace: tr, Graph: s.Graph, Capacitances: bank,
+					Observer: Observer, Faults: fc,
+				},
+				Scheduler: sc,
+			}, nil
+		},
+	}
+}
+
 // Robustness goes beyond the paper's single-trace evaluation: it trains the
 // proposed scheduler once (ECG benchmark), then evaluates all four
 // schedulers over `draws` independent four-day weather draws and reports
 // the DMR distribution. A reproduction whose ranking only holds on one
 // lucky trace is no reproduction; this experiment shows the ordering is
 // stable in distribution.
+//
+// The sweep runs as a fleet: one spec per (draw, scheduler), all sharing
+// the offline artifacts and each draw's trace through the fleet cache.
+// Every draw derives its trace from its own seed, so scheduling order
+// cannot change any number.
 func Robustness(ctx context.Context, cfg Config, draws int) (*stats.Table, []RobustnessResult, error) {
 	if draws <= 0 {
 		draws = 10
@@ -36,71 +68,33 @@ func Robustness(ctx context.Context, cfg Config, draws int) (*stats.Table, []Rob
 		return nil, nil, err
 	}
 
-	// A bounded worker pool: draws can number in the hundreds, and each one
-	// runs four full simulations — unbounded fan-out thrashes the scheduler
-	// and the allocator for no throughput gain. Results are keyed by draw
-	// index and each draw derives its trace from its own seed, so the
-	// assignment of draws to workers cannot change any number.
-	perDraw := make([]map[string]float64, draws)
-	errs := make([]error, draws)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > draws {
-		workers = draws
-	}
-	work := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for d := range work {
-				if err := ctx.Err(); err != nil {
-					errs[d] = err
-					continue
-				}
-				tr := solar.MustGenerate(solar.GenConfig{
-					Base: solar.DefaultTimeBase(4),
-					Seed: 9000 + uint64(d),
-				})
-				scheds, banks, err := setup.schedulersFor(tr)
-				if err != nil {
-					errs[d] = err
-					continue
-				}
-				out := map[string]float64{}
-				for _, name := range SchedulerOrder {
-					res, err := run(ctx, tr, g, banks[name], scheds[name])
-					if err != nil {
-						errs[d] = err
-						break
-					}
-					out[name] = res.DMR()
-				}
-				if errs[d] == nil {
-					perDraw[d] = out
-				}
-			}
-		}()
-	}
+	var specs []fleet.Spec
 	for d := 0; d < draws; d++ {
-		work <- d
-	}
-	close(work)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, nil, err
+		gc := solar.GenConfig{Base: solar.DefaultTimeBase(4), Seed: 9000 + uint64(d)}
+		trace := func(ctx context.Context, c *fleet.Cache) (*solar.Trace, error) {
+			return c.Trace(ctx, gc)
 		}
+		for _, name := range SchedulerOrder {
+			specs = append(specs, setup.fleetSpec(
+				fmt.Sprintf("draw%03d/%s", d, name), name, trace, fault.Config{}))
+		}
+	}
+	rep, err := fleet.Run(ctx, specs, fleet.Options{Cache: artifactCache(), Observer: Observer})
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := rep.FirstErr(); err != nil {
+		return nil, nil, err
 	}
 
 	t := stats.NewTable(
 		fmt.Sprintf("Robustness — DMR over %d independent 4-day weather draws (ECG)", draws),
 		"scheduler", "mean", "std", "min", "max")
 	var results []RobustnessResult
-	for _, name := range SchedulerOrder {
+	for j, name := range SchedulerOrder {
 		r := RobustnessResult{Scheduler: name, Min: 2, Max: -1}
 		for d := 0; d < draws; d++ {
-			v := perDraw[d][name]
+			v := rep.Results[d*len(SchedulerOrder)+j].Result.DMR()
 			r.DMRs = append(r.DMRs, v)
 			if v < r.Min {
 				r.Min = v

@@ -2,9 +2,9 @@ package experiments
 
 import (
 	"context"
-	"sync"
 
 	"solarsched/internal/core"
+	"solarsched/internal/fleet"
 	"solarsched/internal/sim"
 	"solarsched/internal/solar"
 	"solarsched/internal/stats"
@@ -32,14 +32,56 @@ type Fig8Result struct {
 }
 
 // Fig8 reproduces Figure 8: the DMR of the four schedulers over the four
-// representative days for the six benchmarks. Benchmarks are independent
-// and deterministic, so they run in parallel; the table preserves the
-// input order.
+// representative days for the six benchmarks. The whole grid runs as one
+// fleet — one spec per (benchmark, scheduler) — with each benchmark's
+// offline stage (sizing, DP samples, DBN training) computed once and
+// shared across its four members through the fleet cache's single flight.
+// The table preserves the input order.
 func Fig8(ctx context.Context, cfg Config, benchmarks []*task.Graph) (*stats.Table, *Fig8Result, error) {
 	if benchmarks == nil {
 		benchmarks = task.AllBenchmarks()
 	}
-	tr := solar.RepresentativeDays(solar.DefaultTimeBase(4))
+	tb := solar.DefaultTimeBase(4)
+	trace := func(ctx context.Context, c *fleet.Cache) (*solar.Trace, error) {
+		return c.BuiltinTrace(ctx, "representative", tb)
+	}
+
+	var specs []fleet.Spec
+	for _, g := range benchmarks {
+		g := g
+		for _, name := range SchedulerOrder {
+			name := name
+			specs = append(specs, fleet.Spec{
+				ID: g.Name + "/" + name,
+				Prepare: func(ctx context.Context, c *fleet.Cache) (*fleet.Job, error) {
+					setup, err := NewSetup(ctx, g, cfg)
+					if err != nil {
+						return nil, err
+					}
+					tr, err := trace(ctx, c)
+					if err != nil {
+						return nil, err
+					}
+					sc, bank, err := setup.schedulerFor(name, tr)
+					if err != nil {
+						return nil, err
+					}
+					return &fleet.Job{
+						Config:    sim.Config{Trace: tr, Graph: g, Capacitances: bank, Observer: Observer},
+						Scheduler: sc,
+					}, nil
+				},
+			})
+		}
+	}
+	rep, err := fleet.Run(ctx, specs, fleet.Options{Cache: artifactCache(), Observer: Observer})
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := rep.FirstErr(); err != nil {
+		return nil, nil, err
+	}
+
 	out := &Fig8Result{
 		Days: 4,
 		DMR:  map[string]map[string][]float64{},
@@ -47,61 +89,23 @@ func Fig8(ctx context.Context, cfg Config, benchmarks []*task.Graph) (*stats.Tab
 	}
 	t := stats.NewTable("Figure 8 — DMR over four representative days",
 		"benchmark", "scheduler", "Day1", "Day2", "Day3", "Day4", "avg")
-
-	type benchOut struct {
-		days map[string][]float64
-		avg  map[string]float64
-		err  error
-	}
-	results := make([]benchOut, len(benchmarks))
-	var wg sync.WaitGroup
 	for i, g := range benchmarks {
-		wg.Add(1)
-		go func(i int, g *task.Graph) {
-			defer wg.Done()
-			bo := benchOut{days: map[string][]float64{}, avg: map[string]float64{}}
-			defer func() { results[i] = bo }()
-			setup, err := NewSetup(ctx, g, cfg)
-			if err != nil {
-				bo.err = err
-				return
-			}
-			scheds, banks, err := setup.schedulersFor(tr)
-			if err != nil {
-				bo.err = err
-				return
-			}
-			for _, name := range SchedulerOrder {
-				res, err := run(ctx, tr, g, banks[name], scheds[name])
-				if err != nil {
-					bo.err = err
-					return
-				}
-				days := make([]float64, 4)
-				for d := 0; d < 4; d++ {
-					days[d] = res.DayDMR(d)
-				}
-				bo.days[name] = days
-				bo.avg[name] = res.DMR()
-			}
-		}(i, g)
-	}
-	wg.Wait()
-
-	for i, g := range benchmarks {
-		bo := results[i]
-		if bo.err != nil {
-			return nil, nil, bo.err
-		}
 		out.Benchmarks = append(out.Benchmarks, g.Name)
-		out.DMR[g.Name] = bo.days
-		out.Avg[g.Name] = bo.avg
-		for _, name := range SchedulerOrder {
+		out.DMR[g.Name] = map[string][]float64{}
+		out.Avg[g.Name] = map[string]float64{}
+		for j, name := range SchedulerOrder {
+			res := rep.Results[i*len(SchedulerOrder)+j].Result
+			days := make([]float64, 4)
+			for d := 0; d < 4; d++ {
+				days[d] = res.DayDMR(d)
+			}
+			out.DMR[g.Name][name] = days
+			out.Avg[g.Name][name] = res.DMR()
 			cells := []string{g.Name, name}
 			for d := 0; d < 4; d++ {
-				cells = append(cells, stats.Pct(bo.days[name][d]))
+				cells = append(cells, stats.Pct(days[d]))
 			}
-			t.AddRow(append(cells, stats.Pct(bo.avg[name]))...)
+			t.AddRow(append(cells, stats.Pct(res.DMR()))...)
 		}
 	}
 	return t, out, nil

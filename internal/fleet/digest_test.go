@@ -1,0 +1,93 @@
+package fleet
+
+import (
+	"strings"
+	"testing"
+
+	"solarsched/internal/solar"
+	"solarsched/internal/task"
+)
+
+// The golden constants below were produced by this very code; the tests
+// pin them so any change to the canonical serialization — field order, a
+// renamed struct field, a different float encoding — fails loudly. Keys
+// must be stable across processes and across releases, or CI's golden
+// aggregate digests (and any on-disk cache a future PR adds) silently
+// rot.
+const (
+	goldenDemoKey    = "demo:f450085ada204a7c824487e7550982f6fd1921667dc0ada7c58f33bbc160c0a4"
+	goldenTraceHex   = "0557ef3461842b7cbbeaecbaef613ea63ce1b55052f8de397a1fc07ca8b81991"
+	goldenECGGraph   = "403f5fb2036624a108cbc6145df88e80b6d121853ebac7babb4c202434bfec06"
+	goldenHexLen     = 64
+	goldenKeyPattern = "demo:"
+)
+
+func TestArtifactKeyGolden(t *testing.T) {
+	k := artifactKey("demo", struct {
+		A int
+		B string
+	}{7, "x"})
+	if k != goldenDemoKey {
+		t.Fatalf("artifactKey changed:\n got %s\nwant %s", k, goldenDemoKey)
+	}
+	if !strings.HasPrefix(k, goldenKeyPattern) {
+		t.Fatalf("key %q lost its kind prefix", k)
+	}
+}
+
+func TestTraceDigestGolden(t *testing.T) {
+	tr := solar.RepresentativeDays(solar.DefaultTimeBase(4))
+	d := TraceDigest(tr)
+	if d != goldenTraceHex {
+		t.Fatalf("TraceDigest changed:\n got %s\nwant %s", d, goldenTraceHex)
+	}
+	if len(d) != goldenHexLen {
+		t.Fatalf("digest length %d, want %d", len(d), goldenHexLen)
+	}
+}
+
+func TestGraphDigestGolden(t *testing.T) {
+	if d := GraphDigest(task.ECG()); d != goldenECGGraph {
+		t.Fatalf("GraphDigest changed:\n got %s\nwant %s", d, goldenECGGraph)
+	}
+}
+
+// TestTraceDigestSensitivity: the digest must see every slot — flipping
+// one power value anywhere must change it.
+func TestTraceDigestSensitivity(t *testing.T) {
+	a := solar.RepresentativeDays(solar.DefaultTimeBase(4))
+	b := solar.RepresentativeDays(solar.DefaultTimeBase(4))
+	before := TraceDigest(b)
+	b.Power[len(b.Power)/2] += 1e-12
+	if TraceDigest(b) == before {
+		t.Fatal("digest blind to a power perturbation")
+	}
+	if TraceDigest(a) != before {
+		t.Fatal("digest not deterministic for equal traces")
+	}
+}
+
+// TestArtifactKeyDistinguishesKinds: the same parts under different kinds
+// must produce different keys — a sizing result must never be mistaken
+// for a plan.
+func TestArtifactKeyDistinguishesKinds(t *testing.T) {
+	p := struct{ X int }{1}
+	if artifactKey("sizing", p) == artifactKey("plan", p) {
+		t.Fatal("kind not part of the key")
+	}
+	// And parts must not be concatenation-ambiguous with the kind.
+	if artifactKey("ab", "c") == artifactKey("a", "bc") {
+		t.Fatal("kind/part boundary ambiguous")
+	}
+}
+
+func TestGraphDigestDistinguishesBenchmarks(t *testing.T) {
+	seen := map[string]string{}
+	for _, g := range task.AllBenchmarks() {
+		d := GraphDigest(g)
+		if prev, dup := seen[d]; dup {
+			t.Fatalf("benchmarks %s and %s collide on %s", prev, g.Name, d)
+		}
+		seen[d] = g.Name
+	}
+}

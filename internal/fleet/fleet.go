@@ -1,0 +1,181 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"solarsched/internal/obs"
+	"solarsched/internal/sim"
+)
+
+// Job is one prepared simulation: everything the engine needs, built by a
+// Spec's Prepare against the shared artifact cache.
+type Job struct {
+	Config    sim.Config
+	Scheduler sim.Scheduler
+	Options   []sim.RunOption
+}
+
+// Spec is one fleet member. Prepare runs on a worker goroutine and derives
+// the job from the shared cache — expensive offline artifacts requested
+// there are computed once per configuration across the whole fleet. Prepare
+// must build a fresh Scheduler per call: schedulers are stateful and never
+// shared between runs (shared read-only artifacts like trained networks
+// are fine).
+type Spec struct {
+	// ID names the run in the report; it must be unique within the fleet.
+	ID string
+	// Prepare builds the run. The context is the fleet's.
+	Prepare func(ctx context.Context, c *Cache) (*Job, error)
+}
+
+// Options configures a fleet run.
+type Options struct {
+	// Workers bounds concurrent runs; 0 means GOMAXPROCS.
+	Workers int
+	// Cache is the shared artifact cache; nil builds a private one.
+	Cache *Cache
+	// Observer receives fleet instrumentation (queue depth, per-run
+	// timers) and is handed to run configs that have none. Nil disables.
+	Observer *obs.Registry
+	// OnResult, when non-nil, streams each finished run to the caller in
+	// completion order (called from worker goroutines, serialized).
+	OnResult func(RunResult)
+}
+
+// Run executes every spec across a bounded worker pool and returns the
+// aggregated report, with results in spec order regardless of completion
+// order. Per-run failures (including recovered panics) are isolated into
+// their RunResult and do not stop the fleet; the returned error is non-nil
+// only for malformed fleets or a canceled context — and even then the
+// partial report is returned alongside it.
+func Run(ctx context.Context, specs []Spec, opts Options) (*Report, error) {
+	seen := make(map[string]bool, len(specs))
+	for i, s := range specs {
+		if s.ID == "" {
+			return nil, fmt.Errorf("fleet: spec %d has empty ID", i)
+		}
+		if s.Prepare == nil {
+			return nil, fmt.Errorf("fleet: spec %q has nil Prepare", s.ID)
+		}
+		if seen[s.ID] {
+			return nil, fmt.Errorf("fleet: duplicate spec ID %q", s.ID)
+		}
+		seen[s.ID] = true
+	}
+	cache := opts.Cache
+	if cache == nil {
+		cache = NewCache(opts.Observer)
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+
+	reg := opts.Observer
+	mQueue := reg.Gauge("fleet_queue_depth")
+	mRuns := reg.Counter("fleet_runs_total")
+	mFails := reg.Counter("fleet_run_failures_total")
+	mTimer := reg.Timer("fleet_run_seconds")
+
+	results := make([]RunResult, len(specs))
+	work := make(chan int)
+	var emit sync.Mutex
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				results[i] = runOne(ctx, specs[i], cache, mTimer)
+				mRuns.Inc()
+				if results[i].Err != nil {
+					mFails.Inc()
+				}
+				mQueue.Add(-1)
+				if opts.OnResult != nil {
+					emit.Lock()
+					opts.OnResult(results[i])
+					emit.Unlock()
+				}
+			}
+		}()
+	}
+
+	canceled := false
+feed:
+	for i := range specs {
+		select {
+		case <-ctx.Done():
+			canceled = true
+			break feed
+		default:
+		}
+		mQueue.Add(1)
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	if canceled {
+		// Specs never fed get an explicit cancellation result so the
+		// report stays positionally complete.
+		for i := range results {
+			if results[i].ID == "" {
+				results[i] = RunResult{ID: specs[i].ID, Err: fmt.Errorf("fleet: %w: %v", sim.ErrCanceled, ctx.Err())}
+			}
+		}
+	}
+
+	hits, misses := cache.Stats()
+	rep := &Report{
+		Results:   results,
+		CacheHits: hits, CacheMisses: misses,
+		Elapsed: time.Since(start),
+	}
+	if canceled {
+		return rep, fmt.Errorf("fleet: %w: %v", sim.ErrCanceled, ctx.Err())
+	}
+	return rep, nil
+}
+
+// runOne prepares and executes a single spec, converting panics anywhere in
+// the run (scheduler bugs included) into an error on its result — one
+// broken member must not take the fleet down.
+func runOne(ctx context.Context, spec Spec, cache *Cache, timer *obs.Timer) (rr RunResult) {
+	rr.ID = spec.ID
+	begin := time.Now()
+	defer func() {
+		rr.Elapsed = time.Since(begin)
+		timer.Observe(rr.Elapsed)
+		if r := recover(); r != nil {
+			rr.Err = fmt.Errorf("fleet: run %s panicked: %v", spec.ID, r)
+		}
+	}()
+	job, err := spec.Prepare(ctx, cache)
+	if err != nil {
+		rr.Err = fmt.Errorf("fleet: prepare %s: %w", spec.ID, err)
+		return rr
+	}
+	rr.Scheduler = job.Scheduler.Name()
+	eng, err := sim.New(job.Config)
+	if err != nil {
+		rr.Err = fmt.Errorf("fleet: build %s: %w", spec.ID, err)
+		return rr
+	}
+	res, err := eng.Run(ctx, job.Scheduler, job.Options...)
+	if err != nil {
+		rr.Err = fmt.Errorf("fleet: run %s: %w", spec.ID, err)
+		return rr
+	}
+	rr.Result = res
+	rr.Digest = res.Digest()
+	return rr
+}

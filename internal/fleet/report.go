@@ -1,0 +1,195 @@
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/csv"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"solarsched/internal/sim"
+	"solarsched/internal/stats"
+)
+
+// RunResult is one fleet member's outcome. Exactly one of Result and Err is
+// set; Digest is the result's sim digest (bit-identical to what the same
+// spec produces sequentially — the cache only removes recomputation, never
+// changes inputs).
+type RunResult struct {
+	ID        string
+	Scheduler string
+	Result    *sim.Result
+	Digest    string
+	Err       error
+	Elapsed   time.Duration
+}
+
+// Report aggregates a fleet run: per-spec results in spec order plus cache
+// and timing totals.
+type Report struct {
+	Results     []RunResult
+	CacheHits   int64
+	CacheMisses int64
+	Elapsed     time.Duration
+}
+
+// HitRate returns the fleet's artifact-cache hit rate.
+func (r *Report) HitRate() float64 {
+	if r.CacheHits+r.CacheMisses == 0 {
+		return 0
+	}
+	return float64(r.CacheHits) / float64(r.CacheHits+r.CacheMisses)
+}
+
+// FirstErr returns the first per-run error in spec order, or nil.
+func (r *Report) FirstErr() error {
+	for _, rr := range r.Results {
+		if rr.Err != nil {
+			return rr.Err
+		}
+	}
+	return nil
+}
+
+// DMRs returns the deadline-miss rate of every successful run, in spec
+// order.
+func (r *Report) DMRs() []float64 {
+	var out []float64
+	for _, rr := range r.Results {
+		if rr.Err == nil && rr.Result != nil {
+			out = append(out, rr.Result.DMR())
+		}
+	}
+	return out
+}
+
+// Summary is the fleet-level DMR distribution.
+type Summary struct {
+	Runs    int     `json:"runs"`
+	Failed  int     `json:"failed"`
+	DMRMean float64 `json:"dmr_mean"`
+	DMRStd  float64 `json:"dmr_std"`
+	DMRMin  float64 `json:"dmr_min"`
+	DMRP50  float64 `json:"dmr_p50"`
+	DMRP90  float64 `json:"dmr_p90"`
+	DMRMax  float64 `json:"dmr_max"`
+}
+
+// Summarize computes the DMR distribution over the successful runs.
+func (r *Report) Summarize() Summary {
+	dmrs := r.DMRs()
+	s := Summary{Runs: len(r.Results), Failed: len(r.Results) - len(dmrs)}
+	if len(dmrs) == 0 {
+		return s
+	}
+	s.DMRMean = stats.Mean(dmrs)
+	s.DMRStd = stats.Std(dmrs)
+	s.DMRMin = stats.Percentile(dmrs, 0)
+	s.DMRP50 = stats.Percentile(dmrs, 0.50)
+	s.DMRP90 = stats.Percentile(dmrs, 0.90)
+	s.DMRMax = stats.Percentile(dmrs, 1)
+	return s
+}
+
+// AggregateDigest hashes every (ID, digest-or-error) pair in spec order —
+// one hex string certifying the complete fleet outcome. Equal digests mean
+// every run produced bit-identical metrics; CI compares this against a
+// golden file.
+func (r *Report) AggregateDigest() string {
+	h := sha256.New()
+	for _, rr := range r.Results {
+		if rr.Err != nil {
+			fmt.Fprintf(h, "%s,!error\n", rr.ID)
+			continue
+		}
+		fmt.Fprintf(h, "%s,%s\n", rr.ID, rr.Digest)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Table renders the per-run outcomes for terminal output.
+func (r *Report) Table() *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("Fleet — %d runs in %s (cache hit rate %.1f%%)",
+			len(r.Results), r.Elapsed.Round(time.Millisecond), 100*r.HitRate()),
+		"id", "scheduler", "DMR", "energy util", "elapsed", "status")
+	for _, rr := range r.Results {
+		if rr.Err != nil {
+			t.AddRow(rr.ID, rr.Scheduler, "-", "-", rr.Elapsed.Round(time.Millisecond).String(), rr.Err.Error())
+			continue
+		}
+		t.AddRow(rr.ID, rr.Scheduler,
+			stats.Pct(rr.Result.DMR()), stats.Pct(rr.Result.EnergyUtilization()),
+			rr.Elapsed.Round(time.Millisecond).String(), "ok")
+	}
+	return t
+}
+
+// WriteCSV emits one row per run: id, scheduler, status, dmr, energy
+// utilization, digest, elapsed seconds.
+func (r *Report) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"id", "scheduler", "status", "dmr", "energy_util", "digest", "elapsed_s"}); err != nil {
+		return err
+	}
+	for _, rr := range r.Results {
+		rec := []string{rr.ID, rr.Scheduler, "ok", "", "", rr.Digest,
+			fmt.Sprintf("%.3f", rr.Elapsed.Seconds())}
+		if rr.Err != nil {
+			rec[2] = "error: " + rr.Err.Error()
+		} else {
+			rec[3] = fmt.Sprintf("%g", rr.Result.DMR())
+			rec[4] = fmt.Sprintf("%g", rr.Result.EnergyUtilization())
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// reportJSON is the serialized shape of WriteJSON.
+type reportJSON struct {
+	Summary         Summary         `json:"summary"`
+	AggregateDigest string          `json:"aggregate_digest"`
+	CacheHits       int64           `json:"cache_hits"`
+	CacheMisses     int64           `json:"cache_misses"`
+	ElapsedSeconds  float64         `json:"elapsed_seconds"`
+	Runs            []runResultJSON `json:"runs"`
+}
+
+type runResultJSON struct {
+	ID             string      `json:"id"`
+	Scheduler      string      `json:"scheduler,omitempty"`
+	Digest         string      `json:"digest,omitempty"`
+	Error          string      `json:"error,omitempty"`
+	ElapsedSeconds float64     `json:"elapsed_seconds"`
+	Result         *sim.Result `json:"result,omitempty"`
+}
+
+// WriteJSON emits the whole report, including every run's full metrics.
+func (r *Report) WriteJSON(w io.Writer) error {
+	out := reportJSON{
+		Summary:         r.Summarize(),
+		AggregateDigest: r.AggregateDigest(),
+		CacheHits:       r.CacheHits,
+		CacheMisses:     r.CacheMisses,
+		ElapsedSeconds:  r.Elapsed.Seconds(),
+	}
+	for _, rr := range r.Results {
+		rj := runResultJSON{
+			ID: rr.ID, Scheduler: rr.Scheduler, Digest: rr.Digest,
+			ElapsedSeconds: rr.Elapsed.Seconds(), Result: rr.Result,
+		}
+		if rr.Err != nil {
+			rj.Error = rr.Err.Error()
+		}
+		out.Runs = append(out.Runs, rj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

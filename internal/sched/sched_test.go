@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -29,7 +30,7 @@ func run(t *testing.T, tr *solar.Trace, g *task.Graph, s sim.Scheduler) *sim.Res
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := e.Run(s)
+	res, err := e.Run(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package sim_test
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -19,7 +20,7 @@ func TestZeroFaultConfigBitIdentical(t *testing.T) {
 	g := task.WAM()
 
 	clean := mustEngine(t, sim.Config{Trace: tr, Graph: g, Capacitances: []float64{10, 50}})
-	resClean, err := clean.Run(greedyEDF{})
+	resClean, err := clean.Run(context.Background(), greedyEDF{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,7 +30,7 @@ func TestZeroFaultConfigBitIdentical(t *testing.T) {
 		Trace: tr, Graph: g, Capacitances: []float64{10, 50},
 		Faults: fault.Config{Seed: 12345, OutageSlots: 3},
 	})
-	resFaulty, err := faulty.Run(greedyEDF{})
+	resFaulty, err := faulty.Run(context.Background(), greedyEDF{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +53,7 @@ func TestFaultRunsDeterministic(t *testing.T) {
 		e := mustEngine(t, sim.Config{
 			Trace: tr, Graph: g, Capacitances: []float64{10, 50}, Faults: fc,
 		})
-		res, err := e.Run(greedyEDF{})
+		res, err := e.Run(context.Background(), greedyEDF{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -75,7 +76,7 @@ func TestPermanentOutage(t *testing.T) {
 		Trace: constTrace(tb, 1.0), Graph: task.WAM(), Capacitances: []float64{10},
 		Faults: fault.Config{Seed: 1, OutageProb: 1, OutageSlots: 1},
 	})
-	res, err := e.Run(greedyEDF{})
+	res, err := e.Run(context.Background(), greedyEDF{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestSwitchDropSuppressesSwitches(t *testing.T) {
 		Trace: constTrace(tb, 0.08), Graph: task.ECG(), Capacitances: []float64{10, 50},
 		Faults: fault.Config{Seed: 1, SwitchDropProb: 1},
 	})
-	res, err := e.Run(capSwitcher{to: 1, migrate: true})
+	res, err := e.Run(context.Background(), capSwitcher{to: 1, migrate: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +136,7 @@ func TestAgingFadesCapacitance(t *testing.T) {
 		Trace: constTrace(tb, 0.05), Graph: task.WAM(), Capacitances: []float64{10},
 		Faults: fault.Config{Seed: 1, CapFade: 0.01},
 	})
-	if _, err := e.Run(probe); err != nil {
+	if _, err := e.Run(context.Background(), probe); err != nil {
 		t.Fatal(err)
 	}
 	pp := tb.PeriodsPerDay
@@ -160,7 +161,7 @@ func TestSensorFaultsDoNotTouchGroundTruth(t *testing.T) {
 	g := task.WAM()
 
 	clean := mustEngine(t, sim.Config{Trace: tr, Graph: g, Capacitances: []float64{10}})
-	resClean, err := clean.Run(greedyEDF{})
+	resClean, err := clean.Run(context.Background(), greedyEDF{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +169,7 @@ func TestSensorFaultsDoNotTouchGroundTruth(t *testing.T) {
 		Trace: tr, Graph: g, Capacitances: []float64{10},
 		Faults: fault.Config{Seed: 5, SolarNoise: 0.5, VoltNoise: 0.5, VoltDropProb: 0.2, SolarDropProb: 0.2, VoltQuantStep: 0.05},
 	})
-	resNoisy, err := noisy.Run(greedyEDF{})
+	resNoisy, err := noisy.Run(context.Background(), greedyEDF{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package sim_test
 
 import (
+	"context"
 	"sort"
 	"testing"
 	"testing/quick"
@@ -63,7 +64,7 @@ func TestEngineInvariantsUnderChaosProperty(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		res, err := eng.Run(&chaosScheduler{src: src.Split(), g: g, h: len(caps)})
+		res, err := eng.Run(context.Background(), &chaosScheduler{src: src.Split(), g: g, h: len(caps)})
 		if err != nil {
 			return false
 		}
@@ -102,7 +103,7 @@ func TestEngineDeterminismProperty(t *testing.T) {
 			if err != nil {
 				return nil
 			}
-			res, err := eng.Run(&chaosScheduler{src: src, g: g, h: 2})
+			res, err := eng.Run(context.Background(), &chaosScheduler{src: src, g: g, h: 2})
 			if err != nil {
 				return nil
 			}
@@ -148,7 +149,7 @@ func TestMoreSolarNeverWorseProperty(t *testing.T) {
 			if err != nil {
 				return -1
 			}
-			res, err := eng.Run(edf)
+			res, err := eng.Run(context.Background(), edf)
 			if err != nil {
 				return -1
 			}

@@ -205,15 +205,29 @@ func New(cfg Config) (*Engine, error) {
 // Config returns the engine's (validated, defaulted) configuration.
 func (e *Engine) Config() Config { return e.cfg }
 
-// ErrInterrupted is returned (wrapped) by RunWithOptions when the run's
-// context is canceled at a period boundary. The partial Result up to the
-// boundary is returned alongside it, and — when a checkpoint sink is
-// configured — a final checkpoint has already been flushed, so the run can
-// be resumed with bit-identical results.
-var ErrInterrupted = errors.New("sim: run interrupted")
+// ErrCanceled is returned (wrapped) by Run when the run's context is
+// canceled at a period boundary. The partial Result up to the boundary is
+// returned alongside it, and — when a checkpoint sink is configured — a
+// final checkpoint has already been flushed, so the run can be resumed with
+// bit-identical results. Test with errors.Is(err, sim.ErrCanceled).
+var ErrCanceled = errors.New("sim: run canceled")
+
+// ErrInterrupted is the former name of ErrCanceled, kept as an alias so
+// existing errors.Is checks keep working.
+//
+// Deprecated: use ErrCanceled.
+var ErrInterrupted = ErrCanceled
+
+// ErrConfigMismatch is wrapped into every error that rejects a checkpoint
+// against the engine or scheduler that tries to resume it: wrong scheduler,
+// wrong config digest, wrong schema version, inconsistent cursor. Callers
+// use errors.Is(err, sim.ErrConfigMismatch) instead of string-matching.
+var ErrConfigMismatch = errors.New("sim: checkpoint does not match run configuration")
 
 // RunOptions controls one simulation run beyond the scheduler itself.
-// The zero value reproduces Run exactly.
+// The zero value reproduces a plain Run exactly. Construct it through the
+// RunOption functional options of Run; the struct remains exported for the
+// deprecated RunWithOptions entry point.
 type RunOptions struct {
 	// Recorder receives a record after every simulated slot (nil is off).
 	Recorder Recorder
@@ -245,25 +259,82 @@ type RunOptions struct {
 	CheckpointEvery int
 }
 
-// Run simulates the whole trace under the given scheduler.
-func (e *Engine) Run(s Scheduler) (*Result, error) {
-	return e.RunWithOptions(s, RunOptions{})
+// RunOption configures one call to Run.
+type RunOption func(*RunOptions)
+
+// WithRecorder attaches a per-slot state recorder (nil is allowed and is a
+// no-op), used for debugging and trace visualization.
+func WithRecorder(rec Recorder) RunOption {
+	return func(o *RunOptions) { o.Recorder = rec }
 }
 
-// RunRecorded is Run with an optional per-slot state recorder (nil is
-// allowed), used for debugging and trace visualization.
+// WithResume restarts the run from a previously captured RunState instead
+// of from scratch. The state must validate against the engine and scheduler
+// (same config digest, same scheduler name); a mismatch fails with an error
+// wrapping ErrConfigMismatch.
+func WithResume(st *RunState) RunOption {
+	return func(o *RunOptions) { o.Resume = st }
+}
+
+// WithSink delivers checkpoints to sink at period boundaries.
+func WithSink(sink func(*RunState) error) RunOption {
+	return func(o *RunOptions) { o.Sink = sink }
+}
+
+// WithGate consults gate before each periodic checkpoint capture; returning
+// false skips both the capture and the sink call (see RunOptions.Gate).
+func WithGate(gate func() bool) RunOption {
+	return func(o *RunOptions) { o.Gate = gate }
+}
+
+// WithCheckpointEvery sets the number of periods between checkpoints when a
+// sink is set; n <= 0 means every period.
+func WithCheckpointEvery(n int) RunOption {
+	return func(o *RunOptions) { o.CheckpointEvery = n }
+}
+
+// Run simulates the whole trace under the given scheduler. The context
+// cancels the run at the next period boundary (the partial result and an
+// error wrapping ErrCanceled are returned); a nil context means never
+// canceled. Recording, checkpointing and resume are attached through
+// functional options:
+//
+//	res, err := eng.Run(ctx, s,
+//		sim.WithRecorder(rec),
+//		sim.WithSink(store.Sink()),
+//		sim.WithCheckpointEvery(8))
+//
+// The period loop is flat — day = k / PeriodsPerDay, period-of-day =
+// k % PeriodsPerDay — so a resumed run re-enters at an arbitrary flat
+// period index. Checkpoints are captured at period boundaries, before the
+// day-boundary aging of the next day (the resumed run reapplies it), which
+// is exactly the state a surviving run would carry across that boundary.
+func (e *Engine) Run(ctx context.Context, s Scheduler, opts ...RunOption) (*Result, error) {
+	ro := RunOptions{Context: ctx}
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&ro)
+		}
+	}
+	return e.run(s, ro)
+}
+
+// RunRecorded is Run with an optional per-slot state recorder.
+//
+// Deprecated: use Run with WithRecorder.
 func (e *Engine) RunRecorded(s Scheduler, rec Recorder) (*Result, error) {
-	return e.RunWithOptions(s, RunOptions{Recorder: rec})
+	return e.run(s, RunOptions{Recorder: rec})
 }
 
-// RunWithOptions simulates the trace under the given scheduler with
-// checkpoint/resume and cancellation support. The period loop is flat —
-// day = k / PeriodsPerDay, period-of-day = k % PeriodsPerDay — so a resumed
-// run re-enters at an arbitrary flat period index. Checkpoints are captured
-// at period boundaries, before the day-boundary aging of the next day (the
-// resumed run reapplies it), which is exactly the state a surviving run
-// would carry across that boundary.
+// RunWithOptions simulates the trace under the scheduler with an explicit
+// options struct.
+//
+// Deprecated: use Run with RunOption functional options.
 func (e *Engine) RunWithOptions(s Scheduler, opts RunOptions) (*Result, error) {
+	return e.run(s, opts)
+}
+
+func (e *Engine) run(s Scheduler, opts RunOptions) (*Result, error) {
 	tb := e.cfg.Trace.Base
 	rec := opts.Recorder
 	bank, err := supercap.NewBank(e.cfg.Capacitances, e.cfg.Params)
@@ -347,7 +418,7 @@ func (e *Engine) RunWithOptions(s Scheduler, opts RunOptions) (*Result, error) {
 				return res, err
 			}
 			return res, fmt.Errorf("%w at period %d/%d: %v",
-				ErrInterrupted, k, tb.TotalPeriods(), opts.Context.Err())
+				ErrCanceled, k, tb.TotalPeriods(), opts.Context.Err())
 		}
 		if daySpan == nil {
 			daySpan = runSpan.Child("day")

@@ -1,6 +1,7 @@
 package sim_test
 
 import (
+	"context"
 	"math"
 	"sort"
 	"testing"
@@ -104,7 +105,7 @@ func TestAbundantSolarZeroDMR(t *testing.T) {
 	tb := smallBase(2)
 	// 1 W dwarfs any benchmark's concurrent power.
 	e := mustEngine(t, sim.Config{Trace: constTrace(tb, 1.0), Graph: task.WAM(), Capacitances: []float64{10}})
-	res, err := e.Run(greedyEDF{})
+	res, err := e.Run(context.Background(), greedyEDF{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +120,7 @@ func TestAbundantSolarZeroDMR(t *testing.T) {
 func TestDarknessFullDMR(t *testing.T) {
 	tb := smallBase(1)
 	e := mustEngine(t, sim.Config{Trace: constTrace(tb, 0), Graph: task.WAM(), Capacitances: []float64{10}})
-	res, err := e.Run(greedyEDF{})
+	res, err := e.Run(context.Background(), greedyEDF{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +136,7 @@ func TestEnergyLedgerConsistency(t *testing.T) {
 	tb := smallBase(3)
 	tr := solar.MustGenerate(solar.GenConfig{Base: tb, Seed: 4})
 	e := mustEngine(t, sim.Config{Trace: tr, Graph: task.WAM(), Capacitances: []float64{10, 50}})
-	res, err := e.Run(greedyEDF{})
+	res, err := e.Run(context.Background(), greedyEDF{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,7 +214,7 @@ func TestExecSlotStoresSurplus(t *testing.T) {
 func TestPeriodPlanAllowedMasksTasks(t *testing.T) {
 	tb := smallBase(1)
 	e := mustEngine(t, sim.Config{Trace: constTrace(tb, 1.0), Graph: task.WAM(), Capacitances: []float64{10}})
-	res, err := e.Run(maskAll{})
+	res, err := e.Run(context.Background(), maskAll{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,7 +240,7 @@ func TestCapSwitchCountsAndMigrates(t *testing.T) {
 	tr := constTrace(tb, 0.08)
 	run := func(s sim.Scheduler) *sim.Result {
 		e := mustEngine(t, sim.Config{Trace: tr, Graph: task.ECG(), Capacitances: []float64{10, 50}})
-		res, err := e.Run(s)
+		res, err := e.Run(context.Background(), s)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -261,7 +262,7 @@ func TestCapSwitchCountsAndMigrates(t *testing.T) {
 func TestSchedulerSwitchOutOfRangeErrors(t *testing.T) {
 	tb := smallBase(2)
 	e := mustEngine(t, sim.Config{Trace: constTrace(tb, 0.08), Graph: task.ECG(), Capacitances: []float64{10}})
-	if _, err := e.Run(capSwitcher{to: 7}); err == nil {
+	if _, err := e.Run(context.Background(), capSwitcher{to: 7}); err == nil {
 		t.Fatal("out-of-range capacitor switch accepted")
 	}
 }
@@ -276,7 +277,7 @@ func TestResultAggregation(t *testing.T) {
 		}
 	}
 	e := mustEngine(t, sim.Config{Trace: tr, Graph: task.ECG(), Capacitances: []float64{1}})
-	res, err := e.Run(greedyEDF{})
+	res, err := e.Run(context.Background(), greedyEDF{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -394,7 +395,7 @@ func BenchmarkEngineDayWAM(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := e.Run(greedyEDF{}); err != nil {
+		if _, err := e.Run(context.Background(), greedyEDF{}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -65,29 +65,30 @@ type RunState struct {
 }
 
 // Validate checks a decoded RunState against the engine and scheduler that
-// will resume it.
+// will resume it. Every rejection wraps ErrConfigMismatch so callers can
+// errors.Is instead of matching message text.
 func (st *RunState) Validate(e *Engine, s Scheduler) error {
 	if st.Version != RunStateVersion {
-		return fmt.Errorf("sim: checkpoint version %d, this build reads %d", st.Version, RunStateVersion)
+		return fmt.Errorf("%w: checkpoint version %d, this build reads %d", ErrConfigMismatch, st.Version, RunStateVersion)
 	}
 	if st.SchedulerName != s.Name() {
-		return fmt.Errorf("sim: checkpoint of scheduler %q resumed with %q", st.SchedulerName, s.Name())
+		return fmt.Errorf("%w: checkpoint of scheduler %q resumed with %q", ErrConfigMismatch, st.SchedulerName, s.Name())
 	}
 	if d := e.ConfigDigest(); st.ConfigDigest != d {
-		return fmt.Errorf("sim: checkpoint config digest %s does not match engine %s", st.ConfigDigest, d)
+		return fmt.Errorf("%w: checkpoint config digest %s does not match engine %s", ErrConfigMismatch, st.ConfigDigest, d)
 	}
 	if total := e.cfg.Trace.Base.TotalPeriods(); st.NextPeriod < 0 || st.NextPeriod > total {
-		return fmt.Errorf("sim: checkpoint period %d outside [0,%d]", st.NextPeriod, total)
+		return fmt.Errorf("%w: checkpoint period %d outside [0,%d]", ErrConfigMismatch, st.NextPeriod, total)
 	}
 	if st.Result == nil {
-		return fmt.Errorf("sim: checkpoint without result state")
+		return fmt.Errorf("%w: checkpoint without result state", ErrConfigMismatch)
 	}
 	if got, want := len(st.Result.PeriodMisses), st.NextPeriod; got != want {
-		return fmt.Errorf("sim: checkpoint has %d recorded periods, cursor at %d", got, want)
+		return fmt.Errorf("%w: checkpoint has %d recorded periods, cursor at %d", ErrConfigMismatch, got, want)
 	}
 	if len(st.Bank.Caps) != len(e.cfg.Capacitances) {
-		return fmt.Errorf("sim: checkpoint bank of %d capacitors, config has %d",
-			len(st.Bank.Caps), len(e.cfg.Capacitances))
+		return fmt.Errorf("%w: checkpoint bank of %d capacitors, config has %d",
+			ErrConfigMismatch, len(st.Bank.Caps), len(e.cfg.Capacitances))
 	}
 	return nil
 }

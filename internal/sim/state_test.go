@@ -41,12 +41,12 @@ func TestConfigDigest(t *testing.T) {
 // Result.Digest is a pure function of the result value.
 func TestResultDigestDeterministic(t *testing.T) {
 	e, g, tb := stateTestEngine(t, 4, nil)
-	r1, err := e.Run(sched.NewInterLSA(g, tb, sim.DefaultDirectEff))
+	r1, err := e.Run(context.Background(), sched.NewInterLSA(g, tb, sim.DefaultDirectEff))
 	if err != nil {
 		t.Fatal(err)
 	}
 	e2, _, _ := stateTestEngine(t, 4, nil)
-	r2, err := e2.Run(sched.NewInterLSA(g, tb, sim.DefaultDirectEff))
+	r2, err := e2.Run(context.Background(), sched.NewInterLSA(g, tb, sim.DefaultDirectEff))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +60,7 @@ func TestResultDigestDeterministic(t *testing.T) {
 // digest — the graceful-shutdown path of the CLIs.
 func TestRunContextCancelResumesIdentically(t *testing.T) {
 	e, g, tb := stateTestEngine(t, 4, nil)
-	want, err := e.Run(sched.NewInterLSA(g, tb, sim.DefaultDirectEff))
+	want, err := e.Run(context.Background(), sched.NewInterLSA(g, tb, sim.DefaultDirectEff))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +125,7 @@ func TestRunContextAlreadyCancelled(t *testing.T) {
 func TestResumeRestoresObservability(t *testing.T) {
 	regWant := obs.NewRegistry()
 	e, g, tb := stateTestEngine(t, 4, regWant)
-	if _, err := e.Run(sched.NewInterLSA(g, tb, sim.DefaultDirectEff)); err != nil {
+	if _, err := e.Run(context.Background(), sched.NewInterLSA(g, tb, sim.DefaultDirectEff)); err != nil {
 		t.Fatal(err)
 	}
 	want := regWant.Snapshot()

@@ -108,14 +108,34 @@ func OptimalCapacity(pat DayPattern, p supercap.Params, cMin, cMax float64) (bes
 	return bestC, bestLoss
 }
 
+// Patterns computes every day's migration pattern in one pass. The result
+// depends only on (trace, graph, directEff) — not on the capacitor
+// parameters — so it can be computed once and shared between SizeBank and
+// BankMigrationEfficiency, or cached by a batch runner.
+func Patterns(tr *solar.Trace, g *task.Graph, directEff float64) []DayPattern {
+	pats := make([]DayPattern, tr.Base.Days)
+	for d := range pats {
+		pats[d] = MigrationPattern(tr, d, g, directEff)
+	}
+	return pats
+}
+
 // DayOptima returns the per-day optimal capacitances {C_i^opt} and each
 // day's harvested energy (the clustering feature of §4.1).
 func DayOptima(tr *solar.Trace, g *task.Graph, p supercap.Params, directEff float64) (caps, dayEnergy []float64) {
+	return DayOptimaFromPatterns(Patterns(tr, g, directEff), tr, p)
+}
+
+// DayOptimaFromPatterns is DayOptima on precomputed patterns; pats[d] must
+// be day d's pattern of tr.
+func DayOptimaFromPatterns(pats []DayPattern, tr *solar.Trace, p supercap.Params) (caps, dayEnergy []float64) {
+	if len(pats) != tr.Base.Days {
+		panic(fmt.Sprintf("sizing: %d patterns for a %d-day trace", len(pats), tr.Base.Days))
+	}
 	caps = make([]float64, tr.Base.Days)
 	dayEnergy = make([]float64, tr.Base.Days)
 	for d := 0; d < tr.Base.Days; d++ {
-		pat := MigrationPattern(tr, d, g, directEff)
-		caps[d], _ = OptimalCapacity(pat, p, 0.5, 200)
+		caps[d], _ = OptimalCapacity(pats[d], p, 0.5, 200)
 		dayEnergy[d] = tr.DayEnergy(d)
 	}
 	return caps, dayEnergy
@@ -176,7 +196,12 @@ func Cluster1D(features []float64, k int) []int {
 // group. The result is sorted ascending and deduplicated (so the bank may
 // come out smaller than H when days are homogeneous).
 func SizeBank(tr *solar.Trace, g *task.Graph, h int, p supercap.Params, directEff float64) []float64 {
-	caps, energy := DayOptima(tr, g, p, directEff)
+	return SizeBankFromPatterns(Patterns(tr, g, directEff), tr, h, p)
+}
+
+// SizeBankFromPatterns is SizeBank on precomputed day patterns.
+func SizeBankFromPatterns(pats []DayPattern, tr *solar.Trace, h int, p supercap.Params) []float64 {
+	caps, energy := DayOptimaFromPatterns(pats, tr, p)
 	assign := Cluster1D(energy, h)
 	sum := make(map[int]float64)
 	cnt := make(map[int]int)
@@ -204,12 +229,17 @@ func SizeBank(tr *solar.Trace, g *task.Graph, h int, p supercap.Params, directEf
 // member closest to that day's optimum, and the efficiency is
 // 1 − loss/|ΔE| (the Figure 10(b) metric).
 func BankMigrationEfficiency(tr *solar.Trace, g *task.Graph, bank []float64, p supercap.Params, directEff float64) float64 {
+	return BankMigrationEfficiencyFromPatterns(Patterns(tr, g, directEff), bank, p)
+}
+
+// BankMigrationEfficiencyFromPatterns is BankMigrationEfficiency on
+// precomputed day patterns.
+func BankMigrationEfficiencyFromPatterns(pats []DayPattern, bank []float64, p supercap.Params) float64 {
 	if len(bank) == 0 {
 		panic("sizing: empty bank")
 	}
 	totalLoss, totalMoved := 0.0, 0.0
-	for d := 0; d < tr.Base.Days; d++ {
-		pat := MigrationPattern(tr, d, g, directEff)
+	for _, pat := range pats {
 		best := math.Inf(1)
 		for _, c := range bank {
 			if l := PatternLoss(c, pat, p); l < best {

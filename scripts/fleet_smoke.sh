@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Fleet smoke: run the 16-spec reference fleet and hold its aggregate
+# digest to three standards —
+#   1. parallel == sequential (the cache and the worker pool must not
+#      change any number; separate processes, so cross-process key
+#      stability is exercised too);
+#   2. equal to the committed golden digest (scripts/fleet_smoke_golden.txt),
+#      so an accidental change to the simulation, the spec compiler or
+#      the digest serialization fails CI;
+#   3. nonzero cache sharing in the parallel run (the subsystem's point).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+spec=scripts/fleet_smoke_spec.json
+golden=$(cat scripts/fleet_smoke_golden.txt)
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/solarsched" ./cmd/solarsched
+
+par=$("$tmp/solarsched" fleet -json "$tmp/par.json" -digest "$spec")
+seq=$("$tmp/solarsched" fleet -workers 1 -digest "$spec")
+
+if [ "$par" != "$seq" ]; then
+  echo "fleet_smoke: parallel digest $par != sequential digest $seq" >&2
+  exit 1
+fi
+if [ "$par" != "$golden" ]; then
+  echo "fleet_smoke: digest $par != golden $golden" >&2
+  echo "fleet_smoke: if the simulation intentionally changed, refresh" >&2
+  echo "  scripts/fleet_smoke_golden.txt and record why in the commit." >&2
+  exit 1
+fi
+
+hits=$(grep -o '"cache_hits": [0-9]*' "$tmp/par.json" | grep -o '[0-9]*')
+if [ "$hits" -eq 0 ]; then
+  echo "fleet_smoke: parallel run shared nothing (0 cache hits)" >&2
+  exit 1
+fi
+
+echo "fleet_smoke: ok (digest $par, $hits cache hits)"

@@ -23,8 +23,15 @@
 //	eng, _ := solarsched.NewEngine(solarsched.EngineConfig{
 //		Trace: tr, Graph: g, Capacitances: []float64{10},
 //	})
-//	res, _ := eng.Run(solarsched.NewIntraMatch(g))
+//	res, _ := eng.Run(context.Background(), solarsched.NewIntraMatch(g))
 //	fmt.Println(res.DMR())
+//
+// Run takes a context (cancellation stops the engine at the next period
+// boundary with ErrCanceled) and functional options — WithRecorder,
+// WithResume, WithSink, WithCheckpointEvery — for tracing and
+// crash-consistent checkpointing. Batches of runs go through RunFleet,
+// which executes FleetSpecs on a bounded worker pool with a shared
+// offline-artifact cache.
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-vs-measured record of every table and figure.
@@ -34,9 +41,11 @@ import (
 	"io"
 
 	"solarsched/internal/ann"
+	"solarsched/internal/ckpt"
 	"solarsched/internal/core"
 	"solarsched/internal/experiments"
 	"solarsched/internal/fault"
+	"solarsched/internal/fleet"
 	"solarsched/internal/obs"
 	"solarsched/internal/overhead"
 	"solarsched/internal/sched"
@@ -211,6 +220,88 @@ const DefaultDirectEff = sim.DefaultDirectEff
 
 // NewEngine validates a configuration and returns an engine.
 func NewEngine(cfg EngineConfig) (*Engine, error) { return sim.New(cfg) }
+
+// ---- Run options, state and errors -------------------------------------------
+
+// RunOption is a functional option of Engine.Run.
+type RunOption = sim.RunOption
+
+// RunState is a resumable point-in-time snapshot of a run.
+type RunState = sim.RunState
+
+// EventRecorder receives the engine's slot/period event stream.
+type EventRecorder = sim.Recorder
+
+// The Run options: per-run tracing, checkpoint resume, checkpoint sinks
+// (cadence-based via WithCheckpointEvery or custom-gated via
+// WithCheckpointGate).
+var (
+	WithRecorder        = sim.WithRecorder
+	WithResume          = sim.WithResume
+	WithCheckpointSink  = sim.WithSink
+	WithCheckpointGate  = sim.WithGate
+	WithCheckpointEvery = sim.WithCheckpointEvery
+)
+
+// Sentinel errors of the run/checkpoint pipeline; match with errors.Is.
+var (
+	// ErrCanceled reports a run stopped by context cancellation.
+	ErrCanceled = sim.ErrCanceled
+	// ErrConfigMismatch reports a checkpoint that does not belong to the
+	// run configuration it was resumed under.
+	ErrConfigMismatch = sim.ErrConfigMismatch
+	// ErrCorruptCheckpoint reports a checkpoint that fails structural or
+	// checksum validation.
+	ErrCorruptCheckpoint = ckpt.ErrCorruptCheckpoint
+)
+
+// ---- Fleet runs ---------------------------------------------------------------
+
+// FleetSpec is one member of a fleet: an ID plus a Prepare hook that
+// derives the run's job, pulling offline artifacts through the shared
+// cache.
+type FleetSpec = fleet.Spec
+
+// FleetJob is a prepared run: engine config, scheduler, run options.
+type FleetJob = fleet.Job
+
+// FleetOptions tunes a fleet run (worker count, cache, observer).
+type FleetOptions = fleet.Options
+
+// FleetReport aggregates a fleet's per-run results and cache statistics.
+type FleetReport = fleet.Report
+
+// FleetRunResult is one fleet member's outcome.
+type FleetRunResult = fleet.RunResult
+
+// FleetSummary is the fleet-level DMR distribution.
+type FleetSummary = fleet.Summary
+
+// FleetFileSpec and FleetRunSpec are the JSON shapes of the
+// `solarsched fleet` subcommand's spec files.
+type (
+	FleetFileSpec = fleet.FileSpec
+	FleetRunSpec  = fleet.RunSpec
+)
+
+// ArtifactCache is the content-addressed offline-artifact cache shared by
+// fleet members: traces, sized banks, DP teacher samples, trained
+// networks and whole-trace plans, deduplicated by a single-flight.
+type ArtifactCache = fleet.Cache
+
+// NewArtifactCache returns an empty cache; reg (may be nil) receives the
+// cache's hit/miss/build instrumentation.
+func NewArtifactCache(reg *MetricsRegistry) *ArtifactCache { return fleet.NewCache(reg) }
+
+// RunFleet executes the specs on a bounded worker pool. See fleet.Run.
+var RunFleet = fleet.Run
+
+// LoadFleetSpecFile reads and compiles a fleet spec file; ReadFleetSpecs
+// does the same from a reader.
+var (
+	LoadFleetSpecFile = fleet.LoadSpecFile
+	ReadFleetSpecs    = fleet.ReadSpecs
+)
 
 // ---- Fault injection ---------------------------------------------------------
 

@@ -1,6 +1,7 @@
 package solarsched_test
 
 import (
+	"context"
 	"testing"
 
 	"solarsched"
@@ -25,7 +26,7 @@ func TestFacadeEndToEnd(t *testing.T) {
 		solarsched.NewInterLSA(graph, trace.Base, solarsched.DefaultDirectEff),
 		solarsched.NewIntraMatch(graph),
 	} {
-		res, err := engine.Run(s)
+		res, err := engine.Run(context.Background(), s)
 		if err != nil {
 			t.Fatalf("%s: %v", s.Name(), err)
 		}
@@ -80,7 +81,7 @@ func TestFacadeSizingAndPlanning(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := engine.Run(opt)
+	res, err := engine.Run(context.Background(), opt)
 	if err != nil {
 		t.Fatal(err)
 	}
