@@ -111,10 +111,28 @@ func runFleet(args []string) int {
 		return cli.ExitCode(runErr)
 	}
 	if err := rep.FirstErr(); err != nil {
-		fmt.Fprintf(os.Stderr, "solarsched: fleet: %v\n", err)
+		failed := rep.FailedIndices()
+		fmt.Fprintf(os.Stderr, "solarsched: fleet: %d of %d runs failed (spec indices %s)\n",
+			len(failed), len(rep.Results), formatIndices(failed))
+		for _, i := range failed {
+			fmt.Fprintf(os.Stderr, "solarsched: fleet:   run %d (%s): %v\n",
+				i, rep.Results[i].ID, rep.Results[i].Err)
+		}
 		return 1
 	}
 	return 0
+}
+
+// formatIndices renders spec indices as a comma-separated list.
+func formatIndices(xs []int) string {
+	var b []byte
+	for i, x := range xs {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = fmt.Appendf(b, "%d", x)
+	}
+	return string(b)
 }
 
 // writeReport writes one report rendering atomically.

@@ -1,0 +1,203 @@
+// The loadgen subcommand drives a running solarschedd and reports
+// latency percentiles and the daemon's cache hit rate:
+//
+//	solarschedd loadgen [flags] <base-url>
+//
+// Flags:
+//
+//	-mode decide|runs  request type (default decide)
+//	-clients N         concurrent clients (default 4)
+//	-n N               total requests (default 100)
+//	-spec FILE         fleet spec body for -mode runs (built-in default)
+//	-body FILE         decide body for -mode decide (built-in default)
+//
+// Mode decide posts one-shot online inferences — the latency that matters
+// for a node asking the service for its next period's plan. Mode runs
+// posts synchronous fleet submissions (?wait=1), so the first request
+// pays the offline stages and the rest measure warm-cache service time.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"solarsched/internal/stats"
+)
+
+// defaultDecideBody is a valid cold-start decide request against the
+// default training configuration.
+const defaultDecideBody = `{
+  "graph": "wam", "h": 2,
+  "train": {"days": 2, "seed": 777, "day_of_year": 80, "fine_epochs": 10},
+  "voltages": [3.0, 1.2],
+  "period_of_day": 0,
+  "active_cap": 0
+}`
+
+// defaultRunsBody is a small three-run fleet spec.
+const defaultRunsBody = `{
+  "defaults": {
+    "trace": {"kind": "gen", "days": 2, "seed": 31},
+    "h": 2,
+    "train": {"days": 2, "seed": 777, "day_of_year": 80, "fine_epochs": 10}
+  },
+  "runs": [
+    {"graph": "wam", "scheduler": "inter"},
+    {"graph": "wam", "scheduler": "intra"},
+    {"graph": "wam", "scheduler": "proposed"}
+  ]
+}`
+
+func runLoadgen(args []string) int {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	mode := fs.String("mode", "decide", "request type: decide or runs")
+	clients := fs.Int("clients", 4, "concurrent clients")
+	n := fs.Int("n", 100, "total requests")
+	specPath := fs.String("spec", "", "fleet spec body for -mode runs (built-in default)")
+	bodyPath := fs.String("body", "", "decide body for -mode decide (built-in default)")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: solarschedd loadgen [flags] <base-url>\n\nflags:\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return 2
+	}
+	base := strings.TrimRight(fs.Arg(0), "/")
+
+	var path, body string
+	switch *mode {
+	case "decide":
+		path, body = "/v1/decide", defaultDecideBody
+		if *bodyPath != "" {
+			b, err := os.ReadFile(*bodyPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+				return 1
+			}
+			body = string(b)
+		}
+	case "runs":
+		path, body = "/v1/runs?wait=1", defaultRunsBody
+		if *specPath != "" {
+			b, err := os.ReadFile(*specPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+				return 1
+			}
+			body = string(b)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "loadgen: unknown mode %q (want decide or runs)\n", *mode)
+		return 2
+	}
+
+	h0, m0, err := cacheCounters(base)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: reading %s/metrics: %v\n", base, err)
+		return 1
+	}
+
+	latencies := make([]float64, *n)
+	var next, failures atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(*n) {
+					return
+				}
+				t0 := time.Now()
+				resp, err := http.Post(base+path, "application/json", strings.NewReader(body))
+				if err != nil {
+					failures.Add(1)
+					latencies[i] = time.Since(t0).Seconds()
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					failures.Add(1)
+				}
+				latencies[i] = time.Since(t0).Seconds()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	h1, m1, err := cacheCounters(base)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: reading %s/metrics: %v\n", base, err)
+		return 1
+	}
+	hits, misses := h1-h0, m1-m0
+	hitRate := 0.0
+	if hits+misses > 0 {
+		hitRate = float64(hits) / float64(hits+misses)
+	}
+
+	sort.Float64s(latencies)
+	fmt.Printf("loadgen: mode=%s clients=%d n=%d elapsed=%s (%.1f req/s)\n",
+		*mode, *clients, *n, elapsed.Round(time.Millisecond), float64(*n)/elapsed.Seconds())
+	fmt.Printf("  latency p50=%s p95=%s p99=%s max=%s\n",
+		fmtSecs(stats.Percentile(latencies, 0.50)),
+		fmtSecs(stats.Percentile(latencies, 0.95)),
+		fmtSecs(stats.Percentile(latencies, 0.99)),
+		fmtSecs(latencies[len(latencies)-1]))
+	fmt.Printf("  cache: %d hits, %d misses (%.1f%% hit rate)\n", hits, misses, 100*hitRate)
+	if f := failures.Load(); f > 0 {
+		fmt.Printf("  failures: %d of %d\n", f, *n)
+		return 1
+	}
+	return 0
+}
+
+var promCounterRe = regexp.MustCompile(`(?m)^(fleet_cache_hits_total|fleet_cache_misses_total)\s+([0-9.eE+-]+)$`)
+
+// cacheCounters scrapes the daemon's /metrics for the shared cache's
+// cumulative hit and miss counters.
+func cacheCounters(base string) (hits, misses int64, err error) {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, m := range promCounterRe.FindAllStringSubmatch(string(b), -1) {
+		v, perr := strconv.ParseFloat(m[2], 64)
+		if perr != nil {
+			continue
+		}
+		if m[1] == "fleet_cache_hits_total" {
+			hits = int64(v)
+		} else {
+			misses = int64(v)
+		}
+	}
+	return hits, misses, nil
+}
+
+func fmtSecs(s float64) string {
+	return time.Duration(s * float64(time.Second)).Round(10 * time.Microsecond).String()
+}

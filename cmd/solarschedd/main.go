@@ -1,0 +1,124 @@
+// Command solarschedd is the scheduler-as-a-service daemon: the
+// internal/serve subsystem behind an http.Server. It exposes fleet
+// submission, status, streaming, one-shot online DBN decisions and
+// Prometheus metrics over one shared offline-artifact cache, so repeated
+// and concurrent requests pay sizing/teacher/training once per
+// configuration.
+//
+// Usage:
+//
+//	solarschedd [flags]
+//	solarschedd loadgen [flags] <base-url>
+//
+// Flags:
+//
+//	-addr ADDR      listen address (default :7468)
+//	-workers N      per-job fleet worker-pool size (default GOMAXPROCS)
+//	-queue N        admission queue depth; a full queue answers 429 (default 8)
+//	-retain N       finished jobs kept queryable (default 256)
+//	-ckpt-dir DIR   checkpoint directory for long runs (empty disables)
+//	-cpuprofile, -memprofile, -exectrace — see internal/obs.Flags
+//
+// SIGINT/SIGTERM drain gracefully: the listener stops, queued and
+// in-flight jobs are canceled (engines stop at the next period boundary
+// and, with -ckpt-dir, flush resumable checkpoints), and the process
+// exits 130. A second signal exits immediately.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"solarsched/internal/cli"
+	"solarsched/internal/obs"
+	"solarsched/internal/serve"
+)
+
+func main() {
+	if len(os.Args) > 1 && os.Args[1] == "loadgen" {
+		os.Exit(runLoadgen(os.Args[2:]))
+	}
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("solarschedd", flag.ContinueOnError)
+	addr := fs.String("addr", ":7468", "listen address")
+	workers := fs.Int("workers", 0, "per-job fleet worker-pool size (default GOMAXPROCS)")
+	queue := fs.Int("queue", 0, "admission queue depth (default 8)")
+	retain := fs.Int("retain", 0, "finished jobs kept queryable (default 256)")
+	ckptDir := fs.String("ckpt-dir", "", "checkpoint directory for long runs (empty disables)")
+	drainTimeout := fs.Duration("drain-timeout", 2*time.Minute, "how long shutdown waits for in-flight jobs")
+	var of obs.Flags
+	of.Register(fs)
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: solarschedd [flags]\n       solarschedd loadgen [flags] <base-url>\n\nflags:\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fs.Usage()
+		return 2
+	}
+
+	stop, err := of.Start()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "solarschedd: %v\n", err)
+		return 1
+	}
+	defer func() {
+		if err := stop(); err != nil {
+			fmt.Fprintf(os.Stderr, "solarschedd: %v\n", err)
+		}
+	}()
+
+	ctx, cancel := cli.SignalContext()
+	defer cancel()
+	cli.HardExitOnSecondSignal(ctx)
+
+	s := serve.New(serve.Config{
+		Workers:       *workers,
+		QueueDepth:    *queue,
+		RetainJobs:    *retain,
+		CheckpointDir: *ckptDir,
+	})
+	s.Start()
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "solarschedd: listening on %s\n", *addr)
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintf(os.Stderr, "solarschedd: %v\n", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(os.Stderr, "solarschedd: draining (second signal exits immediately)")
+	drainCtx, drainCancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer drainCancel()
+	// Stop accepting connections first, then drain the job backend; the
+	// order means in-flight status requests finish while jobs wind down.
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "solarschedd: http shutdown: %v\n", err)
+	}
+	if err := s.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "solarschedd: drain timed out: %v\n", err)
+		return 1
+	}
+	fmt.Fprintln(os.Stderr, "solarschedd: drained")
+	return cli.ExitCodeInterrupted
+}

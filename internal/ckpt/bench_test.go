@@ -49,10 +49,9 @@ func BenchmarkRunCheckpointed(b *testing.B) {
 	gate := Throttle(DefaultInterval)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := e.RunWithOptions(s, sim.RunOptions{
-			Sink: store.Sink(),
-			Gate: gate,
-		}); err != nil {
+		if _, err := e.Run(context.Background(), s,
+			sim.WithSink(store.Sink()),
+			sim.WithGate(gate)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -64,7 +63,7 @@ func BenchmarkStoreSave(b *testing.B) {
 	e, s := benchEngine(b, 1)
 	var rs *sim.RunState
 	stop := make(chan struct{})
-	_, _ = e.RunWithOptions(s, sim.RunOptions{Sink: func(r *sim.RunState) error {
+	_, _ = e.Run(context.Background(), s, sim.WithSink(func(r *sim.RunState) error {
 		rs = r
 		select {
 		case <-stop:
@@ -72,7 +71,7 @@ func BenchmarkStoreSave(b *testing.B) {
 			close(stop)
 		}
 		return ErrSimulatedKill
-	}})
+	}))
 	if rs == nil {
 		b.Fatal("no checkpoint captured")
 	}

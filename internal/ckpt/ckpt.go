@@ -164,6 +164,31 @@ func NewStore(path string) (*Store, error) {
 	return st, nil
 }
 
+// StoreInDir opens (or creates) a checkpoint store named after a free-form
+// run identifier inside dir — the serving daemon checkpoints each fleet
+// member under its job/run ID this way. The name is sanitized into a safe
+// filename: anything outside [A-Za-z0-9._-] becomes '_', so IDs like
+// "wam/proposed/seed3" cannot escape the directory.
+func StoreInDir(dir, name string) (*Store, error) {
+	if dir == "" || name == "" {
+		return nil, fmt.Errorf("ckpt: empty store dir or name")
+	}
+	safe := []byte(name)
+	for i, b := range safe {
+		switch {
+		case b >= 'a' && b <= 'z', b >= 'A' && b <= 'Z', b >= '0' && b <= '9',
+			b == '.', b == '_', b == '-':
+		default:
+			safe[i] = '_'
+		}
+	}
+	// A sanitized name of only dots could still traverse; forbid it.
+	if s := string(safe); s == "." || s == ".." {
+		return nil, fmt.Errorf("ckpt: unusable store name %q", name)
+	}
+	return NewStore(filepath.Join(dir, string(safe)+".ckpt"))
+}
+
 // Path returns the checkpoint path.
 func (st *Store) Path() string { return st.path }
 

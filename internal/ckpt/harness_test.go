@@ -1,6 +1,7 @@
 package ckpt
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -199,15 +200,14 @@ func TestResumeFromPrevGenerationAfterTorn(t *testing.T) {
 		t.Fatal(err)
 	}
 	saves := 0
-	_, runErr := eng.RunWithOptions(s, sim.RunOptions{
-		Sink: func(rs *sim.RunState) error {
+	_, runErr := eng.Run(context.Background(), s,
+		sim.WithSink(func(rs *sim.RunState) error {
 			if saves >= 4 {
 				return ErrSimulatedKill
 			}
 			saves++
 			return store.Save(rs)
-		},
-	})
+		}))
 	if runErr == nil {
 		t.Fatal("run completed before the kill point")
 	}
@@ -232,7 +232,7 @@ func TestResumeFromPrevGenerationAfterTorn(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := eng.RunWithOptions(s, sim.RunOptions{Resume: rs})
+	got, err := eng.Run(context.Background(), s, sim.WithResume(rs))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,15 +261,14 @@ func TestResumeRejectsForeignConfig(t *testing.T) {
 		t.Fatal(err)
 	}
 	saves := 0
-	_, runErr := eng.RunWithOptions(s, sim.RunOptions{
-		Sink: func(rs *sim.RunState) error {
+	_, runErr := eng.Run(context.Background(), s,
+		sim.WithSink(func(rs *sim.RunState) error {
 			if saves >= 1 {
 				return ErrSimulatedKill
 			}
 			saves++
 			return store.Save(rs)
-		},
-	})
+		}))
 	if runErr == nil {
 		t.Fatal("run completed before the kill point")
 	}
@@ -288,8 +287,8 @@ func TestResumeRejectsForeignConfig(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := other.RunWithOptions(sched.NewInterLSA(g, harnessTB, sim.DefaultDirectEff),
-		sim.RunOptions{Resume: rs}); err == nil {
+	if _, err := other.Run(context.Background(), sched.NewInterLSA(g, harnessTB, sim.DefaultDirectEff),
+		sim.WithResume(rs)); err == nil {
 		t.Fatal("foreign-config checkpoint accepted")
 	}
 
@@ -298,7 +297,7 @@ func TestResumeRejectsForeignConfig(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := eng2.RunWithOptions(sched.NewIntraMatch(g), sim.RunOptions{Resume: rs}); err == nil {
+	if _, err := eng2.Run(context.Background(), sched.NewIntraMatch(g), sim.WithResume(rs)); err == nil {
 		t.Fatal("foreign-scheduler checkpoint accepted")
 	}
 }

@@ -1,0 +1,47 @@
+package ckpt
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// StoreInDir must confine every name to the directory: path separators
+// and other hostile bytes are sanitized, pure-dot names are refused.
+func TestStoreInDir(t *testing.T) {
+	dir := t.TempDir()
+
+	st, err := NewStoreInDirOK(t, dir, "j000001-wam-proposed-31#0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Path(); filepath.Dir(got) != dir || !strings.HasSuffix(got, ".ckpt") {
+		t.Fatalf("path %q escaped %q", got, dir)
+	}
+	if strings.ContainsAny(filepath.Base(st.Path()), "#/") {
+		t.Fatalf("unsanitized store name: %q", st.Path())
+	}
+
+	if _, err := StoreInDir(dir, "../escape"); err != nil {
+		t.Fatalf("sanitizable name rejected: %v", err)
+	}
+	st2, _ := StoreInDir(dir, "../escape")
+	if filepath.Dir(st2.Path()) != dir {
+		t.Fatalf("traversal name escaped the directory: %q", st2.Path())
+	}
+
+	for _, bad := range []struct{ dir, name string }{
+		{dir, ""}, {"", "x"}, {dir, ".."}, {dir, "."},
+	} {
+		if _, err := StoreInDir(bad.dir, bad.name); err == nil {
+			t.Errorf("StoreInDir(%q, %q) accepted", bad.dir, bad.name)
+		}
+	}
+}
+
+// NewStoreInDirOK is a tiny indirection so the happy-path call above
+// reads at the call site.
+func NewStoreInDirOK(t *testing.T, dir, name string) (*Store, error) {
+	t.Helper()
+	return StoreInDir(dir, name)
+}

@@ -28,6 +28,23 @@ func SignalContext() (context.Context, context.CancelFunc) {
 // stopped by SIGINT/SIGTERM (128 + SIGINT).
 const ExitCodeInterrupted = 130
 
+// HardExitOnSecondSignal arms the daemon escape hatch: once ctx (from
+// SignalContext) is done, one more SIGINT/SIGTERM exits the process
+// immediately with ExitCodeInterrupted instead of waiting for the
+// graceful drain — a stuck shutdown must never require kill -9. The
+// CLIs get this behavior from NotifyContext's stop semantics already;
+// long-draining servers arm it explicitly.
+func HardExitOnSecondSignal(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		<-ch
+		fmt.Fprintln(os.Stderr, "second signal: exiting without drain")
+		os.Exit(ExitCodeInterrupted)
+	}()
+}
+
 // ExitCode maps a command error to a process exit status: 0 for nil,
 // ExitCodeInterrupted for a graceful signal stop, 1 for everything else.
 // An interrupted run is not a failure — its checkpoint is valid — but it

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+
+	"solarsched/internal/ann"
+	"solarsched/internal/supercap"
+)
+
+// OnlineDecision is one stateless pass of the paper's online stage (§5): the DBN
+// maps (last period's solar powers, capacitor voltages, accumulated DMR)
+// to the capacitor of the day, the pattern index α and the executed-task
+// set, and the E_th rule (eq. (22)) decides whether abandoning the active
+// capacitor is worthwhile. It is the unit the /v1/decide service endpoint
+// returns to a fielded node.
+type OnlineDecision struct {
+	// Cap is the DBN's capacitor-of-the-day index C*_{h,i}.
+	Cap int
+	// Alpha is the scheduling-pattern index α of §5.2, decoded from the
+	// network's α head; |1−α| ≤ δ selects the intra-task load-matching
+	// stage, anything else the simple inter-task stage.
+	Alpha float64
+	// Intra reports the δ rule's verdict on Alpha.
+	Intra bool
+	// Te is the executed-task set te_{i,j}(n), repaired to be closed under
+	// predecessors (constraint (7)).
+	Te []bool
+	// Switch reports whether the node should actually move to Cap: the DBN
+	// picked a different capacitor AND the active one is below E_th.
+	Switch bool
+	// Migrate mirrors the engine's switching convention: a permitted
+	// switch carries the residual usable energy along (global energy
+	// migration).
+	Migrate bool
+	// EThJoules and UsableJoules expose the eq. (22) comparison the
+	// Switch verdict came from.
+	EThJoules    float64
+	UsableJoules float64
+}
+
+// DecideOnce runs one period-boundary inference without any scheduler
+// state: features → DBN forward pass → predecessor-closure repair → E_th
+// gate. prevPowers is the slot powers of the previous period (nil on a
+// cold start), voltages the per-capacitor voltages (len == len
+// pc.Capacitances), active the currently active capacitor index and
+// periodOfDay ∈ [0, pc.Base.PeriodsPerDay).
+//
+// Unlike the in-simulator Proposed scheduler it has no WCMA forecaster to
+// refine α (eq. (18)) and no guard history, so α always comes from the
+// network's head — exactly the paper's cold-start path. Stateless means
+// shareable: one trained network serves any number of concurrent callers.
+func DecideOnce(pc PlanConfig, net *ann.Network, prevPowers, voltages []float64,
+	accDMR float64, periodOfDay, active int) (OnlineDecision, error) {
+
+	if err := pc.Validate(); err != nil {
+		return OnlineDecision{}, err
+	}
+	if len(voltages) != len(pc.Capacitances) {
+		return OnlineDecision{}, fmt.Errorf("core: %d voltages for a bank of %d", len(voltages), len(pc.Capacitances))
+	}
+	if active < 0 || active >= len(pc.Capacitances) {
+		return OnlineDecision{}, fmt.Errorf("core: active capacitor %d outside bank of %d", active, len(pc.Capacitances))
+	}
+	if periodOfDay < 0 || periodOfDay >= pc.Base.PeriodsPerDay {
+		return OnlineDecision{}, fmt.Errorf("core: period-of-day %d outside [0,%d)", periodOfDay, pc.Base.PeriodsPerDay)
+	}
+	for i, v := range voltages {
+		if v < 0 || v > pc.Params.VHigh*1.5 {
+			return OnlineDecision{}, fmt.Errorf("core: voltage[%d] = %g outside the physical range", i, v)
+		}
+	}
+	cfg := net.Config()
+	if cfg.InputDim != FeatureDim(len(pc.Capacitances)) {
+		return OnlineDecision{}, fmt.Errorf("core: network input dim %d, want %d", cfg.InputDim, FeatureDim(len(pc.Capacitances)))
+	}
+	if cfg.TaskCount != pc.Graph.N() {
+		return OnlineDecision{}, fmt.Errorf("core: network has %d task outputs, graph has %d", cfg.TaskCount, pc.Graph.N())
+	}
+
+	x := Features(prevPowers, voltages, accDMR, periodOfDay, pc.Base.PeriodsPerDay, pc.Params)
+	out := net.Forward(x)
+
+	d := OnlineDecision{
+		Cap:   out.Cap(),
+		Alpha: alphaFromOutput(out.Alpha),
+		Te:    closeUnderPredecessors(pc.Graph, out.TeMask()),
+	}
+	d.Intra = d.Alpha >= 1-pc.Delta && d.Alpha <= 1+pc.Delta
+
+	// Eq. (22): only abandon the active capacitor when its stored energy
+	// is below E_th — migrating a full store is wasteful.
+	c := supercap.New(pc.Capacitances[active], pc.Params)
+	c.V = voltages[active]
+	d.EThJoules = pc.EThFraction * c.CapacityEnergy()
+	d.UsableJoules = c.UsableEnergy()
+	if d.Cap != active && d.UsableJoules < d.EThJoules {
+		d.Switch = true
+		d.Migrate = true
+	}
+	return d, nil
+}

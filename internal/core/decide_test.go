@@ -1,0 +1,133 @@
+package core
+
+import (
+	"testing"
+
+	"solarsched/internal/solar"
+	"solarsched/internal/task"
+)
+
+// decideFixture trains one small network for the DecideOnce tests.
+func decideFixture(t *testing.T) (PlanConfig, *Proposed) {
+	t.Helper()
+	g := task.WAM()
+	tb := solar.DefaultTimeBase(2)
+	tr := solar.MustGenerate(solar.GenConfig{Base: tb, Seed: 321})
+	pc := DefaultPlanConfig(g, tb, []float64{2, 10, 50})
+	opt := DefaultTrainOptions()
+	opt.Fine.Epochs = 20
+	prop, err := TrainProposed(pc, tr, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pc, prop
+}
+
+// TestDecideOnce: the stateless inference returns a structurally valid
+// decision — in-range capacitor, predecessor-closed task set, α in [0,2],
+// and an E_th verdict consistent with the reported energies — and is
+// deterministic for equal inputs.
+func TestDecideOnce(t *testing.T) {
+	pc, prop := decideFixture(t)
+	voltages := []float64{1.2, 2.4, 2.9}
+	prev := make([]float64, pc.Base.SlotsPerPeriod)
+	for i := range prev {
+		prev[i] = 0.03
+	}
+
+	d, err := DecideOnce(pc, prop.net, prev, voltages, 0.05, 17, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Cap < 0 || d.Cap >= len(pc.Capacitances) {
+		t.Fatalf("cap = %d outside bank of %d", d.Cap, len(pc.Capacitances))
+	}
+	if d.Alpha < 0 || d.Alpha > 2 {
+		t.Fatalf("alpha = %g outside [0,2]", d.Alpha)
+	}
+	if len(d.Te) != pc.Graph.N() {
+		t.Fatalf("te has %d entries, want %d", len(d.Te), pc.Graph.N())
+	}
+	for n := 0; n < pc.Graph.N(); n++ {
+		if !d.Te[n] {
+			continue
+		}
+		for _, p := range pc.Graph.Predecessors(n) {
+			if !d.Te[p] {
+				t.Fatalf("te not closed under predecessors: %d selected, predecessor %d not", n, p)
+			}
+		}
+	}
+	if d.Switch != (d.Cap != 0 && d.UsableJoules < d.EThJoules) {
+		t.Fatalf("switch verdict %v inconsistent with cap=%d usable=%g eth=%g",
+			d.Switch, d.Cap, d.UsableJoules, d.EThJoules)
+	}
+	if d.Switch && !d.Migrate {
+		t.Fatal("permitted switch must migrate the residual energy")
+	}
+
+	d2, err := DecideOnce(pc, prop.net, prev, voltages, 0.05, 17, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Cap != d2.Cap || d.Alpha != d2.Alpha || d.Switch != d2.Switch {
+		t.Fatalf("DecideOnce not deterministic: %+v vs %+v", d, d2)
+	}
+}
+
+// TestDecideOnceEthGate: a full active capacitor vetoes switching no
+// matter what the network says; a drained one permits it whenever the
+// network prefers another capacitor.
+func TestDecideOnceEthGate(t *testing.T) {
+	pc, prop := decideFixture(t)
+
+	full := []float64{pc.Params.VHigh, pc.Params.VHigh, pc.Params.VHigh}
+	d, err := DecideOnce(pc, prop.net, nil, full, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Switch {
+		t.Fatalf("switch permitted with a full active capacitor (usable %g >= eth %g)",
+			d.UsableJoules, d.EThJoules)
+	}
+
+	drained := []float64{pc.Params.VLow, pc.Params.VHigh, pc.Params.VHigh}
+	d, err = DecideOnce(pc, prop.net, nil, drained, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Cap != 0 && !d.Switch {
+		t.Fatalf("switch vetoed with a drained active capacitor (usable %g < eth %g)",
+			d.UsableJoules, d.EThJoules)
+	}
+}
+
+// TestDecideOnceValidation: malformed inputs fail loudly instead of
+// feeding garbage into the network.
+func TestDecideOnceValidation(t *testing.T) {
+	pc, prop := decideFixture(t)
+	ok := []float64{1.5, 1.5, 1.5}
+	cases := map[string]func() error{
+		"wrong voltage count": func() error {
+			_, err := DecideOnce(pc, prop.net, nil, []float64{1.5}, 0, 0, 0)
+			return err
+		},
+		"active out of range": func() error {
+			_, err := DecideOnce(pc, prop.net, nil, ok, 0, 0, 7)
+			return err
+		},
+		"period out of range": func() error {
+			_, err := DecideOnce(pc, prop.net, nil, ok, 0, -1, 0)
+			return err
+		},
+		"unphysical voltage": func() error {
+			_, err := DecideOnce(pc, prop.net, nil, []float64{99, 1.5, 1.5}, 0, 0, 0)
+			return err
+		},
+	}
+	for name, f := range cases {
+		if f() == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}

@@ -222,6 +222,60 @@ func TestFleetOnResult(t *testing.T) {
 	}
 }
 
+// TestFleetMidQueueCancellation: a cancellation landing while the fleet is
+// mid-queue — here fired from OnResult after the second result — stops the
+// feed with a wrapped sim.ErrCanceled, keeps the partial report
+// positionally complete (finished members keep their digests, unstarted
+// members carry explicit cancellation errors), and still populates the
+// report's cache statistics.
+func TestFleetMidQueueCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var specs []Spec
+	for i := 0; i < 8; i++ {
+		specs = append(specs, quickSpec(fmt.Sprintf("run-%d", i), uint64(i+1)))
+	}
+	results := 0
+	rep, err := Run(ctx, specs, Options{
+		Workers: 1, // sequential feed: the cancel lands with specs still queued
+		OnResult: func(rr RunResult) {
+			results++
+			if results == 2 {
+				cancel()
+			}
+		},
+	})
+	if !errors.Is(err, sim.ErrCanceled) {
+		t.Fatalf("err = %v, want wrapped sim.ErrCanceled", err)
+	}
+	if rep == nil || len(rep.Results) != len(specs) {
+		t.Fatalf("partial report not positionally complete: %+v", rep)
+	}
+	finished, unstarted := 0, 0
+	for i, rr := range rep.Results {
+		if rr.ID != specs[i].ID {
+			t.Fatalf("result %d has ID %q, want %q", i, rr.ID, specs[i].ID)
+		}
+		switch {
+		case rr.Err == nil && rr.Digest != "":
+			finished++
+		case errors.Is(rr.Err, sim.ErrCanceled):
+			unstarted++
+		default:
+			t.Fatalf("member %s: err %v digest %q — neither finished nor canceled", rr.ID, rr.Err, rr.Digest)
+		}
+	}
+	if finished < 2 {
+		t.Fatalf("finished %d members before the cancel, want >= 2", finished)
+	}
+	if unstarted == 0 {
+		t.Fatal("cancel landed after the whole queue drained; not a mid-queue cancellation")
+	}
+	if rep.CacheHits+rep.CacheMisses == 0 {
+		t.Fatal("partial report lost the cache statistics")
+	}
+}
+
 // TestFileSpecDefaults: zero-valued run fields inherit from Defaults, and
 // unknown names are rejected at compile time with the run's ID.
 func TestFileSpecDefaults(t *testing.T) {

@@ -53,6 +53,20 @@ func (r *Report) FirstErr() error {
 	return nil
 }
 
+// FailedIndices returns the spec indices of every failed (panicked,
+// errored or canceled) run, in spec order. Callers surfacing a partial
+// report use this to say exactly which members are missing instead of
+// silently emitting a partial table.
+func (r *Report) FailedIndices() []int {
+	var out []int
+	for i, rr := range r.Results {
+		if rr.Err != nil {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
 // DMRs returns the deadline-miss rate of every successful run, in spec
 // order.
 func (r *Report) DMRs() []float64 {

@@ -8,6 +8,7 @@ import (
 	"os"
 	"strings"
 
+	"solarsched/internal/ann"
 	"solarsched/internal/core"
 	"solarsched/internal/dvfs"
 	"solarsched/internal/fault"
@@ -136,6 +137,15 @@ func (rs RunSpec) merged(d RunSpec) RunSpec {
 // reg (may be nil) becomes the observer of each run's engine and offline
 // stage.
 func (fs *FileSpec) Compile(reg *obs.Registry) ([]Spec, error) {
+	return fs.CompileWith(reg, nil)
+}
+
+// CompileWith is Compile plus a per-run option hook: extra (may be nil) is
+// called once per resolved run at Prepare time and its options are
+// appended to the job — the serving daemon attaches per-run recorders
+// (decision streaming) and checkpoint sinks this way without the spec
+// format knowing about either.
+func (fs *FileSpec) CompileWith(reg *obs.Registry, extra func(rs RunSpec) []sim.RunOption) ([]Spec, error) {
 	if len(fs.Runs) == 0 {
 		return nil, fmt.Errorf("fleet: spec file has no runs")
 	}
@@ -174,7 +184,14 @@ func (fs *FileSpec) Compile(reg *obs.Registry) ([]Spec, error) {
 		specs = append(specs, Spec{
 			ID: rs.ID,
 			Prepare: func(ctx context.Context, c *Cache) (*Job, error) {
-				return spec.prepare(ctx, c, reg)
+				job, err := spec.prepare(ctx, c, reg)
+				if err != nil {
+					return nil, err
+				}
+				if extra != nil {
+					job.Options = append(job.Options, extra(spec)...)
+				}
+				return job, nil
 			},
 		})
 	}
@@ -313,6 +330,47 @@ func (rs RunSpec) prepare(ctx context.Context, c *Cache, reg *obs.Registry) (*Jo
 		cfg.Faults = fc
 	}
 	return &Job{Config: cfg, Scheduler: s}, nil
+}
+
+// NetworkFor resolves the trained DBN and its plan configuration for a
+// (graph, h, train) triple through the shared cache — the artifact path of
+// the proposed scheduler, exposed so the serving daemon's one-shot
+// /v1/decide endpoint reuses exactly the networks fleet runs train. The
+// first call per configuration pays sizing + teacher DP + training;
+// every later call (and every fleet member sharing the configuration) is
+// a cache hit.
+func NetworkFor(ctx context.Context, c *Cache, reg *obs.Registry, graph string, h int, train TrainSpec) (core.PlanConfig, *ann.Network, error) {
+	g, err := graphByName(graph)
+	if err != nil {
+		return core.PlanConfig{}, nil, err
+	}
+	if h <= 0 {
+		h = 4
+	}
+	if train == (TrainSpec{}) {
+		train = DefaultTrainSpec()
+	}
+	trainTr, err := c.Trace(ctx, solar.GenConfig{
+		Base:           solar.DefaultTimeBase(train.Days),
+		Seed:           train.Seed,
+		DayOfYearStart: train.DayOfYear,
+	})
+	if err != nil {
+		return core.PlanConfig{}, nil, err
+	}
+	bank, err := c.Sizing(ctx, trainTr, g, h, supercap.DefaultParams(), sim.DefaultDirectEff)
+	if err != nil {
+		return core.PlanConfig{}, nil, err
+	}
+	pc := core.DefaultPlanConfig(g, trainTr.Base, bank)
+	pc.Observer = reg
+	topt := core.DefaultTrainOptions()
+	topt.Fine.Epochs = train.FineEpochs
+	net, err := c.Network(ctx, pc, trainTr, topt)
+	if err != nil {
+		return core.PlanConfig{}, nil, err
+	}
+	return pc, net, nil
 }
 
 // multiCapScheduler reports whether the scheduler uses the distributed

@@ -1,0 +1,21 @@
+package obs
+
+import (
+	"net/http"
+)
+
+// Handler returns an http.Handler exposing the registry in the Prometheus
+// text exposition format — the /metrics endpoint of the serving daemon. A
+// nil registry serves an empty (valid) exposition, so wiring is
+// unconditional. Snapshots are taken per request; instrument updates never
+// block on a scrape.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		var s Snapshot
+		if r != nil {
+			s = r.Snapshot()
+		}
+		_ = WritePrometheus(w, s)
+	})
+}

@@ -1,0 +1,45 @@
+package obs_test
+
+import (
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"solarsched/internal/obs"
+)
+
+// TestHandlerServesPrometheus: the /metrics handler exposes registered
+// instruments in the text exposition format with the right content type.
+func TestHandlerServesPrometheus(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("serve_http_requests_total", obs.L("route", "/v1/runs")).Add(3)
+	reg.Gauge("serve_queue_depth").Set(2)
+
+	rr := httptest.NewRecorder()
+	obs.Handler(reg).ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+
+	if got := rr.Header().Get("Content-Type"); !strings.HasPrefix(got, "text/plain") {
+		t.Fatalf("content type = %q", got)
+	}
+	body, _ := io.ReadAll(rr.Body)
+	for _, want := range []string{
+		`serve_http_requests_total{route="/v1/runs"} 3`,
+		"serve_queue_depth 2",
+		"# TYPE serve_queue_depth gauge",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("exposition missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestHandlerNilRegistry: a nil registry serves an empty exposition, not a
+// panic — the daemon wires /metrics unconditionally.
+func TestHandlerNilRegistry(t *testing.T) {
+	rr := httptest.NewRecorder()
+	obs.Handler(nil).ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if rr.Code != 200 {
+		t.Fatalf("status = %d", rr.Code)
+	}
+}

@@ -1,0 +1,160 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"solarsched/internal/fleet"
+)
+
+// submitRequest is the body of POST /v1/runs: a fleet spec file plus
+// service-level knobs.
+type submitRequest struct {
+	Defaults fleet.RunSpec   `json:"defaults"`
+	Runs     []fleet.RunSpec `json:"runs"`
+	// TimeoutMS bounds the job's total execution time; the deadline
+	// propagates as context cancellation into every Engine.Run. 0 means
+	// no deadline (the daemon's lifetime still bounds it).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// submitResponse acknowledges an async submission.
+type submitResponse struct {
+	ID        string   `json:"id"`
+	State     JobState `json:"state"`
+	StatusURL string   `json:"status_url"`
+	StreamURL string   `json:"stream_url"`
+}
+
+// handleSubmit serves POST /v1/runs. The spec is compiled (and rejected
+// with 400) synchronously; execution is asynchronous unless ?wait=1, in
+// which case the response is the terminal job status and the client's
+// connection doubles as the job's deadline.
+func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {
+	if !s.Ready() {
+		httpError(w, http.StatusServiceUnavailable, "daemon is not accepting jobs")
+		return
+	}
+	var sr submitRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sr); err != nil {
+		httpError(w, http.StatusBadRequest, "parsing spec: %v", err)
+		return
+	}
+	fs := &fleet.FileSpec{Defaults: sr.Defaults, Runs: sr.Runs}
+
+	// Compile first with a placeholder hook target so validation errors
+	// surface before a job exists; the real hook needs the job for its
+	// event hub, so the job is created with the specs swapped in after.
+	j := s.store.add(s.baseCtx, nil, time.Duration(sr.TimeoutMS)*time.Millisecond)
+	specs, err := fs.CompileWith(s.reg, s.runOptionsFor(j))
+	if err != nil {
+		s.finishJob(j, nil, fmt.Errorf("serve: invalid spec: %w", err), 0, 0)
+		httpError(w, http.StatusBadRequest, "invalid spec: %v", err)
+		return
+	}
+	j.specs = specs
+	j.runs = len(specs)
+
+	wait := req.URL.Query().Get("wait") == "1"
+	if wait {
+		// The client connection is the deadline: if it goes away the job
+		// is canceled, in the queue or mid-run.
+		stop := context.AfterFunc(req.Context(), j.cancel)
+		defer stop()
+	}
+
+	if err := s.admit(j); err != nil {
+		s.m.rejected.Inc()
+		s.finishJob(j, nil, fmt.Errorf("serve: not admitted: %w", err), 0, 0)
+		if errors.Is(err, errDraining) {
+			httpError(w, http.StatusServiceUnavailable, "daemon is draining")
+			return
+		}
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, "admission queue full (depth %d)", s.cfg.QueueDepth)
+		return
+	}
+	s.m.submitted.Inc()
+
+	if !wait {
+		writeJSON(w, http.StatusAccepted, submitResponse{
+			ID: j.id, State: StateQueued,
+			StatusURL: "/v1/runs/" + j.id,
+			StreamURL: "/v1/runs/" + j.id + "/stream",
+		})
+		return
+	}
+	select {
+	case <-j.done:
+		s.writeStatus(w, j)
+	case <-req.Context().Done():
+		// The client gave up; j.cancel has fired via AfterFunc and the
+		// executor will record ErrCanceled. Answer whoever is still
+		// listening with the job handle.
+		writeJSON(w, http.StatusGatewayTimeout, submitResponse{
+			ID: j.id, State: StateCanceled,
+			StatusURL: "/v1/runs/" + j.id,
+			StreamURL: "/v1/runs/" + j.id + "/stream",
+		})
+	}
+}
+
+// handleStatus serves GET /v1/runs/{id}.
+func (s *Server) handleStatus(w http.ResponseWriter, req *http.Request) {
+	j, ok := s.store.get(req.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job id")
+		return
+	}
+	s.writeStatus(w, j)
+}
+
+// handleCancel serves DELETE /v1/runs/{id}: cancels a queued or running
+// job (idempotent on terminal jobs) and returns its current status.
+func (s *Server) handleCancel(w http.ResponseWriter, req *http.Request) {
+	j, ok := s.store.get(req.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job id")
+		return
+	}
+	j.cancel()
+	s.writeStatus(w, j)
+}
+
+// handleReady serves GET /readyz: 200 while the executor runs and the
+// daemon accepts jobs, 503 before Start and while draining.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	if !s.Ready() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "not ready"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+func (s *Server) writeStatus(w http.ResponseWriter, j *job) {
+	st, err := s.store.snapshot(j)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "rendering report: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// httpError answers with a JSON error body.
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

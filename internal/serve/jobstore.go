@@ -1,0 +1,222 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"solarsched/internal/fleet"
+)
+
+// JobState is the lifecycle of a submitted fleet job.
+type JobState string
+
+const (
+	// StateQueued: admitted, waiting for the executor.
+	StateQueued JobState = "queued"
+	// StateRunning: the executor is driving the job's fleet.
+	StateRunning JobState = "running"
+	// StateDone: every run succeeded.
+	StateDone JobState = "done"
+	// StateFailed: the fleet completed but at least one run failed.
+	StateFailed JobState = "failed"
+	// StateCanceled: the job's context was canceled (client deadline,
+	// explicit cancel, or daemon shutdown) before the fleet completed.
+	StateCanceled JobState = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// job is one submitted fleet run and everything its lifecycle accumulates.
+// Mutable fields are guarded by the owning store's mutex; ctx/cancel and
+// the hub are safe for concurrent use on their own.
+type job struct {
+	id      string
+	specs   []fleet.Spec
+	runs    int
+	created time.Time
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{} // closed when the job reaches a terminal state
+	events *hub
+	// recorders maps run ID → its periodRecorder, registered from fleet
+	// worker goroutines at Prepare time and flushed from OnResult.
+	recorders sync.Map
+
+	// Guarded by store.mu after submission.
+	state       JobState
+	started     time.Time
+	finished    time.Time
+	report      *fleet.Report
+	err         error
+	cacheHits   int64 // per-job deltas of the shared cache counters
+	cacheMisses int64
+}
+
+// jobStore indexes jobs by ID and bounds how many finished jobs are
+// retained (FIFO eviction of terminal jobs only — an in-flight job is
+// never evicted, whatever the backlog).
+type jobStore struct {
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string // insertion order, for eviction
+	seq    int
+	retain int
+}
+
+func newJobStore(retain int) *jobStore {
+	if retain <= 0 {
+		retain = 256
+	}
+	return &jobStore{jobs: make(map[string]*job), retain: retain}
+}
+
+// add registers a new queued job and returns it with a fresh ID.
+func (st *jobStore) add(base context.Context, specs []fleet.Spec, timeout time.Duration) *job {
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(base, timeout)
+	} else {
+		ctx, cancel = context.WithCancel(base)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.seq++
+	j := &job{
+		id:      fmt.Sprintf("j%06d", st.seq),
+		specs:   specs,
+		runs:    len(specs),
+		created: time.Now(),
+		ctx:     ctx,
+		cancel:  cancel,
+		done:    make(chan struct{}),
+		events:  newHub(),
+		state:   StateQueued,
+	}
+	st.jobs[j.id] = j
+	st.order = append(st.order, j.id)
+	st.evictLocked()
+	return j
+}
+
+func (st *jobStore) get(id string) (*job, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j, ok := st.jobs[id]
+	return j, ok
+}
+
+// evictLocked drops the oldest terminal jobs beyond the retention bound.
+func (st *jobStore) evictLocked() {
+	excess := len(st.jobs) - st.retain
+	if excess <= 0 {
+		return
+	}
+	kept := st.order[:0]
+	for _, id := range st.order {
+		j := st.jobs[id]
+		if excess > 0 && j != nil && j.state.Terminal() {
+			delete(st.jobs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	st.order = kept
+}
+
+// setRunning marks the job started.
+func (st *jobStore) setRunning(j *job) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j.state = StateRunning
+	j.started = time.Now()
+}
+
+// finish records the job's outcome, classifies the terminal state and
+// releases everything waiting on it.
+func (st *jobStore) finish(j *job, rep *fleet.Report, runErr error, hits, misses int64) {
+	st.mu.Lock()
+	j.report = rep
+	j.err = runErr
+	j.cacheHits, j.cacheMisses = hits, misses
+	j.finished = time.Now()
+	switch {
+	case runErr != nil && isCanceled(runErr):
+		j.state = StateCanceled
+	case runErr != nil:
+		j.state = StateFailed
+	case rep != nil && rep.FirstErr() != nil:
+		// A cancellation that lands after every spec was fed comes back
+		// as per-run errors under a nil fleet error; classify by the
+		// job's own context so a deadline reads as canceled, not failed.
+		if j.ctx.Err() != nil && isCanceled(rep.FirstErr()) {
+			j.state = StateCanceled
+			j.err = rep.FirstErr()
+		} else {
+			j.state = StateFailed
+		}
+	default:
+		j.state = StateDone
+	}
+	st.mu.Unlock()
+	j.cancel()
+	close(j.done)
+}
+
+// status is the wire shape of GET /v1/runs/{id}.
+type status struct {
+	ID         string   `json:"id"`
+	State      JobState `json:"state"`
+	Runs       int      `json:"runs"`
+	CreatedAt  string   `json:"created_at"`
+	StartedAt  string   `json:"started_at,omitempty"`
+	FinishedAt string   `json:"finished_at,omitempty"`
+	Error      string   `json:"error,omitempty"`
+	// Report is the full fleet report (summary with the DMR distribution,
+	// aggregate digest, per-run digests and metrics) once the job is
+	// terminal. Its cache_hits/cache_misses are per-job deltas of the
+	// daemon's shared cache, so a warm resubmission shows its own hit
+	// rate, not the process cumulative.
+	Report json.RawMessage `json:"report,omitempty"`
+}
+
+// snapshot renders the job's current status. The report is serialized
+// under the store lock with the job's cache deltas patched in.
+func (st *jobStore) snapshot(j *job) (status, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := status{
+		ID:        j.id,
+		State:     j.state,
+		Runs:      j.runs,
+		CreatedAt: j.created.UTC().Format(time.RFC3339Nano),
+	}
+	if !j.started.IsZero() {
+		out.StartedAt = j.started.UTC().Format(time.RFC3339Nano)
+	}
+	if !j.finished.IsZero() {
+		out.FinishedAt = j.finished.UTC().Format(time.RFC3339Nano)
+	}
+	if j.err != nil {
+		out.Error = j.err.Error()
+	}
+	if j.report != nil {
+		rep := *j.report
+		rep.CacheHits, rep.CacheMisses = j.cacheHits, j.cacheMisses
+		var buf bytes.Buffer
+		if err := rep.WriteJSON(&buf); err != nil {
+			return status{}, err
+		}
+		out.Report = json.RawMessage(buf.Bytes())
+	}
+	return out, nil
+}

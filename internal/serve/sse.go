@@ -1,0 +1,207 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"solarsched/internal/sim"
+)
+
+// Event is one entry of a job's decision stream, delivered over SSE as it
+// happens and replayed to late subscribers. Period events carry the
+// engine's end-of-period state (the active capacitor — the C_{h,i}
+// selection in effect — its voltage and usable energy, and the period's
+// deadline misses); result events carry a finished run's digest and DMR;
+// the final done event carries the job-level outcome.
+type Event struct {
+	Type   string `json:"type"` // "period" | "result" | "done"
+	Run    string `json:"run,omitempty"`
+	Day    int    `json:"day,omitempty"`
+	Period int    `json:"period,omitempty"`
+
+	ActiveCap int     `json:"active_cap,omitempty"`
+	VoltageV  float64 `json:"voltage_v,omitempty"`
+	UsableJ   float64 `json:"usable_j,omitempty"`
+	Misses    int     `json:"misses,omitempty"`
+
+	DMR    float64 `json:"dmr,omitempty"`
+	Digest string  `json:"digest,omitempty"`
+	Error  string  `json:"error,omitempty"`
+	State  string  `json:"state,omitempty"`
+}
+
+// maxReplay bounds a hub's replay buffer; beyond it the oldest events are
+// dropped and replaced by a single gap marker. 1<<14 covers ~160 days of
+// per-period events for a 4-run job before anything is lost.
+const maxReplay = 1 << 14
+
+// subBuffer is a subscriber's channel depth; a consumer slower than this
+// loses events (counted, never blocking the engine).
+const subBuffer = 256
+
+// hub is a per-job broadcast buffer: publishers append events, SSE
+// subscribers get a replay of everything so far plus a live channel.
+type hub struct {
+	mu      sync.Mutex
+	events  []Event
+	trimmed bool
+	subs    map[chan Event]struct{}
+	closed  bool
+	dropped int64
+}
+
+func newHub() *hub {
+	return &hub{subs: make(map[chan Event]struct{})}
+}
+
+// publish appends the event and fans it out. Slow subscribers drop the
+// event rather than blocking the simulation worker.
+func (h *hub) publish(e Event) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	if len(h.events) >= maxReplay {
+		h.events = h.events[len(h.events)/2:]
+		h.trimmed = true
+	}
+	h.events = append(h.events, e)
+	for ch := range h.subs {
+		select {
+		case ch <- e:
+		default:
+			h.dropped++
+		}
+	}
+}
+
+// close ends the stream: subscribers' channels are closed after whatever
+// they have already buffered. Publish after close is a no-op.
+func (h *hub) close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for ch := range h.subs {
+		close(ch)
+	}
+	h.subs = nil
+}
+
+// subscribe returns the replay so far plus a live channel (nil when the
+// hub is already closed — the replay is then complete) and a cancel
+// function that must be called when the subscriber goes away.
+func (h *hub) subscribe() (replay []Event, ch chan Event, cancel func()) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.trimmed {
+		// The replay buffer overflowed at some point; tell late
+		// subscribers their history has a hole instead of silently
+		// presenting a truncated stream as complete.
+		replay = append(replay, Event{Type: "gap"})
+	}
+	replay = append(replay, h.events...)
+	if h.closed {
+		return replay, nil, func() {}
+	}
+	ch = make(chan Event, subBuffer)
+	h.subs[ch] = struct{}{}
+	return replay, ch, func() {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		if _, ok := h.subs[ch]; ok {
+			delete(h.subs, ch)
+			close(ch)
+		}
+	}
+}
+
+// periodRecorder converts a run's slot records into one Event per
+// completed period. The engine calls it sequentially within a run, so the
+// only synchronization it needs is inside hub.publish.
+type periodRecorder struct {
+	run  string
+	hub  *hub
+	last sim.SlotRecord
+	seen bool
+}
+
+func (r *periodRecorder) Record(rec sim.SlotRecord) {
+	if r.seen && (rec.Day != r.last.Day || rec.Period != r.last.Period) {
+		r.flush()
+	}
+	r.last = rec
+	r.seen = true
+}
+
+// flush emits the event for the period the last record belongs to. Called
+// on period change and once more when the run result arrives (the final
+// period has no successor slot to trigger it).
+func (r *periodRecorder) flush() {
+	if !r.seen {
+		return
+	}
+	r.hub.publish(Event{
+		Type: "period", Run: r.run,
+		Day: r.last.Day, Period: r.last.Period,
+		ActiveCap: r.last.ActiveCap, VoltageV: r.last.ActiveV,
+		UsableJ: r.last.UsableJ, Misses: r.last.PeriodMisses,
+	})
+	r.seen = false
+}
+
+// handleStream serves GET /v1/runs/{id}/stream as Server-Sent Events.
+func (s *Server) handleStream(w http.ResponseWriter, req *http.Request) {
+	j, ok := s.store.get(req.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job id")
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	s.m.sseClients.Add(1)
+	defer s.m.sseClients.Add(-1)
+
+	replay, live, cancel := j.events.subscribe()
+	defer cancel()
+	for _, e := range replay {
+		writeSSE(w, e)
+	}
+	fl.Flush()
+	if live == nil {
+		return
+	}
+	for {
+		select {
+		case e, ok := <-live:
+			if !ok {
+				return
+			}
+			writeSSE(w, e)
+			fl.Flush()
+		case <-req.Context().Done():
+			return
+		}
+	}
+}
+
+func writeSSE(w http.ResponseWriter, e Event) {
+	b, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", e.Type, b)
+}

@@ -2,6 +2,7 @@ package sim_test
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -11,13 +12,13 @@ import (
 	"solarsched/internal/task"
 )
 
-func TestRunRecordedEmitsEverySlot(t *testing.T) {
+func TestRecorderEmitsEverySlot(t *testing.T) {
 	tb := smallBase(1)
 	e := mustEngine(t, sim.Config{Trace: constTrace(tb, 0.05), Graph: task.ECG(), Capacitances: []float64{10}})
 	var records []sim.SlotRecord
-	res, err := e.RunRecorded(greedyEDF{}, sim.FuncRecorder(func(rec sim.SlotRecord) {
+	res, err := e.Run(context.Background(), greedyEDF{}, sim.WithRecorder(sim.FuncRecorder(func(rec sim.SlotRecord) {
 		records = append(records, rec)
-	}))
+	})))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +52,7 @@ func TestCSVRecorder(t *testing.T) {
 	e := mustEngine(t, sim.Config{Trace: constTrace(tb, 0.2), Graph: g, Capacitances: []float64{10}})
 	var buf bytes.Buffer
 	rec := sim.NewCSVRecorder(&buf)
-	if _, err := e.RunRecorded(greedyEDF{}, rec); err != nil {
+	if _, err := e.Run(context.Background(), greedyEDF{}, sim.WithRecorder(rec)); err != nil {
 		t.Fatal(err)
 	}
 	if err := rec.Flush(); err != nil {

@@ -225,9 +225,8 @@ var ErrInterrupted = ErrCanceled
 var ErrConfigMismatch = errors.New("sim: checkpoint does not match run configuration")
 
 // RunOptions controls one simulation run beyond the scheduler itself.
-// The zero value reproduces a plain Run exactly. Construct it through the
-// RunOption functional options of Run; the struct remains exported for the
-// deprecated RunWithOptions entry point.
+// The zero value reproduces a plain Run exactly. It is constructed through
+// the RunOption functional options of Run — there is no other entry point.
 type RunOptions struct {
 	// Recorder receives a record after every simulated slot (nil is off).
 	Recorder Recorder
@@ -317,21 +316,6 @@ func (e *Engine) Run(ctx context.Context, s Scheduler, opts ...RunOption) (*Resu
 		}
 	}
 	return e.run(s, ro)
-}
-
-// RunRecorded is Run with an optional per-slot state recorder.
-//
-// Deprecated: use Run with WithRecorder.
-func (e *Engine) RunRecorded(s Scheduler, rec Recorder) (*Result, error) {
-	return e.run(s, RunOptions{Recorder: rec})
-}
-
-// RunWithOptions simulates the trace under the scheduler with an explicit
-// options struct.
-//
-// Deprecated: use Run with RunOption functional options.
-func (e *Engine) RunWithOptions(s Scheduler, opts RunOptions) (*Result, error) {
-	return e.run(s, opts)
 }
 
 func (e *Engine) run(s Scheduler, opts RunOptions) (*Result, error) {

@@ -69,17 +69,15 @@ func TestRunContextCancelResumesIdentically(t *testing.T) {
 	var last *sim.RunState
 	saves := 0
 	e2, _, _ := stateTestEngine(t, 4, nil)
-	_, runErr := e2.RunWithOptions(sched.NewInterLSA(g, tb, sim.DefaultDirectEff), sim.RunOptions{
-		Context: ctx,
-		Sink: func(rs *sim.RunState) error {
+	_, runErr := e2.Run(ctx, sched.NewInterLSA(g, tb, sim.DefaultDirectEff),
+		sim.WithSink(func(rs *sim.RunState) error {
 			last = rs
 			saves++
 			if saves == 4 {
 				cancel() // takes effect at the next period boundary
 			}
 			return nil
-		},
-	})
+		}))
 	if !errors.Is(runErr, sim.ErrInterrupted) {
 		t.Fatalf("err = %v, want sim.ErrInterrupted", runErr)
 	}
@@ -91,7 +89,7 @@ func TestRunContextCancelResumesIdentically(t *testing.T) {
 	}
 
 	e3, _, _ := stateTestEngine(t, 4, nil)
-	got, err := e3.RunWithOptions(sched.NewInterLSA(g, tb, sim.DefaultDirectEff), sim.RunOptions{Resume: last})
+	got, err := e3.Run(context.Background(), sched.NewInterLSA(g, tb, sim.DefaultDirectEff), sim.WithResume(last))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,10 +105,8 @@ func TestRunContextAlreadyCancelled(t *testing.T) {
 	cancel()
 	e, g, tb := stateTestEngine(t, 4, nil)
 	var last *sim.RunState
-	_, err := e.RunWithOptions(sched.NewInterLSA(g, tb, sim.DefaultDirectEff), sim.RunOptions{
-		Context: ctx,
-		Sink:    func(rs *sim.RunState) error { last = rs; return nil },
-	})
+	_, err := e.Run(ctx, sched.NewInterLSA(g, tb, sim.DefaultDirectEff),
+		sim.WithSink(func(rs *sim.RunState) error { last = rs; return nil }))
 	if !errors.Is(err, sim.ErrInterrupted) {
 		t.Fatalf("err = %v, want sim.ErrInterrupted", err)
 	}
@@ -135,23 +131,22 @@ func TestResumeRestoresObservability(t *testing.T) {
 	var last *sim.RunState
 	saves := 0
 	killErr := errors.New("kill")
-	_, runErr := e2.RunWithOptions(sched.NewInterLSA(g, tb, sim.DefaultDirectEff), sim.RunOptions{
-		Sink: func(rs *sim.RunState) error {
+	_, runErr := e2.Run(context.Background(), sched.NewInterLSA(g, tb, sim.DefaultDirectEff),
+		sim.WithSink(func(rs *sim.RunState) error {
 			if saves >= 3 {
 				return killErr
 			}
 			saves++
 			last = rs
 			return nil
-		},
-	})
+		}))
 	if !errors.Is(runErr, killErr) {
 		t.Fatalf("err = %v", runErr)
 	}
 
 	regGot := obs.NewRegistry()
 	e3, _, _ := stateTestEngine(t, 4, regGot)
-	if _, err := e3.RunWithOptions(sched.NewInterLSA(g, tb, sim.DefaultDirectEff), sim.RunOptions{Resume: last}); err != nil {
+	if _, err := e3.Run(context.Background(), sched.NewInterLSA(g, tb, sim.DefaultDirectEff), sim.WithResume(last)); err != nil {
 		t.Fatal(err)
 	}
 	got := regGot.Snapshot()
@@ -183,16 +178,15 @@ func TestRunStateValidateRejections(t *testing.T) {
 	var captured *sim.RunState
 	saves := 0
 	stop := errors.New("stop")
-	_, runErr := e.RunWithOptions(s, sim.RunOptions{
-		Sink: func(rs *sim.RunState) error {
+	_, runErr := e.Run(context.Background(), s,
+		sim.WithSink(func(rs *sim.RunState) error {
 			captured = rs
 			saves++
 			if saves >= 2 {
 				return stop
 			}
 			return nil
-		},
-	})
+		}))
 	if !errors.Is(runErr, stop) {
 		t.Fatalf("err = %v", runErr)
 	}
@@ -211,13 +205,13 @@ func TestRunStateValidateRejections(t *testing.T) {
 		"result":    mutate(func(rs *sim.RunState) { rs.Result = nil }),
 	}
 	for name, rs := range cases {
-		if _, err := fresh().RunWithOptions(sched.NewInterLSA(g, tb, sim.DefaultDirectEff), sim.RunOptions{Resume: rs}); err == nil {
+		if _, err := fresh().Run(context.Background(), sched.NewInterLSA(g, tb, sim.DefaultDirectEff), sim.WithResume(rs)); err == nil {
 			t.Errorf("%s mismatch accepted", name)
 		}
 	}
 
 	// The unmodified checkpoint must still be accepted.
-	if _, err := fresh().RunWithOptions(sched.NewInterLSA(g, tb, sim.DefaultDirectEff), sim.RunOptions{Resume: captured}); err != nil {
+	if _, err := fresh().Run(context.Background(), sched.NewInterLSA(g, tb, sim.DefaultDirectEff), sim.WithResume(captured)); err != nil {
 		t.Errorf("valid checkpoint rejected: %v", err)
 	}
 }

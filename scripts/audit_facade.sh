@@ -44,6 +44,16 @@ for sym in "${required[@]}"; do
   fi
 done
 
+# Deprecated-API check: the RunRecorded/RunWithOptions wrappers were
+# removed in favor of the context-first Run(ctx, s, ...RunOption); any
+# call site that sneaks back in fails the audit.
+deprecated=$(grep -rn '\.RunRecorded(\|\.RunWithOptions(' --include='*.go' . || true)
+if [ -n "$deprecated" ]; then
+  echo "audit_facade: deprecated Run wrappers in use (migrate to Run(ctx, s, ...RunOption)):" >&2
+  echo "$deprecated" >&2
+  fail=1
+fi
+
 # Orphan check: every internal package the facade imports must back at
 # least one re-export; a dangling import means a pruned symbol left its
 # import behind (goimports would drop it, but be explicit).
