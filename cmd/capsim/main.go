@@ -42,7 +42,8 @@ func main() {
 		os.Exit(2)
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "capsim: %v\n", err)
+		logger, _ := obs.NewLogger(os.Stderr, obs.LogText, false)
+		logger.Error("command failed", "cmd", os.Args[1], "err", err)
 		os.Exit(cli.ExitCode(err))
 	}
 }

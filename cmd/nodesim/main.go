@@ -31,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"strconv"
 	"strings"
@@ -70,7 +71,8 @@ func main() {
 		os.Exit(2)
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "nodesim: %v\n", err)
+		logger, _ := obs.NewLogger(os.Stderr, obs.LogText, false)
+		logger.Error("command failed", "cmd", os.Args[1], "err", err)
 		os.Exit(cli.ExitCode(err))
 	}
 }
@@ -78,17 +80,22 @@ func main() {
 // obsFlags registers the shared diagnostic and observability flags on a
 // subcommand's flag set. After fs.Parse, call the returned setup: it
 // starts the requested profilers and hands back the diagnostic writer
-// (io.Discard under -quiet), the observer registry (nil unless -metrics)
-// and the profiler stop function. The caller must defer finish with a
-// pointer to its named error so profiles are flushed and metrics emitted
-// on every exit path.
-func obsFlags(fs *flag.FlagSet, of *obs.Flags) (setup func() (io.Writer, *obs.Registry, func() error, error)) {
+// (io.Discard under -quiet), the structured logger (honoring -quiet and
+// -log-format), the observer registry (nil unless -metrics) and the
+// profiler stop function. The caller must defer finish with a pointer to
+// its named error so profiles are flushed and metrics emitted on every
+// exit path.
+func obsFlags(fs *flag.FlagSet, of *obs.Flags) (setup func() (io.Writer, *slog.Logger, *obs.Registry, func() error, error)) {
 	quiet := fs.Bool("quiet", false, "suppress diagnostics; only metrics output reaches stdout")
 	of.Register(fs)
-	return func() (io.Writer, *obs.Registry, func() error, error) {
+	return func() (io.Writer, *slog.Logger, *obs.Registry, func() error, error) {
 		diag := io.Writer(os.Stdout)
 		if *quiet {
 			diag = io.Discard
+		}
+		logger, err := of.Logger(*quiet)
+		if err != nil {
+			return nil, nil, nil, nil, err
 		}
 		var reg *obs.Registry
 		if of.Metrics {
@@ -96,9 +103,9 @@ func obsFlags(fs *flag.FlagSet, of *obs.Flags) (setup func() (io.Writer, *obs.Re
 		}
 		stop, err := of.Start()
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, nil, nil, nil, err
 		}
-		return diag, reg, stop, nil
+		return diag, logger, reg, stop, nil
 	}
 }
 
@@ -120,7 +127,7 @@ func workloadCmd(args []string) (err error) {
 	var of obs.Flags
 	setup := obsFlags(fs, &of)
 	fs.Parse(args)
-	_, _, stop, err := setup()
+	_, _, _, stop, err := setup()
 	if err != nil {
 		return err
 	}
@@ -198,7 +205,7 @@ func sizeCmd(args []string) (err error) {
 	var of obs.Flags
 	setup := obsFlags(fs, &of)
 	fs.Parse(args)
-	diag, reg, stop, err := setup()
+	diag, _, reg, stop, err := setup()
 	if err != nil {
 		return err
 	}
@@ -236,7 +243,7 @@ func trainCmd(args []string) (err error) {
 	var of obs.Flags
 	setup := obsFlags(fs, &of)
 	fs.Parse(args)
-	diag, reg, stop, err := setup()
+	diag, _, reg, stop, err := setup()
 	if err != nil {
 		return err
 	}
@@ -292,7 +299,7 @@ func runCmd(args []string) (err error) {
 	var of obs.Flags
 	setup := obsFlags(fs, &of)
 	fs.Parse(args)
-	diag, reg, stop, err := setup()
+	diag, logger, reg, stop, err := setup()
 	if err != nil {
 		return err
 	}
@@ -405,7 +412,8 @@ func runCmd(args []string) (err error) {
 	res, err := eng.Run(ctx, s, opts...)
 	if err != nil {
 		if errors.Is(err, sim.ErrCanceled) && store != nil {
-			fmt.Fprintf(os.Stderr, "nodesim: run interrupted; resume with -resume -checkpoint %s\n", store.Path())
+			logger.Warn("run interrupted", "resume_hint",
+				fmt.Sprintf("-resume -checkpoint %s", store.Path()))
 		}
 		return err
 	}

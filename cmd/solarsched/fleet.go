@@ -10,6 +10,7 @@
 //	-json FILE   write the full report (metrics included) as JSON
 //	-digest      print only the aggregate digest (for golden comparisons)
 //	-quiet       suppress the table; errors still reach stderr
+//	-log-format  diagnostic log format: text or json
 //	-metrics...  see internal/obs.Flags
 //
 // The process exits 0 when every run succeeded, 1 when any run failed and
@@ -51,6 +52,11 @@ func runFleet(args []string) int {
 		return 2
 	}
 
+	logger, err := of.Logger(*quiet || *digestOnly)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "solarsched: fleet: %v\n", err)
+		return 2
+	}
 	ctx, cancel := cli.SignalContext()
 	defer cancel()
 	var reg *obs.Registry
@@ -59,20 +65,20 @@ func runFleet(args []string) int {
 	}
 	stop, err := of.Start()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "solarsched: fleet: %v\n", err)
+		logger.Error("profile setup failed", "err", err)
 		return 1
 	}
 
 	specs, err := fleet.LoadSpecFile(fs.Arg(0), reg)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "solarsched: fleet: %v\n", err)
+		logger.Error("loading spec failed", "path", fs.Arg(0), "err", err)
 		return 1
 	}
 	diag := io.Writer(os.Stdout)
 	if *quiet || *digestOnly {
 		diag = io.Discard
 	}
-	fmt.Fprintf(diag, "fleet: %d runs from %s\n", len(specs), fs.Arg(0))
+	logger.Info("fleet starting", "runs", len(specs), "spec", fs.Arg(0))
 
 	rep, runErr := fleet.Run(ctx, specs, fleet.Options{
 		Workers:  *workers,
@@ -91,32 +97,32 @@ func runFleet(args []string) int {
 		}
 		if *csvPath != "" {
 			if err := writeReport(*csvPath, rep.WriteCSV); err != nil {
-				fmt.Fprintf(os.Stderr, "solarsched: fleet: writing csv: %v\n", err)
+				logger.Error("writing csv failed", "path", *csvPath, "err", err)
 				return 1
 			}
 		}
 		if *jsonPath != "" {
 			if err := writeReport(*jsonPath, rep.WriteJSON); err != nil {
-				fmt.Fprintf(os.Stderr, "solarsched: fleet: writing json: %v\n", err)
+				logger.Error("writing json failed", "path", *jsonPath, "err", err)
 				return 1
 			}
 		}
 	}
 	if err := stopAndEmit(stop, &of); err != nil {
-		fmt.Fprintf(os.Stderr, "solarsched: fleet: %v\n", err)
+		logger.Error("metrics emit failed", "err", err)
 		return 1
 	}
 	if runErr != nil {
-		fmt.Fprintf(os.Stderr, "solarsched: fleet: %v\n", runErr)
+		logger.Error("fleet failed", "err", runErr)
 		return cli.ExitCode(runErr)
 	}
 	if err := rep.FirstErr(); err != nil {
 		failed := rep.FailedIndices()
-		fmt.Fprintf(os.Stderr, "solarsched: fleet: %d of %d runs failed (spec indices %s)\n",
-			len(failed), len(rep.Results), formatIndices(failed))
+		logger.Error("runs failed", "failed", len(failed), "total", len(rep.Results),
+			"spec_indices", formatIndices(failed))
 		for _, i := range failed {
-			fmt.Fprintf(os.Stderr, "solarsched: fleet:   run %d (%s): %v\n",
-				i, rep.Results[i].ID, rep.Results[i].Err)
+			logger.Error("run failed", "index", i, "run_id", rep.Results[i].ID,
+				"err", rep.Results[i].Err)
 		}
 		return 1
 	}

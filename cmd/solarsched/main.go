@@ -56,10 +56,13 @@ func main() {
 // return path — including graceful interruption — unwinds the deferred
 // signal handler and maps its error honestly onto the process status.
 func run() int {
-	// The fleet subcommand carries its own flag set; dispatch before the
-	// global flag.Parse so the two never collide.
+	// The fleet and bench subcommands carry their own flag sets; dispatch
+	// before the global flag.Parse so they never collide.
 	if len(os.Args) > 1 && os.Args[1] == "fleet" {
 		return runFleet(os.Args[2:])
+	}
+	if len(os.Args) > 1 && os.Args[1] == "bench" {
+		return runBench(os.Args[2:])
 	}
 	quick := flag.Bool("quick", false, "run the reduced (smoke-test) configuration")
 	csvDir := flag.String("csv", "", "directory to write CSV copies of each table")
@@ -77,6 +80,11 @@ func run() int {
 		usage()
 		return 2
 	}
+	logger, err := of.Logger(*quiet)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "solarsched: %v\n", err)
+		return 2
+	}
 	ctx, cancel := cli.SignalContext()
 	defer cancel()
 	diag := io.Writer(os.Stdout)
@@ -88,7 +96,7 @@ func run() int {
 	}
 	stop, err := of.Start()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "solarsched: %v\n", err)
+		logger.Error("profile setup failed", "err", err)
 		return 1
 	}
 	cfg := experiments.Default()
@@ -97,7 +105,7 @@ func run() int {
 	}
 	faultGrid, err := parseGrid(*faultGridStr)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "solarsched: %v\n", err)
+		logger.Error("bad fault grid", "err", err)
 		return 1
 	}
 
@@ -120,7 +128,7 @@ func run() int {
 		tbl, err := dispatch(ctx, name, cfg, *benchFilter, faultGrid, *faultSeed)
 		span.End()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "solarsched: %s: %v\n", name, err)
+			logger.Error("experiment failed", "experiment", name, "err", err)
 			if errors.Is(err, sim.ErrInterrupted) || errors.Is(err, context.Canceled) {
 				stopAndEmit(stop, &of) // flush what the finished experiments gathered
 			}
@@ -133,13 +141,13 @@ func run() int {
 		fmt.Fprintf(diag, "  (%s in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
 		if *csvDir != "" {
 			if err := writeCSV(*csvDir, name, tbl); err != nil {
-				fmt.Fprintf(os.Stderr, "solarsched: writing csv: %v\n", err)
+				logger.Error("writing csv failed", "experiment", name, "err", err)
 				return 1
 			}
 		}
 	}
 	if err := stopAndEmit(stop, &of); err != nil {
-		fmt.Fprintf(os.Stderr, "solarsched: %v\n", err)
+		logger.Error("metrics emit failed", "err", err)
 		return 1
 	}
 	return 0
@@ -339,6 +347,10 @@ ablations (design-choice studies, not in the paper's figures):
 batch runs:
   fleet <spec.json>     run a batch of simulations on the shared-cache
                         worker pool (see \"solarsched fleet -h\")
+
+performance:
+  bench                 run the profiled benchmark suite and diff against
+                        a committed BENCH_*.json (see \"solarsched bench -h\")
 
 flags:
 `)

@@ -10,6 +10,10 @@
 //	-n N               total requests (default 100)
 //	-spec FILE         fleet spec body for -mode runs (built-in default)
 //	-body FILE         decide body for -mode decide (built-in default)
+//	-json              emit the summary (error rate, sustained req/s,
+//	                   latency percentiles, cache deltas) as JSON — the
+//	                   shape `solarsched bench -loadgen` embeds into a
+//	                   BENCH_*.json trajectory point
 //
 // Mode decide posts one-shot online inferences — the latency that matters
 // for a node asking the service for its next period's plan. Mode runs
@@ -18,6 +22,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -31,6 +36,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"solarsched/internal/obs"
+	"solarsched/internal/perfbench"
 	"solarsched/internal/stats"
 )
 
@@ -65,6 +72,8 @@ func runLoadgen(args []string) int {
 	n := fs.Int("n", 100, "total requests")
 	specPath := fs.String("spec", "", "fleet spec body for -mode runs (built-in default)")
 	bodyPath := fs.String("body", "", "decide body for -mode decide (built-in default)")
+	jsonOut := fs.Bool("json", false, "emit the summary as JSON (the shape `solarsched bench -loadgen` ingests)")
+	logFormat := fs.String("log-format", obs.LogText, "diagnostic log format: text or json")
 	fs.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: solarschedd loadgen [flags] <base-url>\n\nflags:\n")
 		fs.PrintDefaults()
@@ -76,6 +85,11 @@ func runLoadgen(args []string) int {
 		fs.Usage()
 		return 2
 	}
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, false)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		return 2
+	}
 	base := strings.TrimRight(fs.Arg(0), "/")
 
 	var path, body string
@@ -85,7 +99,7 @@ func runLoadgen(args []string) int {
 		if *bodyPath != "" {
 			b, err := os.ReadFile(*bodyPath)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+				logger.Error("reading body failed", "path", *bodyPath, "err", err)
 				return 1
 			}
 			body = string(b)
@@ -95,19 +109,19 @@ func runLoadgen(args []string) int {
 		if *specPath != "" {
 			b, err := os.ReadFile(*specPath)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+				logger.Error("reading spec failed", "path", *specPath, "err", err)
 				return 1
 			}
 			body = string(b)
 		}
 	default:
-		fmt.Fprintf(os.Stderr, "loadgen: unknown mode %q (want decide or runs)\n", *mode)
+		logger.Error("unknown mode", "mode", *mode, "want", "decide or runs")
 		return 2
 	}
 
 	h0, m0, err := cacheCounters(base)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "loadgen: reading %s/metrics: %v\n", base, err)
+		logger.Error("scraping metrics failed", "url", base+"/metrics", "err", err)
 		return 1
 	}
 
@@ -145,7 +159,7 @@ func runLoadgen(args []string) int {
 
 	h1, m1, err := cacheCounters(base)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "loadgen: reading %s/metrics: %v\n", base, err)
+		logger.Error("scraping metrics failed", "url", base+"/metrics", "err", err)
 		return 1
 	}
 	hits, misses := h1-h0, m1-m0
@@ -155,16 +169,39 @@ func runLoadgen(args []string) int {
 	}
 
 	sort.Float64s(latencies)
-	fmt.Printf("loadgen: mode=%s clients=%d n=%d elapsed=%s (%.1f req/s)\n",
-		*mode, *clients, *n, elapsed.Round(time.Millisecond), float64(*n)/elapsed.Seconds())
-	fmt.Printf("  latency p50=%s p95=%s p99=%s max=%s\n",
-		fmtSecs(stats.Percentile(latencies, 0.50)),
-		fmtSecs(stats.Percentile(latencies, 0.95)),
-		fmtSecs(stats.Percentile(latencies, 0.99)),
-		fmtSecs(latencies[len(latencies)-1]))
-	fmt.Printf("  cache: %d hits, %d misses (%.1f%% hit rate)\n", hits, misses, 100*hitRate)
-	if f := failures.Load(); f > 0 {
-		fmt.Printf("  failures: %d of %d\n", f, *n)
+	fails := int(failures.Load())
+	summary := perfbench.LoadgenSummary{
+		Requests:    *n,
+		Errors:      fails,
+		ErrorRate:   float64(fails) / float64(*n),
+		ElapsedSecs: elapsed.Seconds(),
+		Throughput:  float64(*n) / elapsed.Seconds(),
+		DecideP50MS: 1000 * stats.Percentile(latencies, 0.50),
+		DecideP99MS: 1000 * stats.Percentile(latencies, 0.99),
+		CacheHits:   hits,
+		CacheMisses: misses,
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(summary); err != nil {
+			logger.Error("encoding summary failed", "err", err)
+			return 1
+		}
+	} else {
+		fmt.Printf("loadgen: mode=%s clients=%d n=%d elapsed=%s (%.1f req/s, %.1f%% errors)\n",
+			*mode, *clients, *n, elapsed.Round(time.Millisecond), summary.Throughput, 100*summary.ErrorRate)
+		fmt.Printf("  latency p50=%s p95=%s p99=%s max=%s\n",
+			fmtSecs(stats.Percentile(latencies, 0.50)),
+			fmtSecs(stats.Percentile(latencies, 0.95)),
+			fmtSecs(stats.Percentile(latencies, 0.99)),
+			fmtSecs(latencies[len(latencies)-1]))
+		fmt.Printf("  cache: %d hits, %d misses (%.1f%% hit rate)\n", hits, misses, 100*hitRate)
+		if fails > 0 {
+			fmt.Printf("  failures: %d of %d\n", fails, *n)
+		}
+	}
+	if fails > 0 {
 		return 1
 	}
 	return 0

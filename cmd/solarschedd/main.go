@@ -12,12 +12,22 @@
 //
 // Flags:
 //
-//	-addr ADDR      listen address (default :7468)
-//	-workers N      per-job fleet worker-pool size (default GOMAXPROCS)
-//	-queue N        admission queue depth; a full queue answers 429 (default 8)
-//	-retain N       finished jobs kept queryable (default 256)
-//	-ckpt-dir DIR   checkpoint directory for long runs (empty disables)
+//	-addr ADDR        listen address (default :7468)
+//	-workers N        per-job fleet worker-pool size (default GOMAXPROCS)
+//	-queue N          admission queue depth; a full queue answers 429 (default 8)
+//	-retain N         finished jobs kept queryable (default 256)
+//	-ckpt-dir DIR     checkpoint directory for long runs (empty disables)
+//	-debug-addr ADDR  serve /debug/pprof/* and /debug/vars on a separate
+//	                  listener (empty disables; keep it off public interfaces)
+//	-chrome-trace F   write daemon spans as a Chrome trace_event file on exit
+//	-log-format FMT   structured log format: text or json
+//	-quiet            log errors only
 //	-cpuprofile, -memprofile, -exectrace — see internal/obs.Flags
+//
+// Every request is assigned (or propagates, via X-Request-ID) a
+// correlation ID that appears in the structured log, as span tags in the
+// Chrome trace, and as serve_job_info metric labels — one ID joins all
+// three telemetry channels.
 //
 // SIGINT/SIGTERM drain gracefully: the listener stops, queued and
 // in-flight jobs are canceled (engines stop at the next period boundary
@@ -31,9 +41,15 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux for -debug-addr
+
+	// expvar's side-effect registration puts /debug/vars next to the
+	// pprof handlers on the same debug listener.
+	_ "expvar"
 	"os"
 	"time"
 
+	"solarsched/internal/ckpt"
 	"solarsched/internal/cli"
 	"solarsched/internal/obs"
 	"solarsched/internal/serve"
@@ -54,6 +70,9 @@ func run(args []string) int {
 	retain := fs.Int("retain", 0, "finished jobs kept queryable (default 256)")
 	ckptDir := fs.String("ckpt-dir", "", "checkpoint directory for long runs (empty disables)")
 	drainTimeout := fs.Duration("drain-timeout", 2*time.Minute, "how long shutdown waits for in-flight jobs")
+	debugAddr := fs.String("debug-addr", "", "separate listener for /debug/pprof/* and /debug/vars (empty disables)")
+	chromeTrace := fs.String("chrome-trace", "", "write daemon spans as a Chrome trace_event file on exit")
+	quiet := fs.Bool("quiet", false, "log errors only")
 	var of obs.Flags
 	of.Register(fs)
 	fs.Usage = func() {
@@ -67,15 +86,20 @@ func run(args []string) int {
 		fs.Usage()
 		return 2
 	}
+	logger, err := of.Logger(*quiet)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "solarschedd: %v\n", err)
+		return 2
+	}
 
 	stop, err := of.Start()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "solarschedd: %v\n", err)
+		logger.Error("profile setup failed", "err", err)
 		return 1
 	}
 	defer func() {
 		if err := stop(); err != nil {
-			fmt.Fprintf(os.Stderr, "solarschedd: %v\n", err)
+			logger.Error("profile teardown failed", "err", err)
 		}
 	}()
 
@@ -83,11 +107,25 @@ func run(args []string) int {
 	defer cancel()
 	cli.HardExitOnSecondSignal(ctx)
 
+	// The daemon registry backs /metrics, the span tree, and — when
+	// -chrome-trace is set — the per-event trace buffer the exporter
+	// drains at exit. The runtime sampler adds heap/GC/scheduler gauges
+	// so a scrape sees the process next to the domain metrics.
+	reg := obs.NewRegistry()
+	if *chromeTrace != "" {
+		reg.EnableTraceEvents(0)
+	}
+	sampler := obs.NewRuntimeSampler(reg, 10*time.Second)
+	sampler.Start()
+	defer sampler.Stop()
+
 	s := serve.New(serve.Config{
 		Workers:       *workers,
 		QueueDepth:    *queue,
 		RetainJobs:    *retain,
 		CheckpointDir: *ckptDir,
+		Registry:      reg,
+		Logger:        logger,
 	})
 	s.Start()
 
@@ -98,27 +136,73 @@ func run(args []string) int {
 	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "solarschedd: listening on %s\n", *addr)
+	logger.Info("listening", "addr", *addr)
+
+	// The debug listener is separate from the API listener on purpose:
+	// pprof and expvar expose process internals, so they bind their own
+	// (typically loopback) address and never ride the public port.
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		debugSrv = &http.Server{
+			Addr:              *debugAddr,
+			Handler:           http.DefaultServeMux,
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug listener failed", "addr", *debugAddr, "err", err)
+			}
+		}()
+		logger.Info("debug listening", "addr", *debugAddr)
+	}
 
 	select {
 	case err := <-serveErr:
-		fmt.Fprintf(os.Stderr, "solarschedd: %v\n", err)
+		logger.Error("listener failed", "err", err)
 		return 1
 	case <-ctx.Done():
 	}
 
-	fmt.Fprintln(os.Stderr, "solarschedd: draining (second signal exits immediately)")
+	logger.Info("draining", "note", "second signal exits immediately")
 	drainCtx, drainCancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer drainCancel()
 	// Stop accepting connections first, then drain the job backend; the
 	// order means in-flight status requests finish while jobs wind down.
 	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		fmt.Fprintf(os.Stderr, "solarschedd: http shutdown: %v\n", err)
+		logger.Error("http shutdown failed", "err", err)
+	}
+	if debugSrv != nil {
+		_ = debugSrv.Shutdown(drainCtx)
 	}
 	if err := s.Shutdown(drainCtx); err != nil {
-		fmt.Fprintf(os.Stderr, "solarschedd: drain timed out: %v\n", err)
+		logger.Error("drain timed out", "err", err)
 		return 1
 	}
-	fmt.Fprintln(os.Stderr, "solarschedd: drained")
+	if *chromeTrace != "" {
+		if err := writeChromeTrace(*chromeTrace, reg); err != nil {
+			logger.Error("chrome trace write failed", "path", *chromeTrace, "err", err)
+			return 1
+		}
+		logger.Info("chrome trace written", "path", *chromeTrace)
+	}
+	logger.Info("drained")
 	return cli.ExitCodeInterrupted
+}
+
+// writeChromeTrace drains the registry's trace buffer into a Chrome
+// trace_event file (load it at chrome://tracing or ui.perfetto.dev).
+func writeChromeTrace(path string, reg *obs.Registry) error {
+	events, dropped := reg.TraceEvents()
+	if dropped > 0 {
+		fmt.Fprintf(os.Stderr, "solarschedd: chrome trace dropped %d oldest events (buffer full)\n", dropped)
+	}
+	w, err := ckpt.NewAtomicWriter(path, 0o644)
+	if err != nil {
+		return err
+	}
+	defer w.Abort()
+	if err := obs.WriteChromeTrace(w, events); err != nil {
+		return err
+	}
+	return w.Commit()
 }

@@ -48,7 +48,8 @@ func main() {
 		os.Exit(2)
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "solartrace: %v\n", err)
+		logger, _ := obs.NewLogger(os.Stderr, obs.LogText, false)
+		logger.Error("command failed", "cmd", os.Args[1], "err", err)
 		os.Exit(cli.ExitCode(err))
 	}
 }

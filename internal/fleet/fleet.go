@@ -95,7 +95,7 @@ func Run(ctx context.Context, specs []Spec, opts Options) (*Report, error) {
 		go func() {
 			defer wg.Done()
 			for i := range work {
-				results[i] = runOne(ctx, specs[i], cache, mTimer)
+				results[i] = runOne(ctx, specs[i], cache, reg, mTimer)
 				mRuns.Inc()
 				if results[i].Err != nil {
 					mFails.Inc()
@@ -149,15 +149,23 @@ feed:
 // runOne prepares and executes a single spec, converting panics anywhere in
 // the run (scheduler bugs included) into an error on its result — one
 // broken member must not take the fleet down.
-func runOne(ctx context.Context, spec Spec, cache *Cache, timer *obs.Timer) (rr RunResult) {
+func runOne(ctx context.Context, spec Spec, cache *Cache, reg *obs.Registry, timer *obs.Timer) (rr RunResult) {
 	rr.ID = spec.ID
 	begin := time.Now()
+	// The per-run span carries the run ID (and, once finished, the result
+	// digest) as trace-event tags, so a Chrome-trace export correlates a
+	// fleet member with the engine spans nested under it in time.
+	span := reg.StartSpan("fleet/run").Tag("run_id", spec.ID)
 	defer func() {
 		rr.Elapsed = time.Since(begin)
 		timer.Observe(rr.Elapsed)
 		if r := recover(); r != nil {
 			rr.Err = fmt.Errorf("fleet: run %s panicked: %v", spec.ID, r)
 		}
+		if rr.Digest != "" {
+			span.Tag("digest", rr.Digest)
+		}
+		span.End()
 	}()
 	job, err := spec.Prepare(ctx, cache)
 	if err != nil {

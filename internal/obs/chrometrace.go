@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// TraceEvent is one completed span captured as an individual event (as
+// opposed to the per-path aggregates of SpanSnap). Events exist only when
+// the registry's trace buffer is enabled — the aggregate pipeline stays
+// allocation-free for runs that never export a timeline.
+type TraceEvent struct {
+	Name  string
+	Start time.Time
+	Dur   time.Duration
+	Tags  []Label
+}
+
+// traceBuffer is the bounded event store behind EnableTraceEvents. When
+// full, the oldest half is dropped and counted — a long-lived daemon must
+// never grow an unbounded timeline.
+type traceBuffer struct {
+	mu      sync.Mutex
+	events  []TraceEvent
+	cap     int
+	dropped uint64
+}
+
+// DefaultTraceEvents is the trace-buffer capacity used when
+// EnableTraceEvents is called with n <= 0: enough for a full quick-scale
+// fleet job (16 runs x ~200 periods) plus the serving spans around it.
+const DefaultTraceEvents = 1 << 16
+
+// EnableTraceEvents switches the registry from aggregate-only spans to
+// also retaining up to n individual span events for the Chrome-trace
+// export. Safe to call once before the spans of interest start; calling
+// it again resets the buffer. A nil registry no-ops.
+func (r *Registry) EnableTraceEvents(n int) {
+	if r == nil {
+		return
+	}
+	if n <= 0 {
+		n = DefaultTraceEvents
+	}
+	r.mu.Lock()
+	r.trace = &traceBuffer{cap: n}
+	r.mu.Unlock()
+}
+
+// recordTraceEvent appends a completed span to the trace buffer when one
+// is enabled. The fast path (no buffer) is one mutex-guarded nil check,
+// which sits next to the existing recordSpan lock on the same call.
+func (r *Registry) recordTraceEvent(path string, start time.Time, d time.Duration, tags []Label) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	tb := r.trace
+	r.mu.Unlock()
+	if tb == nil {
+		return
+	}
+	tb.mu.Lock()
+	if len(tb.events) >= tb.cap {
+		half := len(tb.events) / 2
+		tb.dropped += uint64(half)
+		tb.events = append(tb.events[:0], tb.events[half:]...)
+	}
+	tb.events = append(tb.events, TraceEvent{Name: path, Start: start, Dur: d, Tags: tags})
+	tb.mu.Unlock()
+}
+
+// TraceEvents returns a copy of the captured events (in completion order)
+// and the number dropped to the buffer bound. Empty until
+// EnableTraceEvents is called.
+func (r *Registry) TraceEvents() ([]TraceEvent, uint64) {
+	if r == nil {
+		return nil, 0
+	}
+	r.mu.Lock()
+	tb := r.trace
+	r.mu.Unlock()
+	if tb == nil {
+		return nil, 0
+	}
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	return append([]TraceEvent(nil), tb.events...), tb.dropped
+}
+
+// chromeEvent is the trace_event JSON shape Chrome's about://tracing and
+// Perfetto consume: a complete ("ph":"X") event with microsecond
+// timestamps relative to the trace start.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders captured span events in the Chrome trace_event
+// format (JSON object form), viewable in chrome://tracing and Perfetto.
+// The span aggregates carry no goroutine identity, so lanes (tids) are
+// assigned greedily: each event takes the lowest lane that is free at its
+// start time. Nested spans therefore stack on adjacent lanes and
+// concurrent fleet workers spread across lanes — a readable serve → fleet
+// → engine timeline without runtime bookkeeping in the hot path.
+func WriteChromeTrace(w io.Writer, events []TraceEvent) error {
+	evs := append([]TraceEvent(nil), events...)
+	sort.Slice(evs, func(a, b int) bool {
+		if !evs[a].Start.Equal(evs[b].Start) {
+			return evs[a].Start.Before(evs[b].Start)
+		}
+		return evs[a].Dur > evs[b].Dur // parents before their children
+	})
+	var t0 time.Time
+	if len(evs) > 0 {
+		t0 = evs[0].Start
+	}
+	var laneEnds []time.Time
+	out := make([]chromeEvent, 0, len(evs))
+	for _, e := range evs {
+		lane := -1
+		for i, end := range laneEnds {
+			if !end.After(e.Start) {
+				lane = i
+				break
+			}
+		}
+		if lane < 0 {
+			lane = len(laneEnds)
+			laneEnds = append(laneEnds, time.Time{})
+		}
+		laneEnds[lane] = e.Start.Add(e.Dur)
+		ce := chromeEvent{
+			Name: e.Name, Ph: "X",
+			Ts:  float64(e.Start.Sub(t0)) / float64(time.Microsecond),
+			Dur: float64(e.Dur) / float64(time.Microsecond),
+			Pid: 1, Tid: lane + 1,
+		}
+		if len(e.Tags) > 0 {
+			ce.Args = make(map[string]string, len(e.Tags))
+			for _, l := range e.Tags {
+				ce.Args[l.Key] = l.Value
+			}
+		}
+		out = append(out, ce)
+	}
+	doc := struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{TraceEvents: out}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

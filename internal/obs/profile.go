@@ -4,6 +4,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -31,6 +32,7 @@ type Flags struct {
 	Metrics    bool
 	Format     string
 	Out        string
+	LogFormat  string
 }
 
 // Register installs the flags on the given flag set.
@@ -41,6 +43,14 @@ func (f *Flags) Register(fs *flag.FlagSet) {
 	fs.BoolVar(&f.Metrics, "metrics", false, "emit collected metrics when done")
 	fs.StringVar(&f.Format, "metrics-format", FormatSummary, "metrics output format: prom, json or summary")
 	fs.StringVar(&f.Out, "metrics-out", "", "metrics output path (default stdout)")
+	fs.StringVar(&f.LogFormat, "log-format", LogText, "diagnostic log format: text or json")
+}
+
+// Logger builds the CLI's diagnostic logger from -log-format, writing to
+// stderr so stdout stays reserved for data (tables, metrics, reports).
+// quiet (the CLI's -quiet flag) raises the level to Error.
+func (f *Flags) Logger(quiet bool) (*slog.Logger, error) {
+	return NewLogger(os.Stderr, f.LogFormat, quiet)
 }
 
 // Start begins CPU profiling and execution tracing as requested. The

@@ -21,6 +21,9 @@ type Registry struct {
 	gauges map[instKey]*Gauge
 	hists  map[instKey]*Histogram
 	spans  map[string]*spanStats
+	// trace, when non-nil, additionally captures individual span events
+	// for the Chrome-trace exporter (see EnableTraceEvents).
+	trace *traceBuffer
 }
 
 type instKey struct {

@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+	"sync"
+	"time"
+)
+
+// RuntimeSampler periodically reads the Go runtime's own metrics
+// (runtime/metrics) into registry gauges, so the daemon's /metrics scrape
+// and every -metrics emission carry the process health next to the
+// simulation quantities:
+//
+//	runtime_heap_objects_bytes    live heap (bytes in objects)
+//	runtime_memory_total_bytes    total mapped from the OS
+//	runtime_goroutines            live goroutines
+//	runtime_gc_cycles_total       completed GC cycles
+//	runtime_gc_pause_p50_seconds  GC stop-the-world pause, median
+//	runtime_gc_pause_p99_seconds  GC stop-the-world pause, p99
+//	runtime_sched_latency_p50_seconds  goroutine scheduling latency, median
+//	runtime_sched_latency_p99_seconds  goroutine scheduling latency, p99
+//
+// Start and Stop are idempotent and safe to call in any order; a stopped
+// sampler can be started again. A nil sampler (from a nil registry)
+// no-ops everywhere.
+type RuntimeSampler struct {
+	interval time.Duration
+
+	heapBytes  *Gauge
+	totalBytes *Gauge
+	goroutines *Gauge
+	gcCycles   *Gauge
+	gcP50      *Gauge
+	gcP99      *Gauge
+	schedP50   *Gauge
+	schedP99   *Gauge
+
+	samples []metrics.Sample
+
+	mu   sync.Mutex
+	stop chan struct{}
+	done chan struct{}
+}
+
+// runtimeSampleNames are the runtime/metrics keys the sampler reads, in
+// the order of the samples slice below.
+var runtimeSampleNames = []string{
+	"/memory/classes/heap/objects:bytes",
+	"/memory/classes/total:bytes",
+	"/sched/goroutines:goroutines",
+	"/gc/cycles/total:gc-cycles",
+	"/sched/pauses/total/gc:seconds",
+	"/sched/latencies:seconds",
+}
+
+// NewRuntimeSampler builds a sampler feeding reg every interval (0 means
+// 5s). Returns nil on a nil registry — the usual nil-is-off contract.
+func NewRuntimeSampler(reg *Registry, interval time.Duration) *RuntimeSampler {
+	if reg == nil {
+		return nil
+	}
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	s := &RuntimeSampler{
+		interval:   interval,
+		heapBytes:  reg.Gauge("runtime_heap_objects_bytes"),
+		totalBytes: reg.Gauge("runtime_memory_total_bytes"),
+		goroutines: reg.Gauge("runtime_goroutines"),
+		gcCycles:   reg.Gauge("runtime_gc_cycles_total"),
+		gcP50:      reg.Gauge("runtime_gc_pause_p50_seconds"),
+		gcP99:      reg.Gauge("runtime_gc_pause_p99_seconds"),
+		schedP50:   reg.Gauge("runtime_sched_latency_p50_seconds"),
+		schedP99:   reg.Gauge("runtime_sched_latency_p99_seconds"),
+		samples:    make([]metrics.Sample, len(runtimeSampleNames)),
+	}
+	for i, name := range runtimeSampleNames {
+		s.samples[i].Name = name
+	}
+	return s
+}
+
+// Start launches the sampling goroutine. Idempotent: starting a running
+// sampler is a no-op. One synchronous sample is taken immediately, so the
+// gauges are live before the first tick.
+func (s *RuntimeSampler) Start() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stop != nil {
+		return
+	}
+	s.SampleOnce()
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	s.stop, s.done = stop, done
+	go func() {
+		defer close(done)
+		t := time.NewTicker(s.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				s.SampleOnce()
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop halts the sampling goroutine and waits for it to exit. Idempotent:
+// stopping a stopped (or never started) sampler is a no-op.
+func (s *RuntimeSampler) Stop() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	stop, done := s.stop, s.done
+	s.stop, s.done = nil, nil
+	s.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+// SampleOnce reads the runtime metrics into the gauges synchronously —
+// the unit the periodic goroutine repeats, exposed for tests and for
+// hosts that want a fresh sample right before an export.
+func (s *RuntimeSampler) SampleOnce() {
+	if s == nil {
+		return
+	}
+	// metrics.Read is safe for concurrent use; the samples slice is only
+	// touched here and callers of SampleOnce may race with the ticker, so
+	// guard it with the sampler's own lock-free discipline: a local copy.
+	samples := make([]metrics.Sample, len(s.samples))
+	copy(samples, s.samples)
+	metrics.Read(samples)
+	for _, sm := range samples {
+		switch sm.Name {
+		case "/memory/classes/heap/objects:bytes":
+			s.heapBytes.Set(float64(kindUint(sm)))
+		case "/memory/classes/total:bytes":
+			s.totalBytes.Set(float64(kindUint(sm)))
+		case "/sched/goroutines:goroutines":
+			s.goroutines.Set(float64(kindUint(sm)))
+		case "/gc/cycles/total:gc-cycles":
+			s.gcCycles.Set(float64(kindUint(sm)))
+		case "/sched/pauses/total/gc:seconds":
+			if h := kindHist(sm); h != nil {
+				s.gcP50.Set(histQuantile(h, 0.50))
+				s.gcP99.Set(histQuantile(h, 0.99))
+			}
+		case "/sched/latencies:seconds":
+			if h := kindHist(sm); h != nil {
+				s.schedP50.Set(histQuantile(h, 0.50))
+				s.schedP99.Set(histQuantile(h, 0.99))
+			}
+		}
+	}
+}
+
+// kindUint extracts a uint64 sample, tolerating KindBad (older/newer
+// runtimes may not export every name).
+func kindUint(sm metrics.Sample) uint64 {
+	if sm.Value.Kind() != metrics.KindUint64 {
+		return 0
+	}
+	return sm.Value.Uint64()
+}
+
+func kindHist(sm metrics.Sample) *metrics.Float64Histogram {
+	if sm.Value.Kind() != metrics.KindFloat64Histogram {
+		return nil
+	}
+	return sm.Value.Float64Histogram()
+}
+
+// histQuantile returns the q-quantile of a runtime histogram, taking each
+// bucket's upper bound (the conservative side). Unbounded edge buckets
+// fall back to their finite side; an empty histogram reads 0.
+func histQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= rank {
+			// Bucket i spans Buckets[i] (lower) to Buckets[i+1] (upper).
+			upper := h.Buckets[i+1]
+			if math.IsInf(upper, +1) {
+				return h.Buckets[i]
+			}
+			return upper
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1]
+}

@@ -51,6 +51,7 @@ type Span struct {
 	reg   *Registry
 	path  string
 	start time.Time
+	tags  []Label
 }
 
 // StartSpan opens a root span. Returns nil on a nil registry.
@@ -63,12 +64,28 @@ func (r *Registry) StartSpan(path string) *Span {
 
 // Child opens a sub-span named under the receiver's path. Children may
 // outlive or interleave with the parent arbitrarily; only the path
-// nesting is hierarchical. Returns nil on a nil span.
+// nesting is hierarchical. Children inherit the parent's tags, so a
+// correlation ID tagged on a root span reaches every event under it.
+// Returns nil on a nil span.
 func (s *Span) Child(name string) *Span {
 	if s == nil {
 		return nil
 	}
-	return &Span{reg: s.reg, path: s.path + "/" + name, start: time.Now()}
+	return &Span{reg: s.reg, path: s.path + "/" + name, start: time.Now(), tags: s.tags}
+}
+
+// Tag attaches a key=value annotation to the span. Tags never reach the
+// per-path aggregates (they would explode cardinality); they travel only
+// on the individual trace events captured when the registry's trace
+// buffer is enabled — the correlation-ID channel of the Chrome-trace
+// export. Returns the span for chaining; a nil span no-ops.
+func (s *Span) Tag(key, value string) *Span {
+	if s == nil {
+		return s
+	}
+	// Copy-on-write: children share the parent's backing array.
+	s.tags = append(append([]Label(nil), s.tags...), Label{Key: key, Value: value})
+	return s
 }
 
 // End records the span's duration and returns it (0 on nil).
@@ -78,6 +95,7 @@ func (s *Span) End() time.Duration {
 	}
 	d := time.Since(s.start)
 	s.reg.recordSpan(s.path, d)
+	s.reg.recordTraceEvent(s.path, s.start, d, s.tags)
 	return d
 }
 

@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHandlerConcurrentScrapeAndRecord hammers the /metrics handler while
+// writers mutate the same registry — the daemon's steady state. Run under
+// -race this is the proof that a scrape never tears or blocks recording.
+func TestHandlerConcurrentScrapeAndRecord(t *testing.T) {
+	reg := NewRegistry()
+	h := Handler(reg)
+	c := reg.Counter("scrape_race_total")
+	g := reg.Gauge("scrape_race_gauge")
+	tm := reg.Timer("scrape_race_seconds")
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				g.Set(1.5)
+				tm.Observe(time.Microsecond)
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+		if rec.Code != 200 {
+			t.Fatalf("scrape %d: status %d", i, rec.Code)
+		}
+		if i > 10 && !strings.Contains(rec.Body.String(), "scrape_race_total") {
+			t.Fatalf("scrape %d missing counter:\n%s", i, rec.Body.String())
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestRuntimeSamplerLifecycle checks the Start/Stop contract the daemon
+// relies on: idempotent in both directions, restartable, and gauges live
+// after the synchronous first sample.
+func TestRuntimeSamplerLifecycle(t *testing.T) {
+	reg := NewRegistry()
+	s := NewRuntimeSampler(reg, time.Hour) // ticks never fire; Start's sync sample does the work
+
+	s.Start()
+	s.Start() // idempotent: second Start must not spawn a second goroutine
+	s.Stop()
+	s.Stop() // idempotent: second Stop must not close a closed channel
+
+	s.Start() // restartable after Stop
+	defer s.Stop()
+
+	found := map[string]float64{}
+	for _, g := range reg.Snapshot().Gauges {
+		found[g.Name] = g.Value
+	}
+	if found["runtime_goroutines"] < 1 {
+		t.Fatalf("runtime_goroutines = %v, want >= 1 (snapshot keys: %v)", found["runtime_goroutines"], found)
+	}
+	if found["runtime_memory_total_bytes"] <= 0 {
+		t.Fatalf("runtime_memory_total_bytes = %v, want > 0", found["runtime_memory_total_bytes"])
+	}
+}
+
+// TestRuntimeSamplerNilIsOff: the nil-is-off contract extends to the
+// sampler built from a nil registry.
+func TestRuntimeSamplerNilIsOff(t *testing.T) {
+	var s *RuntimeSampler
+	if s = NewRuntimeSampler(nil, time.Second); s != nil {
+		t.Fatalf("NewRuntimeSampler(nil, ...) = %v, want nil", s)
+	}
+	s.Start()
+	s.SampleOnce()
+	s.Stop()
+}
+
+// TestChromeTraceExport drives spans through an event-enabled registry and
+// checks the exported trace_event JSON: complete-phase events, tag args
+// preserved, overlapping spans on distinct lanes, nested spans stacked.
+func TestChromeTraceExport(t *testing.T) {
+	reg := NewRegistry()
+	reg.EnableTraceEvents(16)
+
+	outer := reg.StartSpan("serve/job").Tag("job_id", "j1").Tag("request_id", "r42")
+	inner := reg.StartSpan("serve/job/run")
+	time.Sleep(2 * time.Millisecond)
+	inner.End()
+	outer.End()
+
+	events, dropped := reg.TraceEvents()
+	if dropped != 0 || len(events) != 2 {
+		t.Fatalf("got %d events (%d dropped), want 2 (0 dropped)", len(events), dropped)
+	}
+
+	var sb strings.Builder
+	if err := WriteChromeTrace(&sb, events); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Ts   float64           `json:"ts"`
+			Dur  float64           `json:"dur"`
+			Tid  int               `json:"tid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, sb.String())
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("got %d trace events, want 2", len(doc.TraceEvents))
+	}
+	byName := map[string]int{}
+	for i, e := range doc.TraceEvents {
+		if e.Ph != "X" {
+			t.Fatalf("event %q phase %q, want complete event X", e.Name, e.Ph)
+		}
+		if e.Dur <= 0 || e.Ts < 0 {
+			t.Fatalf("event %q has ts=%v dur=%v", e.Name, e.Ts, e.Dur)
+		}
+		byName[e.Name] = i
+	}
+	job := doc.TraceEvents[byName["serve/job"]]
+	if job.Args["job_id"] != "j1" || job.Args["request_id"] != "r42" {
+		t.Fatalf("span tags lost in export: %v", job.Args)
+	}
+	// The outer span covers the inner one, so the greedy lane assignment
+	// must put them on different lanes (the nesting is visible).
+	if job.Tid == doc.TraceEvents[byName["serve/job/run"]].Tid {
+		t.Fatalf("nested spans share lane %d; want distinct lanes", job.Tid)
+	}
+}
+
+// TestChromeTraceBufferBound: the buffer drops its oldest half when full
+// and reports the count, so long daemon runs stay bounded.
+func TestChromeTraceBufferBound(t *testing.T) {
+	reg := NewRegistry()
+	reg.EnableTraceEvents(8)
+	for i := 0; i < 12; i++ {
+		reg.StartSpan("tick").End()
+	}
+	events, dropped := reg.TraceEvents()
+	if dropped == 0 {
+		t.Fatal("expected drops after overflowing an 8-event buffer")
+	}
+	if len(events) > 8 {
+		t.Fatalf("buffer grew past its cap: %d events", len(events))
+	}
+}
+
+// TestTraceEventsDisabledByDefault: without EnableTraceEvents the
+// registry keeps no per-event timeline.
+func TestTraceEventsDisabledByDefault(t *testing.T) {
+	reg := NewRegistry()
+	reg.StartSpan("quiet").End()
+	if events, _ := reg.TraceEvents(); len(events) != 0 {
+		t.Fatalf("trace buffer active without EnableTraceEvents: %d events", len(events))
+	}
+}

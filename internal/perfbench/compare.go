@@ -1,0 +1,163 @@
+package perfbench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// DefaultThreshold is the regression gate: a benchmark whose ns/op grew
+// by more than this fraction over the baseline fails the comparison.
+const DefaultThreshold = 0.10
+
+// Delta status values.
+const (
+	StatusRegression  = "regression"  // slower than baseline beyond the threshold
+	StatusImprovement = "improvement" // faster than baseline beyond the threshold
+	StatusUnchanged   = "unchanged"   // within the threshold either way
+	StatusAdded       = "added"       // in current only (no gate)
+	StatusRemoved     = "removed"     // in baseline only (no gate)
+)
+
+// Delta is one benchmark's baseline-vs-current movement.
+type Delta struct {
+	Name   string  `json:"name"`
+	Status string  `json:"status"`
+	OldNs  float64 `json:"old_ns_per_op,omitempty"`
+	NewNs  float64 `json:"new_ns_per_op,omitempty"`
+	// Ratio is New/Old; 1.0 means unchanged, 2.0 means twice as slow.
+	Ratio float64 `json:"ratio,omitempty"`
+}
+
+// Comparison is the result of diffing two snapshots.
+type Comparison struct {
+	Threshold    float64 `json:"threshold"`
+	HostMismatch bool    `json:"host_mismatch,omitempty"`
+	Deltas       []Delta `json:"deltas"`
+}
+
+// Compare diffs current against baseline. It errors on a schema-version
+// mismatch (the quantities would not be comparable); a host-fingerprint
+// mismatch is recorded but does not fail, so a laptop run against a CI
+// baseline still reports, just flagged as advisory.
+func Compare(baseline, current *Snapshot, threshold float64) (*Comparison, error) {
+	if baseline.SchemaVersion != current.SchemaVersion {
+		return nil, fmt.Errorf("perfbench: schema version mismatch: baseline v%d, current v%d",
+			baseline.SchemaVersion, current.SchemaVersion)
+	}
+	if threshold <= 0 {
+		threshold = DefaultThreshold
+	}
+	c := &Comparison{
+		Threshold:    threshold,
+		HostMismatch: !baseline.Host.Equal(current.Host),
+	}
+
+	names := map[string]bool{}
+	for _, r := range baseline.Results {
+		names[r.Name] = true
+	}
+	for _, r := range current.Results {
+		names[r.Name] = true
+	}
+	ordered := make([]string, 0, len(names))
+	for n := range names {
+		ordered = append(ordered, n)
+	}
+	sort.Strings(ordered)
+
+	for _, name := range ordered {
+		old, cur := baseline.Result(name), current.Result(name)
+		switch {
+		case old == nil:
+			c.Deltas = append(c.Deltas, Delta{Name: name, Status: StatusAdded, NewNs: cur.NsPerOp})
+		case cur == nil:
+			c.Deltas = append(c.Deltas, Delta{Name: name, Status: StatusRemoved, OldNs: old.NsPerOp})
+		default:
+			d := Delta{Name: name, OldNs: old.NsPerOp, NewNs: cur.NsPerOp}
+			if old.NsPerOp > 0 {
+				d.Ratio = cur.NsPerOp / old.NsPerOp
+			}
+			switch {
+			case d.Ratio > 1+threshold:
+				d.Status = StatusRegression
+			case d.Ratio != 0 && d.Ratio < 1-threshold:
+				d.Status = StatusImprovement
+			default:
+				d.Status = StatusUnchanged
+			}
+			c.Deltas = append(c.Deltas, d)
+		}
+	}
+
+	// Service throughput rides the same gate when both snapshots carry a
+	// loadgen summary: a throughput drop beyond the threshold, or any
+	// growth in error rate past 1%, is a regression.
+	if baseline.Loadgen != nil && current.Loadgen != nil {
+		d := Delta{Name: "loadgen_throughput"}
+		if baseline.Loadgen.Throughput > 0 {
+			// Invert so Ratio keeps the "bigger is worse" convention of
+			// the ns/op deltas.
+			d.Ratio = baseline.Loadgen.Throughput / current.Loadgen.Throughput
+		}
+		d.OldNs = baseline.Loadgen.Throughput
+		d.NewNs = current.Loadgen.Throughput
+		switch {
+		case current.Loadgen.ErrorRate > baseline.Loadgen.ErrorRate+0.01:
+			d.Status = StatusRegression
+		case d.Ratio > 1+threshold:
+			d.Status = StatusRegression
+		case d.Ratio != 0 && d.Ratio < 1-threshold:
+			d.Status = StatusImprovement
+		default:
+			d.Status = StatusUnchanged
+		}
+		c.Deltas = append(c.Deltas, d)
+	}
+	return c, nil
+}
+
+// Regressions returns the names of benchmarks that regressed.
+func (c *Comparison) Regressions() []string {
+	var out []string
+	for _, d := range c.Deltas {
+		if d.Status == StatusRegression {
+			out = append(out, d.Name)
+		}
+	}
+	return out
+}
+
+// Failed reports whether the comparison should gate (any regression).
+func (c *Comparison) Failed() bool { return len(c.Regressions()) > 0 }
+
+// WriteText renders the comparison as an aligned human-readable table.
+func (c *Comparison) WriteText(w io.Writer) error {
+	if c.HostMismatch {
+		if _, err := fmt.Fprintf(w, "warning: host fingerprint differs from baseline (advisory comparison)\n"); err != nil {
+			return err
+		}
+	}
+	for _, d := range c.Deltas {
+		var err error
+		switch d.Status {
+		case StatusAdded:
+			_, err = fmt.Fprintf(w, "%-18s %-12s %14.0f ns/op (no baseline)\n", d.Name, d.Status, d.NewNs)
+		case StatusRemoved:
+			_, err = fmt.Fprintf(w, "%-18s %-12s %14.0f ns/op (baseline only)\n", d.Name, d.Status, d.OldNs)
+		default:
+			_, err = fmt.Fprintf(w, "%-18s %-12s %14.0f -> %-14.0f (%+.1f%%)\n",
+				d.Name, d.Status, d.OldNs, d.NewNs, 100*(d.Ratio-1))
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if c.Failed() {
+		_, err := fmt.Fprintf(w, "FAIL: %d regression(s) beyond %.0f%%: %v\n",
+			len(c.Regressions()), 100*c.Threshold, c.Regressions())
+		return err
+	}
+	_, err := fmt.Fprintf(w, "ok: no regressions beyond %.0f%%\n", 100*c.Threshold)
+	return err
+}

@@ -1,0 +1,141 @@
+package perfbench
+
+import (
+	"strings"
+	"testing"
+)
+
+func snapWith(results ...BenchResult) *Snapshot {
+	return &Snapshot{
+		SchemaVersion: SchemaVersion,
+		CreatedAt:     "2026-01-01T00:00:00Z",
+		Host:          Host(),
+		Results:       results,
+	}
+}
+
+func TestCompareUnchangedPasses(t *testing.T) {
+	base := snapWith(BenchResult{Name: BenchEngineRun, Iterations: 100, NsPerOp: 1e6})
+	cur := snapWith(BenchResult{Name: BenchEngineRun, Iterations: 100, NsPerOp: 1.05e6})
+	c, err := Compare(base, cur, DefaultThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Failed() {
+		t.Fatalf("5%% drift within a 10%% threshold must pass: %+v", c.Deltas)
+	}
+	if c.Deltas[0].Status != StatusUnchanged {
+		t.Fatalf("status = %q, want unchanged", c.Deltas[0].Status)
+	}
+}
+
+// TestCompareSyntheticSlowdownFails is the acceptance check for the
+// regression gate: a synthetic 2x slowdown of one benchmark must make the
+// comparison fail, which is exactly what flips `solarsched bench
+// -baseline ...` to a non-zero exit.
+func TestCompareSyntheticSlowdownFails(t *testing.T) {
+	base := snapWith(
+		BenchResult{Name: BenchEngineRun, Iterations: 100, NsPerOp: 1e6},
+		BenchResult{Name: BenchDecide, Iterations: 2000, NsPerOp: 5e4},
+	)
+	cur := snapWith(
+		BenchResult{Name: BenchEngineRun, Iterations: 100, NsPerOp: 2e6}, // 2x slower
+		BenchResult{Name: BenchDecide, Iterations: 2000, NsPerOp: 5e4},
+	)
+	c, err := Compare(base, cur, DefaultThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Failed() {
+		t.Fatal("2x slowdown must fail the 10% gate")
+	}
+	regs := c.Regressions()
+	if len(regs) != 1 || regs[0] != BenchEngineRun {
+		t.Fatalf("regressions = %v, want [engine_run]", regs)
+	}
+	var buf strings.Builder
+	if err := c.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "FAIL") {
+		t.Fatalf("text report must flag the failure:\n%s", buf.String())
+	}
+}
+
+func TestCompareImprovementAndChurn(t *testing.T) {
+	base := snapWith(
+		BenchResult{Name: "a", NsPerOp: 1e6},
+		BenchResult{Name: "gone", NsPerOp: 2e6},
+	)
+	cur := snapWith(
+		BenchResult{Name: "a", NsPerOp: 0.5e6}, // 2x faster
+		BenchResult{Name: "fresh", NsPerOp: 3e6},
+	)
+	c, err := Compare(base, cur, DefaultThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Failed() {
+		t.Fatalf("improvement + churn must not gate: %+v", c.Deltas)
+	}
+	want := map[string]string{"a": StatusImprovement, "fresh": StatusAdded, "gone": StatusRemoved}
+	for _, d := range c.Deltas {
+		if d.Status != want[d.Name] {
+			t.Errorf("%s: status %q, want %q", d.Name, d.Status, want[d.Name])
+		}
+	}
+}
+
+func TestCompareSchemaMismatchErrors(t *testing.T) {
+	base := snapWith()
+	cur := snapWith()
+	cur.SchemaVersion = SchemaVersion + 1
+	if _, err := Compare(base, cur, 0); err == nil {
+		t.Fatal("schema mismatch must refuse to compare")
+	}
+}
+
+func TestCompareHostMismatchIsAdvisory(t *testing.T) {
+	base := snapWith(BenchResult{Name: "a", NsPerOp: 1e6})
+	cur := snapWith(BenchResult{Name: "a", NsPerOp: 1e6})
+	base.Host.NumCPU++
+	c, err := Compare(base, cur, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.HostMismatch {
+		t.Fatal("host mismatch must be recorded")
+	}
+	if c.Failed() {
+		t.Fatal("host mismatch alone must not fail")
+	}
+	var buf strings.Builder
+	_ = c.WriteText(&buf)
+	if !strings.Contains(buf.String(), "warning") {
+		t.Fatalf("text report must carry the advisory warning:\n%s", buf.String())
+	}
+}
+
+func TestCompareLoadgenGate(t *testing.T) {
+	base := snapWith()
+	cur := snapWith()
+	base.Loadgen = &LoadgenSummary{Requests: 100, Throughput: 50}
+	cur.Loadgen = &LoadgenSummary{Requests: 100, Throughput: 20} // 2.5x slower
+	c, err := Compare(base, cur, DefaultThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Failed() {
+		t.Fatal("throughput collapse must gate")
+	}
+
+	// Error-rate growth gates even at equal throughput.
+	cur.Loadgen = &LoadgenSummary{Requests: 100, Errors: 5, ErrorRate: 0.05, Throughput: 50}
+	c, err = Compare(base, cur, DefaultThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Failed() {
+		t.Fatal("error-rate growth must gate")
+	}
+}

@@ -1,0 +1,177 @@
+// Package perfbench is the performance-observability pipeline: it runs
+// the repo's headline benchmarks programmatically (engine day, fleet
+// cold/warm, one-shot decide), captures CPU and heap profiles while they
+// run, attributes the cost to the hottest frames, and emits a
+// schema-versioned snapshot (BENCH_NNNN.json) that is committed to the
+// repository as one point of a performance trajectory. A comparator diffs
+// a fresh snapshot against the latest committed one and fails on
+// regressions beyond a threshold, which is what lets CI gate merges on
+// "did not get slower" and lets ROADMAP's speed campaign measure itself.
+package perfbench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+)
+
+// SchemaVersion identifies the snapshot wire format. Bump it on any
+// incompatible change to Snapshot; the comparator refuses to diff across
+// versions rather than silently comparing different quantities.
+const SchemaVersion = 1
+
+// HostInfo fingerprints the machine a snapshot was taken on. Numbers from
+// different hosts are not comparable; the comparator warns (but does not
+// fail) on a fingerprint mismatch so a laptop run against a CI baseline
+// reads as advisory.
+type HostInfo struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+// Host returns the current process's fingerprint.
+func Host() HostInfo {
+	return HostInfo{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+}
+
+// Equal reports whether two fingerprints describe comparable hosts.
+func (h HostInfo) Equal(o HostInfo) bool { return h == o }
+
+// HotFrame is one entry of a profile's flat (self-cost) attribution:
+// the function that was on top of the stack, the cost charged to it in
+// the profile's unit, and its share of the profile total.
+type HotFrame struct {
+	Function string  `json:"function"`
+	Flat     float64 `json:"flat"`
+	Unit     string  `json:"unit"`
+	Share    float64 `json:"share"`
+}
+
+// BenchResult is one benchmark's measurement plus its profile-driven
+// attribution. Iterations == 1 marks a single-shot wall-clock measurement
+// (the fleet benchmarks, where iteration count is part of the scenario);
+// larger counts come from testing.Benchmark.
+type BenchResult struct {
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64              `json:"allocs_per_op,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+	CPUHot      []HotFrame         `json:"cpu_hot,omitempty"`
+	HeapHot     []HotFrame         `json:"heap_hot,omitempty"`
+}
+
+// Snapshot is one committed point of the performance trajectory.
+type Snapshot struct {
+	SchemaVersion int             `json:"schema_version"`
+	CreatedAt     string          `json:"created_at"` // RFC 3339, UTC
+	Host          HostInfo        `json:"host"`
+	Results       []BenchResult   `json:"results"`
+	Loadgen       *LoadgenSummary `json:"loadgen,omitempty"`
+}
+
+// LoadgenSummary is the daemon load generator's -json output, embeddable
+// into a snapshot so sustained service throughput rides the same
+// trajectory as the engine microbenchmarks.
+type LoadgenSummary struct {
+	Requests    int     `json:"requests"`
+	Errors      int     `json:"errors"`
+	ErrorRate   float64 `json:"error_rate"`
+	ElapsedSecs float64 `json:"elapsed_secs"`
+	Throughput  float64 `json:"throughput_rps"`
+	DecideP50MS float64 `json:"decide_p50_ms,omitempty"`
+	DecideP99MS float64 `json:"decide_p99_ms,omitempty"`
+	CacheHits   int64   `json:"cache_hits,omitempty"`
+	CacheMisses int64   `json:"cache_misses,omitempty"`
+}
+
+// Result returns the named benchmark, or nil.
+func (s *Snapshot) Result(name string) *BenchResult {
+	for i := range s.Results {
+		if s.Results[i].Name == name {
+			return &s.Results[i]
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes the snapshot, indented, results sorted by name so the
+// committed file diffs cleanly.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	sort.Slice(s.Results, func(i, j int) bool { return s.Results[i].Name < s.Results[j].Name })
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// ReadSnapshot loads and validates a snapshot file.
+func ReadSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("perfbench: parse %s: %w", path, err)
+	}
+	if s.SchemaVersion == 0 {
+		return nil, fmt.Errorf("perfbench: %s has no schema_version", path)
+	}
+	return &s, nil
+}
+
+var benchFileRe = regexp.MustCompile(`^BENCH_(\d{4})\.json$`)
+
+// LatestSnapshotPath returns the highest-numbered BENCH_NNNN.json in dir,
+// or "" if none exist.
+func LatestSnapshotPath(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	best, bestN := "", -1
+	for _, e := range entries {
+		m := benchFileRe.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		var n int
+		fmt.Sscanf(m[1], "%d", &n)
+		if n > bestN {
+			bestN, best = n, filepath.Join(dir, e.Name())
+		}
+	}
+	return best, nil
+}
+
+// NextSnapshotPath returns the path the next trajectory point should be
+// written to: one past the highest committed number (BENCH_0000.json in
+// an empty directory).
+func NextSnapshotPath(dir string) (string, error) {
+	latest, err := LatestSnapshotPath(dir)
+	if err != nil {
+		return "", err
+	}
+	n := 0
+	if latest != "" {
+		m := benchFileRe.FindStringSubmatch(filepath.Base(latest))
+		fmt.Sscanf(m[1], "%d", &n)
+		n++
+	}
+	return filepath.Join(dir, fmt.Sprintf("BENCH_%04d.json", n)), nil
+}

@@ -1,0 +1,115 @@
+package perfbench
+
+import (
+	"bytes"
+	"math"
+	"runtime"
+	"runtime/pprof"
+	"testing"
+)
+
+// spinWork burns CPU in a recognizable frame so the profile parser has
+// something to attribute.
+//
+//go:noinline
+func spinWork(n int) float64 {
+	s := 0.0
+	for i := 0; i < n; i++ {
+		s += math.Sqrt(float64(i))
+	}
+	return s
+}
+
+// TestParseCPUProfile parses a real profile produced by this process's
+// runtime/pprof — the exact artifact the runner captures — and checks the
+// sample-type table, the flat attribution and the share normalization.
+func TestParseCPUProfile(t *testing.T) {
+	var buf bytes.Buffer
+	if err := pprof.StartCPUProfile(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sink := 0.0
+	for i := 0; i < 200; i++ {
+		sink += spinWork(1_000_000)
+	}
+	pprof.StopCPUProfile()
+	if sink == 0 {
+		t.Fatal("work optimized away")
+	}
+
+	p, err := ParseProfile(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := p.IndexFor("cpu", "nanoseconds")
+	if idx < 0 || p.SampleTypes[idx].Unit != "nanoseconds" {
+		t.Fatalf("cpu dimension not found in %+v", p.SampleTypes)
+	}
+	frames := p.Top(10, idx)
+	if len(frames) == 0 {
+		t.Fatal("no hot frames in a profile of a busy loop")
+	}
+	var total float64
+	found := false
+	for _, f := range frames {
+		total += f.Share
+		if f.Flat <= 0 {
+			t.Fatalf("non-positive flat cost: %+v", f)
+		}
+		if f.Unit != "nanoseconds" {
+			t.Fatalf("unit = %q, want nanoseconds", f.Unit)
+		}
+		if bytes.Contains([]byte(f.Function), []byte("spinWork")) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("spinWork missing from hot frames: %+v", frames)
+	}
+	if total > 1.0001 {
+		t.Fatalf("shares sum to %v > 1", total)
+	}
+	// Frames must arrive costliest-first.
+	for i := 1; i < len(frames); i++ {
+		if frames[i].Flat > frames[i-1].Flat {
+			t.Fatalf("frames not sorted by flat cost: %+v", frames)
+		}
+	}
+}
+
+// TestParseHeapProfile checks the alloc_space dimension of a real heap
+// profile.
+func TestParseHeapProfile(t *testing.T) {
+	hold := make([][]byte, 0, 64)
+	for i := 0; i < 64; i++ {
+		hold = append(hold, make([]byte, 64<<10))
+	}
+	runtime.GC()
+	var buf bytes.Buffer
+	if err := pprof.Lookup("allocs").WriteTo(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	_ = hold
+
+	p, err := ParseProfile(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := p.IndexFor("alloc_space", "bytes")
+	if idx < 0 || p.SampleTypes[idx].Type != "alloc_space" {
+		t.Fatalf("alloc_space dimension not found in %+v", p.SampleTypes)
+	}
+	frames := p.Top(5, idx)
+	if len(frames) == 0 {
+		t.Fatal("no frames in heap profile")
+	}
+	if len(frames) > 5 {
+		t.Fatalf("Top(5) returned %d frames", len(frames))
+	}
+}
+
+func TestParseProfileRejectsGarbage(t *testing.T) {
+	if _, err := ParseProfile([]byte("not a profile")); err == nil {
+		t.Fatal("plain text must be rejected")
+	}
+}

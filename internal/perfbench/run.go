@@ -1,0 +1,369 @@
+package perfbench
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"sort"
+	"testing"
+	"time"
+
+	"solarsched/internal/core"
+	"solarsched/internal/fleet"
+	"solarsched/internal/obs"
+	"solarsched/internal/sched"
+	"solarsched/internal/sim"
+	"solarsched/internal/solar"
+	"solarsched/internal/stats"
+	"solarsched/internal/task"
+)
+
+// Benchmark names emitted by Run. The comparator matches on these.
+const (
+	BenchEngineRun = "engine_run"  // one WAM day under the intra baseline
+	BenchFleetCold = "fleet_cold"  // quick fleet, empty artifact cache
+	BenchFleetWarm = "fleet_warm"  // same fleet, warmed cache
+	BenchDecide    = "decide_once" // one-shot online inference
+)
+
+// Config tunes a benchmark run. The zero value is the CI configuration.
+type Config struct {
+	// Top bounds the hot frames kept per profile; 0 means 10.
+	Top int
+	// DecideIters is the decide_once sample count; 0 means 2000.
+	DecideIters int
+	// Benchmarks filters which benchmarks run (by the Bench* names);
+	// empty runs all of them.
+	Benchmarks []string
+	// ProfileDir, when non-empty, keeps the raw CPU/heap profiles as
+	// <name>_cpu.pb.gz / <name>_heap.pb.gz for offline `go tool pprof`.
+	ProfileDir string
+	// Log receives progress; nil discards.
+	Log *slog.Logger
+}
+
+// QuickTrainSpec is the reduced offline configuration the fleet and
+// decide benchmarks share: enough work to exercise the real pipeline
+// (trace gen → sizing → teacher DP → DBN training), small enough that a
+// cold run stays in CI budget. Any change here invalidates comparisons
+// against older snapshots, so treat it like part of the schema.
+func QuickTrainSpec() fleet.TrainSpec {
+	return fleet.TrainSpec{Days: 2, Seed: 777, DayOfYear: 80, FineEpochs: 8}
+}
+
+// quickFleetSpec is the fleet scenario: four schedulers on the WAM graph
+// over a two-day synthetic trace, sharing one trained network.
+func quickFleetSpec() *fleet.FileSpec {
+	train := QuickTrainSpec()
+	return &fleet.FileSpec{
+		Defaults: fleet.RunSpec{
+			Graph: "wam",
+			Trace: fleet.TraceSpec{Kind: "gen", Days: 2, Seed: 42, DayOfYear: 80},
+			Train: &train,
+		},
+		Runs: []fleet.RunSpec{
+			{ID: "proposed", Scheduler: "proposed"},
+			{ID: "intra", Scheduler: "intra"},
+			{ID: "inter", Scheduler: "inter"},
+			{ID: "asap", Scheduler: "asap"},
+		},
+	}
+}
+
+// Run executes the benchmark suite and returns the snapshot, stamped
+// with the host fingerprint. Benchmarks run sequentially — the process
+// supports one CPU profile at a time, and parallel benchmarks would
+// contend for the cores they are measuring.
+func Run(ctx context.Context, cfg Config) (*Snapshot, error) {
+	if cfg.Top == 0 {
+		cfg.Top = 10
+	}
+	if cfg.DecideIters == 0 {
+		cfg.DecideIters = 2000
+	}
+	logger := cfg.Log
+	if logger == nil {
+		logger = obs.NopLogger()
+	}
+	want := map[string]bool{}
+	for _, n := range cfg.Benchmarks {
+		want[n] = true
+	}
+	enabled := func(name string) bool { return len(want) == 0 || want[name] }
+
+	snap := &Snapshot{
+		SchemaVersion: SchemaVersion,
+		CreatedAt:     time.Now().UTC().Format(time.RFC3339),
+		Host:          Host(),
+	}
+	// The fleet and decide benchmarks share one artifact cache so the
+	// offline training cost is paid exactly once (by fleet_cold, or by
+	// decide_once when the fleet benchmarks are filtered out).
+	cache := fleet.NewCache(nil)
+
+	type bench struct {
+		name string
+		run  func(ctx context.Context) (BenchResult, error)
+	}
+	suite := []bench{
+		{BenchEngineRun, func(ctx context.Context) (BenchResult, error) {
+			return benchEngineRun(ctx, cache)
+		}},
+		{BenchFleetCold, func(ctx context.Context) (BenchResult, error) {
+			return benchFleetCold(ctx, cache)
+		}},
+		{BenchFleetWarm, func(ctx context.Context) (BenchResult, error) {
+			return benchFleet(ctx, BenchFleetWarm, cache, warmFleetReps)
+		}},
+		{BenchDecide, func(ctx context.Context) (BenchResult, error) {
+			return benchDecide(ctx, cache, cfg.DecideIters)
+		}},
+	}
+	for _, b := range suite {
+		if !enabled(b.name) {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		logger.Info("benchmark starting", "name", b.name)
+		start := time.Now()
+		res, err := profiled(ctx, cfg, b.name, b.run)
+		if err != nil {
+			return nil, fmt.Errorf("perfbench: %s: %w", b.name, err)
+		}
+		snap.Results = append(snap.Results, res)
+		logger.Info("benchmark done", "name", b.name,
+			"ns_per_op", res.NsPerOp, "iterations", res.Iterations,
+			"elapsed_ms", time.Since(start).Milliseconds())
+	}
+	return snap, nil
+}
+
+// profiled wraps one benchmark with CPU profiling and a post-run heap
+// profile, attaching the parsed top-N flat attribution to its result.
+func profiled(ctx context.Context, cfg Config, name string, fn func(context.Context) (BenchResult, error)) (BenchResult, error) {
+	var cpuBuf bytes.Buffer
+	if err := pprof.StartCPUProfile(&cpuBuf); err != nil {
+		return BenchResult{}, fmt.Errorf("start cpu profile: %w", err)
+	}
+	res, err := fn(ctx)
+	pprof.StopCPUProfile()
+	if err != nil {
+		return BenchResult{}, err
+	}
+	res.Name = name
+
+	var heapBuf bytes.Buffer
+	runtime.GC()
+	if err := pprof.Lookup("allocs").WriteTo(&heapBuf, 0); err != nil {
+		return BenchResult{}, fmt.Errorf("heap profile: %w", err)
+	}
+
+	if cp, err := ParseProfile(cpuBuf.Bytes()); err == nil {
+		res.CPUHot = cp.Top(cfg.Top, cp.IndexFor("cpu", "nanoseconds"))
+	}
+	if hp, err := ParseProfile(heapBuf.Bytes()); err == nil {
+		res.HeapHot = hp.Top(cfg.Top, hp.IndexFor("alloc_space", "bytes"))
+	}
+	if cfg.ProfileDir != "" {
+		if err := os.MkdirAll(cfg.ProfileDir, 0o755); err != nil {
+			return BenchResult{}, err
+		}
+		for suffix, buf := range map[string]*bytes.Buffer{"cpu": &cpuBuf, "heap": &heapBuf} {
+			p := filepath.Join(cfg.ProfileDir, fmt.Sprintf("%s_%s.pb.gz", name, suffix))
+			if err := os.WriteFile(p, buf.Bytes(), 0o644); err != nil {
+				return BenchResult{}, err
+			}
+		}
+	}
+	return res, nil
+}
+
+// benchReps is how many independent repetitions the timed benchmarks
+// take the minimum of. Shared machines (CI runners, containers) add
+// noise that is strictly additive — contention only ever makes a run
+// slower — so min-of-N recovers the intrinsic cost and keeps the 10%
+// regression gate from tripping on a neighbor's workload.
+const benchReps = 3
+
+// benchEngineRun measures raw simulator throughput via testing.Benchmark:
+// one representative day of the WAM workload under the intra-task
+// baseline (the same scenario as BenchmarkEngineDay in bench_test.go,
+// kept in lockstep so `go test -bench` and `solarsched bench` agree).
+// The reported numbers are from the fastest of benchReps independent
+// benchmark runs. The cache parameter is unused — the signature matches
+// the rest of the suite.
+func benchEngineRun(ctx context.Context, _ *fleet.Cache) (BenchResult, error) {
+	tb := solar.DefaultTimeBase(4)
+	tr := solar.RepresentativeDays(tb).SliceDays(0, 1)
+	g := task.WAM()
+	eng, err := sim.New(sim.Config{Trace: tr, Graph: g, Capacitances: []float64{25}})
+	if err != nil {
+		return BenchResult{}, err
+	}
+	var best BenchResult
+	for rep := 0; rep < benchReps; rep++ {
+		var runErr error
+		br := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Run(ctx, sched.NewIntraMatch(g)); err != nil {
+					runErr = err
+					b.FailNow()
+				}
+			}
+		})
+		if runErr != nil {
+			return BenchResult{}, runErr
+		}
+		if br.N == 0 {
+			return BenchResult{}, fmt.Errorf("benchmark produced no iterations")
+		}
+		if rep == 0 || float64(br.NsPerOp()) < best.NsPerOp {
+			best = BenchResult{
+				Iterations:  br.N,
+				NsPerOp:     float64(br.NsPerOp()),
+				BytesPerOp:  br.AllocedBytesPerOp(),
+				AllocsPerOp: br.AllocsPerOp(),
+			}
+		}
+	}
+	periods := float64(tb.PeriodsPerDay) // one simulated day per op
+	best.Extra = map[string]float64{
+		"ns_per_period": best.NsPerOp / periods,
+		"periods":       periods,
+	}
+	return best, nil
+}
+
+// warmFleetReps is how many warm passes benchFleet takes the best of.
+// A warm pass is ~10ms of pure simulation, so a single sample is at the
+// mercy of one GC cycle or a preemption — min-of-N is the standard cure
+// and keeps the 10% regression gate meaningful.
+const warmFleetReps = 5
+
+// benchFleetCold reports the fastest of benchReps cold passes. The first
+// pass runs against the suite's shared cache (warming it for fleet_warm
+// and decide_once); the remaining passes measure the same cold cost on
+// throwaway caches so every sample really pays the offline stages.
+func benchFleetCold(ctx context.Context, shared *fleet.Cache) (BenchResult, error) {
+	best, err := benchFleet(ctx, BenchFleetCold, shared, 1)
+	if err != nil {
+		return BenchResult{}, err
+	}
+	for rep := 1; rep < benchReps; rep++ {
+		r, err := benchFleet(ctx, BenchFleetCold, fleet.NewCache(nil), 1)
+		if err != nil {
+			return BenchResult{}, err
+		}
+		if r.NsPerOp < best.NsPerOp {
+			r.Extra["cache_hit_rate"] = best.Extra["cache_hit_rate"]
+			best = r
+		}
+	}
+	best.Iterations = benchReps
+	return best, nil
+}
+
+// benchFleet measures wall-clock passes of the quick fleet against the
+// shared cache and keeps the fastest. Called first with an empty cache
+// (reps must be 1 — only the first pass is cold) it is the cold number
+// (includes trace gen, sizing, DP and training); called again it is the
+// warm number, and the cache-hit rate lands in Extra.
+func benchFleet(ctx context.Context, name string, cache *fleet.Cache, reps int) (BenchResult, error) {
+	specs, err := quickFleetSpec().Compile(nil)
+	if err != nil {
+		return BenchResult{}, err
+	}
+	hits0, misses0 := cache.Stats()
+	best := 0.0
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		rep, err := fleet.Run(ctx, specs, fleet.Options{Cache: cache})
+		elapsed := float64(time.Since(start).Nanoseconds())
+		if err != nil {
+			return BenchResult{}, err
+		}
+		if ferr := rep.FirstErr(); ferr != nil {
+			return BenchResult{}, ferr
+		}
+		if r == 0 || elapsed < best {
+			best = elapsed
+		}
+	}
+	hits1, misses1 := cache.Stats()
+	dh, dm := float64(hits1-hits0), float64(misses1-misses0)
+	hitRate := 0.0
+	if dh+dm > 0 {
+		hitRate = dh / (dh + dm)
+	}
+	return BenchResult{
+		Name:       name,
+		Iterations: reps,
+		NsPerOp:    best,
+		Extra: map[string]float64{
+			"runs":           float64(len(specs)),
+			"cache_hit_rate": hitRate,
+		},
+	}, nil
+}
+
+// benchDecide measures the one-shot online inference path the daemon's
+// /v1/decide serves: feature build → DBN forward pass → closure repair →
+// threshold rules. NsPerOp is the median — the mean of a µs-scale loop
+// is dominated by whichever GC cycles land inside it, and the gate needs
+// a statistic that two back-to-back runs agree on. The mean and the tail
+// (p99 — the number a sensor-node period boundary actually has to fit)
+// ride along in Extra.
+func benchDecide(ctx context.Context, cache *fleet.Cache, iters int) (BenchResult, error) {
+	pc, net, err := fleet.NetworkFor(ctx, cache, nil, "wam", 4, QuickTrainSpec())
+	if err != nil {
+		return BenchResult{}, err
+	}
+	voltages := make([]float64, len(pc.Capacitances))
+	for i := range voltages {
+		voltages[i] = 0.75 * pc.Params.VHigh
+	}
+	call := func() error {
+		_, err := core.DecideOnce(pc, net, nil, voltages, 0.02, pc.Base.PeriodsPerDay/2, 0)
+		return err
+	}
+	for i := 0; i < 10; i++ { // warmup
+		if err := call(); err != nil {
+			return BenchResult{}, err
+		}
+	}
+	var best BenchResult
+	durs := make([]float64, iters)
+	for rep := 0; rep < benchReps; rep++ {
+		start := time.Now()
+		for i := range durs {
+			t0 := time.Now()
+			if err := call(); err != nil {
+				return BenchResult{}, err
+			}
+			durs[i] = float64(time.Since(t0).Nanoseconds())
+		}
+		total := time.Since(start)
+		sort.Float64s(durs)
+		p50 := stats.Percentile(durs, 0.50)
+		if rep == 0 || p50 < best.NsPerOp {
+			best = BenchResult{
+				Iterations: iters,
+				NsPerOp:    p50,
+				Extra: map[string]float64{
+					"mean_ns": float64(total.Nanoseconds()) / float64(iters),
+					"p50_ns":  p50,
+					"p99_ns":  stats.Percentile(durs, 0.99),
+				},
+			}
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,56 @@
+package perfbench
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunDecideBenchmark runs the cheapest real benchmark end to end:
+// quick training through the shared cache, the decide loop, CPU+heap
+// profiling and hot-frame attribution, and checks the snapshot shape the
+// CLI serializes.
+func TestRunDecideBenchmark(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a network")
+	}
+	dir := t.TempDir()
+	snap, err := Run(context.Background(), Config{
+		Benchmarks:  []string{BenchDecide},
+		DecideIters: 50,
+		Top:         5,
+		ProfileDir:  dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.SchemaVersion != SchemaVersion || snap.CreatedAt == "" {
+		t.Fatalf("snapshot header malformed: %+v", snap)
+	}
+	if snap.Host.GoVersion == "" || snap.Host.NumCPU == 0 {
+		t.Fatalf("host fingerprint missing: %+v", snap.Host)
+	}
+	if len(snap.Results) != 1 {
+		t.Fatalf("got %d results, want 1 (decide only)", len(snap.Results))
+	}
+	r := snap.Results[0]
+	if r.Name != BenchDecide || r.Iterations != 50 || r.NsPerOp <= 0 {
+		t.Fatalf("decide result malformed: %+v", r)
+	}
+	if r.Extra["p99_ns"] < r.Extra["p50_ns"] {
+		t.Fatalf("p99 < p50: %+v", r.Extra)
+	}
+	if len(r.CPUHot) == 0 {
+		t.Fatalf("no CPU hot frames (profiling broken): %+v", r)
+	}
+	if len(r.CPUHot) > 5 {
+		t.Fatalf("Top=5 not honored: %d frames", len(r.CPUHot))
+	}
+	for _, suffix := range []string{"cpu", "heap"} {
+		p := filepath.Join(dir, "decide_once_"+suffix+".pb.gz")
+		if fi, err := os.Stat(p); err != nil || fi.Size() == 0 {
+			t.Fatalf("raw %s profile not kept at %s: %v", suffix, p, err)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package perfbench
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+// goldenSnapshot is a fully-populated snapshot with pinned host and
+// timestamps, so its serialization is byte-stable.
+func goldenSnapshot() *Snapshot {
+	return &Snapshot{
+		SchemaVersion: SchemaVersion,
+		CreatedAt:     "2026-08-08T00:00:00Z",
+		Host: HostInfo{
+			GoVersion: "go1.24.0", GOOS: "linux", GOARCH: "amd64",
+			NumCPU: 8, GOMAXPROCS: 8,
+		},
+		Results: []BenchResult{
+			{
+				Name: BenchFleetCold, Iterations: 1, NsPerOp: 2.5e9,
+				Extra: map[string]float64{"runs": 4, "cache_hit_rate": 0},
+			},
+			{
+				Name: BenchEngineRun, Iterations: 250, NsPerOp: 4.2e6,
+				BytesPerOp: 131072, AllocsPerOp: 920,
+				Extra: map[string]float64{"ns_per_period": 87500, "periods": 48},
+				CPUHot: []HotFrame{
+					{Function: "solarsched/internal/sim.(*Engine).step", Flat: 1.2e9, Unit: "nanoseconds", Share: 0.41},
+					{Function: "solarsched/internal/supercap.(*Cap).Charge", Flat: 0.6e9, Unit: "nanoseconds", Share: 0.205},
+				},
+				HeapHot: []HotFrame{
+					{Function: "solarsched/internal/sim.New", Flat: 2.1e7, Unit: "bytes", Share: 0.3},
+				},
+			},
+		},
+		Loadgen: &LoadgenSummary{
+			Requests: 200, Errors: 0, ErrorRate: 0,
+			ElapsedSecs: 4.2, Throughput: 47.6,
+			DecideP50MS: 0.8, DecideP99MS: 2.3,
+			CacheHits: 196, CacheMisses: 4,
+		},
+	}
+}
+
+// TestSnapshotGolden pins the BENCH_*.json wire format: any schema drift
+// shows up as a golden diff and must be accompanied by a SchemaVersion
+// bump (the comparator refuses cross-version diffs).
+func TestSnapshotGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenSnapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "golden_snapshot.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("snapshot serialization drifted from golden (bump SchemaVersion if intentional, then -update-golden)\n got: %s\nwant: %s", buf.Bytes(), want)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_0006.json")
+	var buf bytes.Buffer
+	if err := goldenSnapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := ReadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.SchemaVersion != SchemaVersion || len(s.Results) != 2 {
+		t.Fatalf("round trip lost data: %+v", s)
+	}
+	if r := s.Result(BenchEngineRun); r == nil || r.Extra["periods"] != 48 {
+		t.Fatalf("engine_run result mangled: %+v", r)
+	}
+	if s.Loadgen == nil || s.Loadgen.Requests != 200 {
+		t.Fatalf("loadgen summary mangled: %+v", s.Loadgen)
+	}
+}
+
+func TestReadSnapshotRejectsVersionless(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_0000.json")
+	if err := os.WriteFile(path, []byte(`{"results":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSnapshot(path); err == nil {
+		t.Fatal("snapshot without schema_version must be rejected")
+	}
+}
+
+func TestSnapshotPathDiscovery(t *testing.T) {
+	dir := t.TempDir()
+	latest, err := LatestSnapshotPath(dir)
+	if err != nil || latest != "" {
+		t.Fatalf("empty dir: latest = %q, err = %v", latest, err)
+	}
+	next, err := NextSnapshotPath(dir)
+	if err != nil || filepath.Base(next) != "BENCH_0000.json" {
+		t.Fatalf("empty dir: next = %q, err = %v", next, err)
+	}
+	for _, name := range []string{"BENCH_0004.json", "BENCH_0006.json", "BENCH_x.json", "notes.json"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	latest, err = LatestSnapshotPath(dir)
+	if err != nil || filepath.Base(latest) != "BENCH_0006.json" {
+		t.Fatalf("latest = %q, err = %v", latest, err)
+	}
+	next, err = NextSnapshotPath(dir)
+	if err != nil || filepath.Base(next) != "BENCH_0007.json" {
+		t.Fatalf("next = %q, err = %v", next, err)
+	}
+}

@@ -1,0 +1,162 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"solarsched/internal/obs"
+)
+
+// syncBuffer serializes writes so the slog handler can be shared across
+// request goroutines in the test.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (sb *syncBuffer) Write(p []byte) (int, error) {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	return sb.b.Write(p)
+}
+
+func (sb *syncBuffer) String() string {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	return sb.b.String()
+}
+
+// TestCorrelationIDEndToEnd is the acceptance check for the telemetry
+// correlation chain: a client-supplied X-Request-ID must be observable in
+// all three channels — the structured log, the span/trace-event tags, and
+// the serve_job_info metric labels — joined to the job ID the submission
+// was assigned.
+func TestCorrelationIDEndToEnd(t *testing.T) {
+	const rid = "e2e-correlation-42"
+
+	var logBuf syncBuffer
+	logger := slog.New(slog.NewJSONHandler(&logBuf, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	reg := obs.NewRegistry()
+	reg.EnableTraceEvents(1024)
+
+	_, ts := newTestServer(t, Config{Registry: reg, Logger: logger})
+
+	req, err := http.NewRequest("POST", ts.URL+"/v1/runs?wait=1", strings.NewReader(testSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-ID", rid)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || st.State != StateDone {
+		t.Fatalf("submit: HTTP %d, state %s", resp.StatusCode, st.State)
+	}
+	if st.ID == "" {
+		t.Fatal("no job id in status")
+	}
+
+	// Channel 0 (the join key itself): the status document echoes the
+	// correlation ID, so a client can recover it from the job alone.
+	if st.RequestID != rid {
+		t.Fatalf("status request_id = %q, want %q", st.RequestID, rid)
+	}
+
+	// Channel 1: structured log. Every line of the job lifecycle must
+	// carry the request id, and at least one must join it to the job id.
+	logs := logBuf.String()
+	joined := false
+	for _, line := range strings.Split(strings.TrimSpace(logs), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("log line is not JSON: %v\n%s", err, line)
+		}
+		if rec["request_id"] == rid && rec["job_id"] == st.ID {
+			joined = true
+		}
+	}
+	if !strings.Contains(logs, rid) {
+		t.Fatalf("request id %q absent from log:\n%s", rid, logs)
+	}
+	if !joined {
+		t.Fatalf("no log line joins request_id=%q to job_id=%q:\n%s", rid, st.ID, logs)
+	}
+
+	// Channel 2: trace events. The serve/job span must be tagged with
+	// both halves of the join and the run digest.
+	events, _ := reg.TraceEvents()
+	var jobSpan *obs.TraceEvent
+	for i, e := range events {
+		if e.Name == "serve/job" {
+			jobSpan = &events[i]
+		}
+	}
+	if jobSpan == nil {
+		t.Fatalf("no serve/job span among %d trace events", len(events))
+	}
+	tags := map[string]string{}
+	for _, l := range jobSpan.Tags {
+		tags[l.Key] = l.Value
+	}
+	if tags["request_id"] != rid || tags["job_id"] != st.ID {
+		t.Fatalf("serve/job span tags = %v, want request_id=%q job_id=%q", tags, rid, st.ID)
+	}
+	if tags["digest"] == "" {
+		t.Fatal("serve/job span missing the run digest tag")
+	}
+
+	// Channel 3: metrics. serve_job_info carries the join as labels.
+	found := false
+	for _, c := range reg.Snapshot().Counters {
+		if c.Name != "serve_job_info" {
+			continue
+		}
+		labels := map[string]string{}
+		for _, l := range c.Labels {
+			labels[l.Key] = l.Value
+		}
+		if labels["request_id"] == rid && labels["job_id"] == st.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no serve_job_info counter labeled request_id=%q job_id=%q", rid, st.ID)
+	}
+}
+
+// TestRequestIDGenerated: without a client-supplied header the middleware
+// mints an ID, and it still flows into the job status.
+func TestRequestIDGenerated(t *testing.T) {
+	var logBuf syncBuffer
+	logger := slog.New(slog.NewJSONHandler(&logBuf, nil))
+	_, ts := newTestServer(t, Config{Logger: logger})
+
+	code, b := postJSON(t, ts.URL+"/v1/runs", testSpec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d: %s", code, b)
+	}
+	var st status
+	if err := json.Unmarshal(b, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.RequestID == "" || !strings.HasPrefix(st.RequestID, "r") {
+		t.Fatalf("generated request id %q, want r-prefixed", st.RequestID)
+	}
+	waitTerminal(t, ts.URL, st.ID, 60*time.Second)
+	if !strings.Contains(logBuf.String(), st.RequestID) {
+		t.Fatalf("generated id %q absent from log:\n%s", st.RequestID, logBuf.String())
+	}
+}

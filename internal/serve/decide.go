@@ -50,6 +50,8 @@ type decideResponse struct {
 func (s *Server) handleDecide(w http.ResponseWriter, req *http.Request) {
 	sw := s.m.decideSecs.Start()
 	defer sw.Stop()
+	span := s.reg.StartSpan("serve/decide").Tag("request_id", RequestID(req.Context()))
+	defer span.End()
 
 	var dr decideRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, s.cfg.MaxBodyBytes))

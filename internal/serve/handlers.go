@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"solarsched/internal/fleet"
+	"solarsched/internal/obs"
 )
 
 // submitRequest is the body of POST /v1/runs: a fleet spec file plus
@@ -26,6 +27,7 @@ type submitRequest struct {
 type submitResponse struct {
 	ID        string   `json:"id"`
 	State     JobState `json:"state"`
+	RequestID string   `json:"request_id,omitempty"`
 	StatusURL string   `json:"status_url"`
 	StreamURL string   `json:"stream_url"`
 }
@@ -51,7 +53,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {
 	// Compile first with a placeholder hook target so validation errors
 	// surface before a job exists; the real hook needs the job for its
 	// event hub, so the job is created with the specs swapped in after.
-	j := s.store.add(s.baseCtx, nil, time.Duration(sr.TimeoutMS)*time.Millisecond)
+	rid := RequestID(req.Context())
+	j := s.store.add(s.baseCtx, nil, time.Duration(sr.TimeoutMS)*time.Millisecond, rid)
+	// serve_job_info carries the job↔request join as metric labels, the
+	// third leg (besides logs and trace events) of the correlation chain.
+	s.reg.Counter("serve_job_info", obs.L("job_id", j.id), obs.L("request_id", rid)).Inc()
 	specs, err := fs.CompileWith(s.reg, s.runOptionsFor(j))
 	if err != nil {
 		s.finishJob(j, nil, fmt.Errorf("serve: invalid spec: %w", err), 0, 0)
@@ -84,7 +90,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {
 
 	if !wait {
 		writeJSON(w, http.StatusAccepted, submitResponse{
-			ID: j.id, State: StateQueued,
+			ID: j.id, State: StateQueued, RequestID: rid,
 			StatusURL: "/v1/runs/" + j.id,
 			StreamURL: "/v1/runs/" + j.id + "/stream",
 		})
@@ -98,7 +104,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {
 		// executor will record ErrCanceled. Answer whoever is still
 		// listening with the job handle.
 		writeJSON(w, http.StatusGatewayTimeout, submitResponse{
-			ID: j.id, State: StateCanceled,
+			ID: j.id, State: StateCanceled, RequestID: rid,
 			StatusURL: "/v1/runs/" + j.id,
 			StreamURL: "/v1/runs/" + j.id + "/stream",
 		})

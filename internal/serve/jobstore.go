@@ -38,6 +38,7 @@ func (s JobState) Terminal() bool {
 // the hub are safe for concurrent use on their own.
 type job struct {
 	id      string
+	reqID   string // correlation ID of the submitting request
 	specs   []fleet.Spec
 	runs    int
 	created time.Time
@@ -78,8 +79,11 @@ func newJobStore(retain int) *jobStore {
 	return &jobStore{jobs: make(map[string]*job), retain: retain}
 }
 
-// add registers a new queued job and returns it with a fresh ID.
-func (st *jobStore) add(base context.Context, specs []fleet.Spec, timeout time.Duration) *job {
+// add registers a new queued job and returns it with a fresh ID. reqID is
+// the correlation ID of the HTTP request that submitted the job; it rides
+// along so logs, spans and metrics emitted during execution can be joined
+// back to the originating request.
+func (st *jobStore) add(base context.Context, specs []fleet.Spec, timeout time.Duration, reqID string) *job {
 	var ctx context.Context
 	var cancel context.CancelFunc
 	if timeout > 0 {
@@ -92,6 +96,7 @@ func (st *jobStore) add(base context.Context, specs []fleet.Spec, timeout time.D
 	st.seq++
 	j := &job{
 		id:      fmt.Sprintf("j%06d", st.seq),
+		reqID:   reqID,
 		specs:   specs,
 		runs:    len(specs),
 		created: time.Now(),
@@ -175,6 +180,7 @@ func (st *jobStore) finish(j *job, rep *fleet.Report, runErr error, hits, misses
 // status is the wire shape of GET /v1/runs/{id}.
 type status struct {
 	ID         string   `json:"id"`
+	RequestID  string   `json:"request_id,omitempty"`
 	State      JobState `json:"state"`
 	Runs       int      `json:"runs"`
 	CreatedAt  string   `json:"created_at"`
@@ -196,6 +202,7 @@ func (st *jobStore) snapshot(j *job) (status, error) {
 	defer st.mu.Unlock()
 	out := status{
 		ID:        j.id,
+		RequestID: j.reqID,
 		State:     j.state,
 		Runs:      j.runs,
 		CreatedAt: j.created.UTC().Format(time.RFC3339Nano),

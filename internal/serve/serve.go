@@ -27,9 +27,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"solarsched/internal/ckpt"
 	"solarsched/internal/fleet"
@@ -58,6 +61,11 @@ type Config struct {
 	// Cache is the shared offline-artifact cache; nil builds one. All
 	// jobs and /v1/decide calls share it.
 	Cache *fleet.Cache
+	// Logger receives the daemon's structured request/job log. Every line
+	// of the serving path carries the request's correlation ID
+	// (request_id), and job lines add job_id and the result digest, so one
+	// request is traceable across logs, spans and metrics. Nil discards.
+	Logger *slog.Logger
 }
 
 // serverMetrics pre-resolves the daemon's instruments.
@@ -77,11 +85,13 @@ type serverMetrics struct {
 // Server is the daemon backend: an http.Handler plus one executor
 // goroutine draining the admission queue into fleet.Run.
 type Server struct {
-	cfg   Config
-	reg   *obs.Registry
-	cache *fleet.Cache
-	store *jobStore
-	m     serverMetrics
+	cfg    Config
+	reg    *obs.Registry
+	cache  *fleet.Cache
+	store  *jobStore
+	m      serverMetrics
+	log    *slog.Logger
+	reqSeq atomic.Uint64
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -115,11 +125,16 @@ func New(cfg Config) *Server {
 	if cache == nil {
 		cache = fleet.NewCache(reg)
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = obs.NopLogger()
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:        cfg,
 		reg:        reg,
 		cache:      cache,
+		log:        logger,
 		store:      newJobStore(cfg.RetainJobs),
 		baseCtx:    ctx,
 		baseCancel: cancel,
@@ -156,12 +171,54 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// route installs a handler wrapped with the per-route request counter.
+// ridKey carries the request's correlation ID through the context.
+type ridKey struct{}
+
+// RequestID returns the correlation ID the route middleware assigned to
+// this request ("" outside a served request). Handlers and everything
+// they call use it to label logs, spans and metrics consistently.
+func RequestID(ctx context.Context) string {
+	rid, _ := ctx.Value(ridKey{}).(string)
+	return rid
+}
+
+// statusWriter captures the response status for the request log while
+// passing the Flusher capability through (the SSE handler needs it).
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Flush() {
+	if fl, ok := w.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
+
+// route installs a handler wrapped with the per-route request counter and
+// the correlation middleware: every request gets a request ID (the
+// client's X-Request-ID, or a generated one), echoed in the response
+// header, stored in the context and logged with the route and outcome.
 func (s *Server) route(pattern string, h http.HandlerFunc) {
 	c := s.m.requests(pattern)
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		c.Inc()
-		h(w, r)
+		rid := r.Header.Get("X-Request-ID")
+		if rid == "" {
+			rid = fmt.Sprintf("r%08x", s.reqSeq.Add(1))
+		}
+		w.Header().Set("X-Request-ID", rid)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h(sw, r.WithContext(context.WithValue(r.Context(), ridKey{}, rid)))
+		s.log.Info("http request",
+			"request_id", rid, "route", pattern, "status", sw.status,
+			"elapsed_ms", float64(time.Since(start))/float64(time.Millisecond))
 	})
 }
 
@@ -237,9 +294,15 @@ func (s *Server) executor() {
 	}
 }
 
-// execute runs one job's fleet and records the outcome.
+// execute runs one job's fleet and records the outcome. The job span
+// carries the correlation chain (request_id → job_id, and the aggregate
+// digest once known) into the Chrome-trace export, alongside the same
+// fields in the structured log.
 func (s *Server) execute(j *job) {
 	s.store.setRunning(j)
+	span := s.reg.StartSpan("serve/job").Tag("job_id", j.id).Tag("request_id", j.reqID)
+	defer span.End()
+	s.log.Info("job started", "request_id", j.reqID, "job_id", j.id, "runs", j.runs)
 	sw := s.m.jobSeconds.Start()
 	h0, m0 := s.cache.Stats()
 	rep, err := fleet.Run(j.ctx, j.specs, fleet.Options{
@@ -257,14 +320,21 @@ func (s *Server) execute(j *job) {
 			e := Event{Type: "result", Run: rr.ID, Digest: rr.Digest}
 			if rr.Err != nil {
 				e.Error = rr.Err.Error()
+				s.log.Warn("run failed", "request_id", j.reqID, "job_id", j.id,
+					"run_id", rr.ID, "err", rr.Err)
 			} else if rr.Result != nil {
 				e.DMR = rr.Result.DMR()
+				s.log.Info("run finished", "request_id", j.reqID, "job_id", j.id,
+					"run_id", rr.ID, "digest", rr.Digest, "dmr", e.DMR)
 			}
 			j.events.publish(e)
 		},
 	})
 	h1, m1 := s.cache.Stats()
 	sw.Stop()
+	if rep != nil {
+		span.Tag("digest", rep.AggregateDigest())
+	}
 	s.finishJob(j, rep, err, h1-h0, m1-m0)
 }
 
@@ -285,6 +355,9 @@ func (s *Server) finishJob(j *job, rep *fleet.Report, err error, hits, misses in
 	if err != nil {
 		final.Error = err.Error()
 	}
+	s.log.Info("job finished", "request_id", j.reqID, "job_id", j.id,
+		"state", string(j.state), "digest", final.Digest, "err", final.Error,
+		"cache_hits", hits, "cache_misses", misses)
 	j.events.publish(final)
 	j.events.close()
 }

@@ -29,7 +29,8 @@ type engineMetrics struct {
 	leaked    *obs.Counter
 	migLoss   *obs.Counter
 
-	slotLoad *obs.Histogram // watts delivered per slot
+	slotLoad   *obs.Histogram // watts delivered per slot
+	periodSecs *obs.Timer     // wall-clock seconds per simulated period
 }
 
 func newEngineMetrics(reg *obs.Registry) *engineMetrics {
@@ -57,6 +58,7 @@ func newEngineMetrics(reg *obs.Registry) *engineMetrics {
 		leaked:      reg.Counter("sim_leaked_joules_total"),
 		migLoss:     reg.Counter("sim_migration_loss_joules_total"),
 		slotLoad:    reg.Histogram("sim_slot_load_watts", obs.ExpBuckets(0.001, 2, 16)),
+		periodSecs:  reg.Timer("sim_period_seconds"),
 	}
 }
 

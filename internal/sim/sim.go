@@ -542,7 +542,13 @@ func (e *Engine) run(s Scheduler, opts RunOptions) (*Result, error) {
 			trims = 0
 			loadBatch.Flush()
 		}
-		periodSpan.End()
+		// The span's duration doubles as the per-period engine timing
+		// histogram — the distribution the hot-path speed campaign is
+		// judged on, not just the run total.
+		periodDur := periodSpan.End()
+		if e.m != nil {
+			e.m.periodSecs.Observe(periodDur)
+		}
 		if period == tb.PeriodsPerDay-1 {
 			daySpan.End()
 			daySpan = nil

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Bench trajectory: append the next BENCH_NNNN.json performance snapshot
+# to the repo root, gated against the latest committed one. The committed
+# sequence is the project's performance trajectory — each point carries
+# ns/op, allocs, decide tail latency, fleet cache hit rate, and top-N
+# hot-frame attribution from CPU/heap profiles, plus a host fingerprint
+# so cross-machine comparisons are flagged as advisory.
+#
+# Usage:
+#   scripts/bench_trajectory.sh            # gate vs latest, write next point
+#   scripts/bench_trajectory.sh -check     # gate vs latest only, write nothing
+#
+# Exit nonzero if any benchmark regressed >10% against the latest
+# committed snapshot.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+check_only=0
+if [ "${1:-}" = "-check" ]; then
+  check_only=1
+fi
+
+latest=$(ls BENCH_[0-9][0-9][0-9][0-9].json 2>/dev/null | sort | tail -n 1 || true)
+
+args=()
+if [ -n "$latest" ]; then
+  args+=(-baseline "$latest")
+  echo "bench_trajectory: gating against $latest"
+else
+  echo "bench_trajectory: no committed baseline, recording first point"
+fi
+
+if [ "$check_only" = 1 ]; then
+  go run ./cmd/solarsched bench "${args[@]}"
+else
+  if [ -n "$latest" ]; then
+    num=$((10#$(echo "$latest" | sed 's/BENCH_\([0-9]*\)\.json/\1/') + 1))
+  else
+    num=0
+  fi
+  next=$(printf 'BENCH_%04d.json' "$num")
+  go run ./cmd/solarsched bench "${args[@]}" -out "$next"
+  echo "bench_trajectory: wrote $next"
+fi
