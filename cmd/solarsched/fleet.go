@@ -10,6 +10,9 @@
 //	-json FILE   write the full report (metrics included) as JSON
 //	-digest      print only the aggregate digest (for golden comparisons)
 //	-quiet       suppress the table; errors still reach stderr
+//	-store-dir D durable artifact store: offline artifacts persist across
+//	             invocations and are verified + adopted on open
+//	-retry-attempts N attempts per run; transient failures retry with backoff
 //	-log-format  diagnostic log format: text or json
 //	-metrics...  see internal/obs.Flags
 //
@@ -27,6 +30,7 @@ import (
 	"solarsched/internal/cli"
 	"solarsched/internal/fleet"
 	"solarsched/internal/obs"
+	"solarsched/internal/store"
 )
 
 // runFleet is the `fleet` subcommand body, dispatched before the global
@@ -38,6 +42,8 @@ func runFleet(args []string) int {
 	jsonPath := fs.String("json", "", "write the full JSON report to this file")
 	digestOnly := fs.Bool("digest", false, "print only the aggregate digest")
 	quiet := fs.Bool("quiet", false, "suppress the table; errors still reach stderr")
+	storeDir := fs.String("store-dir", "", "durable artifact store: reuse offline artifacts across invocations")
+	retryAttempts := fs.Int("retry-attempts", 1, "attempts per run; transient failures retry with backoff")
 	var of obs.Flags
 	of.Register(fs)
 	fs.Usage = func() {
@@ -80,10 +86,26 @@ func runFleet(args []string) int {
 	}
 	logger.Info("fleet starting", "runs", len(specs), "spec", fs.Arg(0))
 
-	rep, runErr := fleet.Run(ctx, specs, fleet.Options{
+	opts := fleet.Options{
 		Workers:  *workers,
 		Observer: reg,
-	})
+		Retry:    fleet.RetryPolicy{MaxAttempts: *retryAttempts, JitterSeed: uint64(os.Getpid())},
+	}
+	var durable *fleet.Cache
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir, store.Options{Registry: reg})
+		if err != nil {
+			logger.Error("opening store failed", "dir", *storeDir, "err", err)
+			return 1
+		}
+		if vs, err := st.Verify(); err == nil {
+			logger.Info("store opened", "dir", *storeDir,
+				"adopted", vs.Adopted, "quarantined", vs.Quarantined)
+		}
+		durable = fleet.NewDurableCache(reg, st)
+		opts.Cache = durable
+	}
+	rep, runErr := fleet.Run(ctx, specs, opts)
 	// A canceled fleet still returns the partial report; render and persist
 	// what completed before mapping the error onto the exit status.
 	if rep != nil {
@@ -94,6 +116,11 @@ func runFleet(args []string) int {
 			fmt.Fprintf(diag, "  aggregate digest: %s\n", rep.AggregateDigest())
 			fmt.Fprintf(diag, "  cache: %d hits, %d misses (%.1f%% hit rate)\n",
 				rep.CacheHits, rep.CacheMisses, 100*rep.HitRate())
+			if durable != nil {
+				w, cold := durable.WarmStats()
+				fmt.Fprintf(diag, "  store: %d warm hits, %d cold builds (%.1f%% warm)\n",
+					w, cold, 100*durable.WarmHitRate())
+			}
 		}
 		if *csvPath != "" {
 			if err := writeReport(*csvPath, rep.WriteCSV); err != nil {

@@ -126,7 +126,7 @@ func runLoadgen(args []string) int {
 	}
 
 	latencies := make([]float64, *n)
-	var next, failures atomic.Int64
+	var next, failures, throttled atomic.Int64
 	var wg sync.WaitGroup
 	start := time.Now()
 	for c := 0; c < *clients; c++ {
@@ -139,15 +139,28 @@ func runLoadgen(args []string) int {
 					return
 				}
 				t0 := time.Now()
-				resp, err := http.Post(base+path, "application/json", strings.NewReader(body))
-				if err != nil {
-					failures.Add(1)
-					latencies[i] = time.Since(t0).Seconds()
-					continue
+				// A 429 is backpressure, not failure: honor the daemon's
+				// (jittered) Retry-After and resubmit, up to a small budget.
+				// The jitter spreads the re-entry of clients rejected
+				// together, so the retries drain instead of colliding again.
+				ok := false
+				for attempt := 0; attempt < 5; attempt++ {
+					resp, err := http.Post(base+path, "application/json", strings.NewReader(body))
+					if err != nil {
+						break
+					}
+					io.Copy(io.Discard, resp.Body)
+					code := resp.StatusCode
+					ra := resp.Header.Get("Retry-After")
+					resp.Body.Close()
+					if code != http.StatusTooManyRequests {
+						ok = code == http.StatusOK
+						break
+					}
+					throttled.Add(1)
+					time.Sleep(retryAfterDelay(ra))
 				}
-				io.Copy(io.Discard, resp.Body)
-				resp.Body.Close()
-				if resp.StatusCode != http.StatusOK {
+				if !ok {
 					failures.Add(1)
 				}
 				latencies[i] = time.Since(t0).Seconds()
@@ -180,6 +193,7 @@ func runLoadgen(args []string) int {
 		DecideP99MS: 1000 * stats.Percentile(latencies, 0.99),
 		CacheHits:   hits,
 		CacheMisses: misses,
+		Throttled:   throttled.Load(),
 	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -197,6 +211,9 @@ func runLoadgen(args []string) int {
 			fmtSecs(stats.Percentile(latencies, 0.99)),
 			fmtSecs(latencies[len(latencies)-1]))
 		fmt.Printf("  cache: %d hits, %d misses (%.1f%% hit rate)\n", hits, misses, 100*hitRate)
+		if tr := throttled.Load(); tr > 0 {
+			fmt.Printf("  throttled: %d requests answered 429 and retried\n", tr)
+		}
 		if fails > 0 {
 			fmt.Printf("  failures: %d of %d\n", fails, *n)
 		}
@@ -205,6 +222,19 @@ func runLoadgen(args []string) int {
 		return 1
 	}
 	return 0
+}
+
+// retryAfterDelay parses a Retry-After value (delay-seconds form), capped
+// at 5s so a misbehaving server can't stall the generator.
+func retryAfterDelay(v string) time.Duration {
+	secs, err := strconv.Atoi(strings.TrimSpace(v))
+	if err != nil || secs < 1 {
+		secs = 1
+	}
+	if secs > 5 {
+		secs = 5
+	}
+	return time.Duration(secs) * time.Second
 }
 
 var promCounterRe = regexp.MustCompile(`(?m)^(fleet_cache_hits_total|fleet_cache_misses_total)\s+([0-9.eE+-]+)$`)

@@ -17,6 +17,13 @@
 //	-queue N          admission queue depth; a full queue answers 429 (default 8)
 //	-retain N         finished jobs kept queryable (default 256)
 //	-ckpt-dir DIR     checkpoint directory for long runs (empty disables)
+//	-store-dir DIR    durable artifact store: offline artifacts (sizing,
+//	                  teacher samples, trained networks, plans) persist
+//	                  across restarts and are verified + adopted on boot
+//	-store-max-bytes N, -store-max-age D — store GC budget (LRU)
+//	-retry-attempts N per-run supervision: transient failures retry with
+//	                  exponential backoff (default 1 = no retry)
+//	-run-timeout D    per-attempt deadline for each fleet run
 //	-debug-addr ADDR  serve /debug/pprof/* and /debug/vars on a separate
 //	                  listener (empty disables; keep it off public interfaces)
 //	-chrome-trace F   write daemon spans as a Chrome trace_event file on exit
@@ -51,8 +58,10 @@ import (
 
 	"solarsched/internal/ckpt"
 	"solarsched/internal/cli"
+	"solarsched/internal/fleet"
 	"solarsched/internal/obs"
 	"solarsched/internal/serve"
+	"solarsched/internal/store"
 )
 
 func main() {
@@ -69,6 +78,11 @@ func run(args []string) int {
 	queue := fs.Int("queue", 0, "admission queue depth (default 8)")
 	retain := fs.Int("retain", 0, "finished jobs kept queryable (default 256)")
 	ckptDir := fs.String("ckpt-dir", "", "checkpoint directory for long runs (empty disables)")
+	storeDir := fs.String("store-dir", "", "durable artifact store directory (empty disables persistence)")
+	storeMaxBytes := fs.Int64("store-max-bytes", 0, "store size budget in bytes, LRU-evicted by GC (0 = unlimited)")
+	storeMaxAge := fs.Duration("store-max-age", 0, "evict store entries unread for this long (0 = unlimited)")
+	retryAttempts := fs.Int("retry-attempts", 1, "attempts per fleet run; transient failures retry with backoff")
+	runTimeout := fs.Duration("run-timeout", 0, "per-attempt deadline for each fleet run (0 = none)")
 	drainTimeout := fs.Duration("drain-timeout", 2*time.Minute, "how long shutdown waits for in-flight jobs")
 	debugAddr := fs.String("debug-addr", "", "separate listener for /debug/pprof/* and /debug/vars (empty disables)")
 	chromeTrace := fs.String("chrome-trace", "", "write daemon spans as a Chrome trace_event file on exit")
@@ -119,14 +133,44 @@ func run(args []string) int {
 	sampler.Start()
 	defer sampler.Stop()
 
-	s := serve.New(serve.Config{
+	cfg := serve.Config{
 		Workers:       *workers,
 		QueueDepth:    *queue,
 		RetainJobs:    *retain,
 		CheckpointDir: *ckptDir,
 		Registry:      reg,
 		Logger:        logger,
-	})
+		Retry: fleet.RetryPolicy{
+			MaxAttempts: *retryAttempts,
+			RunTimeout:  *runTimeout,
+			JitterSeed:  uint64(os.Getpid()),
+		},
+		RetryAfterSeed: uint64(time.Now().UnixNano()),
+	}
+	if *storeDir != "" {
+		// Warm restart: open the store a previous process may have
+		// populated and verify every surviving entry before serving from
+		// it — corrupt ones are quarantined here, at boot, not at request
+		// time.
+		st, err := store.Open(*storeDir, store.Options{
+			Registry: reg,
+			MaxBytes: *storeMaxBytes,
+			MaxAge:   *storeMaxAge,
+		})
+		if err != nil {
+			logger.Error("store open failed", "dir", *storeDir, "err", err)
+			return 1
+		}
+		vs, err := st.Verify()
+		if err != nil && !errors.Is(err, store.ErrLocked) {
+			logger.Error("store verify failed", "dir", *storeDir, "err", err)
+			return 1
+		}
+		logger.Info("store opened", "dir", *storeDir,
+			"adopted", vs.Adopted, "quarantined", vs.Quarantined, "bytes", vs.Bytes)
+		cfg.Store = st
+	}
+	s := serve.New(cfg)
 	s.Start()
 
 	httpSrv := &http.Server{

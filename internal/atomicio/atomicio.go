@@ -16,7 +16,12 @@ import (
 
 // WriteFile writes data to path with crash consistency.
 func WriteFile(path string, data []byte, perm os.FileMode) error {
-	w, err := NewWriter(path, perm)
+	return WriteFileFS(OS, path, data, perm)
+}
+
+// WriteFileFS is WriteFile on an injected filesystem. fsys nil means OS.
+func WriteFileFS(fsys FS, path string, data []byte, perm os.FileMode) error {
+	w, err := NewWriterFS(fsys, path, perm)
 	if err != nil {
 		return err
 	}
@@ -33,27 +38,44 @@ func WriteFile(path string, data []byte, perm os.FileMode) error {
 // interrupted run never leaves a torn output file: either the previous
 // file survives untouched or the complete new one replaces it.
 type Writer struct {
-	f    *os.File
+	f    File
+	fs   FS
 	path string
 	done bool
 }
 
 var _ io.WriteCloser = (*Writer)(nil)
 
+// TempPattern returns the os.CreateTemp pattern the protocol uses for the
+// in-flight temporary next to path. Exposed so recovery sweeps (the
+// artifact store quarantining a write a crash left behind) can recognize
+// orphaned temporaries by name.
+func TempPattern(path string) string {
+	return "." + filepath.Base(path) + ".tmp-*"
+}
+
 // NewWriter opens a temporary file next to path. Call Commit to publish
 // it at path, or Abort to discard it.
 func NewWriter(path string, perm os.FileMode) (*Writer, error) {
+	return NewWriterFS(OS, path, perm)
+}
+
+// NewWriterFS is NewWriter on an injected filesystem. fsys nil means OS.
+func NewWriterFS(fsys FS, path string, perm os.FileMode) (*Writer, error) {
+	if fsys == nil {
+		fsys = OS
+	}
 	dir := filepath.Dir(path)
-	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	f, err := fsys.CreateTemp(dir, TempPattern(path))
 	if err != nil {
 		return nil, err
 	}
 	if err := f.Chmod(perm); err != nil {
 		f.Close()
-		os.Remove(f.Name())
+		fsys.Remove(f.Name())
 		return nil, err
 	}
-	return &Writer{f: f, path: path}, nil
+	return &Writer{f: f, fs: fsys, path: path}, nil
 }
 
 // Write implements io.Writer.
@@ -74,18 +96,18 @@ func (w *Writer) Commit() error {
 	tmp := w.f.Name()
 	if err := w.f.Sync(); err != nil {
 		w.f.Close()
-		os.Remove(tmp)
+		w.fs.Remove(tmp)
 		return err
 	}
 	if err := w.f.Close(); err != nil {
-		os.Remove(tmp)
+		w.fs.Remove(tmp)
 		return err
 	}
-	if err := os.Rename(tmp, w.path); err != nil {
-		os.Remove(tmp)
+	if err := w.fs.Rename(tmp, w.path); err != nil {
+		w.fs.Remove(tmp)
 		return err
 	}
-	return SyncDir(filepath.Dir(w.path))
+	return w.fs.SyncDir(filepath.Dir(w.path))
 }
 
 // Abort discards the temporary file; the target path is untouched. Safe to
@@ -97,7 +119,7 @@ func (w *Writer) Abort() error {
 	w.done = true
 	tmp := w.f.Name()
 	w.f.Close()
-	return os.Remove(tmp)
+	return w.fs.Remove(tmp)
 }
 
 // Close implements io.Closer as Commit, so the writer drops into APIs that

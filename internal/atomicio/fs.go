@@ -1,0 +1,47 @@
+package atomicio
+
+import (
+	"io"
+	"os"
+)
+
+// File is the write-side file handle the atomic publication protocol
+// needs: sequential writes, durability (Sync), and enough identity to be
+// renamed into place. *os.File satisfies it.
+type File interface {
+	io.Writer
+	Chmod(os.FileMode) error
+	Sync() error
+	Close() error
+	Name() string
+}
+
+// FS abstracts the filesystem operations behind the temp-fsync-rename
+// protocol, so higher layers (the durable artifact store) can run it on
+// an injected filesystem — in particular a deterministic fault shim that
+// shortens writes, fails renames or drops fsyncs. The real filesystem is
+// OS; implementations must keep Rename atomic with respect to readers of
+// the target path, which is the property the whole protocol rests on.
+type FS interface {
+	// CreateTemp creates a new unique file in dir, as os.CreateTemp.
+	CreateTemp(dir, pattern string) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// SyncDir makes a just-renamed entry in dir durable. Implementations
+	// that cannot sync directories degrade gracefully by returning nil:
+	// the rename itself is still atomic.
+	SyncDir(dir string) error
+}
+
+// osFS is the real filesystem.
+type osFS struct{}
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) { return os.CreateTemp(dir, pattern) }
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+func (osFS) SyncDir(dir string) error                     { return SyncDir(dir) }
+
+// OS is the real filesystem as an FS.
+var OS FS = osFS{}

@@ -31,11 +31,19 @@ type Cache struct {
 
 	hits, misses atomic.Int64
 
+	// Durable layer (nil for a memory-only cache; see NewDurableCache).
+	persist              Persister
+	codecs               map[string]Codec
+	warmHits, coldBuilds atomic.Int64
+
 	// Pre-resolved instruments (nil-safe when built without a registry).
-	mHits    *obs.Counter
-	mMisses  *obs.Counter
-	mEntries *obs.Gauge
-	mBuild   *obs.Timer
+	mHits        *obs.Counter
+	mMisses      *obs.Counter
+	mEntries     *obs.Gauge
+	mBuild       *obs.Timer
+	mWarmHits    *obs.Counter
+	mColdBuilds  *obs.Counter
+	mPersistErrs *obs.Counter
 }
 
 type cacheEntry struct {
@@ -58,11 +66,18 @@ func NewCache(reg *obs.Registry) *Cache {
 
 // Do returns the artifact stored under key, building it with build on first
 // request. Concurrent callers of the same key share one build (single
-// flight): exactly one runs build, the rest block until it finishes. Build
-// errors are cached too — a deterministic failure is as content-addressed
-// as a success — except cancellation errors, which are evicted so later
-// callers with a live context retry. A panic inside build is recovered into
-// an error so waiters never block forever.
+// flight): exactly one runs build, the rest block until it finishes. Only
+// permanent build errors are cached — a deterministic failure is as
+// content-addressed as a success — while cancellation and transient
+// (environmental) errors evict the failed flight so the next caller
+// retries with a fresh build rather than being served a stale I/O error
+// forever. The eviction happens exactly once, by the flight's builder; the
+// waiters that shared the failure just return it. A panic inside build is
+// recovered into an error so waiters never block forever.
+//
+// On a durable cache (NewDurableCache), keys of a durable kind are first
+// looked up in the persister — a warm hit skips build entirely — and every
+// cold build is written back best-effort.
 //
 // ctx bounds only this caller's wait; it is not passed to build, because
 // the build's result will be shared with callers whose contexts are still
@@ -90,6 +105,18 @@ func (c *Cache) Do(ctx context.Context, key string, build func() (any, error)) (
 	c.mMisses.Inc()
 	c.mEntries.Set(float64(c.Len()))
 
+	codec, durable := c.codecs[kindOf(key)]
+	durable = durable && c.persist != nil
+	if durable {
+		if v, ok := c.durableGet(key, codec); ok {
+			e.val = v
+			c.warmHits.Add(1)
+			c.mWarmHits.Inc()
+			close(e.done)
+			return e.val, nil
+		}
+	}
+
 	sw := c.mBuild.Start()
 	func() {
 		defer func() {
@@ -100,10 +127,20 @@ func (c *Cache) Do(ctx context.Context, key string, build func() (any, error)) (
 		e.val, e.err = build()
 	}()
 	sw.Stop()
-	if e.err != nil && isCancellation(e.err) {
+	if e.err != nil && (isCancellation(e.err) || Transient(e.err)) {
+		// Evict the failed flight so a later caller rebuilds. Guarded on
+		// entry identity: only this flight is removed, exactly once, even
+		// if a successor flight has already been installed under the key.
 		c.mu.Lock()
-		delete(c.entries, key)
+		if c.entries[key] == e {
+			delete(c.entries, key)
+		}
 		c.mu.Unlock()
+	}
+	if e.err == nil && durable {
+		c.coldBuilds.Add(1)
+		c.mColdBuilds.Inc()
+		c.durablePut(key, codec, e.val)
 	}
 	close(e.done)
 	if e.err != nil {

@@ -1,0 +1,31 @@
+package fleet
+
+import (
+	"errors"
+	"os"
+)
+
+// ErrTransient marks a failure worth retrying: the same inputs may succeed
+// on another attempt because the cause is environmental (I/O, resource
+// pressure), not the configuration. Wrap errors with it
+// (fmt.Errorf("...: %w", fleet.ErrTransient)) to opt a failure into the
+// supervision layer's retry loop; anything else is treated as permanent —
+// a deterministic build will fail identically forever, so retrying it only
+// burns the worker pool.
+var ErrTransient = errors.New("fleet: transient failure")
+
+// Transient reports whether err is worth retrying. Besides the explicit
+// ErrTransient marker, filesystem and syscall failures are transient by
+// default: they come from the environment the run executes in, not from
+// the run's content-addressed inputs.
+func Transient(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrTransient) {
+		return true
+	}
+	var pathErr *os.PathError
+	var sysErr *os.SyscallError
+	return errors.As(err, &pathErr) || errors.As(err, &sysErr)
+}

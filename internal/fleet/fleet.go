@@ -44,6 +44,10 @@ type Options struct {
 	// OnResult, when non-nil, streams each finished run to the caller in
 	// completion order (called from worker goroutines, serialized).
 	OnResult func(RunResult)
+	// Retry is the supervision policy: transient per-run failures are
+	// retried with exponential backoff, and each attempt can carry its own
+	// deadline. The zero value runs every spec exactly once.
+	Retry RetryPolicy
 }
 
 // Run executes every spec across a bounded worker pool and returns the
@@ -82,6 +86,8 @@ func Run(ctx context.Context, specs []Spec, opts Options) (*Report, error) {
 	mQueue := reg.Gauge("fleet_queue_depth")
 	mRuns := reg.Counter("fleet_runs_total")
 	mFails := reg.Counter("fleet_run_failures_total")
+	mRetries := reg.Counter("fleet_run_retries_total")
+	mRecovered := reg.Counter("fleet_runs_recovered_total")
 	mTimer := reg.Timer("fleet_run_seconds")
 
 	results := make([]RunResult, len(specs))
@@ -95,10 +101,16 @@ func Run(ctx context.Context, specs []Spec, opts Options) (*Report, error) {
 		go func() {
 			defer wg.Done()
 			for i := range work {
-				results[i] = runOne(ctx, specs[i], cache, reg, mTimer)
+				results[i] = runSupervised(ctx, specs[i], cache, reg, mTimer, opts.Retry)
 				mRuns.Inc()
 				if results[i].Err != nil {
 					mFails.Inc()
+				}
+				if results[i].Attempts > 1 {
+					mRetries.Add(float64(results[i].Attempts - 1))
+				}
+				if results[i].Recovered {
+					mRecovered.Inc()
 				}
 				mQueue.Add(-1)
 				if opts.OnResult != nil {

@@ -24,7 +24,23 @@ type RunResult struct {
 	Digest    string
 	Err       error
 	Elapsed   time.Duration
+	// Attempts counts supervision-layer tries (1 = first attempt
+	// succeeded or the policy allows no retry; 0 = never started because
+	// the fleet was canceled before this spec was fed).
+	Attempts int
+	// Recovered marks a run that failed transiently and then succeeded on
+	// a retry — the result is just as valid (runs are deterministic), but
+	// the report calls these out so flaky environments are visible.
+	Recovered bool
 }
+
+// Retried reports whether the supervision layer ran this spec more than
+// once.
+func (rr RunResult) Retried() bool { return rr.Attempts > 1 }
+
+// Abandoned reports whether the run still failed after at least one retry
+// — the supervision layer spent its budget and gave up.
+func (rr RunResult) Abandoned() bool { return rr.Err != nil && rr.Attempts > 1 }
 
 // Report aggregates a fleet run: per-spec results in spec order plus cache
 // and timing totals.
@@ -79,22 +95,39 @@ func (r *Report) DMRs() []float64 {
 	return out
 }
 
-// Summary is the fleet-level DMR distribution.
+// Summary is the fleet-level DMR distribution plus the supervision
+// layer's partial-failure accounting: Retried runs needed more than one
+// attempt, Recovered ones succeeded on a retry, Abandoned ones failed
+// even after retrying.
 type Summary struct {
-	Runs    int     `json:"runs"`
-	Failed  int     `json:"failed"`
-	DMRMean float64 `json:"dmr_mean"`
-	DMRStd  float64 `json:"dmr_std"`
-	DMRMin  float64 `json:"dmr_min"`
-	DMRP50  float64 `json:"dmr_p50"`
-	DMRP90  float64 `json:"dmr_p90"`
-	DMRMax  float64 `json:"dmr_max"`
+	Runs      int     `json:"runs"`
+	Failed    int     `json:"failed"`
+	Retried   int     `json:"retried,omitempty"`
+	Recovered int     `json:"recovered,omitempty"`
+	Abandoned int     `json:"abandoned,omitempty"`
+	DMRMean   float64 `json:"dmr_mean"`
+	DMRStd    float64 `json:"dmr_std"`
+	DMRMin    float64 `json:"dmr_min"`
+	DMRP50    float64 `json:"dmr_p50"`
+	DMRP90    float64 `json:"dmr_p90"`
+	DMRMax    float64 `json:"dmr_max"`
 }
 
 // Summarize computes the DMR distribution over the successful runs.
 func (r *Report) Summarize() Summary {
 	dmrs := r.DMRs()
 	s := Summary{Runs: len(r.Results), Failed: len(r.Results) - len(dmrs)}
+	for _, rr := range r.Results {
+		if rr.Retried() {
+			s.Retried++
+		}
+		if rr.Recovered {
+			s.Recovered++
+		}
+		if rr.Abandoned() {
+			s.Abandoned++
+		}
+	}
 	if len(dmrs) == 0 {
 		return s
 	}
@@ -181,6 +214,8 @@ type runResultJSON struct {
 	Digest         string      `json:"digest,omitempty"`
 	Error          string      `json:"error,omitempty"`
 	ElapsedSeconds float64     `json:"elapsed_seconds"`
+	Attempts       int         `json:"attempts,omitempty"`
+	Recovered      bool        `json:"recovered,omitempty"`
 	Result         *sim.Result `json:"result,omitempty"`
 }
 
@@ -197,6 +232,7 @@ func (r *Report) WriteJSON(w io.Writer) error {
 		rj := runResultJSON{
 			ID: rr.ID, Scheduler: rr.Scheduler, Digest: rr.Digest,
 			ElapsedSeconds: rr.Elapsed.Seconds(), Result: rr.Result,
+			Attempts: rr.Attempts, Recovered: rr.Recovered,
 		}
 		if rr.Err != nil {
 			rj.Error = rr.Err.Error()

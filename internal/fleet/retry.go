@@ -1,0 +1,119 @@
+package fleet
+
+import (
+	"context"
+	"time"
+
+	"solarsched/internal/obs"
+	"solarsched/internal/rng"
+)
+
+// RetryPolicy is the fleet's supervision layer: each run gets up to
+// MaxAttempts tries, with exponential backoff between attempts and an
+// optional per-attempt deadline. Only transient failures (see Transient)
+// are retried — a permanent error reproduces deterministically, so
+// retrying it would just re-run a guaranteed failure.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per run (first attempt
+	// included). 0 and 1 both mean no retry.
+	MaxAttempts int
+	// BaseDelay is the backoff before attempt 2; attempt n waits
+	// BaseDelay·2^(n−2), capped at MaxDelay. Defaults to 50ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff. Defaults to 2s.
+	MaxDelay time.Duration
+	// JitterSeed seeds the deterministic jitter stream (each delay is
+	// scaled uniformly into [½d, d)), decorrelating retries across runs
+	// that failed together without losing reproducibility.
+	JitterSeed uint64
+	// RunTimeout, when positive, bounds each attempt with its own
+	// deadline; an attempt that exceeds it is cut off and counts as
+	// transient (the next attempt may land on a less loaded worker pool).
+	RunTimeout time.Duration
+}
+
+// active reports whether the policy does anything beyond a single attempt.
+func (p RetryPolicy) active() bool { return p.MaxAttempts > 1 || p.RunTimeout > 0 }
+
+func (p RetryPolicy) attempts() int {
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// newRetryJitter derives a run's jitter stream: deterministic per (seed,
+// run ID), decorrelated across runs — members that failed together back
+// off apart.
+func newRetryJitter(seed uint64, runID string) *rng.Source {
+	return rng.New(seed).SplitLabeled("fleet/retry/" + runID)
+}
+
+// delay returns the jittered backoff before attempt (attempt ≥ 2).
+func (p RetryPolicy) delay(attempt int, jitter *rng.Source) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	max := p.MaxDelay
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	d := base
+	for i := 2; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	// Uniform in [½d, d): full-strength backoff on average, but two runs
+	// that failed in the same instant won't retry in the same instant.
+	return d/2 + time.Duration(jitter.Float64()*float64(d/2))
+}
+
+// runSupervised wraps runOne in the retry loop. Every attempt's outcome
+// lands in the same RunResult: Attempts counts tries, Recovered marks a
+// success that needed more than one. Fleet-level cancellation always wins
+// over the retry budget — a canceled context stops the loop immediately.
+func runSupervised(ctx context.Context, spec Spec, cache *Cache, reg *obs.Registry, timer *obs.Timer, p RetryPolicy) RunResult {
+	if !p.active() {
+		rr := runOne(ctx, spec, cache, reg, timer)
+		rr.Attempts = 1
+		return rr
+	}
+	var jitter *rng.Source
+	if p.MaxAttempts > 1 {
+		jitter = newRetryJitter(p.JitterSeed, spec.ID)
+	}
+	var rr RunResult
+	for attempt := 1; ; attempt++ {
+		actx, cancel := ctx, context.CancelFunc(func() {})
+		if p.RunTimeout > 0 {
+			actx, cancel = context.WithTimeout(ctx, p.RunTimeout)
+		}
+		rr = runOne(actx, spec, cache, reg, timer)
+		attemptTimedOut := actx.Err() != nil && ctx.Err() == nil
+		cancel()
+		rr.Attempts = attempt
+		if rr.Err == nil {
+			rr.Recovered = attempt > 1
+			return rr
+		}
+		if ctx.Err() != nil {
+			// The fleet itself is shutting down; don't burn backoff time.
+			return rr
+		}
+		if attempt >= p.attempts() {
+			return rr
+		}
+		if !Transient(rr.Err) && !attemptTimedOut {
+			return rr
+		}
+		retryDelay := p.delay(attempt+1, jitter)
+		select {
+		case <-time.After(retryDelay):
+		case <-ctx.Done():
+			return rr
+		}
+	}
+}

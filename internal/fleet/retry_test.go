@@ -1,0 +1,169 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// flaky wraps quickSpec so the first fails Prepare attempts fail with err
+// before the real Prepare takes over.
+func flaky(id string, seed uint64, fails int, err error) (Spec, *atomic.Int32) {
+	calls := &atomic.Int32{}
+	inner := quickSpec(id, seed)
+	return Spec{ID: id, Prepare: func(ctx context.Context, c *Cache) (*Job, error) {
+		if int(calls.Add(1)) <= fails {
+			return nil, err
+		}
+		return inner.Prepare(ctx, c)
+	}}, calls
+}
+
+func retryPolicy(attempts int) RetryPolicy {
+	return RetryPolicy{MaxAttempts: attempts, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond}
+}
+
+// TestRetryRecoversTransient: a run failing transiently recovers on a
+// later attempt, and both the result and the summary record the rescue.
+func TestRetryRecoversTransient(t *testing.T) {
+	spec, calls := flaky("flaky", 1, 2, fmt.Errorf("worker wobble: %w", ErrTransient))
+	rep, err := Run(context.Background(), []Spec{spec}, Options{Retry: retryPolicy(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := rep.Results[0]
+	if rr.Err != nil {
+		t.Fatalf("run failed despite retry budget: %v", rr.Err)
+	}
+	if rr.Attempts != 3 || !rr.Recovered || !rr.Retried() {
+		t.Fatalf("Attempts=%d Recovered=%v Retried=%v, want 3/true/true", rr.Attempts, rr.Recovered, rr.Retried())
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("Prepare ran %d times, want 3", got)
+	}
+	sum := rep.Summarize()
+	if sum.Retried != 1 || sum.Recovered != 1 || sum.Abandoned != 0 || sum.Failed != 0 {
+		t.Fatalf("summary = %+v, want 1 retried / 1 recovered / 0 abandoned / 0 failed", sum)
+	}
+	if rr.Digest == "" {
+		t.Fatal("recovered run has no digest")
+	}
+}
+
+// TestRetryPermanentFailsFast: a deterministic (permanent) failure is
+// never retried — re-running it would produce the same error again.
+func TestRetryPermanentFailsFast(t *testing.T) {
+	spec, calls := flaky("broken", 1, 99, errors.New("bad configuration"))
+	rep, err := Run(context.Background(), []Spec{spec}, Options{Retry: retryPolicy(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := rep.Results[0]
+	if rr.Err == nil || rr.Attempts != 1 || rr.Retried() {
+		t.Fatalf("permanent failure: Attempts=%d Err=%v, want 1 attempt and an error", rr.Attempts, rr.Err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("Prepare ran %d times, want 1", got)
+	}
+}
+
+// TestRetryAbandoned: a persistently transient failure exhausts the
+// budget and is reported abandoned, without sinking the rest of the
+// fleet.
+func TestRetryAbandoned(t *testing.T) {
+	doomed, _ := flaky("doomed", 1, 99, fmt.Errorf("disk on fire: %w", ErrTransient))
+	rep, err := Run(context.Background(), []Spec{doomed, quickSpec("healthy", 2)}, Options{
+		Workers: 2, Retry: retryPolicy(3),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := rep.Results[0]
+	if rr.Err == nil || rr.Attempts != 3 || !rr.Abandoned() {
+		t.Fatalf("doomed run: Attempts=%d Err=%v Abandoned=%v, want 3/error/true", rr.Attempts, rr.Err, rr.Abandoned())
+	}
+	if rep.Results[1].Err != nil {
+		t.Fatalf("healthy member dragged down: %v", rep.Results[1].Err)
+	}
+	sum := rep.Summarize()
+	if sum.Abandoned != 1 || sum.Recovered != 0 || sum.Failed != 1 {
+		t.Fatalf("summary = %+v, want 1 abandoned / 0 recovered / 1 failed", sum)
+	}
+}
+
+// TestRetryRunTimeout: the per-attempt deadline cuts off a hung run, the
+// timeout counts as transient (the next attempt gets a fresh deadline),
+// and the budget still bounds the total attempts.
+func TestRetryRunTimeout(t *testing.T) {
+	hung := Spec{ID: "hung", Prepare: func(ctx context.Context, c *Cache) (*Job, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}}
+	start := time.Now()
+	rep, err := Run(context.Background(), []Spec{hung}, Options{Retry: RetryPolicy{
+		MaxAttempts: 2, BaseDelay: time.Millisecond, RunTimeout: 20 * time.Millisecond,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := rep.Results[0]
+	if rr.Err == nil || rr.Attempts != 2 {
+		t.Fatalf("hung run: Attempts=%d Err=%v, want 2 attempts and an error", rr.Attempts, rr.Err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("deadline did not bound the hung run (took %s)", elapsed)
+	}
+}
+
+// TestRetryFleetCancellationWins: a canceled fleet context stops the
+// retry loop immediately instead of sleeping through the backoff.
+func TestRetryFleetCancellationWins(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	spec := Spec{ID: "x", Prepare: func(context.Context, *Cache) (*Job, error) {
+		cancel() // fail transiently and take the fleet down with us
+		return nil, fmt.Errorf("going away: %w", ErrTransient)
+	}}
+	rep, _ := Run(ctx, []Spec{spec}, Options{Retry: RetryPolicy{
+		MaxAttempts: 100, BaseDelay: time.Hour, MaxDelay: time.Hour,
+	}})
+	if rr := rep.Results[0]; rr.Attempts > 1 {
+		t.Fatalf("retry loop kept going under canceled context: %d attempts", rr.Attempts)
+	}
+}
+
+// TestRetryDelayJitterDeterministic: the same seed yields the same
+// jittered backoff sequence (reproducibility), different run IDs yield
+// decorrelated ones (no thundering herd on shared-cause failures).
+func TestRetryDelayJitterDeterministic(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 5, BaseDelay: 10 * time.Millisecond, MaxDelay: 80 * time.Millisecond, JitterSeed: 3}
+	seq := func(id string) []time.Duration {
+		j := newRetryJitter(p.JitterSeed, id)
+		var out []time.Duration
+		for a := 2; a <= 5; a++ {
+			out = append(out, p.delay(a, j))
+		}
+		return out
+	}
+	a1, a2, b := seq("run-a"), seq("run-a"), seq("run-b")
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("same (seed, id) produced different delays: %v vs %v", a1, a2)
+		}
+		lo := []time.Duration{5, 10, 20, 40}[i] * time.Millisecond
+		if a1[i] < lo || a1[i] >= 2*lo {
+			t.Fatalf("delay %d = %s outside [%s, %s)", i, a1[i], lo, 2*lo)
+		}
+	}
+	same := true
+	for i := range a1 {
+		if a1[i] != b[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different run IDs produced identical jitter — retries would stampede together")
+	}
+}

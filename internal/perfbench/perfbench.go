@@ -98,6 +98,9 @@ type LoadgenSummary struct {
 	DecideP99MS float64 `json:"decide_p99_ms,omitempty"`
 	CacheHits   int64   `json:"cache_hits,omitempty"`
 	CacheMisses int64   `json:"cache_misses,omitempty"`
+	// Throttled counts requests that were answered 429 and retried after
+	// the daemon's jittered Retry-After — backpressure, not failure.
+	Throttled int64 `json:"throttled,omitempty"`
 }
 
 // Result returns the named benchmark, or nil.

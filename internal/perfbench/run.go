@@ -20,15 +20,17 @@ import (
 	"solarsched/internal/sim"
 	"solarsched/internal/solar"
 	"solarsched/internal/stats"
+	"solarsched/internal/store"
 	"solarsched/internal/task"
 )
 
 // Benchmark names emitted by Run. The comparator matches on these.
 const (
-	BenchEngineRun = "engine_run"  // one WAM day under the intra baseline
-	BenchFleetCold = "fleet_cold"  // quick fleet, empty artifact cache
-	BenchFleetWarm = "fleet_warm"  // same fleet, warmed cache
-	BenchDecide    = "decide_once" // one-shot online inference
+	BenchEngineRun = "engine_run"         // one WAM day under the intra baseline
+	BenchFleetCold = "fleet_cold"         // quick fleet, empty artifact cache
+	BenchFleetWarm = "fleet_warm"         // same fleet, warmed cache
+	BenchDecide    = "decide_once"        // one-shot online inference
+	BenchStoreWarm = "store_warm_restart" // quick fleet rebuilt from an adopted on-disk store
 )
 
 // Config tunes a benchmark run. The zero value is the CI configuration.
@@ -123,6 +125,7 @@ func Run(ctx context.Context, cfg Config) (*Snapshot, error) {
 		{BenchDecide, func(ctx context.Context) (BenchResult, error) {
 			return benchDecide(ctx, cache, cfg.DecideIters)
 		}},
+		{BenchStoreWarm, benchStoreWarmRestart},
 	}
 	for _, b := range suite {
 		if !enabled(b.name) {
@@ -312,6 +315,75 @@ func benchFleet(ctx context.Context, name string, cache *fleet.Cache, reps int) 
 			"cache_hit_rate": hitRate,
 		},
 	}, nil
+}
+
+// benchStoreWarmRestart measures the warm-restart path of the durable
+// artifact store: a process that inherits an on-disk store from a
+// previous run pays Open + boot Verify + a fleet pass whose offline
+// artifacts all come from disk (decode + integrity check) instead of
+// being recomputed. The gap between this number and fleet_cold is what
+// durability buys a restarted daemon; the gap to fleet_warm is the
+// decode-and-verify tax of going through the filesystem. A warm-hit
+// rate below 100% in Extra means an artifact stopped round-tripping.
+func benchStoreWarmRestart(ctx context.Context) (BenchResult, error) {
+	dir, err := os.MkdirTemp("", "perfbench-store-")
+	if err != nil {
+		return BenchResult{}, err
+	}
+	defer os.RemoveAll(dir)
+
+	specs, err := quickFleetSpec().Compile(nil)
+	if err != nil {
+		return BenchResult{}, err
+	}
+	runOnce := func(cache *fleet.Cache) error {
+		rep, err := fleet.Run(ctx, specs, fleet.Options{Cache: cache})
+		if err != nil {
+			return err
+		}
+		return rep.FirstErr()
+	}
+
+	// Populate: one cold pass writes every durable artifact to disk.
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		return BenchResult{}, err
+	}
+	if err := runOnce(fleet.NewDurableCache(nil, st)); err != nil {
+		return BenchResult{}, err
+	}
+
+	var best BenchResult
+	for rep := 0; rep < benchReps; rep++ {
+		start := time.Now()
+		st, err := store.Open(dir, store.Options{})
+		if err != nil {
+			return BenchResult{}, err
+		}
+		if _, err := st.Verify(); err != nil {
+			return BenchResult{}, err
+		}
+		cache := fleet.NewDurableCache(nil, st)
+		if err := runOnce(cache); err != nil {
+			return BenchResult{}, err
+		}
+		elapsed := float64(time.Since(start).Nanoseconds())
+		if rep == 0 || elapsed < best.NsPerOp {
+			warm, cold := cache.WarmStats()
+			best = BenchResult{
+				Iterations: 1,
+				NsPerOp:    elapsed,
+				Extra: map[string]float64{
+					"runs":          float64(len(specs)),
+					"warm_hits":     float64(warm),
+					"cold_builds":   float64(cold),
+					"warm_hit_rate": cache.WarmHitRate(),
+				},
+			}
+		}
+	}
+	best.Iterations = benchReps
+	return best, nil
 }
 
 // benchDecide measures the one-shot online inference path the daemon's

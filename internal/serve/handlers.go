@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"solarsched/internal/fleet"
@@ -82,7 +83,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {
 			httpError(w, http.StatusServiceUnavailable, "daemon is draining")
 			return
 		}
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		httpError(w, http.StatusTooManyRequests, "admission queue full (depth %d)", s.cfg.QueueDepth)
 		return
 	}
@@ -133,14 +134,47 @@ func (s *Server) handleCancel(w http.ResponseWriter, req *http.Request) {
 	s.writeStatus(w, j)
 }
 
+// readyResponse is the /readyz body. The store section appears when the
+// daemon runs on a durable artifact store, and its warm-hit rate is the
+// warm-restart acceptance signal: after a restart over a populated store,
+// resubmitted work should be served warm.
+type readyResponse struct {
+	Status string      `json:"status"`
+	Store  *storeReady `json:"store,omitempty"`
+}
+
+type storeReady struct {
+	Dir         string  `json:"dir"`
+	Entries     int     `json:"entries"`
+	Bytes       int64   `json:"bytes"`
+	WarmHits    int64   `json:"warm_hits"`
+	ColdBuilds  int64   `json:"cold_builds"`
+	WarmHitRate float64 `json:"warm_hit_rate"`
+	Quarantined int64   `json:"quarantined"`
+}
+
 // handleReady serves GET /readyz: 200 while the executor runs and the
 // daemon accepts jobs, 503 before Start and while draining.
 func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
 	if !s.Ready() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "not ready"})
+		writeJSON(w, http.StatusServiceUnavailable, readyResponse{Status: "not ready"})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	resp := readyResponse{Status: "ready"}
+	if st := s.cfg.Store; st != nil {
+		warm, cold := s.cache.WarmStats()
+		sr := &storeReady{
+			Dir:      st.Dir(),
+			WarmHits: warm, ColdBuilds: cold,
+			WarmHitRate: s.cache.WarmHitRate(),
+			Quarantined: st.Stats().Quarantined,
+		}
+		if entries, bytes, err := st.Len(); err == nil {
+			sr.Entries, sr.Bytes = entries, bytes
+		}
+		resp.Store = sr
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) writeStatus(w http.ResponseWriter, j *job) {

@@ -37,7 +37,9 @@ import (
 	"solarsched/internal/ckpt"
 	"solarsched/internal/fleet"
 	"solarsched/internal/obs"
+	"solarsched/internal/rng"
 	"solarsched/internal/sim"
+	"solarsched/internal/store"
 )
 
 // Config tunes the daemon backend.
@@ -61,6 +63,19 @@ type Config struct {
 	// Cache is the shared offline-artifact cache; nil builds one. All
 	// jobs and /v1/decide calls share it.
 	Cache *fleet.Cache
+	// Store, when non-nil, layers the durable artifact store under the
+	// cache (ignored if Cache is set explicitly): artifacts built by a
+	// previous process are adopted on boot, so a warm restart skips the
+	// offline stages entirely. The caller opens (and verifies) it.
+	Store *store.Store
+	// Retry is each job's fleet supervision policy: transient per-run
+	// failures retry with backoff, per-attempt deadlines cut off hung
+	// runs. The zero value runs every spec once.
+	Retry fleet.RetryPolicy
+	// RetryAfterSeed seeds the jittered Retry-After answered with 429 —
+	// synchronized clients that all hit a full queue spread their retries
+	// instead of stampeding back in the same second.
+	RetryAfterSeed uint64
 	// Logger receives the daemon's structured request/job log. Every line
 	// of the serving path carries the request's correlation ID
 	// (request_id), and job lines add job_id and the result digest, so one
@@ -101,6 +116,9 @@ type Server struct {
 	started  bool
 	draining bool
 
+	jitterMu sync.Mutex
+	jitter   *rng.Source
+
 	wg  sync.WaitGroup
 	mux *http.ServeMux
 }
@@ -123,7 +141,11 @@ func New(cfg Config) *Server {
 	}
 	cache := cfg.Cache
 	if cache == nil {
-		cache = fleet.NewCache(reg)
+		if cfg.Store != nil {
+			cache = fleet.NewDurableCache(reg, cfg.Store)
+		} else {
+			cache = fleet.NewCache(reg)
+		}
 	}
 	logger := cfg.Logger
 	if logger == nil {
@@ -139,6 +161,7 @@ func New(cfg Config) *Server {
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		queue:      make(chan *job, cfg.QueueDepth),
+		jitter:     rng.New(cfg.RetryAfterSeed).SplitLabeled("serve/retry-after"),
 		m: serverMetrics{
 			requests: func(route string) *obs.Counter {
 				return reg.Counter("serve_http_requests_total", obs.L("route", route))
@@ -291,6 +314,14 @@ func (s *Server) executor() {
 	for j := range s.queue {
 		s.m.queueDepth.Add(-1)
 		s.execute(j)
+		if s.cfg.Store != nil {
+			// Enforce the store's size/age budget between jobs, where it
+			// cannot race this process's own Puts. ErrLocked (another
+			// process's maintenance pass) just means skip this round.
+			if _, err := s.cfg.Store.GC(); err != nil && !errors.Is(err, store.ErrLocked) {
+				s.log.Warn("store gc failed", "err", err)
+			}
+		}
 	}
 }
 
@@ -309,6 +340,7 @@ func (s *Server) execute(j *job) {
 		Workers:  s.cfg.Workers,
 		Cache:    s.cache,
 		Observer: s.reg,
+		Retry:    s.cfg.Retry,
 		OnResult: func(rr fleet.RunResult) {
 			// The run is over: flush its recorder's pending final
 			// period, then emit the result event. OnResult runs on the
@@ -383,6 +415,16 @@ var (
 	errDraining  = errors.New("serve: daemon is draining")
 	errQueueFull = errors.New("serve: admission queue full")
 )
+
+// retryAfterSeconds draws the jittered backoff hint for a 429: an integer
+// in [1, 3]. A fixed value would re-synchronize every rejected client onto
+// the same retry instant; spreading them over a few seconds drains a
+// thundering herd through the queue instead of bouncing it off again.
+func (s *Server) retryAfterSeconds() int {
+	s.jitterMu.Lock()
+	defer s.jitterMu.Unlock()
+	return s.jitter.IntRange(1, 3)
+}
 
 // runOptionsFor builds the per-run extra options of a job: the SSE period
 // recorder, plus a checkpoint sink when a checkpoint directory is

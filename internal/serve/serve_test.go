@@ -50,7 +50,7 @@ type reportWire struct {
 
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	if cfg.Cache == nil {
+	if cfg.Cache == nil && cfg.Store == nil {
 		cfg.Cache = testCache
 	}
 	s := New(cfg)

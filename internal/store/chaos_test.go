@@ -1,0 +1,101 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"solarsched/internal/obs"
+)
+
+// chaosPayload derives a distinct, verifiable payload for key i.
+func chaosPayload(i int) []byte {
+	return bytes.Repeat([]byte(fmt.Sprintf("payload-%03d|", i)), 40)
+}
+
+// TestChaosNeverServesCorrupt is the store half of the CI chaos smoke:
+// drive the store through a fault-injecting filesystem at a 5% error
+// rate and assert the robustness contract — every Get that succeeds
+// returns byte-correct data (the envelope digest catches every injected
+// corruption), every failure is a classified error, and the caller's
+// rebuild-on-miss loop always converges.
+func TestChaosNeverServesCorrupt(t *testing.T) {
+	ffs := NewFaultFS(OS, Uniform(7, 0.05))
+	reg := obs.NewRegistry()
+	s, err := Open(t.TempDir(), Options{FS: ffs, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const keys = 60
+	const rounds = 5
+	var served, rebuilt int
+	for round := 0; round < rounds; round++ {
+		for i := 0; i < keys; i++ {
+			key := testKey(i)
+			want := chaosPayload(i)
+			got, err := s.Get(key)
+			switch {
+			case err == nil:
+				served++
+				if !bytes.Equal(got, want) {
+					t.Fatalf("round %d key %d: store served corrupt payload", round, i)
+				}
+			case errors.Is(err, ErrNotFound), errors.Is(err, ErrCorruptArtifact), errors.Is(err, ErrInjected):
+				// Miss, quarantined entry, or injected read fault: rebuild.
+				// Put may itself fail under injection; the entry is simply
+				// rebuilt again next round.
+				if perr := s.Put(key, want); perr == nil {
+					rebuilt++
+				} else if !errors.Is(perr, ErrInjected) {
+					t.Fatalf("round %d key %d: Put failed with non-injected error: %v", round, i, perr)
+				}
+			default:
+				t.Fatalf("round %d key %d: unclassified Get error: %v", round, i, err)
+			}
+		}
+	}
+
+	if served == 0 {
+		t.Fatal("no Get ever succeeded under 5% faults; shim is too hot or store is broken")
+	}
+	if rebuilt == 0 {
+		t.Fatal("no rebuild ever ran; fault shim appears inert")
+	}
+	reads, corrupts, writes, renames, syncs := ffs.Injected()
+	t.Logf("served=%d rebuilt=%d injected: reads=%d corrupts=%d writes=%d renames=%d syncs=%d quarantined=%d",
+		served, rebuilt, reads, corrupts, writes, renames, syncs, s.Stats().Quarantined)
+	if reads+corrupts+writes+renames+syncs == 0 {
+		t.Fatal("fault shim injected nothing across the whole run")
+	}
+	if corrupts > 0 && s.Stats().Quarantined == 0 {
+		t.Error("corrupt reads were injected but nothing was quarantined")
+	}
+
+	// A clean final pass over a fresh fault-free handle: everything the
+	// chaos run left on disk must verify and serve byte-correct.
+	clean, err := Open(s.Dir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs, err := clean.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs.Quarantined != 0 {
+		t.Errorf("chaos run left %d corrupt entries on disk; atomic publication should make that impossible", vs.Quarantined)
+	}
+	for i := 0; i < keys; i++ {
+		got, err := clean.Get(testKey(i))
+		if errors.Is(err, ErrNotFound) {
+			continue // last rebuild for this key lost to an injected fault
+		}
+		if err != nil {
+			t.Fatalf("clean pass key %d: %v", i, err)
+		}
+		if !bytes.Equal(got, chaosPayload(i)) {
+			t.Fatalf("clean pass key %d: corrupt payload survived on disk", i)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Warm-restart smoke for the durable artifact store: the end-to-end
+# acceptance that survives an unclean daemon death.
+#   1. boot solarschedd with -store-dir and run the reference fleet — the
+#      offline artifacts (sizing, teacher samples, trained networks,
+#      plans) land in the store;
+#   2. SIGKILL the daemon — no drain, no flush, the worst-case restart;
+#   3. boot a second daemon over the same directory: boot-time Verify
+#      must adopt the survivors (quarantining any torn ones instead of
+#      serving them);
+#   4. resubmit the same spec — the aggregate digest must be
+#      bit-identical to the first run and /readyz must report a
+#      warm-hit rate >= 80% with nothing quarantined.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+spec=scripts/serve_smoke_spec.json
+addr=127.0.0.1:7469
+base="http://$addr"
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"; kill "$pid" 2>/dev/null || true' EXIT
+
+go build -o "$tmp/solarschedd" ./cmd/solarschedd
+
+boot() {
+  "$tmp/solarschedd" -addr "$addr" -store-dir "$tmp/store" 2>>"$tmp/daemon.log" &
+  pid=$!
+  for _ in $(seq 1 100); do
+    if curl -fsS "$base/readyz" >/dev/null 2>&1; then return 0; fi
+    sleep 0.1
+  done
+  echo "store_warm_smoke: daemon never became ready" >&2
+  cat "$tmp/daemon.log" >&2
+  exit 1
+}
+
+digest_of() {
+  grep -o '"aggregate_digest": "[0-9a-f]*"' "$1" | grep -o '[0-9a-f]\{64\}'
+}
+
+boot
+curl -fsS "$base/v1/runs?wait=1" -d @"$spec" -o "$tmp/cold.json"
+cold=$(digest_of "$tmp/cold.json")
+
+# Unclean death: SIGKILL skips every shutdown path. Whatever the store
+# holds now is all the next process gets.
+kill -KILL "$pid"
+wait "$pid" 2>/dev/null || true
+
+boot
+curl -fsS "$base/v1/runs?wait=1" -d @"$spec" -o "$tmp/warm.json"
+warm=$(digest_of "$tmp/warm.json")
+
+if [ -z "$cold" ] || [ "$cold" != "$warm" ]; then
+  echo "store_warm_smoke: warm restart changed the digest: cold=$cold warm=$warm" >&2
+  exit 1
+fi
+
+curl -fsS "$base/readyz" -o "$tmp/ready.json"
+rate=$(grep -o '"warm_hit_rate": *[0-9.]*' "$tmp/ready.json" | grep -o '[0-9.]*$')
+quarantined=$(grep -o '"quarantined": *[0-9]*' "$tmp/ready.json" | grep -o '[0-9]*$')
+warm_hits=$(grep -o '"warm_hits": *[0-9]*' "$tmp/ready.json" | grep -o '[0-9]*$')
+cold_builds=$(grep -o '"cold_builds": *[0-9]*' "$tmp/ready.json" | grep -o '[0-9]*$')
+
+# >= 0.80 without bc: strip the decimal point and compare scaled integers.
+pct=$(awk -v r="${rate:-0}" 'BEGIN { printf "%d", r * 100 }')
+if [ "$pct" -lt 80 ]; then
+  echo "store_warm_smoke: warm-hit rate $rate ($warm_hits warm / $cold_builds cold) below 0.80" >&2
+  cat "$tmp/ready.json" >&2
+  exit 1
+fi
+if [ "${quarantined:-0}" -ne 0 ]; then
+  echo "store_warm_smoke: $quarantined artifacts quarantined on a clean store" >&2
+  exit 1
+fi
+
+kill -TERM "$pid"
+wait "$pid" 2>/dev/null || true
+
+echo "store_warm_smoke: ok (digest $cold, warm-hit rate $rate, $warm_hits warm / $cold_builds cold)"
