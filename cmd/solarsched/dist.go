@@ -1,0 +1,95 @@
+// Distributed-fleet wiring for the fleet subcommand: the coordinator
+// side (fork local worker processes, supervise the batch through
+// internal/dist) and the worker side (serve a coordinator directory
+// until the batch ends).
+package main
+
+import (
+	"context"
+	"log/slog"
+	"os"
+	"os/exec"
+	"time"
+
+	"solarsched/internal/cli"
+	"solarsched/internal/dist"
+	"solarsched/internal/fleet"
+	"solarsched/internal/obs"
+)
+
+// distConfig carries the distributed-mode flags into coordinateFleet.
+type distConfig struct {
+	dir            string
+	forkWorkers    int
+	leaseTTL       time.Duration
+	stragglerAfter time.Duration
+	heartbeat      time.Duration
+	retryAttempts  int
+}
+
+// runFleetWorker is the `fleet -worker` body: one worker process
+// serving the coordinator directory. Exits 0 when the batch ends, 130
+// on SIGINT/SIGTERM (after handing any in-flight claim back).
+func runFleetWorker(ctx context.Context, logger *slog.Logger, reg *obs.Registry, dir string, heartbeat time.Duration) int {
+	status, err := dist.RunWorker(ctx, dist.WorkerOptions{
+		Dir:       dir,
+		Registry:  reg,
+		Logger:    logger,
+		Heartbeat: heartbeat,
+	})
+	logger.Info("worker finished", "id", status.ID, "claims", status.Claims,
+		"results", status.Results, "errors", status.Errors, "requeues", status.Requeues)
+	if err != nil {
+		logger.Error("worker failed", "err", err)
+		return cli.ExitCode(err)
+	}
+	return 0
+}
+
+// coordinateFleet forks cfg.forkWorkers local `solarsched fleet -worker`
+// processes (zero is valid: external workers — solarschedd -worker — or
+// the coordinator's local fallback carry the batch) and supervises the
+// batch to completion.
+func coordinateFleet(ctx context.Context, logger *slog.Logger, reg *obs.Registry, spec *fleet.FileSpec, cfg distConfig) (*fleet.Report, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, err
+	}
+	var children []*exec.Cmd
+	for i := 0; i < cfg.forkWorkers; i++ {
+		cmd := exec.Command(exe, "fleet", "-worker",
+			"-coordinator-dir", cfg.dir,
+			"-heartbeat", cfg.heartbeat.String())
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			logger.Error("forking worker failed", "err", err)
+			continue
+		}
+		logger.Info("forked worker", "pid", cmd.Process.Pid)
+		children = append(children, cmd)
+	}
+
+	rep, runErr := dist.Coordinate(ctx, spec, dist.Options{
+		Dir:            cfg.dir,
+		Registry:       reg,
+		Logger:         logger,
+		LeaseTTL:       cfg.leaseTTL,
+		StragglerAfter: cfg.stragglerAfter,
+		Retry:          fleet.RetryPolicy{MaxAttempts: cfg.retryAttempts},
+	})
+
+	// The done marker is on disk: forked workers exit on their next
+	// poll. Reap them, escalating to SIGKILL only if one wedges.
+	for _, cmd := range children {
+		waited := make(chan struct{})
+		go func(c *exec.Cmd) { _ = c.Wait(); close(waited) }(cmd)
+		select {
+		case <-waited:
+		case <-time.After(10 * time.Second):
+			logger.Warn("worker did not exit after batch end, killing", "pid", cmd.Process.Pid)
+			_ = cmd.Process.Kill()
+			<-waited
+		}
+	}
+	return rep, runErr
+}

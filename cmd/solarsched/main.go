@@ -64,6 +64,9 @@ func run() int {
 	if len(os.Args) > 1 && os.Args[1] == "bench" {
 		return runBench(os.Args[2:])
 	}
+	if len(os.Args) > 1 && os.Args[1] == "store" {
+		return runStore(os.Args[2:])
+	}
 	quick := flag.Bool("quick", false, "run the reduced (smoke-test) configuration")
 	csvDir := flag.String("csv", "", "directory to write CSV copies of each table")
 	benchFilter := flag.String("benchmarks", "", "comma-separated benchmark filter for fig8")

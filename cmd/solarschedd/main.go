@@ -8,7 +8,12 @@
 // Usage:
 //
 //	solarschedd [flags]
+//	solarschedd -worker -coordinator-dir D [flags]
 //	solarschedd loadgen [flags] <base-url>
+//
+// With -worker the daemon becomes one distributed-fleet worker serving
+// a coordinator directory (see worker.go); every other mode below is
+// the scheduler-as-a-service API.
 //
 // Flags:
 //
@@ -84,6 +89,9 @@ func run(args []string) int {
 	retryAttempts := fs.Int("retry-attempts", 1, "attempts per fleet run; transient failures retry with backoff")
 	runTimeout := fs.Duration("run-timeout", 0, "per-attempt deadline for each fleet run (0 = none)")
 	drainTimeout := fs.Duration("drain-timeout", 2*time.Minute, "how long shutdown waits for in-flight jobs")
+	workerMode := fs.Bool("worker", false, "run as a distributed-fleet worker serving -coordinator-dir (see internal/dist)")
+	coordDir := fs.String("coordinator-dir", "", "worker mode: shared coordinator directory to serve")
+	heartbeat := fs.Duration("heartbeat", time.Second, "worker mode: lease-touch cadence")
 	debugAddr := fs.String("debug-addr", "", "separate listener for /debug/pprof/* and /debug/vars (empty disables)")
 	chromeTrace := fs.String("chrome-trace", "", "write daemon spans as a Chrome trace_event file on exit")
 	quiet := fs.Bool("quiet", false, "log errors only")
@@ -132,6 +140,14 @@ func run(args []string) int {
 	sampler := obs.NewRuntimeSampler(reg, 10*time.Second)
 	sampler.Start()
 	defer sampler.Stop()
+
+	if *workerMode {
+		if *coordDir == "" {
+			fmt.Fprintln(os.Stderr, "solarschedd: -worker requires -coordinator-dir")
+			return 2
+		}
+		return runWorkerMode(ctx, logger, reg, *addr, *coordDir, *heartbeat)
+	}
 
 	cfg := serve.Config{
 		Workers:       *workers,

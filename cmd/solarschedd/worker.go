@@ -1,0 +1,78 @@
+// Worker mode: `solarschedd -worker -coordinator-dir D` turns the
+// daemon into one distributed-fleet worker (internal/dist) with the
+// usual operational surface on its listener:
+//
+//	GET /healthz   process liveness
+//	GET /readyz    worker liveness: dist.WorkerStatus JSON, 503 once
+//	               the worker loop has exited (batch done or canceled)
+//	GET /metrics   Prometheus metrics, including the dist_* counters
+//
+// The process serves exactly one batch: it exits 0 when the
+// coordinator writes the batch-done marker, 130 on SIGINT/SIGTERM
+// (handing any in-flight claim back to the queue first). Process
+// supervision — respawning after a crash — belongs to the operator;
+// the coordinator's lease reclamation covers the gap either way.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"log/slog"
+	"net/http"
+	"time"
+
+	"solarsched/internal/cli"
+	"solarsched/internal/dist"
+	"solarsched/internal/obs"
+)
+
+// runWorkerMode is the `-worker` body of the daemon.
+func runWorkerMode(ctx context.Context, logger *slog.Logger, reg *obs.Registry, addr, coordDir string, heartbeat time.Duration) int {
+	w := dist.NewWorker(dist.WorkerOptions{
+		Dir:       coordDir,
+		Registry:  reg,
+		Logger:    logger,
+		Heartbeat: heartbeat,
+	})
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, _ *http.Request) {
+		rw.Header().Set("Content-Type", "application/json")
+		_, _ = rw.Write([]byte(`{"status":"ok"}` + "\n"))
+	})
+	mux.HandleFunc("GET /readyz", func(rw http.ResponseWriter, _ *http.Request) {
+		st := w.Status()
+		rw.Header().Set("Content-Type", "application/json")
+		if !st.Live {
+			rw.WriteHeader(http.StatusServiceUnavailable)
+		}
+		enc := json.NewEncoder(rw)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(st)
+	})
+	mux.Handle("GET /metrics", obs.Handler(reg))
+
+	httpSrv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	go func() {
+		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Error("worker listener failed", "addr", addr, "err", err)
+		}
+	}()
+	logger.Info("worker listening", "addr", addr, "id", w.ID(), "dir", coordDir)
+
+	err := w.Run(ctx)
+	st := w.Status()
+	logger.Info("worker finished", "id", st.ID, "claims", st.Claims,
+		"results", st.Results, "errors", st.Errors, "requeues", st.Requeues)
+
+	shutCtx, shutCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer shutCancel()
+	_ = httpSrv.Shutdown(shutCtx)
+
+	if err != nil {
+		logger.Error("worker failed", "err", err)
+		return cli.ExitCode(err)
+	}
+	return 0
+}

@@ -1,0 +1,167 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"solarsched/internal/fleet"
+	"solarsched/internal/obs"
+)
+
+// TestDistChaosKillRestart is the acceptance criterion: ≥2 workers, a
+// seeded fault plan SIGKILLing workers mid-batch (claim made, lease
+// held, then dead — no result, no cleanup), a supervisor respawning
+// them — and every run must still complete via lease reclamation with
+// the aggregate digest bit-identical to the sequential uncached local
+// run.
+func TestDistChaosKillRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos fleet in -short mode")
+	}
+	t.Parallel()
+	fs := testFileSpec(8)
+	want := sequentialDigest(t, fs)
+
+	dir := t.TempDir()
+	plan := &FaultPlan{Seed: 42, KillProb: 0.5, MaxKills: 6}
+	stop := startWorkers(t, dir, 2, plan, 40*time.Millisecond)
+	defer stop()
+
+	reg := obs.NewRegistry()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	rep, err := Coordinate(ctx, fs, Options{
+		Dir:                dir,
+		Registry:           reg,
+		LeaseTTL:           400 * time.Millisecond,
+		Poll:               20 * time.Millisecond,
+		Retry:              fleet.RetryPolicy{MaxAttempts: 10},
+		LocalFallbackAfter: -1, // recovery must come from reclamation, not fallback
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rr := range rep.Results {
+		if rr.Err != nil {
+			t.Fatalf("run %s failed despite reclamation: %v", rr.ID, rr.Err)
+		}
+	}
+	if got := rep.AggregateDigest(); got != want {
+		t.Fatalf("chaos digest %s != sequential %s", got, want)
+	}
+	if plan.Kills() == 0 {
+		t.Fatal("fault plan never killed a worker — the test exercised nothing")
+	}
+	if v := reg.Counter("dist_leases_reclaimed_total").Value(); v == 0 {
+		t.Fatal("kills fired but no lease was ever reclaimed")
+	}
+	recovered := 0
+	for _, rr := range rep.Results {
+		if rr.Recovered {
+			recovered++
+		}
+	}
+	if recovered == 0 {
+		t.Fatal("no run was recovered on a later attempt")
+	}
+	t.Logf("chaos: %d kills, %v reclaims, %d recovered runs, digest %s",
+		plan.Kills(), reg.Counter("dist_leases_reclaimed_total").Value(), recovered, want)
+}
+
+// TestDistStragglerSpeculation: one worker stalls on a claim forever
+// (heartbeating, so reclamation never fires); the coordinator must
+// speculatively republish the item and a second worker must rescue it.
+func TestDistStragglerSpeculation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos fleet in -short mode")
+	}
+	t.Parallel()
+	fs := testFileSpec(4)
+	want := sequentialDigest(t, fs)
+	resolved, err := fs.Resolved()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Pick a seed whose plan stalls exactly one first-attempt claim, so
+	// one of the two workers is pinned and the other stays free to pick
+	// up the speculative copy.
+	var plan *FaultPlan
+	for seed := uint64(1); seed <= 200; seed++ {
+		p := &FaultPlan{Seed: seed, StallProb: 0.3}
+		stalls := 0
+		for _, rs := range resolved {
+			if p.drawStall(Item{ID: rs.ID, Attempt: 1}) {
+				stalls++
+			}
+		}
+		if stalls == 1 {
+			plan = p
+			break
+		}
+	}
+	if plan == nil {
+		t.Fatal("no seed with exactly one stall in 200 tries")
+	}
+
+	dir := t.TempDir()
+	stop := startWorkers(t, dir, 2, plan, 40*time.Millisecond)
+	defer stop()
+
+	reg := obs.NewRegistry()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	rep, err := Coordinate(ctx, fs, Options{
+		Dir:                dir,
+		Registry:           reg,
+		LeaseTTL:           5 * time.Second, // far beyond the stall: reclamation must NOT rescue
+		Poll:               20 * time.Millisecond,
+		StragglerAfter:     250 * time.Millisecond,
+		LocalFallbackAfter: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rr := range rep.Results {
+		if rr.Err != nil {
+			t.Fatalf("run %s failed: %v", rr.ID, rr.Err)
+		}
+	}
+	if got := rep.AggregateDigest(); got != want {
+		t.Fatalf("speculation digest %s != sequential %s", got, want)
+	}
+	if v := reg.Counter("dist_items_speculated_total").Value(); v == 0 {
+		t.Fatal("stall planted but nothing was speculated")
+	}
+}
+
+// TestDistFaultPlanDeterminism: the fault schedule is a pure function
+// of (Seed, ID, Attempt) — claim order and worker count must not change
+// it.
+func TestDistFaultPlanDeterminism(t *testing.T) {
+	t.Parallel()
+	a := &FaultPlan{Seed: 7, KillProb: 0.4, StallProb: 0.2}
+	b := &FaultPlan{Seed: 7, KillProb: 0.4, StallProb: 0.2}
+	items := make([]Item, 20)
+	for i := range items {
+		items[i] = Item{ID: fmt.Sprintf("run-%d", i), Attempt: 1 + i%3}
+	}
+	// Draw in opposite orders: outcomes per item must agree.
+	type draw struct{ kill, stall bool }
+	got := map[string]draw{}
+	for _, it := range items {
+		got[fmt.Sprintf("%s/%d", it.ID, it.Attempt)] = draw{a.drawKill(it), a.drawStall(it)}
+	}
+	for i := len(items) - 1; i >= 0; i-- {
+		it := items[i]
+		key := fmt.Sprintf("%s/%d", it.ID, it.Attempt)
+		if d := (draw{b.drawKill(it), b.drawStall(it)}); d != got[key] {
+			t.Fatalf("fault draws for %s depend on order: %+v vs %+v", key, d, got[key])
+		}
+	}
+	if a.Kills() != b.Kills() {
+		t.Fatalf("kill totals diverge: %d vs %d", a.Kills(), b.Kills())
+	}
+}

@@ -1,0 +1,481 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"solarsched/internal/fleet"
+	"solarsched/internal/obs"
+	"solarsched/internal/sim"
+	"solarsched/internal/store"
+)
+
+// Options configures a coordinator.
+type Options struct {
+	// Dir is the shared coordinator directory workers watch.
+	Dir string
+	// FS is the filesystem; nil means the real one.
+	FS store.FS
+	// Registry receives the protocol counters; nil disables.
+	Registry *obs.Registry
+	// Logger receives progress; nil discards.
+	Logger *slog.Logger
+	// LeaseTTL is how long a claimed item may go without a heartbeat
+	// before its worker is presumed dead and the lease reclaimed.
+	// Default 10s.
+	LeaseTTL time.Duration
+	// Poll is the scan cadence. Default 150ms.
+	Poll time.Duration
+	// StragglerAfter speculatively republishes an item claimed for
+	// longer than this, racing a second worker against the straggler.
+	// 0 disables speculation.
+	StragglerAfter time.Duration
+	// Retry bounds republication: MaxAttempts is the total execution
+	// budget per run (lease expiries and transient worker errors both
+	// consume it). Unset means 3 — worker death is an expected event in
+	// distributed execution, so "no retry" is not a useful default.
+	Retry fleet.RetryPolicy
+	// LocalFallbackAfter is how long the coordinator tolerates zero
+	// live workers before executing queued items itself. 0 means 3s;
+	// negative disables local fallback.
+	LocalFallbackAfter time.Duration
+}
+
+func (o *Options) fill() {
+	if o.FS == nil {
+		o.FS = store.OS
+	}
+	if o.LeaseTTL <= 0 {
+		o.LeaseTTL = 10 * time.Second
+	}
+	if o.Poll <= 0 {
+		o.Poll = 150 * time.Millisecond
+	}
+	if o.LocalFallbackAfter == 0 {
+		o.LocalFallbackAfter = 3 * time.Second
+	}
+}
+
+// runState is the coordinator's view of one run.
+type runState struct {
+	rs         fleet.RunSpec
+	name       string
+	attempt    int
+	done       bool
+	rr         fleet.RunResult
+	claimedAt  time.Time
+	speculated bool
+	missing    int // consecutive scans with no protocol presence
+	errsSeen   map[int]bool
+}
+
+type coordinator struct {
+	dir  string
+	fsys store.FS
+	opts Options
+	log  *slog.Logger
+	reg  *obs.Registry
+
+	maxAttempts int
+	runs        map[string]*runState // by itemName
+	order       []string             // itemNames in spec order
+	pending     int
+
+	localCache *fleet.Cache
+	zeroSince  time.Time
+
+	cPublished  *obs.Counter
+	cReclaimed  *obs.Counter
+	cRequeued   *obs.Counter
+	cSpeculated *obs.Counter
+	cResults    *obs.Counter
+	cLocalRuns  *obs.Counter
+	gPending    *obs.Gauge
+	gWorkers    *obs.Gauge
+}
+
+// Coordinate resolves spec into work items, publishes them under
+// opts.Dir, and supervises the batch until every run has a committed
+// result: reclaiming expired leases, requeueing transient failures
+// under the retry budget, speculating on stragglers, and degrading to
+// local in-process execution when no workers show up. The returned
+// report has results in spec order, so its AggregateDigest is
+// bit-identical to a sequential local run of the same spec — worker
+// crashes, duplicated speculative executions and all.
+func Coordinate(ctx context.Context, spec *fleet.FileSpec, opts Options) (*fleet.Report, error) {
+	resolved, err := spec.Resolved()
+	if err != nil {
+		return nil, err
+	}
+	opts.fill()
+	reg := opts.Registry
+	c := &coordinator{
+		dir:         opts.Dir,
+		fsys:        opts.FS,
+		opts:        opts,
+		log:         discardLogger(opts.Logger),
+		reg:         reg,
+		maxAttempts: opts.Retry.MaxAttempts,
+		runs:        make(map[string]*runState, len(resolved)),
+		cPublished:  reg.Counter("dist_items_published_total"),
+		cReclaimed:  reg.Counter("dist_leases_reclaimed_total"),
+		cRequeued:   reg.Counter("dist_items_requeued_total"),
+		cSpeculated: reg.Counter("dist_items_speculated_total"),
+		cResults:    reg.Counter("dist_results_total"),
+		cLocalRuns:  reg.Counter("dist_local_runs_total"),
+		gPending:    reg.Gauge("dist_pending_runs"),
+		gWorkers:    reg.Gauge("dist_workers_live"),
+	}
+	if c.maxAttempts < 1 {
+		c.maxAttempts = 3
+	}
+	for _, sub := range []string{"", queueDir, claimedDir, resultsDir, workersDir} {
+		if err := c.fsys.MkdirAll(filepath.Join(c.dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("dist: coordinator dir: %w", err)
+		}
+	}
+
+	ids := make([]string, len(resolved))
+	for i, rs := range resolved {
+		name := itemName(rs.ID)
+		if prev, dup := c.runs[name]; dup {
+			return nil, fmt.Errorf("dist: duplicate run ID %q (collides with %q)", rs.ID, prev.rs.ID)
+		}
+		c.runs[name] = &runState{rs: rs, name: name, attempt: 1, errsSeen: make(map[int]bool)}
+		c.order = append(c.order, name)
+		ids[i] = rs.ID
+	}
+	c.pending = len(c.order)
+	if err := writeSealed(c.fsys, filepath.Join(c.dir, manifestFile), labelManifest,
+		manifest{Runs: ids, CreatedAtUnixMS: time.Now().UnixMilli()}); err != nil {
+		return nil, err
+	}
+	for _, name := range c.order {
+		st := c.runs[name]
+		if err := c.publishItem(Item{ID: st.rs.ID, Attempt: 1, Spec: st.rs}, ""); err != nil {
+			return nil, err
+		}
+	}
+	c.log.Info("dist: batch published", "runs", len(c.order), "dir", c.dir)
+
+	start := time.Now()
+	ticker := time.NewTicker(c.opts.Poll)
+	defer ticker.Stop()
+	var loopErr error
+supervise:
+	for c.pending > 0 {
+		select {
+		case <-ctx.Done():
+			loopErr = ctx.Err()
+			break supervise
+		case <-ticker.C:
+			c.scan(ctx)
+		}
+	}
+
+	// End the batch whether it completed or was canceled: workers exit
+	// on the marker instead of polling an abandoned queue forever.
+	_ = writeSealed(c.fsys, filepath.Join(c.dir, doneFile), labelDone, struct{}{})
+
+	results := make([]fleet.RunResult, len(c.order))
+	for i, name := range c.order {
+		st := c.runs[name]
+		if !st.done {
+			st.rr = fleet.RunResult{ID: st.rs.ID,
+				Err: fmt.Errorf("dist: %w: batch canceled", sim.ErrCanceled)}
+		}
+		results[i] = st.rr
+	}
+	rep := &fleet.Report{Results: results, Elapsed: time.Since(start)}
+	if loopErr != nil {
+		return rep, fmt.Errorf("dist: %w: %v", sim.ErrCanceled, loopErr)
+	}
+	return rep, nil
+}
+
+// publishItem writes a work item into queue/. suffix distinguishes
+// republications (".a2") and speculative copies (".s1") of the same run
+// so claims stay exclusive per file.
+func (c *coordinator) publishItem(item Item, suffix string) error {
+	path := filepath.Join(c.dir, queueDir, itemName(item.ID)+suffix+".json")
+	if err := writeSealed(c.fsys, path, labelItem, item); err != nil {
+		return fmt.Errorf("dist: publish %s: %w", item.ID, err)
+	}
+	c.cPublished.Inc()
+	return nil
+}
+
+// scan is one supervision pass. Order matters: results first so the
+// later passes see completions, then leases, then the queue, then the
+// vanished-item safety net, then worker liveness.
+func (c *coordinator) scan(ctx context.Context) {
+	seen := make(map[string]bool)
+	c.scanResults()
+	c.scanClaimed(seen)
+	c.scanQueue(seen)
+	c.recoverVanished(seen)
+	c.superviseWorkers(ctx)
+	c.gPending.Set(float64(c.pending))
+}
+
+func (c *coordinator) scanResults() {
+	files, err := c.fsys.ReadDir(filepath.Join(c.dir, resultsDir))
+	if err != nil {
+		return
+	}
+	for _, f := range files {
+		if f.IsDir() || !protocolFile(f.Name()) {
+			continue
+		}
+		name := baseName(f.Name())
+		st := c.runs[name]
+		if st == nil || st.done {
+			continue
+		}
+		path := filepath.Join(c.dir, resultsDir, f.Name())
+		rest := strings.TrimPrefix(f.Name(), name)
+		switch {
+		case rest == ".json":
+			var res Result
+			if err := readSealed(c.fsys, path, labelResult, &res); err != nil {
+				// Torn or corrupt commit: discard it; the lease (or the
+				// vanished-item net) drives re-execution.
+				_ = c.fsys.Remove(path)
+				continue
+			}
+			c.finalize(st, fleet.RunResult{
+				ID: res.ID, Scheduler: res.Scheduler, Result: res.Result,
+				Digest: res.Digest, Elapsed: time.Duration(res.ElapsedNS),
+				Attempts: st.attempt, Recovered: st.attempt > 1,
+			})
+			c.log.Debug("dist: run committed", "id", res.ID, "worker", res.Worker, "attempt", res.Attempt)
+		case strings.HasPrefix(rest, ".e"):
+			k, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(rest, ".e"), ".json"))
+			if err != nil || k < st.attempt || st.errsSeen[k] {
+				continue // stale attempt (already superseded) or handled
+			}
+			st.errsSeen[k] = true
+			var res Result
+			if err := readSealed(c.fsys, path, labelResult, &res); err != nil {
+				_ = c.fsys.Remove(path)
+				continue
+			}
+			if res.Transient && st.attempt < c.maxAttempts {
+				c.requeue(st, fmt.Sprintf("transient error from %s: %s", res.Worker, res.Error))
+				continue
+			}
+			c.finalize(st, fleet.RunResult{
+				ID: res.ID, Scheduler: res.Scheduler,
+				Err:      fmt.Errorf("dist: run %s: %s", res.ID, res.Error),
+				Elapsed:  time.Duration(res.ElapsedNS),
+				Attempts: st.attempt,
+			})
+		}
+	}
+}
+
+func (c *coordinator) scanClaimed(seen map[string]bool) {
+	files, err := c.fsys.ReadDir(filepath.Join(c.dir, claimedDir))
+	if err != nil {
+		return
+	}
+	for _, f := range files {
+		if f.IsDir() || !protocolFile(f.Name()) {
+			continue
+		}
+		name := baseName(f.Name())
+		st := c.runs[name]
+		path := filepath.Join(c.dir, claimedDir, f.Name())
+		if st == nil || st.done {
+			// Unknown, or a zombie/speculation-loser still executing a
+			// completed run: deleting the lease makes its worker's next
+			// heartbeat fail, which cancels the redundant execution.
+			_ = c.fsys.Remove(path)
+			continue
+		}
+		seen[name] = true
+		info, err := f.Info()
+		if err != nil {
+			continue // vanished mid-scan
+		}
+		if age := time.Since(info.ModTime()); age > c.opts.LeaseTTL {
+			_ = c.fsys.Remove(path)
+			c.cReclaimed.Inc()
+			c.log.Info("dist: lease expired, reclaiming", "id", st.rs.ID, "attempt", st.attempt, "age", age)
+			if st.attempt >= c.maxAttempts {
+				c.finalize(st, fleet.RunResult{ID: st.rs.ID, Attempts: st.attempt,
+					Err: fmt.Errorf("dist: run %s: worker lease expired, %d-attempt budget exhausted (%w)",
+						st.rs.ID, st.attempt, fleet.ErrTransient)})
+			} else {
+				c.requeue(st, "lease expired")
+			}
+			continue
+		}
+		if st.claimedAt.IsZero() {
+			st.claimedAt = time.Now()
+		}
+		if c.opts.StragglerAfter > 0 && !st.speculated && time.Since(st.claimedAt) > c.opts.StragglerAfter {
+			spec := Item{ID: st.rs.ID, Attempt: st.attempt, Speculative: true, Spec: st.rs}
+			if err := c.publishItem(spec, fmt.Sprintf(".s%d", st.attempt)); err == nil {
+				st.speculated = true
+				c.cSpeculated.Inc()
+				c.log.Info("dist: straggler, speculating", "id", st.rs.ID,
+					"claimed_for", time.Since(st.claimedAt).Round(time.Millisecond))
+			}
+		}
+	}
+}
+
+func (c *coordinator) scanQueue(seen map[string]bool) {
+	files, err := c.fsys.ReadDir(filepath.Join(c.dir, queueDir))
+	if err != nil {
+		return
+	}
+	for _, f := range files {
+		if f.IsDir() || !protocolFile(f.Name()) {
+			continue
+		}
+		name := baseName(f.Name())
+		st := c.runs[name]
+		if st == nil || st.done {
+			_ = c.fsys.Remove(filepath.Join(c.dir, queueDir, f.Name()))
+			continue
+		}
+		seen[name] = true
+	}
+}
+
+// recoverVanished republishes runs with no protocol presence at all —
+// no queue entry, no lease, no result. That state is unreachable
+// through clean protocol transitions but reachable through fault
+// injection (a corrupt item file gets deleted) and crash timing; it is
+// debounced over two scans because a rename in flight (claim, graceful
+// requeue, commit-then-unlease) briefly hides an item from every
+// directory listing.
+func (c *coordinator) recoverVanished(seen map[string]bool) {
+	for _, name := range c.order {
+		st := c.runs[name]
+		if st.done || seen[name] {
+			st.missing = 0
+			continue
+		}
+		st.missing++
+		if st.missing < 2 {
+			continue
+		}
+		st.missing = 0
+		if st.attempt >= c.maxAttempts {
+			c.finalize(st, fleet.RunResult{ID: st.rs.ID, Attempts: st.attempt,
+				Err: fmt.Errorf("dist: run %s: work item vanished, %d-attempt budget exhausted (%w)",
+					st.rs.ID, st.attempt, fleet.ErrTransient)})
+			continue
+		}
+		c.requeue(st, "work item vanished")
+	}
+}
+
+// requeue republishes st under the next attempt number.
+func (c *coordinator) requeue(st *runState, why string) {
+	st.attempt++
+	st.claimedAt = time.Time{}
+	st.speculated = false
+	item := Item{ID: st.rs.ID, Attempt: st.attempt, Spec: st.rs}
+	if err := c.publishItem(item, fmt.Sprintf(".a%d", st.attempt)); err != nil {
+		// The vanished-item net retries next scan (consuming another
+		// attempt, so an unwritable queue still terminates).
+		c.log.Warn("dist: requeue failed", "id", st.rs.ID, "err", err)
+		return
+	}
+	c.cRequeued.Inc()
+	c.log.Info("dist: requeued", "id", st.rs.ID, "attempt", st.attempt, "why", why)
+}
+
+func (c *coordinator) finalize(st *runState, rr fleet.RunResult) {
+	st.rr = rr
+	st.done = true
+	c.pending--
+	c.cResults.Inc()
+}
+
+// superviseWorkers tracks live workers by registration mtime and, after
+// LocalFallbackAfter with none alive, starts executing queued items
+// in-process — graceful degradation to the single-process fleet.
+func (c *coordinator) superviseWorkers(ctx context.Context) {
+	live := 0
+	if files, err := c.fsys.ReadDir(filepath.Join(c.dir, workersDir)); err == nil {
+		for _, f := range files {
+			if !protocolFile(f.Name()) {
+				continue
+			}
+			if info, err := f.Info(); err == nil && time.Since(info.ModTime()) <= c.opts.LeaseTTL {
+				live++
+			}
+		}
+	}
+	c.gWorkers.Set(float64(live))
+	if live > 0 {
+		c.zeroSince = time.Time{}
+		return
+	}
+	if c.opts.LocalFallbackAfter < 0 {
+		return
+	}
+	if c.zeroSince.IsZero() {
+		c.zeroSince = time.Now()
+		return
+	}
+	if time.Since(c.zeroSince) < c.opts.LocalFallbackAfter {
+		return
+	}
+	c.runLocalOne(ctx)
+}
+
+// runLocalOne claims and executes one queued item in-process, following
+// the same claim/commit protocol as a worker so the on-disk state stays
+// uniform.
+func (c *coordinator) runLocalOne(ctx context.Context) {
+	files, err := c.fsys.ReadDir(filepath.Join(c.dir, queueDir))
+	if err != nil || len(files) == 0 {
+		return
+	}
+	var claimed string
+	for _, f := range files {
+		if f.IsDir() || !protocolFile(f.Name()) {
+			continue
+		}
+		src := filepath.Join(c.dir, queueDir, f.Name())
+		dst := filepath.Join(c.dir, claimedDir, f.Name())
+		if c.fsys.Rename(src, dst) == nil {
+			claimed = dst
+			break
+		}
+	}
+	if claimed == "" {
+		return
+	}
+	var item Item
+	if err := readSealed(c.fsys, claimed, labelItem, &item); err != nil {
+		_ = c.fsys.Remove(claimed)
+		return
+	}
+	if c.localCache == nil {
+		if st, err := store.Open(filepath.Join(c.dir, storeDir), store.Options{FS: c.fsys, Registry: c.reg}); err == nil {
+			c.localCache = fleet.NewDurableCache(c.reg, st)
+		} else {
+			c.log.Warn("dist: local fallback store unavailable, using memory cache", "err", err)
+			c.localCache = fleet.NewCache(c.reg)
+		}
+	}
+	c.log.Info("dist: no live workers, executing locally", "id", item.ID, "attempt", item.Attempt)
+	res := executeItem(ctx, item, c.localCache, c.reg, "coordinator-local")
+	if err := publishResult(c.fsys, c.dir, res); err != nil {
+		c.log.Warn("dist: local result publish failed", "id", item.ID, "err", err)
+	}
+	_ = c.fsys.Remove(claimed)
+	c.cLocalRuns.Inc()
+}

@@ -1,0 +1,72 @@
+package dist
+
+import (
+	"fmt"
+	"sync"
+
+	"solarsched/internal/rng"
+)
+
+// FaultPlan injects worker faults for chaos tests, riding on the same
+// seeded-stream discipline as store.FaultFS: every draw is a labeled
+// split of Seed keyed by (run ID, attempt), so the fault schedule is a
+// pure function of the plan — independent of claim interleaving across
+// however many workers share it. A kill abandons the claim mid-run with
+// the lease in place (the in-process stand-in for SIGKILL, exercising
+// lease reclamation); a stall holds the claim and heartbeats forever
+// without finishing (exercising speculation).
+type FaultPlan struct {
+	// Seed drives every draw; two plans with equal fields fire
+	// identically.
+	Seed uint64
+	// KillProb is the per-(run, attempt) probability of a kill.
+	KillProb float64
+	// StallProb is the per-(run, attempt) probability of a stall.
+	// Speculative copies never stall: the speculative path exists to
+	// rescue a stalled original, so stalling both would deadlock the
+	// run until the batch is canceled.
+	StallProb float64
+	// MaxKills caps total kills across the plan's lifetime; 0 means
+	// unlimited. A cap keeps chaos tests inside a finite retry budget.
+	MaxKills int
+
+	mu    sync.Mutex
+	kills int
+}
+
+// drawKill decides whether the claim of item dies now. Nil-safe.
+func (p *FaultPlan) drawKill(item Item) bool {
+	if p == nil || p.KillProb <= 0 {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.MaxKills > 0 && p.kills >= p.MaxKills {
+		return false
+	}
+	r := rng.New(p.Seed).SplitLabeled(fmt.Sprintf("dist/kill/%s/%d", item.ID, item.Attempt))
+	if r.Float64() < p.KillProb {
+		p.kills++
+		return true
+	}
+	return false
+}
+
+// drawStall decides whether the claim of item stalls. Nil-safe.
+func (p *FaultPlan) drawStall(item Item) bool {
+	if p == nil || p.StallProb <= 0 || item.Speculative {
+		return false
+	}
+	r := rng.New(p.Seed).SplitLabeled(fmt.Sprintf("dist/stall/%s/%d", item.ID, item.Attempt))
+	return r.Float64() < p.StallProb
+}
+
+// Kills reports how many kills have fired.
+func (p *FaultPlan) Kills() int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.kills
+}

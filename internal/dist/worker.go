@@ -1,0 +1,371 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"solarsched/internal/fleet"
+	"solarsched/internal/obs"
+	"solarsched/internal/store"
+)
+
+var workerSeq atomic.Uint64
+
+// WorkerOptions configures a worker.
+type WorkerOptions struct {
+	// Dir is the coordinator directory to serve.
+	Dir string
+	// ID names the worker; empty derives a unique one from the PID.
+	ID string
+	// FS is the filesystem; nil means the real one.
+	FS store.FS
+	// Registry receives worker metrics; nil disables.
+	Registry *obs.Registry
+	// Logger receives progress; nil discards.
+	Logger *slog.Logger
+	// Heartbeat is the lease-touch cadence while executing; it must be
+	// comfortably under the coordinator's LeaseTTL. Default 1s.
+	Heartbeat time.Duration
+	// Poll is the queue-scan cadence when idle. Default 200ms.
+	Poll time.Duration
+	// Fault, when non-nil, injects seeded kills and stalls per claim —
+	// the chaos harness for the reclamation and speculation paths.
+	Fault *FaultPlan
+	// Cache overrides the artifact cache; nil opens a durable cache
+	// over the coordinator directory's shared store.
+	Cache *fleet.Cache
+}
+
+// WorkerStatus is a point-in-time view of a worker, served by the
+// daemon's /readyz in worker mode.
+type WorkerStatus struct {
+	ID                  string `json:"id"`
+	PID                 int    `json:"pid"`
+	Live                bool   `json:"live"`
+	LastHeartbeatUnixMS int64  `json:"last_heartbeat_unix_ms"`
+	Claims              int64  `json:"claims"`
+	Results             int64  `json:"results"`
+	Errors              int64  `json:"errors"`
+	Requeues            int64  `json:"requeues"`
+	CurrentItem         string `json:"current_item,omitempty"`
+}
+
+// Worker claims and executes work items from a coordinator directory.
+// Create with NewWorker; Run drives it until the batch ends or the
+// context is canceled.
+type Worker struct {
+	opts WorkerOptions
+	log  *slog.Logger
+
+	claims, results, errors, requeues atomic.Int64
+	lastBeat                          atomic.Int64
+	live                              atomic.Bool
+
+	regPath string // set once in Run before any concurrency
+
+	mu      sync.Mutex
+	current string
+}
+
+// NewWorker validates opts and builds a worker.
+func NewWorker(opts WorkerOptions) *Worker {
+	if opts.FS == nil {
+		opts.FS = store.OS
+	}
+	if opts.ID == "" {
+		opts.ID = fmt.Sprintf("w%d-%d", os.Getpid(), workerSeq.Add(1))
+	}
+	if opts.Heartbeat <= 0 {
+		opts.Heartbeat = time.Second
+	}
+	if opts.Poll <= 0 {
+		opts.Poll = 200 * time.Millisecond
+	}
+	return &Worker{opts: opts, log: discardLogger(opts.Logger)}
+}
+
+// ID returns the worker's name.
+func (w *Worker) ID() string { return w.opts.ID }
+
+// Status snapshots the worker for liveness endpoints.
+func (w *Worker) Status() WorkerStatus {
+	w.mu.Lock()
+	current := w.current
+	w.mu.Unlock()
+	return WorkerStatus{
+		ID:                  w.opts.ID,
+		PID:                 os.Getpid(),
+		Live:                w.live.Load(),
+		LastHeartbeatUnixMS: w.lastBeat.Load(),
+		Claims:              w.claims.Load(),
+		Results:             w.results.Load(),
+		Errors:              w.errors.Load(),
+		Requeues:            w.requeues.Load(),
+		CurrentItem:         current,
+	}
+}
+
+func (w *Worker) setCurrent(id string) {
+	w.mu.Lock()
+	w.current = id
+	w.mu.Unlock()
+}
+
+// RunWorker is the one-shot convenience: NewWorker(opts).Run(ctx).
+func RunWorker(ctx context.Context, opts WorkerOptions) (WorkerStatus, error) {
+	w := NewWorker(opts)
+	err := w.Run(ctx)
+	return w.Status(), err
+}
+
+// Run serves the coordinator directory until the batch-done marker
+// appears (returns nil), the context is canceled (returns ctx.Err after
+// handing any in-flight claim back to the queue), or the fault plan
+// draws a kill (returns ErrKilled with the lease abandoned in place —
+// the in-process stand-in for SIGKILL).
+func (w *Worker) Run(ctx context.Context) error {
+	w.live.Store(true)
+	defer w.live.Store(false)
+	fsys := w.opts.FS
+	dir := w.opts.Dir
+
+	cache := w.opts.Cache
+	if cache == nil {
+		st, err := store.Open(filepath.Join(dir, storeDir), store.Options{FS: fsys, Registry: w.opts.Registry})
+		if err != nil {
+			return fmt.Errorf("dist: worker %s: opening shared store: %w", w.opts.ID, err)
+		}
+		cache = fleet.NewDurableCache(w.opts.Registry, st)
+	}
+
+	w.regPath = filepath.Join(dir, workersDir, w.opts.ID+".json")
+	defer func() { _ = fsys.Remove(w.regPath) }()
+	w.log.Info("dist: worker up", "id", w.opts.ID, "dir", dir)
+
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if batchDone(fsys, dir) {
+			w.log.Info("dist: batch done, worker exiting", "id", w.opts.ID)
+			return nil
+		}
+		w.beat()
+		leasePath, item, ok := w.claimOne()
+		if !ok {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(w.opts.Poll):
+			}
+			continue
+		}
+		if err := w.execute(ctx, leasePath, item, cache); err != nil {
+			return err
+		}
+	}
+}
+
+// beat registers the worker (or refreshes its liveness mtime).
+func (w *Worker) beat() {
+	now := time.Now()
+	if err := w.opts.FS.Chtimes(w.regPath, now, now); err != nil {
+		_ = writeSealed(w.opts.FS, w.regPath, labelWorker, w.Status())
+	}
+	w.lastBeat.Store(now.UnixMilli())
+}
+
+// claimOne scans the queue in name order and claims the first item it
+// can: claim is a rename into claimed/, so exactly one worker wins each
+// file — losing the race is silent and the scan moves on.
+func (w *Worker) claimOne() (leasePath string, item Item, ok bool) {
+	fsys := w.opts.FS
+	files, err := fsys.ReadDir(filepath.Join(w.opts.Dir, queueDir))
+	if err != nil {
+		return "", Item{}, false
+	}
+	for _, f := range files {
+		if f.IsDir() || !protocolFile(f.Name()) {
+			continue
+		}
+		src := filepath.Join(w.opts.Dir, queueDir, f.Name())
+		dst := filepath.Join(w.opts.Dir, claimedDir, f.Name())
+		if err := fsys.Rename(src, dst); err != nil {
+			continue // another worker won this file
+		}
+		if err := readSealed(fsys, dst, labelItem, &item); err != nil {
+			// Torn or corrupt item: drop it; the coordinator's
+			// vanished-item net republishes the run.
+			_ = fsys.Remove(dst)
+			continue
+		}
+		w.claims.Add(1)
+		return dst, item, true
+	}
+	return "", Item{}, false
+}
+
+// execute runs one claimed item: rewrite the lease with claim metadata,
+// heartbeat it for the duration, run the simulation, commit the result,
+// release the lease. A heartbeat failure means the coordinator
+// reclaimed the lease (it presumed us dead or the run finished
+// elsewhere): the run is canceled and nothing is published — whoever
+// owns the new lease commits instead, and determinism makes the copies
+// interchangeable.
+func (w *Worker) execute(ctx context.Context, leasePath string, item Item, cache *fleet.Cache) error {
+	fsys := w.opts.FS
+	w.setCurrent(item.ID)
+	defer w.setCurrent("")
+	w.log.Info("dist: claimed", "id", item.ID, "attempt", item.Attempt, "speculative", item.Speculative)
+
+	if w.opts.Fault.drawKill(item) {
+		w.log.Warn("dist: fault plan kill", "id", item.ID)
+		return ErrKilled
+	}
+
+	// Someone already committed this run (we claimed a stale duplicate).
+	if exists(fsys, filepath.Join(w.opts.Dir, resultsDir, itemName(item.ID)+".json")) {
+		_ = fsys.Remove(leasePath)
+		return nil
+	}
+
+	item.Worker = w.opts.ID
+	item.ClaimedAtUnixMS = time.Now().UnixMilli()
+	if err := writeSealed(fsys, leasePath, labelItem, item); err != nil {
+		_ = fsys.Remove(leasePath)
+		return nil
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	leaseLost := &atomic.Bool{}
+	stopBeat := make(chan struct{})
+	var beatWG sync.WaitGroup
+	beatWG.Add(1)
+	go func() {
+		defer beatWG.Done()
+		t := time.NewTicker(w.opts.Heartbeat)
+		defer t.Stop()
+		for {
+			select {
+			case <-stopBeat:
+				return
+			case <-runCtx.Done():
+				return
+			case now := <-t.C:
+				if err := fsys.Chtimes(leasePath, now, now); err != nil {
+					leaseLost.Store(true)
+					cancel()
+					return
+				}
+				// Keep the registration live too: a long run must not
+				// make the coordinator think the worker died.
+				_ = fsys.Chtimes(w.regPath, now, now)
+				w.lastBeat.Store(now.UnixMilli())
+			}
+		}
+	}()
+
+	if w.opts.Fault.drawStall(item) {
+		// Straggler simulation: hold the claim and heartbeat, never
+		// finish. Exits when the coordinator deletes the lease (after
+		// a speculative copy commits) or the worker is shut down.
+		w.log.Warn("dist: fault plan stall", "id", item.ID)
+		<-runCtx.Done()
+		beatWG.Wait()
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return nil
+	}
+
+	res := executeItem(runCtx, item, cache, w.opts.Registry, w.opts.ID)
+	close(stopBeat)
+	beatWG.Wait()
+
+	if leaseLost.Load() {
+		w.requeues.Add(1)
+		w.log.Info("dist: lease lost mid-run, discarding", "id", item.ID)
+		return nil
+	}
+	if ctx.Err() != nil {
+		// Graceful shutdown mid-run: hand the claim back so another
+		// worker picks it up without waiting out the lease TTL.
+		if err := fsys.Rename(leasePath, filepath.Join(w.opts.Dir, queueDir, filepath.Base(leasePath))); err == nil {
+			w.requeues.Add(1)
+		}
+		return ctx.Err()
+	}
+	if err := publishResult(fsys, w.opts.Dir, res); err != nil {
+		// Leave the lease: it expires and the run is requeued.
+		w.log.Warn("dist: result publish failed", "id", item.ID, "err", err)
+		return nil
+	}
+	if res.Error != "" {
+		w.errors.Add(1)
+	} else {
+		w.results.Add(1)
+	}
+	_ = fsys.Remove(leasePath)
+	w.log.Info("dist: committed", "id", item.ID, "digest", res.Digest, "err", res.Error)
+	return nil
+}
+
+// executeItem compiles and runs one resolved work item through the
+// standard fleet path (single-spec fleet), shared by workers and the
+// coordinator's local fallback.
+func executeItem(ctx context.Context, item Item, cache *fleet.Cache, reg *obs.Registry, workerID string) Result {
+	res := Result{ID: item.ID, Attempt: item.Attempt, Worker: workerID}
+	fail := func(err error) Result {
+		res.Error = err.Error()
+		res.Transient = fleet.Transient(err)
+		return res
+	}
+	fs := &fleet.FileSpec{Runs: []fleet.RunSpec{item.Spec}}
+	specs, err := fs.Compile(reg)
+	if err != nil {
+		return fail(err)
+	}
+	rep, err := fleet.Run(ctx, specs, fleet.Options{Workers: 1, Cache: cache, Observer: reg})
+	if rep == nil || len(rep.Results) == 0 {
+		if err == nil {
+			err = fmt.Errorf("dist: empty fleet report for %s", item.ID)
+		}
+		return fail(err)
+	}
+	rr := rep.Results[0]
+	res.Scheduler = rr.Scheduler
+	res.ElapsedNS = int64(rr.Elapsed)
+	if rr.Err != nil {
+		res.Error = rr.Err.Error()
+		res.Transient = fleet.Transient(rr.Err)
+		return res
+	}
+	res.Digest = rr.Digest
+	res.Result = rr.Result
+	return res
+}
+
+// publishResult commits res: successes to the run's canonical path
+// (skipped if one is already committed — determinism makes the first
+// writer's and any later writer's payload interchangeable, so the first
+// commit stands), errors to a per-attempt path that can never shadow a
+// success.
+func publishResult(fsys store.FS, dir string, res Result) error {
+	name := itemName(res.ID)
+	if res.Error != "" {
+		path := filepath.Join(dir, resultsDir, fmt.Sprintf("%s.e%d.json", name, res.Attempt))
+		return writeSealed(fsys, path, labelResult, res)
+	}
+	path := filepath.Join(dir, resultsDir, name+".json")
+	if exists(fsys, path) {
+		return nil
+	}
+	return writeSealed(fsys, path, labelResult, res)
+}

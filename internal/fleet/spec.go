@@ -84,6 +84,24 @@ func LoadSpecFile(path string, reg *obs.Registry) ([]Spec, error) {
 	return ReadSpecs(f, reg)
 }
 
+// LoadFileSpec reads and parses (without compiling) a fleet spec file —
+// the distributed coordinator resolves and ships the parsed spec to
+// worker processes instead of compiling it in-process.
+func LoadFileSpec(path string) (*FileSpec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	dec := json.NewDecoder(f)
+	dec.DisallowUnknownFields()
+	var fs FileSpec
+	if err := dec.Decode(&fs); err != nil {
+		return nil, fmt.Errorf("fleet: parse spec: %w", err)
+	}
+	return &fs, nil
+}
+
 // ReadSpecs parses a FileSpec document and compiles it.
 func ReadSpecs(r io.Reader, reg *obs.Registry) ([]Spec, error) {
 	dec := json.NewDecoder(r)
@@ -140,16 +158,17 @@ func (fs *FileSpec) Compile(reg *obs.Registry) ([]Spec, error) {
 	return fs.CompileWith(reg, nil)
 }
 
-// CompileWith is Compile plus a per-run option hook: extra (may be nil) is
-// called once per resolved run at Prepare time and its options are
-// appended to the job — the serving daemon attaches per-run recorders
-// (decision streaming) and checkpoint sinks this way without the spec
-// format knowing about either.
-func (fs *FileSpec) CompileWith(reg *obs.Registry, extra func(rs RunSpec) []sim.RunOption) ([]Spec, error) {
+// Resolved merges Defaults into every run, fills remaining zero fields
+// with the package defaults, assigns IDs and validates names — exactly
+// the RunSpec set Compile executes. Resolution is idempotent, so a
+// resolved RunSpec can be shipped to another process (the dist
+// coordinator publishes work items this way) and compiled there with
+// identical semantics.
+func (fs *FileSpec) Resolved() ([]RunSpec, error) {
 	if len(fs.Runs) == 0 {
 		return nil, fmt.Errorf("fleet: spec file has no runs")
 	}
-	specs := make([]Spec, 0, len(fs.Runs))
+	out := make([]RunSpec, 0, len(fs.Runs))
 	for i, raw := range fs.Runs {
 		rs := raw.merged(fs.Defaults)
 		if rs.Graph == "" {
@@ -180,6 +199,23 @@ func (fs *FileSpec) CompileWith(reg *obs.Registry, extra func(rs RunSpec) []sim.
 		if !knownScheduler(rs.Scheduler) {
 			return nil, fmt.Errorf("fleet: run %s: unknown scheduler %q", rs.ID, rs.Scheduler)
 		}
+		out = append(out, rs)
+	}
+	return out, nil
+}
+
+// CompileWith is Compile plus a per-run option hook: extra (may be nil) is
+// called once per resolved run at Prepare time and its options are
+// appended to the job — the serving daemon attaches per-run recorders
+// (decision streaming) and checkpoint sinks this way without the spec
+// format knowing about either.
+func (fs *FileSpec) CompileWith(reg *obs.Registry, extra func(rs RunSpec) []sim.RunOption) ([]Spec, error) {
+	resolved, err := fs.Resolved()
+	if err != nil {
+		return nil, err
+	}
+	specs := make([]Spec, 0, len(resolved))
+	for _, rs := range resolved {
 		spec := rs // capture per iteration
 		specs = append(specs, Spec{
 			ID: rs.ID,

@@ -10,10 +10,12 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"sync"
 	"testing"
 	"time"
 
 	"solarsched/internal/core"
+	"solarsched/internal/dist"
 	"solarsched/internal/fleet"
 	"solarsched/internal/obs"
 	"solarsched/internal/sched"
@@ -31,6 +33,7 @@ const (
 	BenchFleetWarm = "fleet_warm"         // same fleet, warmed cache
 	BenchDecide    = "decide_once"        // one-shot online inference
 	BenchStoreWarm = "store_warm_restart" // quick fleet rebuilt from an adopted on-disk store
+	BenchFleetDist = "fleet_dist"         // quick fleet through the coordinator/worker protocol
 )
 
 // Config tunes a benchmark run. The zero value is the CI configuration.
@@ -126,6 +129,7 @@ func Run(ctx context.Context, cfg Config) (*Snapshot, error) {
 			return benchDecide(ctx, cache, cfg.DecideIters)
 		}},
 		{BenchStoreWarm, benchStoreWarmRestart},
+		{BenchFleetDist, benchFleetDist},
 	}
 	for _, b := range suite {
 		if !enabled(b.name) {
@@ -378,6 +382,69 @@ func benchStoreWarmRestart(ctx context.Context) (BenchResult, error) {
 					"warm_hits":     float64(warm),
 					"cold_builds":   float64(cold),
 					"warm_hit_rate": cache.WarmHitRate(),
+				},
+			}
+		}
+	}
+	best.Iterations = benchReps
+	return best, nil
+}
+
+// benchFleetDist measures the quick fleet through the internal/dist
+// coordinator/worker protocol: two in-process workers over a shared
+// directory, items claimed by rename, results committed as sealed
+// files. The workers share one in-memory cache across repetitions, so
+// after the first (cold) pass the min-of-N isolates the protocol tax —
+// publish + claim + lease heartbeats + sealed-result commit — on top of
+// the simulation itself; the gap to fleet_warm is what distribution
+// costs.
+func benchFleetDist(ctx context.Context) (BenchResult, error) {
+	cache := fleet.NewCache(nil)
+	var best BenchResult
+	for rep := 0; rep < benchReps; rep++ {
+		dir, err := os.MkdirTemp("", "perfbench-dist-")
+		if err != nil {
+			return BenchResult{}, err
+		}
+		wctx, cancel := context.WithCancel(ctx)
+		var wg sync.WaitGroup
+		for i := 0; i < 2; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				w := dist.NewWorker(dist.WorkerOptions{
+					Dir:       dir,
+					Heartbeat: 100 * time.Millisecond,
+					Poll:      5 * time.Millisecond,
+					Cache:     cache,
+				})
+				_ = w.Run(wctx)
+			}()
+		}
+		start := time.Now()
+		frep, err := dist.Coordinate(ctx, quickFleetSpec(), dist.Options{
+			Dir:                dir,
+			Poll:               10 * time.Millisecond,
+			LeaseTTL:           5 * time.Second,
+			LocalFallbackAfter: -1,
+		})
+		elapsed := float64(time.Since(start).Nanoseconds())
+		cancel()
+		wg.Wait()
+		os.RemoveAll(dir)
+		if err != nil {
+			return BenchResult{}, err
+		}
+		if ferr := frep.FirstErr(); ferr != nil {
+			return BenchResult{}, ferr
+		}
+		if rep == 0 || elapsed < best.NsPerOp {
+			best = BenchResult{
+				Iterations: 1,
+				NsPerOp:    elapsed,
+				Extra: map[string]float64{
+					"runs":    float64(len(frep.Results)),
+					"workers": 2,
 				},
 			}
 		}

@@ -30,6 +30,11 @@ type Event struct {
 	Digest string  `json:"digest,omitempty"`
 	Error  string  `json:"error,omitempty"`
 	State  string  `json:"state,omitempty"`
+
+	// Dropped rides on "gap" events: how many events this subscriber
+	// lost while its channel was full (0 on the late-subscriber replay
+	// gap, where the count is unknowable).
+	Dropped int64 `json:"dropped,omitempty"`
 }
 
 // maxReplay bounds a hub's replay buffer; beyond it the oldest events are
@@ -41,23 +46,36 @@ const maxReplay = 1 << 14
 // loses events (counted, never blocking the engine).
 const subBuffer = 256
 
+// subState is the hub's per-subscriber bookkeeping: once a publish
+// finds the channel full the subscriber is "gapped" — events are
+// dropped and counted until a later publish can slip a gap marker into
+// the drained channel, telling the consumer its stream has a hole and
+// how big it was.
+type subState struct {
+	gapped  bool
+	dropped int64
+}
+
 // hub is a per-job broadcast buffer: publishers append events, SSE
 // subscribers get a replay of everything so far plus a live channel.
 type hub struct {
 	mu      sync.Mutex
 	events  []Event
 	trimmed bool
-	subs    map[chan Event]struct{}
+	subs    map[chan Event]*subState
 	closed  bool
 	dropped int64
 }
 
 func newHub() *hub {
-	return &hub{subs: make(map[chan Event]struct{})}
+	return &hub{subs: make(map[chan Event]*subState)}
 }
 
-// publish appends the event and fans it out. Slow subscribers drop the
-// event rather than blocking the simulation worker.
+// publish appends the event and fans it out. A slow subscriber never
+// blocks the simulation worker: its events are dropped, and the first
+// delivery that fits after the stall is a gap marker carrying the drop
+// count, so the consumer knows its stream has a hole instead of
+// mistaking a truncated stream for a complete one.
 func (h *hub) publish(e Event) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -69,10 +87,22 @@ func (h *hub) publish(e Event) {
 		h.trimmed = true
 	}
 	h.events = append(h.events, e)
-	for ch := range h.subs {
+	for ch, st := range h.subs {
+		if st.gapped {
+			select {
+			case ch <- Event{Type: "gap", Dropped: st.dropped}:
+				st.gapped, st.dropped = false, 0
+			default: // still stalled: this event is lost to them too
+				st.dropped++
+				h.dropped++
+				continue
+			}
+		}
 		select {
 		case ch <- e:
 		default:
+			st.gapped = true
+			st.dropped = 1
 			h.dropped++
 		}
 	}
@@ -87,7 +117,15 @@ func (h *hub) close() {
 		return
 	}
 	h.closed = true
-	for ch := range h.subs {
+	for ch, st := range h.subs {
+		if st.gapped {
+			// Last chance to disclose the hole; if even this does not
+			// fit, the consumer was never reading anyway.
+			select {
+			case ch <- Event{Type: "gap", Dropped: st.dropped}:
+			default:
+			}
+		}
 		close(ch)
 	}
 	h.subs = nil
@@ -110,7 +148,7 @@ func (h *hub) subscribe() (replay []Event, ch chan Event, cancel func()) {
 		return replay, nil, func() {}
 	}
 	ch = make(chan Event, subBuffer)
-	h.subs[ch] = struct{}{}
+	h.subs[ch] = &subState{}
 	return replay, ch, func() {
 		h.mu.Lock()
 		defer h.mu.Unlock()

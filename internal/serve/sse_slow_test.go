@@ -1,0 +1,195 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestHubSlowConsumerGap: a subscriber that stops draining must not
+// block publish; once it drains, the next delivery is a gap marker
+// carrying the exact drop count, then the live stream resumes.
+func TestHubSlowConsumerGap(t *testing.T) {
+	t.Parallel()
+	h := newHub()
+	_, ch, cancel := h.subscribe()
+	defer cancel()
+
+	// Fill the channel and then some: the overflow must neither block
+	// nor panic. publish is synchronous, so the loop finishing IS the
+	// non-blocking guarantee.
+	const overflow = 10
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < subBuffer+overflow; i++ {
+			h.publish(Event{Type: "period", Period: i})
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("publish blocked on a stalled subscriber")
+	}
+
+	// Drain the stall backlog: exactly subBuffer events, in order.
+	for i := 0; i < subBuffer; i++ {
+		e := <-ch
+		if e.Type != "period" || e.Period != i {
+			t.Fatalf("event %d = %+v, want period %d", i, e, i)
+		}
+	}
+
+	// The consumer caught up; the next publish must lead with the gap.
+	h.publish(Event{Type: "period", Period: subBuffer + overflow})
+	gap := <-ch
+	if gap.Type != "gap" || gap.Dropped != overflow {
+		t.Fatalf("post-stall delivery = %+v, want gap with dropped=%d", gap, overflow)
+	}
+	if e := <-ch; e.Type != "period" || e.Period != subBuffer+overflow {
+		t.Fatalf("event after gap = %+v, want the resumed live stream", e)
+	}
+}
+
+// TestHubGapOnClose: a subscriber still gapped when the job finishes
+// gets the gap marker before its channel closes — the hole is disclosed
+// even when no further live event arrives to carry it.
+func TestHubGapOnClose(t *testing.T) {
+	t.Parallel()
+	h := newHub()
+	_, ch, cancel := h.subscribe()
+	defer cancel()
+	for i := 0; i < subBuffer+3; i++ {
+		h.publish(Event{Type: "period", Period: i})
+	}
+	for i := 0; i < subBuffer; i++ {
+		<-ch // catch up; the subscriber is still marked gapped
+	}
+	h.close()
+	gap, ok := <-ch
+	if !ok || gap.Type != "gap" || gap.Dropped != 3 {
+		t.Fatalf("final delivery = %+v (ok=%v), want gap with dropped=3", gap, ok)
+	}
+	if _, ok := <-ch; ok {
+		t.Fatal("channel still open after close")
+	}
+}
+
+// TestStreamStalledSubscriberDoesNotBlockRun: the end-to-end form — an
+// SSE client connects and never reads a byte while a job runs to
+// completion. The job must finish (the engine never blocks on the
+// stalled stream) and a second, attentive subscriber must see the full
+// replay with a terminal done event.
+func TestStreamStalledSubscriberDoesNotBlockRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("serve fleet in -short mode")
+	}
+	t.Parallel()
+	_, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 4})
+
+	code, b := postJSON(t, ts.URL+"/v1/runs", testSpec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d: %s", code, b)
+	}
+	var sub struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(b, &sub); err != nil {
+		t.Fatalf("decoding submit response: %v\n%s", err, b)
+	}
+
+	// The stalled subscriber: open the stream, read nothing. The
+	// response body is deliberately never read until after the job is
+	// done; closing is deferred so the connection stays stalled for the
+	// job's whole lifetime.
+	stalled, err := http.Get(ts.URL + "/v1/runs/" + sub.ID + "/stream")
+	if err != nil {
+		t.Fatalf("opening stalled stream: %v", err)
+	}
+	defer stalled.Body.Close()
+
+	// The job must complete while the stalled consumer sits there.
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		code, b = getJSON(t, ts.URL+"/v1/runs/"+sub.ID)
+		var js struct {
+			State string `json:"state"`
+		}
+		if err := json.Unmarshal(b, &js); err != nil {
+			t.Fatalf("decoding job status: %v\n%s", err, b)
+		}
+		if js.State == "done" || js.State == "failed" {
+			if js.State != "done" {
+				t.Fatalf("job state = %q: %s", js.State, b)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never finished with a stalled subscriber attached (state %q)", js.State)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// An attentive subscriber still gets a coherent stream: replay plus
+	// a terminal done event.
+	resp, err := http.Get(ts.URL + "/v1/runs/" + sub.ID + "/stream")
+	if err != nil {
+		t.Fatalf("opening attentive stream: %v", err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	sawDone := false
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "event: done") {
+			sawDone = true
+			break
+		}
+	}
+	if !sawDone {
+		t.Fatalf("attentive subscriber never saw the done event: %v", sc.Err())
+	}
+}
+
+// TestHubTwoSubscribersIndependentGaps: gap state is per subscriber — a
+// fast consumer's stream stays gap-free while a slow one next to it
+// gaps and recovers.
+func TestHubTwoSubscribersIndependentGaps(t *testing.T) {
+	t.Parallel()
+	h := newHub()
+	_, slow, cancelSlow := h.subscribe()
+	defer cancelSlow()
+	_, fast, cancelFast := h.subscribe()
+	defer cancelFast()
+
+	// The fast consumer reads in lockstep with the publisher (never more
+	// than one event buffered); the slow one reads nothing.
+	const overflow = 50
+	for i := 0; i < subBuffer+overflow; i++ {
+		h.publish(Event{Type: "period", Period: i})
+		if e := <-fast; e.Type != "period" || e.Period != i {
+			t.Fatalf("fast subscriber event %d = %+v", i, e)
+		}
+	}
+	for i := 0; i < subBuffer; i++ {
+		<-slow // drain the slow one's stall backlog
+	}
+	h.publish(Event{Type: "period", Period: subBuffer + overflow})
+	if e := <-fast; e.Type != "period" || e.Period != subBuffer+overflow {
+		t.Fatalf("fast subscriber's final event = %+v, want gap-free stream", e)
+	}
+	if gap := <-slow; gap.Type != "gap" || gap.Dropped != overflow {
+		t.Fatalf("slow subscriber's post-stall delivery = %+v, want gap with dropped=%d", gap, overflow)
+	}
+	if e := <-slow; e.Type != "period" || e.Period != subBuffer+overflow {
+		t.Fatalf("slow subscriber's event after gap = %+v", e)
+	}
+	h.close()
+	if _, ok := <-fast; ok {
+		t.Fatal("fast subscriber's channel still open after close")
+	}
+}

@@ -242,6 +242,22 @@ func decodeEnvelope(key string, data []byte) ([]byte, error) {
 	return payload, nil
 }
 
+// Seal wraps payload in the store's self-verifying envelope under an
+// arbitrary label. It is the same discipline entries use on disk —
+// header line with payload length + SHA-256, then the payload — exposed
+// so other on-disk protocols (the dist coordinator/worker lease files)
+// can detect torn or corrupt messages the same way the store does.
+func Seal(label string, payload []byte) ([]byte, error) {
+	return encodeEnvelope(label, payload)
+}
+
+// Unseal verifies data sealed under label and returns the payload. Any
+// failure — torn write, flipped bit, wrong label — reports
+// ErrCorruptArtifact; callers treat the message as absent.
+func Unseal(label string, data []byte) ([]byte, error) {
+	return decodeEnvelope(label, data)
+}
+
 // Put publishes payload under key. The write is atomic: a crash at any
 // instant leaves either no entry or the complete verified entry, never a
 // torn one (a temporary a crash strands is quarantined by the next Open).
@@ -383,6 +399,55 @@ func (s *Store) scanEntries() ([]entryInfo, error) {
 			})
 		}
 	}
+	return out, nil
+}
+
+// EntryInfo describes one stored artifact, for operator tooling
+// (`solarsched store ls`).
+type EntryInfo struct {
+	Key     string    `json:"key"`
+	Size    int64     `json:"size"`
+	ModTime time.Time `json:"mod_time"`
+}
+
+// Entries lists every artifact currently on disk, sorted by key. The
+// listing does not verify envelopes (use Verify for that) and does not
+// touch LRU clocks.
+func (s *Store) Entries() ([]EntryInfo, error) {
+	es, err := s.scanEntries()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]EntryInfo, 0, len(es))
+	for _, e := range es {
+		out = append(out, EntryInfo{Key: e.key, Size: e.size, ModTime: e.mtime})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out, nil
+}
+
+// QuarantineContents lists the files currently held in quarantine/ —
+// the entries that failed verification and were pulled from serving.
+func (s *Store) QuarantineContents() ([]EntryInfo, error) {
+	files, err := s.fsys.ReadDir(s.quarantineDir())
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var out []EntryInfo
+	for _, f := range files {
+		if f.IsDir() {
+			continue
+		}
+		info, err := f.Info()
+		if err != nil {
+			continue
+		}
+		out = append(out, EntryInfo{Key: f.Name(), Size: info.Size(), ModTime: info.ModTime()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
 	return out, nil
 }
 
@@ -559,6 +624,13 @@ type lockInfo struct {
 // acquireLock takes the maintenance lock, breaking a stale one (older
 // than LockStale — its holder crashed mid-maintenance) exactly once.
 // Returns ErrLocked when a live process holds it.
+//
+// Breaking is done by renaming the stale lock aside, never by removing
+// it in place: rename has atomic loser-detection (the second breaker's
+// rename fails with ENOENT), so two processes racing to break the same
+// stale lock cannot end up each believing they hold it. The vacated
+// path is then re-contended with the O_EXCL create, which admits
+// exactly one winner.
 func (s *Store) acquireLock() (release func(), err error) {
 	host, _ := os.Hostname()
 	data, _ := json.Marshal(lockInfo{PID: os.Getpid(), AtUnixMS: time.Now().UnixMilli(), Host: host})
@@ -570,19 +642,32 @@ func (s *Store) acquireLock() (release func(), err error) {
 		if !errors.Is(err, fs.ErrExist) {
 			return nil, fmt.Errorf("store: acquiring maintenance lock: %w", err)
 		}
-		if attempt > 0 {
+		if attempt > 1 {
 			return nil, fmt.Errorf("%w: %s", ErrLocked, s.lockPath())
 		}
 		info, serr := s.fsys.Stat(s.lockPath())
 		if serr != nil {
-			// The holder released between our create and stat; retry once.
+			// The holder released between our create and stat; retry.
 			continue
 		}
 		if time.Since(info.ModTime()) < s.opts.LockStale {
 			return nil, fmt.Errorf("%w: %s (held since %s)", ErrLocked, s.lockPath(), info.ModTime().Format(time.RFC3339))
 		}
-		// Stale: the holder died. Break it and retry once; losing the
-		// race to another breaker just means ErrLocked next loop.
-		_ = s.fsys.Remove(s.lockPath())
+		// Stale: the holder died. Move the corpse to a per-breaker name;
+		// only one of several concurrent breakers can win this rename
+		// (the rest see ENOENT and fall through to the O_EXCL create,
+		// which a winner has typically already satisfied).
+		corpse := fmt.Sprintf("%s.broke.%d.%d", s.lockPath(), os.Getpid(), s.seq.Add(1))
+		if rerr := s.fsys.Rename(s.lockPath(), corpse); rerr == nil {
+			// Guard against having stolen a lock that was released and
+			// re-acquired between our Stat and Rename: if the moved file
+			// is fresher than what we observed, put it back and yield.
+			if ci, cerr := s.fsys.Stat(corpse); cerr == nil && time.Since(ci.ModTime()) < s.opts.LockStale {
+				if s.fsys.Rename(corpse, s.lockPath()) == nil {
+					return nil, fmt.Errorf("%w: %s (lock turned live during stale break)", ErrLocked, s.lockPath())
+				}
+			}
+			_ = s.fsys.Remove(corpse)
+		}
 	}
 }
