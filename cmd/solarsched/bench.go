@@ -29,8 +29,9 @@ func runBench(args []string) int {
 	jsonOut := fs.Bool("json", false, "print the snapshot (and comparison) as JSON instead of text")
 	profileDir := fs.String("profile-dir", "", "keep raw CPU/heap profiles here for go tool pprof")
 	loadgenPath := fs.String("loadgen", "", "embed a loadgen -json summary file into the snapshot")
+	loadgenUnbatchedPath := fs.String("loadgen-unbatched", "", "embed the batching-off control loadgen summary next to -loadgen")
 	decideIters := fs.Int("decide-iters", 2000, "decide_once sample count")
-	only := fs.String("only", "", "comma-separated benchmark filter (engine_run,fleet_cold,fleet_warm,decide_once)")
+	only := fs.String("only", "", "comma-separated benchmark filter (engine_run,fleet_cold,fleet_warm,decide_once,decide_batch,store_warm_restart,fleet_dist)")
 	quiet := fs.Bool("quiet", false, "suppress progress diagnostics")
 	logFormat := fs.String("log-format", obs.LogText, "diagnostic log format: text or json")
 	fs.Usage = func() {
@@ -84,6 +85,14 @@ flags:
 			return 1
 		}
 		snap.Loadgen = lg
+	}
+	if *loadgenUnbatchedPath != "" {
+		lg, err := readLoadgenSummary(*loadgenUnbatchedPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "solarsched bench: %v\n", err)
+			return 1
+		}
+		snap.LoadgenUnbatched = lg
 	}
 
 	if *out != "" {
@@ -161,6 +170,10 @@ func printSnapshot(s *perfbench.Snapshot) {
 	if s.Loadgen != nil {
 		fmt.Printf("  %-12s %12.1f req/s  error rate %.2f%%\n",
 			"loadgen", s.Loadgen.Throughput, 100*s.Loadgen.ErrorRate)
+	}
+	if s.LoadgenUnbatched != nil && s.Loadgen != nil && s.LoadgenUnbatched.DecideP99MS > 0 {
+		fmt.Printf("  %-12s decide p99 %.2fms batched vs %.2fms unbatched\n",
+			"", s.Loadgen.DecideP99MS, s.LoadgenUnbatched.DecideP99MS)
 	}
 }
 

@@ -28,6 +28,15 @@
 //	-store-max-bytes N, -store-max-age D — store GC budget (LRU)
 //	-retry-attempts N per-run supervision: transient failures retry with
 //	                  exponential backoff (default 1 = no retry)
+//	-batch-window D   coalesce concurrent /v1/decide requests for up to D
+//	                  and answer them with one batched forward pass,
+//	                  bit-identical to solo calls (0 disables)
+//	-batch-max N      max decide requests per batch; full batches flush
+//	                  before the window elapses (default 32)
+//	-api-keys-file F  JSON tenant list ({name, key, rate_per_sec, burst});
+//	                  enables API-key auth, per-tenant token-bucket rate
+//	                  limits (429 + jittered Retry-After) and per-tenant
+//	                  metrics on /v1/decide
 //	-run-timeout D    per-attempt deadline for each fleet run
 //	-debug-addr ADDR  serve /debug/pprof/* and /debug/vars on a separate
 //	                  listener (empty disables; keep it off public interfaces)
@@ -86,6 +95,9 @@ func run(args []string) int {
 	storeDir := fs.String("store-dir", "", "durable artifact store directory (empty disables persistence)")
 	storeMaxBytes := fs.Int64("store-max-bytes", 0, "store size budget in bytes, LRU-evicted by GC (0 = unlimited)")
 	storeMaxAge := fs.Duration("store-max-age", 0, "evict store entries unread for this long (0 = unlimited)")
+	batchWindow := fs.Duration("batch-window", 0, "coalesce concurrent /v1/decide requests for up to this long and answer them with one batched forward pass (0 disables)")
+	batchMax := fs.Int("batch-max", 0, "max decide requests per batch; a full batch flushes early (default 32, needs -batch-window)")
+	apiKeysFile := fs.String("api-keys-file", "", "JSON array of tenants ({name, key, rate_per_sec, burst}); enables per-tenant auth, rate limits and metrics on /v1/decide")
 	retryAttempts := fs.Int("retry-attempts", 1, "attempts per fleet run; transient failures retry with backoff")
 	runTimeout := fs.Duration("run-timeout", 0, "per-attempt deadline for each fleet run (0 = none)")
 	drainTimeout := fs.Duration("drain-timeout", 2*time.Minute, "how long shutdown waits for in-flight jobs")
@@ -162,6 +174,17 @@ func run(args []string) int {
 			JitterSeed:  uint64(os.Getpid()),
 		},
 		RetryAfterSeed: uint64(time.Now().UnixNano()),
+		BatchWindow:    *batchWindow,
+		BatchMax:       *batchMax,
+	}
+	if *apiKeysFile != "" {
+		tenants, err := serve.LoadTenantsFile(*apiKeysFile)
+		if err != nil {
+			logger.Error("api keys file rejected", "path", *apiKeysFile, "err", err)
+			return 2
+		}
+		cfg.Tenants = tenants
+		logger.Info("tenancy enabled", "tenants", len(tenants))
 	}
 	if *storeDir != "" {
 		// Warm restart: open the store a previous process may have

@@ -1,0 +1,73 @@
+package ann
+
+import (
+	"fmt"
+
+	"solarsched/internal/mat"
+)
+
+// ForwardBatch runs the full network over a batch of inputs, one Output per
+// input, allocating fresh buffers. The results are bit-identical to calling
+// Forward on each input in turn; the batch amortizes one matrix-matrix
+// multiply per layer across the whole batch instead of one matrix-vector
+// multiply per request per layer.
+func (n *Network) ForwardBatch(xs []mat.Vector) []Output {
+	return n.ForwardBatchWS(xs, nil)
+}
+
+// ForwardBatchWS is ForwardBatch with a scratch workspace for the
+// intermediate activation matrices. The returned Outputs' CapProbs/Te
+// vectors are always freshly allocated (they normally escape into HTTP
+// responses), so they remain valid after ws.Reset; only internals come from
+// ws. A nil ws allocates scratch fresh.
+func (n *Network) ForwardBatchWS(xs []mat.Vector, ws *mat.Workspace) []Output {
+	b := len(xs)
+	if b == 0 {
+		return nil
+	}
+	for i, x := range xs {
+		if len(x) != n.cfg.InputDim {
+			panic(fmt.Sprintf("ann: batch input %d dim %d, want %d", i, len(x), n.cfg.InputDim))
+		}
+	}
+
+	// Pack the batch: one input per row.
+	cur := ws.Mat(b, n.cfg.InputDim)
+	for r, x := range xs {
+		copy(cur.Row(r), x)
+	}
+
+	// Trunk: row r of cur·wᵀ is bit-identical to w.MulVec(x_r) (see
+	// mat.MulMatT), and the bias+sigmoid loop below matches trunkForward
+	// element for element.
+	for l, w := range n.trunkW {
+		a := cur.MulMatT(w, ws.Mat(b, w.Rows))
+		bias := n.trunkB[l]
+		for r := 0; r < b; r++ {
+			row := a.Row(r)
+			for i := range row {
+				row[i] = mat.Sigmoid(row[i] + bias[i])
+			}
+		}
+		cur = a
+	}
+	h := cur // b × lastHidden
+
+	// Heads, batched then finished row-wise exactly as ForwardWS does.
+	capLogits := h.MulMatT(n.capW, ws.Mat(b, n.cfg.CapClasses))
+	teLogits := h.MulMatT(n.teW, ws.Mat(b, n.cfg.TaskCount))
+	outs := make([]Output, b)
+	for r := 0; r < b; r++ {
+		cl := capLogits.Row(r).Add(n.capB)
+		te := teLogits.Row(r).Clone()
+		for i := range te {
+			te[i] = mat.Sigmoid(te[i] + n.teB[i])
+		}
+		outs[r] = Output{
+			CapProbs: mat.Softmax(cl, nil),
+			Alpha:    n.alphaW.Dot(h.Row(r)) + n.alphaB,
+			Te:       te,
+		}
+	}
+	return outs
+}

@@ -1,0 +1,126 @@
+package ann
+
+import (
+	"fmt"
+	"testing"
+
+	"solarsched/internal/mat"
+	"solarsched/internal/rng"
+)
+
+func randomInputs(src *rng.Source, n, dim int) []mat.Vector {
+	xs := make([]mat.Vector, n)
+	for i := range xs {
+		x := mat.NewVector(dim)
+		for j := range x {
+			x[j] = src.Norm(0, 2)
+		}
+		xs[i] = x
+	}
+	return xs
+}
+
+func requireSameOutput(t *testing.T, ctx string, got, want Output) {
+	t.Helper()
+	if got.Alpha != want.Alpha {
+		t.Fatalf("%s: Alpha %v != %v", ctx, got.Alpha, want.Alpha)
+	}
+	for i := range want.CapProbs {
+		if got.CapProbs[i] != want.CapProbs[i] {
+			t.Fatalf("%s: CapProbs[%d] %v != %v", ctx, i, got.CapProbs[i], want.CapProbs[i])
+		}
+	}
+	for i := range want.Te {
+		if got.Te[i] != want.Te[i] {
+			t.Fatalf("%s: Te[%d] %v != %v", ctx, i, got.Te[i], want.Te[i])
+		}
+	}
+}
+
+// TestForwardBatchBitIdentical is the batched-vs-sequential property test:
+// over randomized network shapes and inputs, ForwardBatch must reproduce N
+// sequential Forward calls exactly (float equality, not epsilon).
+func TestForwardBatchBitIdentical(t *testing.T) {
+	src := rng.New(4242).SplitLabeled("ann/batch-fuzz")
+	for trial := 0; trial < 12; trial++ {
+		cfg := Config{
+			InputDim:   2 + src.Intn(12),
+			Hidden:     []int{2 + src.Intn(20), 2 + src.Intn(10)},
+			CapClasses: 2 + src.Intn(4),
+			TaskCount:  1 + src.Intn(8),
+			Seed:       uint64(1000 + trial),
+		}
+		if trial%3 == 0 {
+			cfg.Hidden = cfg.Hidden[:1] // exercise single-layer trunks too
+		}
+		n := New(cfg)
+		xs := randomInputs(src, 1+src.Intn(17), cfg.InputDim)
+		ws := mat.NewWorkspace()
+		for pass := 0; pass < 2; pass++ { // second pass runs on recycled buffers
+			outs := n.ForwardBatchWS(xs, ws)
+			if len(outs) != len(xs) {
+				t.Fatalf("trial %d: got %d outputs for %d inputs", trial, len(outs), len(xs))
+			}
+			for i, x := range xs {
+				requireSameOutput(t, fmt.Sprintf("trial %d pass %d row %d", trial, pass, i), outs[i], n.Forward(x))
+			}
+			ws.Reset()
+		}
+	}
+}
+
+// TestForwardBatchGolden pins the batched path against hard-coded values so
+// a rewrite of the kernel that changes accumulation order fails loudly even
+// if it changes Forward and ForwardBatch in the same way.
+func TestForwardBatchGolden(t *testing.T) {
+	cfg := Config{InputDim: 4, Hidden: []int{5, 3}, CapClasses: 3, TaskCount: 2, Seed: 7}
+	n := New(cfg)
+	xs := []mat.Vector{
+		{0.5, -1.25, 2.0, 0.125},
+		{-0.75, 0.0, 1.5, -2.25},
+		{1.0, 1.0, -1.0, 0.25},
+	}
+	outs := n.ForwardBatch(xs)
+	got := ""
+	for _, o := range outs {
+		got += fmt.Sprintf("cap=%d alpha=%.12f te0=%.12f\n", o.Cap(), o.Alpha, o.Te[0])
+	}
+	want := ""
+	for _, x := range xs {
+		o := n.Forward(x)
+		want += fmt.Sprintf("cap=%d alpha=%.12f te0=%.12f\n", o.Cap(), o.Alpha, o.Te[0])
+	}
+	if got != want {
+		t.Fatalf("batched digest mismatch:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestForwardBatchEmptyAndSingleton(t *testing.T) {
+	n := New(Config{InputDim: 3, Hidden: []int{4}, CapClasses: 2, TaskCount: 2, Seed: 1})
+	if outs := n.ForwardBatch(nil); outs != nil {
+		t.Fatalf("empty batch returned %v", outs)
+	}
+	x := mat.Vector{0.1, 0.2, 0.3}
+	requireSameOutput(t, "singleton", n.ForwardBatch([]mat.Vector{x})[0], n.Forward(x))
+}
+
+func TestForwardWSMatchesForward(t *testing.T) {
+	n := New(Config{InputDim: 6, Hidden: []int{8, 4}, CapClasses: 3, TaskCount: 5, Seed: 9})
+	src := rng.New(11).SplitLabeled("ann/ws")
+	ws := mat.NewWorkspace()
+	for _, x := range randomInputs(src, 10, 6) {
+		got := n.ForwardWS(x, ws)
+		requireSameOutput(t, "ws", got, n.Forward(x))
+		ws.Reset()
+	}
+}
+
+func TestForwardBatchPanicsOnWrongDim(t *testing.T) {
+	n := New(Config{InputDim: 3, Hidden: []int{4}, CapClasses: 2, TaskCount: 2, Seed: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on wrong input dim")
+		}
+	}()
+	n.ForwardBatch([]mat.Vector{{1, 2}})
+}

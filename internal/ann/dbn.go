@@ -96,12 +96,13 @@ func New(cfg Config) *Network {
 func (n *Network) Config() Config { return n.cfg }
 
 // trunkForward returns the activations of every trunk layer (index 0 is the
-// input itself).
-func (n *Network) trunkForward(x mat.Vector) []mat.Vector {
+// input itself). Activation buffers come from ws when non-nil (valid until
+// ws.Reset); a nil ws allocates fresh vectors.
+func (n *Network) trunkForward(x mat.Vector, ws *mat.Workspace) []mat.Vector {
 	acts := make([]mat.Vector, len(n.trunkW)+1)
 	acts[0] = x
 	for l, w := range n.trunkW {
-		a := w.MulVec(acts[l], nil)
+		a := w.MulVec(acts[l], ws.Vec(w.Rows))
 		for i := range a {
 			a[i] = mat.Sigmoid(a[i] + n.trunkB[l][i])
 		}
@@ -110,19 +111,26 @@ func (n *Network) trunkForward(x mat.Vector) []mat.Vector {
 	return acts
 }
 
-// Forward runs the full network.
-func (n *Network) Forward(x mat.Vector) Output {
+// Forward runs the full network, allocating fresh output buffers. It is safe
+// for concurrent use on a shared (read-only) network.
+func (n *Network) Forward(x mat.Vector) Output { return n.ForwardWS(x, nil) }
+
+// ForwardWS runs the full network using ws for every intermediate and output
+// buffer. With a non-nil ws the returned Output's CapProbs/Te slices are
+// workspace-owned and only valid until ws.Reset — copy them if they must
+// outlive the pass. A nil ws behaves exactly like Forward.
+func (n *Network) ForwardWS(x mat.Vector, ws *mat.Workspace) Output {
 	if len(x) != n.cfg.InputDim {
 		panic(fmt.Sprintf("ann: input dim %d, want %d", len(x), n.cfg.InputDim))
 	}
-	h := n.trunkForward(x)[len(n.trunkW)]
-	capLogits := n.capW.MulVec(h, nil).Add(n.capB)
-	te := n.teW.MulVec(h, nil)
+	h := n.trunkForward(x, ws)[len(n.trunkW)]
+	capLogits := n.capW.MulVec(h, ws.Vec(n.cfg.CapClasses)).Add(n.capB)
+	te := n.teW.MulVec(h, ws.Vec(n.cfg.TaskCount))
 	for i := range te {
 		te[i] = mat.Sigmoid(te[i] + n.teB[i])
 	}
 	return Output{
-		CapProbs: mat.Softmax(capLogits, nil),
+		CapProbs: mat.Softmax(capLogits, ws.Vec(n.cfg.CapClasses)),
 		Alpha:    n.alphaW.Dot(h) + n.alphaB,
 		Te:       te,
 	}
@@ -208,7 +216,7 @@ func (n *Network) Train(inputs []mat.Vector, targets []Target, opt TrainOptions)
 
 // step performs one SGD update and returns the sample's loss.
 func (n *Network) step(x mat.Vector, t Target, lr, alphaW float64) float64 {
-	acts := n.trunkForward(x)
+	acts := n.trunkForward(x, nil)
 	h := acts[len(n.trunkW)]
 
 	// Heads forward.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"solarsched/internal/ann"
+	"solarsched/internal/mat"
 	"solarsched/internal/supercap"
 )
 
@@ -38,48 +39,124 @@ type OnlineDecision struct {
 	UsableJoules float64
 }
 
-// DecideOnce runs one period-boundary inference without any scheduler
-// state: features → DBN forward pass → predecessor-closure repair → E_th
-// gate. prevPowers is the slot powers of the previous period (nil on a
-// cold start), voltages the per-capacitor voltages (len == len
-// pc.Capacitances), active the currently active capacitor index and
-// periodOfDay ∈ [0, pc.Base.PeriodsPerDay).
+// DecideRequest carries the inputs of one period-boundary inference. It is
+// the single validated input type shared by the single-shot Decide and the
+// batched DecideBatch paths (and, upstream, by the /v1/decide coalescer).
+type DecideRequest struct {
+	// PrevPowers is the slot powers of the previous period (nil on a cold
+	// start).
+	PrevPowers []float64
+	// Voltages is the per-capacitor voltages; len must equal
+	// len(pc.Capacitances).
+	Voltages []float64
+	// AccumulatedDMR is the deadline-miss ratio accumulated so far.
+	AccumulatedDMR float64
+	// PeriodOfDay ∈ [0, pc.Base.PeriodsPerDay).
+	PeriodOfDay int
+	// ActiveCap is the currently active capacitor index.
+	ActiveCap int
+}
+
+// Validate checks the request against the plan and the network it will be
+// decided with. It folds in pc.Validate and the network-shape checks so one
+// call answers "would Decide accept this?" — the serving layer uses it to
+// reject bad requests before they ever join a batch.
+func (r DecideRequest) Validate(pc PlanConfig, net *ann.Network) error {
+	if err := validatePlanNet(pc, net); err != nil {
+		return err
+	}
+	return r.validateFields(pc)
+}
+
+// validatePlanNet checks the batch-invariant part: the plan itself and the
+// network's shape against it.
+func validatePlanNet(pc PlanConfig, net *ann.Network) error {
+	if err := pc.Validate(); err != nil {
+		return err
+	}
+	cfg := net.Config()
+	if cfg.InputDim != FeatureDim(len(pc.Capacitances)) {
+		return fmt.Errorf("core: network input dim %d, want %d", cfg.InputDim, FeatureDim(len(pc.Capacitances)))
+	}
+	if cfg.TaskCount != pc.Graph.N() {
+		return fmt.Errorf("core: network has %d task outputs, graph has %d", cfg.TaskCount, pc.Graph.N())
+	}
+	return nil
+}
+
+// validateFields checks the per-request part against an already-validated
+// plan.
+func (r DecideRequest) validateFields(pc PlanConfig) error {
+	if len(r.Voltages) != len(pc.Capacitances) {
+		return fmt.Errorf("core: %d voltages for a bank of %d", len(r.Voltages), len(pc.Capacitances))
+	}
+	if r.ActiveCap < 0 || r.ActiveCap >= len(pc.Capacitances) {
+		return fmt.Errorf("core: active capacitor %d outside bank of %d", r.ActiveCap, len(pc.Capacitances))
+	}
+	if r.PeriodOfDay < 0 || r.PeriodOfDay >= pc.Base.PeriodsPerDay {
+		return fmt.Errorf("core: period-of-day %d outside [0,%d)", r.PeriodOfDay, pc.Base.PeriodsPerDay)
+	}
+	for i, v := range r.Voltages {
+		if v < 0 || v > pc.Params.VHigh*1.5 {
+			return fmt.Errorf("core: voltage[%d] = %g outside the physical range", i, v)
+		}
+	}
+	return nil
+}
+
+// Decide runs one period-boundary inference without any scheduler state:
+// features → DBN forward pass → predecessor-closure repair → E_th gate.
 //
 // Unlike the in-simulator Proposed scheduler it has no WCMA forecaster to
 // refine α (eq. (18)) and no guard history, so α always comes from the
 // network's head — exactly the paper's cold-start path. Stateless means
 // shareable: one trained network serves any number of concurrent callers.
-func DecideOnce(pc PlanConfig, net *ann.Network, prevPowers, voltages []float64,
-	accDMR float64, periodOfDay, active int) (OnlineDecision, error) {
-
-	if err := pc.Validate(); err != nil {
+func Decide(pc PlanConfig, net *ann.Network, req DecideRequest) (OnlineDecision, error) {
+	if err := req.Validate(pc, net); err != nil {
 		return OnlineDecision{}, err
 	}
-	if len(voltages) != len(pc.Capacitances) {
-		return OnlineDecision{}, fmt.Errorf("core: %d voltages for a bank of %d", len(voltages), len(pc.Capacitances))
+	x := Features(req.PrevPowers, req.Voltages, req.AccumulatedDMR, req.PeriodOfDay, pc.Base.PeriodsPerDay, pc.Params)
+	return decisionFrom(pc, req, net.Forward(x)), nil
+}
+
+// DecideBatch answers a batch of requests against one network with a single
+// batched forward pass, applying the §5 rules (predecessor closure, E_th,
+// δ) row-wise. The result is bit-identical to calling Decide on each
+// request in order; the batch amortizes one matrix multiply per layer
+// across all requests. An invalid request fails the whole batch with an
+// error naming its index — callers that must isolate failures (the serving
+// coalescer) validate each request before batching.
+func DecideBatch(pc PlanConfig, net *ann.Network, reqs []DecideRequest) ([]OnlineDecision, error) {
+	return DecideBatchWS(pc, net, reqs, nil)
+}
+
+// DecideBatchWS is DecideBatch with a scratch workspace for the batched
+// forward pass. The returned decisions never alias ws, so they stay valid
+// after ws.Reset. A nil ws allocates fresh scratch.
+func DecideBatchWS(pc PlanConfig, net *ann.Network, reqs []DecideRequest, ws *mat.Workspace) ([]OnlineDecision, error) {
+	if len(reqs) == 0 {
+		return nil, nil
 	}
-	if active < 0 || active >= len(pc.Capacitances) {
-		return OnlineDecision{}, fmt.Errorf("core: active capacitor %d outside bank of %d", active, len(pc.Capacitances))
+	if err := validatePlanNet(pc, net); err != nil {
+		return nil, err
 	}
-	if periodOfDay < 0 || periodOfDay >= pc.Base.PeriodsPerDay {
-		return OnlineDecision{}, fmt.Errorf("core: period-of-day %d outside [0,%d)", periodOfDay, pc.Base.PeriodsPerDay)
-	}
-	for i, v := range voltages {
-		if v < 0 || v > pc.Params.VHigh*1.5 {
-			return OnlineDecision{}, fmt.Errorf("core: voltage[%d] = %g outside the physical range", i, v)
+	xs := make([]mat.Vector, len(reqs))
+	for i, req := range reqs {
+		if err := req.validateFields(pc); err != nil {
+			return nil, fmt.Errorf("core: batch request %d: %w", i, err)
 		}
+		xs[i] = Features(req.PrevPowers, req.Voltages, req.AccumulatedDMR, req.PeriodOfDay, pc.Base.PeriodsPerDay, pc.Params)
 	}
-	cfg := net.Config()
-	if cfg.InputDim != FeatureDim(len(pc.Capacitances)) {
-		return OnlineDecision{}, fmt.Errorf("core: network input dim %d, want %d", cfg.InputDim, FeatureDim(len(pc.Capacitances)))
+	outs := net.ForwardBatchWS(xs, ws)
+	ds := make([]OnlineDecision, len(reqs))
+	for i, out := range outs {
+		ds[i] = decisionFrom(pc, reqs[i], out)
 	}
-	if cfg.TaskCount != pc.Graph.N() {
-		return OnlineDecision{}, fmt.Errorf("core: network has %d task outputs, graph has %d", cfg.TaskCount, pc.Graph.N())
-	}
+	return ds, nil
+}
 
-	x := Features(prevPowers, voltages, accDMR, periodOfDay, pc.Base.PeriodsPerDay, pc.Params)
-	out := net.Forward(x)
-
+// decisionFrom applies the §5 post-processing rules to one network output.
+func decisionFrom(pc PlanConfig, req DecideRequest, out ann.Output) OnlineDecision {
 	d := OnlineDecision{
 		Cap:   out.Cap(),
 		Alpha: alphaFromOutput(out.Alpha),
@@ -89,13 +166,13 @@ func DecideOnce(pc PlanConfig, net *ann.Network, prevPowers, voltages []float64,
 
 	// Eq. (22): only abandon the active capacitor when its stored energy
 	// is below E_th — migrating a full store is wasteful.
-	c := supercap.New(pc.Capacitances[active], pc.Params)
-	c.V = voltages[active]
+	c := supercap.New(pc.Capacitances[req.ActiveCap], pc.Params)
+	c.V = req.Voltages[req.ActiveCap]
 	d.EThJoules = pc.EThFraction * c.CapacityEnergy()
 	d.UsableJoules = c.UsableEnergy()
-	if d.Cap != active && d.UsableJoules < d.EThJoules {
+	if d.Cap != req.ActiveCap && d.UsableJoules < d.EThJoules {
 		d.Switch = true
 		d.Migrate = true
 	}
-	return d, nil
+	return d
 }

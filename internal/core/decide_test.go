@@ -1,13 +1,17 @@
 package core
 
 import (
+	"fmt"
+	"strings"
 	"testing"
 
+	"solarsched/internal/mat"
+	"solarsched/internal/rng"
 	"solarsched/internal/solar"
 	"solarsched/internal/task"
 )
 
-// decideFixture trains one small network for the DecideOnce tests.
+// decideFixture trains one small network for the Decide tests.
 func decideFixture(t *testing.T) (PlanConfig, *Proposed) {
 	t.Helper()
 	g := task.WAM()
@@ -23,19 +27,26 @@ func decideFixture(t *testing.T) (PlanConfig, *Proposed) {
 	return pc, prop
 }
 
-// TestDecideOnce: the stateless inference returns a structurally valid
+// TestDecide: the stateless inference returns a structurally valid
 // decision — in-range capacitor, predecessor-closed task set, α in [0,2],
 // and an E_th verdict consistent with the reported energies — and is
 // deterministic for equal inputs.
-func TestDecideOnce(t *testing.T) {
+func TestDecide(t *testing.T) {
 	pc, prop := decideFixture(t)
 	voltages := []float64{1.2, 2.4, 2.9}
 	prev := make([]float64, pc.Base.SlotsPerPeriod)
 	for i := range prev {
 		prev[i] = 0.03
 	}
+	req := DecideRequest{
+		PrevPowers:     prev,
+		Voltages:       voltages,
+		AccumulatedDMR: 0.05,
+		PeriodOfDay:    17,
+		ActiveCap:      0,
+	}
 
-	d, err := DecideOnce(pc, prop.net, prev, voltages, 0.05, 17, 0)
+	d, err := Decide(pc, prop.net, req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,23 +77,23 @@ func TestDecideOnce(t *testing.T) {
 		t.Fatal("permitted switch must migrate the residual energy")
 	}
 
-	d2, err := DecideOnce(pc, prop.net, prev, voltages, 0.05, 17, 0)
+	d2, err := Decide(pc, prop.net, req)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if d.Cap != d2.Cap || d.Alpha != d2.Alpha || d.Switch != d2.Switch {
-		t.Fatalf("DecideOnce not deterministic: %+v vs %+v", d, d2)
+		t.Fatalf("Decide not deterministic: %+v vs %+v", d, d2)
 	}
 }
 
-// TestDecideOnceEthGate: a full active capacitor vetoes switching no
+// TestDecideEthGate: a full active capacitor vetoes switching no
 // matter what the network says; a drained one permits it whenever the
 // network prefers another capacitor.
-func TestDecideOnceEthGate(t *testing.T) {
+func TestDecideEthGate(t *testing.T) {
 	pc, prop := decideFixture(t)
 
 	full := []float64{pc.Params.VHigh, pc.Params.VHigh, pc.Params.VHigh}
-	d, err := DecideOnce(pc, prop.net, nil, full, 0, 0, 0)
+	d, err := Decide(pc, prop.net, DecideRequest{Voltages: full})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +103,7 @@ func TestDecideOnceEthGate(t *testing.T) {
 	}
 
 	drained := []float64{pc.Params.VLow, pc.Params.VHigh, pc.Params.VHigh}
-	d, err = DecideOnce(pc, prop.net, nil, drained, 0, 0, 0)
+	d, err = Decide(pc, prop.net, DecideRequest{Voltages: drained})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,32 +113,143 @@ func TestDecideOnceEthGate(t *testing.T) {
 	}
 }
 
-// TestDecideOnceValidation: malformed inputs fail loudly instead of
-// feeding garbage into the network.
-func TestDecideOnceValidation(t *testing.T) {
+// TestDecideValidation: malformed requests fail loudly instead of
+// feeding garbage into the network — both via Decide and via the
+// standalone DecideRequest.Validate the serving layer uses.
+func TestDecideValidation(t *testing.T) {
 	pc, prop := decideFixture(t)
 	ok := []float64{1.5, 1.5, 1.5}
-	cases := map[string]func() error{
-		"wrong voltage count": func() error {
-			_, err := DecideOnce(pc, prop.net, nil, []float64{1.5}, 0, 0, 0)
-			return err
-		},
-		"active out of range": func() error {
-			_, err := DecideOnce(pc, prop.net, nil, ok, 0, 0, 7)
-			return err
-		},
-		"period out of range": func() error {
-			_, err := DecideOnce(pc, prop.net, nil, ok, 0, -1, 0)
-			return err
-		},
-		"unphysical voltage": func() error {
-			_, err := DecideOnce(pc, prop.net, nil, []float64{99, 1.5, 1.5}, 0, 0, 0)
-			return err
-		},
+	cases := map[string]DecideRequest{
+		"wrong voltage count": {Voltages: []float64{1.5}},
+		"active out of range": {Voltages: ok, ActiveCap: 7},
+		"period out of range": {Voltages: ok, PeriodOfDay: -1},
+		"unphysical voltage":  {Voltages: []float64{99, 1.5, 1.5}},
 	}
-	for name, f := range cases {
-		if f() == nil {
-			t.Errorf("%s: no error", name)
+	for name, req := range cases {
+		if _, err := Decide(pc, prop.net, req); err == nil {
+			t.Errorf("%s: Decide returned no error", name)
 		}
+		if err := req.Validate(pc, prop.net); err == nil {
+			t.Errorf("%s: Validate returned no error", name)
+		}
+	}
+	if err := (DecideRequest{Voltages: ok}).Validate(pc, prop.net); err != nil {
+		t.Errorf("valid request rejected: %v", err)
+	}
+}
+
+// randomDecideRequest draws a structurally valid request from src.
+func randomDecideRequest(pc PlanConfig, src *rng.Source) DecideRequest {
+	req := DecideRequest{
+		Voltages:       make([]float64, len(pc.Capacitances)),
+		AccumulatedDMR: src.Float64(),
+		PeriodOfDay:    src.Intn(pc.Base.PeriodsPerDay),
+		ActiveCap:      src.Intn(len(pc.Capacitances)),
+	}
+	for i := range req.Voltages {
+		req.Voltages[i] = pc.Params.VLow + src.Float64()*(pc.Params.VHigh-pc.Params.VLow)
+	}
+	if src.Intn(3) > 0 { // cold starts (nil PrevPowers) mixed in
+		req.PrevPowers = make([]float64, pc.Base.SlotsPerPeriod)
+		for i := range req.PrevPowers {
+			req.PrevPowers[i] = 0.1 * src.Float64()
+		}
+	}
+	return req
+}
+
+func requireSameDecision(t *testing.T, ctx string, got, want OnlineDecision) {
+	t.Helper()
+	if got.Cap != want.Cap || got.Alpha != want.Alpha || got.Intra != want.Intra ||
+		got.Switch != want.Switch || got.Migrate != want.Migrate ||
+		got.EThJoules != want.EThJoules || got.UsableJoules != want.UsableJoules {
+		t.Fatalf("%s: batched %+v != sequential %+v", ctx, got, want)
+	}
+	if len(got.Te) != len(want.Te) {
+		t.Fatalf("%s: te length %d != %d", ctx, len(got.Te), len(want.Te))
+	}
+	for i := range want.Te {
+		if got.Te[i] != want.Te[i] {
+			t.Fatalf("%s: te[%d] %v != %v", ctx, i, got.Te[i], want.Te[i])
+		}
+	}
+}
+
+// TestDecideBatchBitIdentical is the fuzz half of the batched-vs-sequential
+// property: randomized batches of valid requests must decide bit-identically
+// to N sequential Decide calls, including with a recycled workspace.
+func TestDecideBatchBitIdentical(t *testing.T) {
+	pc, prop := decideFixture(t)
+	src := rng.New(888).SplitLabeled("core/decide-batch-fuzz")
+	ws := mat.NewWorkspace()
+	for trial := 0; trial < 8; trial++ {
+		reqs := make([]DecideRequest, 1+src.Intn(13))
+		for i := range reqs {
+			reqs[i] = randomDecideRequest(pc, src)
+		}
+		batched, err := DecideBatchWS(pc, prop.net, reqs, ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, req := range reqs {
+			want, err := Decide(pc, prop.net, req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameDecision(t, fmt.Sprintf("trial %d row %d", trial, i), batched[i], want)
+		}
+		ws.Reset()
+	}
+}
+
+// TestDecideBatchGolden pins one concrete batch so both paths drifting
+// together still trips a failure.
+func TestDecideBatchGolden(t *testing.T) {
+	pc, prop := decideFixture(t)
+	reqs := []DecideRequest{
+		{Voltages: []float64{1.2, 2.4, 2.9}, AccumulatedDMR: 0.05, PeriodOfDay: 17},
+		{Voltages: []float64{pc.Params.VLow, pc.Params.VHigh, pc.Params.VHigh}, ActiveCap: 0},
+		{Voltages: []float64{2.0, 2.0, 2.0}, AccumulatedDMR: 0.5, PeriodOfDay: 3, ActiveCap: 2},
+	}
+	ds, err := DecideBatch(pc, prop.net, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := ""
+	for _, d := range ds {
+		golden += fmt.Sprintf("cap=%d alpha=%.12f intra=%v switch=%v migrate=%v eth=%.9f usable=%.9f te=%v\n",
+			d.Cap, d.Alpha, d.Intra, d.Switch, d.Migrate, d.EThJoules, d.UsableJoules, d.Te)
+	}
+	sequential := ""
+	for _, req := range reqs {
+		d, err := Decide(pc, prop.net, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sequential += fmt.Sprintf("cap=%d alpha=%.12f intra=%v switch=%v migrate=%v eth=%.9f usable=%.9f te=%v\n",
+			d.Cap, d.Alpha, d.Intra, d.Switch, d.Migrate, d.EThJoules, d.UsableJoules, d.Te)
+	}
+	if golden != sequential {
+		t.Fatalf("batch digest mismatch:\n got %q\nwant %q", golden, sequential)
+	}
+}
+
+// TestDecideBatchErrors: empty batches are a no-op; one bad request fails
+// the whole batch with its index named.
+func TestDecideBatchErrors(t *testing.T) {
+	pc, prop := decideFixture(t)
+	if ds, err := DecideBatch(pc, prop.net, nil); err != nil || ds != nil {
+		t.Fatalf("empty batch: ds=%v err=%v", ds, err)
+	}
+	reqs := []DecideRequest{
+		{Voltages: []float64{1.5, 1.5, 1.5}},
+		{Voltages: []float64{1.5}}, // wrong count
+	}
+	_, err := DecideBatch(pc, prop.net, reqs)
+	if err == nil {
+		t.Fatal("bad request did not fail the batch")
+	}
+	if want := "batch request 1"; !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q does not name the bad index (%q)", err, want)
 	}
 }

@@ -37,6 +37,10 @@ type Proposed struct {
 	curPowers  []float64
 	policy     sim.SlotPolicy
 	wcma       *solar.WCMA
+	// ws recycles the DBN forward-pass scratch across periods; a Proposed
+	// runs single-goroutine inside one engine run, so one arena suffices.
+	// Not part of checkpointed state.
+	ws *mat.Workspace
 
 	// Fault-injection hook (nil when faults are disabled) and the hardened
 	// variant's run state.
@@ -161,9 +165,13 @@ func (s *Proposed) BeginPeriod(v *sim.PeriodView) sim.PeriodPlan {
 		fbPlan = s.fallback.BeginPeriod(v)
 	}
 
+	if s.ws == nil {
+		s.ws = mat.NewWorkspace()
+	}
+	s.ws.Reset() // reclaim the previous period's inference scratch
 	x := Features(s.prevPowers, v.Bank.Voltages(), v.AccumulatedDMR,
 		v.Period, v.Base.PeriodsPerDay, s.pc.Params)
-	out := s.net.Forward(x)
+	out := s.net.ForwardWS(x, s.ws)
 	if s.inj != nil {
 		out = s.inj.CorruptDBN(out)
 	}

@@ -1,0 +1,142 @@
+package mat
+
+import (
+	"testing"
+
+	"solarsched/internal/rng"
+)
+
+func TestDstVariants(t *testing.T) {
+	v := Vector{1, 2, 3}
+	w := Vector{4, 5, 6}
+
+	got := v.AddTo(w, nil)
+	if got[0] != 5 || got[1] != 7 || got[2] != 9 {
+		t.Fatalf("AddTo = %v", got)
+	}
+	if v[0] != 1 || w[0] != 4 {
+		t.Fatalf("AddTo mutated inputs: v=%v w=%v", v, w)
+	}
+	dst := NewVector(3)
+	if out := v.AddTo(w, dst); &out[0] != &dst[0] {
+		t.Fatal("AddTo ignored provided dst")
+	}
+
+	if got := v.SubTo(w, nil); got[0] != -3 || got[2] != -3 {
+		t.Fatalf("SubTo = %v", got)
+	}
+	if v[0] != 1 {
+		t.Fatal("SubTo mutated receiver")
+	}
+	if got := v.ScaleTo(10, nil); got[1] != 20 || v[1] != 2 {
+		t.Fatalf("ScaleTo = %v (v=%v)", got, v)
+	}
+	if got := v.MapTo(func(x float64) float64 { return -x }, nil); got[2] != -3 || v[2] != 3 {
+		t.Fatalf("MapTo = %v (v=%v)", got, v)
+	}
+
+	// Aliasing dst == receiver must match the in-place variants.
+	a := v.Clone()
+	a.AddTo(w, a)
+	if b := v.Clone().Add(w); b[0] != a[0] || b[1] != a[1] || b[2] != a[2] {
+		t.Fatalf("aliased AddTo %v != Add %v", a, b)
+	}
+}
+
+func TestMulMatMatchesMul(t *testing.T) {
+	src := rng.New(99).SplitLabeled("mat/mulmat")
+	for trial := 0; trial < 20; trial++ {
+		r := 1 + src.Intn(7)
+		k := 1 + src.Intn(7)
+		c := 1 + src.Intn(7)
+		a := NewMatrix(r, k).Randomize(src, 1)
+		b := NewMatrix(k, c).Randomize(src, 1)
+		want := Mul(a, b)
+		got := a.MulMat(b, nil)
+		for i := range want.Data {
+			if !almost(want.Data[i], got.Data[i], 1e-12) {
+				t.Fatalf("trial %d: MulMat[%d]=%v Mul=%v", trial, i, got.Data[i], want.Data[i])
+			}
+		}
+		// dst reuse path
+		dst := NewMatrix(r, c)
+		if out := a.MulMat(b, dst); out != dst {
+			t.Fatal("MulMat ignored provided dst")
+		}
+	}
+}
+
+// TestMulMatTBitIdenticalToMulVec is the property the batched forward pass
+// rests on: row r of x·wᵀ must equal w.MulVec(x.Row(r)) bit-for-bit, not
+// just within epsilon.
+func TestMulMatTBitIdenticalToMulVec(t *testing.T) {
+	src := rng.New(7).SplitLabeled("mat/mulmatt")
+	for trial := 0; trial < 50; trial++ {
+		batch := 1 + src.Intn(9)
+		in := 1 + src.Intn(16)
+		units := 1 + src.Intn(16)
+		x := NewMatrix(batch, in).Randomize(src, 2)
+		w := NewMatrix(units, in).Randomize(src, 2)
+		got := x.MulMatT(w, nil)
+		for r := 0; r < batch; r++ {
+			want := w.MulVec(x.Row(r), nil)
+			row := got.Row(r)
+			for j := range want {
+				if row[j] != want[j] {
+					t.Fatalf("trial %d row %d col %d: batched %v != sequential %v",
+						trial, r, j, row[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+func TestMulMatTShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on inner-dimension mismatch")
+		}
+	}()
+	NewMatrix(2, 3).MulMatT(NewMatrix(4, 5), nil)
+}
+
+func TestWorkspaceReuse(t *testing.T) {
+	ws := NewWorkspace()
+	v1 := ws.Vec(8)
+	m1 := ws.Mat(3, 4)
+	v1[0] = 42
+	m1.Set(0, 0, 42)
+	// Distinct loans within one generation must not alias.
+	v2 := ws.Vec(8)
+	if &v1[0] == &v2[0] {
+		t.Fatal("Vec returned the same buffer twice before Reset")
+	}
+	ws.Reset()
+	v3 := ws.Vec(8)
+	m3 := ws.Mat(3, 4)
+	if &v3[0] != &v1[0] && &v3[0] != &v2[0] {
+		t.Fatal("Vec did not recycle a freed buffer after Reset")
+	}
+	if v3[0] != 0 {
+		t.Fatalf("recycled vector not zeroed: %v", v3[0])
+	}
+	if m3 != m1 {
+		t.Fatal("Mat did not recycle the freed matrix after Reset")
+	}
+	if m3.At(0, 0) != 0 {
+		t.Fatal("recycled matrix not zeroed")
+	}
+}
+
+func TestWorkspaceNilSafe(t *testing.T) {
+	var ws *Workspace
+	v := ws.Vec(4)
+	if len(v) != 4 {
+		t.Fatalf("nil workspace Vec len = %d", len(v))
+	}
+	m := ws.Mat(2, 3)
+	if m.Rows != 2 || m.Cols != 3 {
+		t.Fatalf("nil workspace Mat shape = %dx%d", m.Rows, m.Cols)
+	}
+	ws.Reset() // must not panic
+}

@@ -83,6 +83,10 @@ type Snapshot struct {
 	Host          HostInfo        `json:"host"`
 	Results       []BenchResult   `json:"results"`
 	Loadgen       *LoadgenSummary `json:"loadgen,omitempty"`
+	// LoadgenUnbatched is the same loadgen scenario with decide
+	// micro-batching disabled — the control run that makes Loadgen's
+	// batched tail latency an A/B measurement instead of a bare number.
+	LoadgenUnbatched *LoadgenSummary `json:"loadgen_unbatched,omitempty"`
 }
 
 // LoadgenSummary is the daemon load generator's -json output, embeddable
@@ -101,6 +105,22 @@ type LoadgenSummary struct {
 	// Throttled counts requests that were answered 429 and retried after
 	// the daemon's jittered Retry-After — backpressure, not failure.
 	Throttled int64 `json:"throttled,omitempty"`
+	// Classes breaks the run down per request class when the generator
+	// drove mixed traffic (loadgen -mix decide=N,run=M).
+	Classes []LoadgenClass `json:"classes,omitempty"`
+}
+
+// LoadgenClass is one request class of a mixed loadgen run: its share of
+// the traffic with its own error rate and latency percentiles, so a cheap
+// class (decide) isn't averaged away by an expensive one (runs).
+type LoadgenClass struct {
+	Name      string  `json:"name"`
+	Requests  int     `json:"requests"`
+	Errors    int     `json:"errors"`
+	ErrorRate float64 `json:"error_rate"`
+	P50MS     float64 `json:"p50_ms"`
+	P95MS     float64 `json:"p95_ms"`
+	P99MS     float64 `json:"p99_ms"`
 }
 
 // Result returns the named benchmark, or nil.

@@ -14,9 +14,12 @@ import (
 	"testing"
 	"time"
 
+	"reflect"
+
 	"solarsched/internal/core"
 	"solarsched/internal/dist"
 	"solarsched/internal/fleet"
+	"solarsched/internal/mat"
 	"solarsched/internal/obs"
 	"solarsched/internal/sched"
 	"solarsched/internal/sim"
@@ -28,12 +31,13 @@ import (
 
 // Benchmark names emitted by Run. The comparator matches on these.
 const (
-	BenchEngineRun = "engine_run"         // one WAM day under the intra baseline
-	BenchFleetCold = "fleet_cold"         // quick fleet, empty artifact cache
-	BenchFleetWarm = "fleet_warm"         // same fleet, warmed cache
-	BenchDecide    = "decide_once"        // one-shot online inference
-	BenchStoreWarm = "store_warm_restart" // quick fleet rebuilt from an adopted on-disk store
-	BenchFleetDist = "fleet_dist"         // quick fleet through the coordinator/worker protocol
+	BenchEngineRun   = "engine_run"         // one WAM day under the intra baseline
+	BenchFleetCold   = "fleet_cold"         // quick fleet, empty artifact cache
+	BenchFleetWarm   = "fleet_warm"         // same fleet, warmed cache
+	BenchDecide      = "decide_once"        // one-shot online inference
+	BenchDecideBatch = "decide_batch"       // coalesced inference, ns per decision in a batch
+	BenchStoreWarm   = "store_warm_restart" // quick fleet rebuilt from an adopted on-disk store
+	BenchFleetDist   = "fleet_dist"         // quick fleet through the coordinator/worker protocol
 )
 
 // Config tunes a benchmark run. The zero value is the CI configuration.
@@ -127,6 +131,9 @@ func Run(ctx context.Context, cfg Config) (*Snapshot, error) {
 		}},
 		{BenchDecide, func(ctx context.Context) (BenchResult, error) {
 			return benchDecide(ctx, cache, cfg.DecideIters)
+		}},
+		{BenchDecideBatch, func(ctx context.Context) (BenchResult, error) {
+			return benchDecideBatch(ctx, cache, cfg.DecideIters)
 		}},
 		{BenchStoreWarm, benchStoreWarmRestart},
 		{BenchFleetDist, benchFleetDist},
@@ -469,8 +476,13 @@ func benchDecide(ctx context.Context, cache *fleet.Cache, iters int) (BenchResul
 	for i := range voltages {
 		voltages[i] = 0.75 * pc.Params.VHigh
 	}
+	req := core.DecideRequest{
+		Voltages:       voltages,
+		AccumulatedDMR: 0.02,
+		PeriodOfDay:    pc.Base.PeriodsPerDay / 2,
+	}
 	call := func() error {
-		_, err := core.DecideOnce(pc, net, nil, voltages, 0.02, pc.Base.PeriodsPerDay/2, 0)
+		_, err := core.Decide(pc, net, req)
 		return err
 	}
 	for i := 0; i < 10; i++ { // warmup
@@ -500,6 +512,92 @@ func benchDecide(ctx context.Context, cache *fleet.Cache, iters int) (BenchResul
 					"mean_ns": float64(total.Nanoseconds()) / float64(iters),
 					"p50_ns":  p50,
 					"p99_ns":  stats.Percentile(durs, 0.99),
+				},
+			}
+		}
+	}
+	return best, nil
+}
+
+// benchDecideBatch measures the amortized per-decision cost of the
+// coalesced inference path the daemon's -batch-window serves: one
+// DecideBatchWS call over a varied 64-request batch, against the same
+// requests decided one at a time. NsPerOp is the batched ns per decision;
+// the sequential number and the speedup ride in Extra, which is the
+// matmul-amortization claim of the serving layer as a committed,
+// regression-gated measurement. Before timing anything it verifies the
+// batch is bit-identical to the sequential decisions — a divergence fails
+// the benchmark rather than recording a fast wrong answer.
+func benchDecideBatch(ctx context.Context, cache *fleet.Cache, iters int) (BenchResult, error) {
+	pc, net, err := fleet.NetworkFor(ctx, cache, nil, "wam", 4, QuickTrainSpec())
+	if err != nil {
+		return BenchResult{}, err
+	}
+	const batchN = 64
+	reqs := make([]core.DecideRequest, batchN)
+	for i := range reqs {
+		v := make([]float64, len(pc.Capacitances))
+		for j := range v {
+			// Deterministic spread across the operating band so the rows
+			// exercise different E_th/δ branches, not one decision 64 times.
+			v[j] = (0.35 + 0.6*float64((i*7+j*3)%10)/10) * pc.Params.VHigh
+		}
+		reqs[i] = core.DecideRequest{
+			Voltages:       v,
+			AccumulatedDMR: 0.01 * float64(i%5),
+			PeriodOfDay:    (i * 13) % pc.Base.PeriodsPerDay,
+			ActiveCap:      i % len(pc.Capacitances),
+		}
+	}
+
+	batched, err := core.DecideBatch(pc, net, reqs)
+	if err != nil {
+		return BenchResult{}, err
+	}
+	for i := range reqs {
+		solo, err := core.Decide(pc, net, reqs[i])
+		if err != nil {
+			return BenchResult{}, err
+		}
+		if !reflect.DeepEqual(solo, batched[i]) {
+			return BenchResult{}, fmt.Errorf("batched decision %d diverged from sequential: %+v vs %+v", i, batched[i], solo)
+		}
+	}
+
+	passes := iters / batchN
+	if passes < 1 {
+		passes = 1
+	}
+	ws := mat.NewWorkspace()
+	var best BenchResult
+	for rep := 0; rep < benchReps; rep++ {
+		t0 := time.Now()
+		for p := 0; p < passes; p++ {
+			for i := range reqs {
+				if _, err := core.Decide(pc, net, reqs[i]); err != nil {
+					return BenchResult{}, err
+				}
+			}
+		}
+		seqNs := float64(time.Since(t0).Nanoseconds()) / float64(passes*batchN)
+
+		t0 = time.Now()
+		for p := 0; p < passes; p++ {
+			ws.Reset()
+			if _, err := core.DecideBatchWS(pc, net, reqs, ws); err != nil {
+				return BenchResult{}, err
+			}
+		}
+		batNs := float64(time.Since(t0).Nanoseconds()) / float64(passes*batchN)
+
+		if rep == 0 || batNs < best.NsPerOp {
+			best = BenchResult{
+				Iterations: passes * batchN,
+				NsPerOp:    batNs,
+				Extra: map[string]float64{
+					"batch_size":                 batchN,
+					"sequential_ns_per_decision": seqNs,
+					"speedup":                    seqNs / batNs,
 				},
 			}
 		}

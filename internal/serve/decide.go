@@ -2,7 +2,9 @@ package serve
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
+	"strconv"
 
 	"solarsched/internal/core"
 	"solarsched/internal/fleet"
@@ -47,11 +49,31 @@ type decideResponse struct {
 // → forward pass → predecessor closure → E_th/δ rules) against a network
 // trained once per (graph, h, train) configuration and cached for every
 // later call.
+//
+// With tenancy configured the request is first authenticated and charged
+// against the tenant's token bucket; with micro-batching configured the
+// validated request joins the coalescer and is answered with its row of a
+// batched forward pass — the wire response is byte-identical either way.
 func (s *Server) handleDecide(w http.ResponseWriter, req *http.Request) {
 	sw := s.m.decideSecs.Start()
 	defer sw.Stop()
 	span := s.reg.StartSpan("serve/decide").Tag("request_id", RequestID(req.Context()))
 	defer span.End()
+
+	tenant := s.tenants.lookup(req)
+	if tenant == nil {
+		s.m.unauthorized.Inc()
+		httpError(w, http.StatusUnauthorized, "missing or unknown api key")
+		return
+	}
+	span.Tag("tenant", tenant.Name)
+	s.m.tenantDecides(tenant.Name).Inc()
+	if !tenant.bucket.allow() {
+		s.m.tenantThrottled(tenant.Name).Inc()
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		httpError(w, http.StatusTooManyRequests, "tenant %q over its decide rate limit", tenant.Name)
+		return
+	}
 
 	var dr decideRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, s.cfg.MaxBodyBytes))
@@ -69,10 +91,28 @@ func (s *Server) handleDecide(w http.ResponseWriter, req *http.Request) {
 		httpError(w, http.StatusBadRequest, "resolving network: %v", err)
 		return
 	}
-	d, err := core.DecideOnce(pc, net, dr.LastPeriodPowers, dr.Voltages,
-		dr.AccumulatedDMR, dr.PeriodOfDay, dr.ActiveCap)
-	if err != nil {
+	creq := core.DecideRequest{
+		PrevPowers:     dr.LastPeriodPowers,
+		Voltages:       dr.Voltages,
+		AccumulatedDMR: dr.AccumulatedDMR,
+		PeriodOfDay:    dr.PeriodOfDay,
+		ActiveCap:      dr.ActiveCap,
+	}
+	// Validate before batching: a malformed request must be a 400 for its
+	// sender, never a poisoned row failing a whole batch.
+	if err := creq.Validate(pc, net); err != nil {
 		httpError(w, http.StatusBadRequest, "deciding: %v", err)
+		return
+	}
+
+	var d core.OnlineDecision
+	if s.batcher != nil {
+		d, err = s.batcher.submit(req.Context(), decideBatchKey(dr.Graph, dr.H, train), pc, net, creq)
+	} else {
+		d, err = core.Decide(pc, net, creq)
+	}
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "deciding: %v", err)
 		return
 	}
 	stage := "inter"
@@ -84,4 +124,12 @@ func (s *Server) handleDecide(w http.ResponseWriter, req *http.Request) {
 		Switch: d.Switch, Migrate: d.Migrate,
 		EThJoules: d.EThJoules, UsableJoules: d.UsableJoules,
 	})
+}
+
+// decideBatchKey identifies "the same network" for coalescing purposes:
+// fleet.NetworkFor caches one network per (graph, h, train) configuration,
+// so requests sharing this key share a network pointer and may share a
+// forward pass.
+func decideBatchKey(graph string, h int, train fleet.TrainSpec) string {
+	return fmt.Sprintf("%s|%d|%+v", graph, h, train)
 }

@@ -76,6 +76,22 @@ type Config struct {
 	// synchronized clients that all hit a full queue spread their retries
 	// instead of stampeding back in the same second.
 	RetryAfterSeed uint64
+	// BatchWindow enables decide micro-batching when positive: concurrent
+	// POST /v1/decide requests against the same network are coalesced for
+	// up to this long and answered with one batched forward pass,
+	// bit-identical to solo calls. 0 (the default) serves each request
+	// with its own forward pass.
+	BatchWindow time.Duration
+	// BatchMax caps a batch; a full batch flushes before its window
+	// elapses. <= 1 means 32. Ignored unless BatchWindow > 0.
+	BatchMax int
+	// Tenants, when non-empty, turns on API-key tenancy for /v1/decide:
+	// requests must present a known key (X-API-Key or Bearer token), are
+	// accounted per tenant in the metrics, and are admission-limited by
+	// each tenant's token bucket (429 + jittered Retry-After when it runs
+	// dry). Empty keeps the pre-tenancy behavior: anonymous, unlimited.
+	// Usually loaded via LoadTenantsFile (-api-keys-file).
+	Tenants []Tenant
 	// Logger receives the daemon's structured request/job log. Every line
 	// of the serving path carries the request's correlation ID
 	// (request_id), and job lines add job_id and the result digest, so one
@@ -95,6 +111,12 @@ type serverMetrics struct {
 	jobSeconds *obs.Timer
 	decideSecs *obs.Timer
 	sseClients *obs.Gauge
+
+	// Per-tenant decide accounting. The closures resolve (and the registry
+	// caches) one instrument per tenant label.
+	tenantDecides   func(tenant string) *obs.Counter
+	tenantThrottled func(tenant string) *obs.Counter
+	unauthorized    *obs.Counter
 }
 
 // Server is the daemon backend: an http.Handler plus one executor
@@ -118,6 +140,9 @@ type Server struct {
 
 	jitterMu sync.Mutex
 	jitter   *rng.Source
+
+	tenants *tenantSet
+	batcher *decideBatcher // nil when micro-batching is off
 
 	wg  sync.WaitGroup
 	mux *http.ServeMux
@@ -175,7 +200,22 @@ func New(cfg Config) *Server {
 			jobSeconds: reg.Timer("serve_job_seconds"),
 			decideSecs: reg.Timer("serve_decide_seconds"),
 			sseClients: reg.Gauge("serve_sse_clients"),
+			tenantDecides: func(tenant string) *obs.Counter {
+				return reg.Counter("serve_tenant_decides_total", obs.L("tenant", tenant))
+			},
+			tenantThrottled: func(tenant string) *obs.Counter {
+				return reg.Counter("serve_tenant_throttled_total", obs.L("tenant", tenant))
+			},
+			unauthorized: reg.Counter("serve_decide_unauthorized_total"),
 		},
+	}
+	s.tenants = newTenantSet(cfg.Tenants, nil)
+	if cfg.BatchWindow > 0 {
+		max := cfg.BatchMax
+		if max <= 1 {
+			max = 32
+		}
+		s.batcher = newDecideBatcher(cfg.BatchWindow, max, reg)
 	}
 	s.mux = http.NewServeMux()
 	s.route("POST /v1/runs", s.handleSubmit)

@@ -1,0 +1,172 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Tenant is one API-key principal of the decide service. Requests are
+// authenticated by Key (X-API-Key header, or "Authorization: Bearer <key>"),
+// accounted under Name in the per-tenant metrics, and admission-limited by a
+// token bucket refilling at RatePerSec up to Burst.
+type Tenant struct {
+	// Name labels the tenant in metrics and logs; it is never a secret.
+	Name string `json:"name"`
+	// Key is the API key presented by the tenant's clients.
+	Key string `json:"key"`
+	// RatePerSec is the sustained decide-request rate; 0 means unlimited.
+	RatePerSec float64 `json:"rate_per_sec,omitempty"`
+	// Burst is the bucket depth; 0 with a positive rate defaults to
+	// max(1, RatePerSec).
+	Burst float64 `json:"burst,omitempty"`
+}
+
+// LoadTenantsFile reads a JSON array of tenants from path (the
+// -api-keys-file flag). Every tenant needs a non-empty name and key, and
+// both must be unique across the file.
+func LoadTenantsFile(path string) ([]Tenant, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("serve: reading api keys file: %w", err)
+	}
+	var tenants []Tenant
+	if err := json.Unmarshal(raw, &tenants); err != nil {
+		return nil, fmt.Errorf("serve: parsing api keys file %s: %w", path, err)
+	}
+	if err := validateTenants(tenants); err != nil {
+		return nil, fmt.Errorf("serve: api keys file %s: %w", path, err)
+	}
+	return tenants, nil
+}
+
+func validateTenants(tenants []Tenant) error {
+	names := make(map[string]bool, len(tenants))
+	keys := make(map[string]bool, len(tenants))
+	for i, t := range tenants {
+		if t.Name == "" {
+			return fmt.Errorf("tenant %d: empty name", i)
+		}
+		if t.Key == "" {
+			return fmt.Errorf("tenant %q: empty key", t.Name)
+		}
+		if t.RatePerSec < 0 || t.Burst < 0 {
+			return fmt.Errorf("tenant %q: negative rate or burst", t.Name)
+		}
+		if names[t.Name] {
+			return fmt.Errorf("duplicate tenant name %q", t.Name)
+		}
+		if keys[t.Key] {
+			return fmt.Errorf("duplicate api key (tenant %q)", t.Name)
+		}
+		names[t.Name] = true
+		keys[t.Key] = true
+	}
+	return nil
+}
+
+// tokenBucket is a standard leaky-bucket rate limiter with an injectable
+// clock for deterministic tests. rate <= 0 means unlimited.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+}
+
+func newTokenBucket(rate, burst float64, now func() time.Time) *tokenBucket {
+	if burst <= 0 {
+		burst = rate
+		if burst < 1 {
+			burst = 1
+		}
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &tokenBucket{rate: rate, burst: burst, tokens: burst, now: now, last: now()}
+}
+
+// allow consumes one token if available.
+func (b *tokenBucket) allow() bool {
+	if b == nil || b.rate <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	t := b.now()
+	b.tokens += t.Sub(b.last).Seconds() * b.rate
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.last = t
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// tenantState is one authenticated principal plus its limiter.
+type tenantState struct {
+	Tenant
+	bucket *tokenBucket
+}
+
+// tenantSet indexes tenants by API key. An empty set (no -api-keys-file)
+// runs the daemon in single-tenant mode: every request is accepted as the
+// anonymous tenant with no rate limit, which keeps pre-tenancy deployments
+// working unchanged.
+type tenantSet struct {
+	byKey map[string]*tenantState
+}
+
+// anonymousTenant accounts unauthenticated traffic when tenancy is off.
+var anonymousTenant = &tenantState{Tenant: Tenant{Name: "anonymous"}}
+
+// newTenantSet indexes the configured tenants. Invalid tenant configs
+// (duplicates, empty names/keys) panic: files go through LoadTenantsFile,
+// which validates with an error first, so reaching here invalid is a
+// programming mistake, like a malformed ann.Config.
+func newTenantSet(tenants []Tenant, now func() time.Time) *tenantSet {
+	if err := validateTenants(tenants); err != nil {
+		panic(fmt.Sprintf("serve: invalid tenant config: %v", err))
+	}
+	ts := &tenantSet{byKey: make(map[string]*tenantState, len(tenants))}
+	for _, t := range tenants {
+		ts.byKey[t.Key] = &tenantState{
+			Tenant: t,
+			bucket: newTokenBucket(t.RatePerSec, t.Burst, now),
+		}
+	}
+	return ts
+}
+
+func (ts *tenantSet) enabled() bool { return ts != nil && len(ts.byKey) > 0 }
+
+// apiKey extracts the presented key: X-API-Key wins, then a Bearer token.
+func apiKey(r *http.Request) string {
+	if k := r.Header.Get("X-API-Key"); k != "" {
+		return k
+	}
+	auth := r.Header.Get("Authorization")
+	if rest, ok := strings.CutPrefix(auth, "Bearer "); ok {
+		return strings.TrimSpace(rest)
+	}
+	return ""
+}
+
+// lookup resolves the request's tenant. With tenancy off it always returns
+// the anonymous tenant; with tenancy on, a missing or unknown key is nil.
+func (ts *tenantSet) lookup(r *http.Request) *tenantState {
+	if !ts.enabled() {
+		return anonymousTenant
+	}
+	return ts.byKey[apiKey(r)]
+}

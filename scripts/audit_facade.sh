@@ -35,6 +35,8 @@ required=(
   Trace TimeBase TaskGraph CapBank PlanConfig Network
   NewProposed NewClairvoyant Train SizeBank
   MetricsRegistry FaultConfig
+  # online decision surface (single and batched)
+  Decide DecideBatch DecideRequest OnlineDecision
 )
 
 for sym in "${required[@]}"; do
@@ -51,6 +53,15 @@ deprecated=$(grep -rn '\.RunRecorded(\|\.RunWithOptions(' --include='*.go' . || 
 if [ -n "$deprecated" ]; then
   echo "audit_facade: deprecated Run wrappers in use (migrate to Run(ctx, s, ...RunOption)):" >&2
   echo "$deprecated" >&2
+  fail=1
+fi
+
+# The seven-positional-argument DecideOnce was replaced by
+# Decide(pc, net, DecideRequest); any resurrection fails the audit.
+legacy_decide=$(grep -rn 'DecideOnce(' --include='*.go' . || true)
+if [ -n "$legacy_decide" ]; then
+  echo "audit_facade: removed core.DecideOnce in use (migrate to Decide(pc, net, DecideRequest)):" >&2
+  echo "$legacy_decide" >&2
   fail=1
 fi
 

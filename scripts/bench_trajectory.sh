@@ -7,8 +7,12 @@
 # so cross-machine comparisons are flagged as advisory.
 #
 # Usage:
-#   scripts/bench_trajectory.sh            # gate vs latest, write next point
-#   scripts/bench_trajectory.sh -check     # gate vs latest only, write nothing
+#   scripts/bench_trajectory.sh [flags]         # gate vs latest, write next point
+#   scripts/bench_trajectory.sh -check [flags]  # gate vs latest only, write nothing
+#
+# Any flags after the optional -check are passed through to `solarsched
+# bench` — e.g. `-loadgen on.json -loadgen-unbatched off.json` to embed a
+# batched/unbatched loadgen A/B into the snapshot.
 #
 # Exit nonzero if any benchmark regressed >10% against the latest
 # committed snapshot.
@@ -18,6 +22,7 @@ cd "$(dirname "$0")/.."
 check_only=0
 if [ "${1:-}" = "-check" ]; then
   check_only=1
+  shift
 fi
 
 latest=$(ls BENCH_[0-9][0-9][0-9][0-9].json 2>/dev/null | sort | tail -n 1 || true)
@@ -31,7 +36,7 @@ else
 fi
 
 if [ "$check_only" = 1 ]; then
-  go run ./cmd/solarsched bench "${args[@]}"
+  go run ./cmd/solarsched bench "${args[@]}" "$@"
 else
   if [ -n "$latest" ]; then
     num=$((10#$(echo "$latest" | sed 's/BENCH_\([0-9]*\)\.json/\1/') + 1))
@@ -39,6 +44,6 @@ else
     num=0
   fi
   next=$(printf 'BENCH_%04d.json' "$num")
-  go run ./cmd/solarsched bench "${args[@]}" -out "$next"
+  go run ./cmd/solarsched bench "${args[@]}" "$@" -out "$next"
   echo "bench_trajectory: wrote $next"
 fi

@@ -7,7 +7,14 @@
 #   2. the second (warm) submission's per-job cache hit rate is >= 80% —
 #      the shared-artifact amortization the daemon exists for;
 #   3. /metrics exposes the request counters with the routes actually hit;
-#   4. SIGTERM drains and the process exits 130.
+#   4. a concurrent decide burst against a -batch-window daemon returns
+#      responses byte-identical to the unbatched daemon's, with the
+#      coalescer metrics proving batches actually formed;
+#   5. mixed decide/run loadgen p99 with batching on stays within the
+#      recorded margin of batching off (the forward pass is µs-scale, so
+#      on a noisy single-core CI host the gate bounds the coalescer's
+#      added tail rather than demanding a win the hardware can't show);
+#   6. SIGTERM drains and the process exits 130 — for both daemons.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -23,15 +30,16 @@ go build -o "$tmp/solarschedd" ./cmd/solarschedd
 "$tmp/solarschedd" -addr "$addr" 2>"$tmp/daemon.log" &
 pid=$!
 
-for _ in $(seq 1 100); do
-  if curl -fsS "$base/readyz" >/dev/null 2>&1; then break; fi
-  sleep 0.1
-done
-curl -fsS "$base/readyz" >/dev/null || {
+wait_ready() {
+  for _ in $(seq 1 100); do
+    if curl -fsS "$base/readyz" >/dev/null 2>&1; then return 0; fi
+    sleep 0.1
+  done
   echo "serve_smoke: daemon never became ready" >&2
-  cat "$tmp/daemon.log" >&2
+  cat "$1" >&2
   exit 1
 }
+wait_ready "$tmp/daemon.log"
 
 submit() {
   curl -fsS "$base/v1/runs?wait=1" -d @"$spec" -o "$1"
@@ -78,6 +86,26 @@ for needle in \
   fi
 done
 
+# ---- decide micro-batching contract ----------------------------------
+# The unbatched daemon supplies the reference decide response and the
+# batching-off loadgen tail; a second daemon with -batch-window must give
+# byte-identical answers through the coalescer.
+
+decide_body='{
+  "graph": "wam", "h": 2,
+  "train": {"days": 2, "seed": 777, "day_of_year": 80, "fine_epochs": 10},
+  "voltages": [3.0, 1.2],
+  "period_of_day": 0,
+  "active_cap": 0
+}'
+decide() {
+  curl -fsS "$base/v1/decide" -H 'Content-Type: application/json' -d "$decide_body" -o "$1"
+}
+
+decide "$tmp/decide_unbatched.json"
+"$tmp/solarschedd" loadgen -mix decide=600,run=4 -clients 48 -json "$base" \
+  >"$tmp/loadgen_off.json" 2>"$tmp/loadgen_off.log"
+
 kill -TERM "$pid"
 rc=0
 wait "$pid" || rc=$?
@@ -87,4 +115,61 @@ if [ "$rc" -ne 130 ]; then
   exit 1
 fi
 
-echo "serve_smoke: ok (digest $cold, warm cache $hits/$total hits)"
+"$tmp/solarschedd" -addr "$addr" -batch-window 1ms -batch-max 96 2>"$tmp/daemon_batched.log" &
+pid=$!
+wait_ready "$tmp/daemon_batched.log"
+
+decide "$tmp/decide_warm.json" # first decide pays training; burst below coalesces
+curls=()
+for i in $(seq 1 12); do
+  decide "$tmp/decide_batched_$i.json" &
+  curls+=($!)
+done
+for c in "${curls[@]}"; do
+  wait "$c"
+done
+for i in $(seq 1 12); do
+  if ! cmp -s "$tmp/decide_unbatched.json" "$tmp/decide_batched_$i.json"; then
+    echo "serve_smoke: batched decide $i diverged from unbatched:" >&2
+    cat "$tmp/decide_batched_$i.json" >&2
+    echo "vs" >&2
+    cat "$tmp/decide_unbatched.json" >&2
+    exit 1
+  fi
+done
+
+"$tmp/solarschedd" loadgen -mix decide=600,run=4 -clients 48 -json "$base" \
+  >"$tmp/loadgen_on.json" 2>"$tmp/loadgen_on.log"
+
+curl -fsS "$base/metrics" >"$tmp/metrics_batched.txt"
+batched_reqs=$(grep -o '^serve_decide_batched_requests_total [0-9.e+]*' "$tmp/metrics_batched.txt" | grep -o '[0-9.e+]*$' || echo 0)
+batches=$(grep -o '^serve_decide_batches_total [0-9.e+]*' "$tmp/metrics_batched.txt" | grep -o '[0-9.e+]*$' || echo 0)
+if ! awk -v r="$batched_reqs" -v b="$batches" 'BEGIN { exit !(r >= 13 && b >= 1 && b < r) }'; then
+  echo "serve_smoke: coalescer never formed a multi-request batch" >&2
+  echo "  serve_decide_batched_requests_total=$batched_reqs serve_decide_batches_total=$batches" >&2
+  exit 1
+fi
+
+p99_of() {
+  grep -o '"decide_p99_ms": *[0-9.]*' "$1" | grep -o '[0-9.]*$'
+}
+off_p99=$(p99_of "$tmp/loadgen_off.json")
+on_p99=$(p99_of "$tmp/loadgen_on.json")
+margin=$(awk -v on="$on_p99" -v off="$off_p99" 'BEGIN { printf "%+.1f", 100 * (off - on) / off }')
+if ! awk -v on="$on_p99" -v off="$off_p99" 'BEGIN { exit !(on <= 1.5 * off) }'; then
+  echo "serve_smoke: batched decide p99 ${on_p99}ms exceeds 1.5x unbatched ${off_p99}ms" >&2
+  cat "$tmp/loadgen_on.json" >&2
+  exit 1
+fi
+
+kill -TERM "$pid"
+rc=0
+wait "$pid" || rc=$?
+if [ "$rc" -ne 130 ]; then
+  echo "serve_smoke: batched daemon exited $rc on SIGTERM, want 130" >&2
+  cat "$tmp/daemon_batched.log" >&2
+  exit 1
+fi
+
+echo "serve_smoke: ok (digest $cold, warm cache $hits/$total hits," \
+  "decide p99 batched ${on_p99}ms vs unbatched ${off_p99}ms, margin ${margin}%)"

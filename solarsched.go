@@ -384,6 +384,27 @@ func TrainProposed(pc PlanConfig, trainTrace *Trace, opt TrainOptions) (Schedule
 	return core.TrainProposed(pc, trainTrace, opt)
 }
 
+// DecideRequest is the observable state a node carries to a period
+// boundary: previous-period powers, per-capacitor voltages, accumulated
+// DMR, period index and active capacitor.
+type DecideRequest = core.DecideRequest
+
+// OnlineDecision is one §5 period decision: chosen capacitor, scheduling
+// pattern α, task enable set, and the E_th-driven switch/migrate flags.
+type OnlineDecision = core.OnlineDecision
+
+// Decide runs one online inference — features → DBN forward pass →
+// predecessor closure → E_th/δ rules — without simulating anything.
+func Decide(pc PlanConfig, net *Network, req DecideRequest) (OnlineDecision, error) {
+	return core.Decide(pc, net, req)
+}
+
+// DecideBatch answers many requests against one network with a single
+// batched forward pass; row i is bit-identical to Decide(pc, net, reqs[i]).
+func DecideBatch(pc PlanConfig, net *Network, reqs []DecideRequest) ([]OnlineDecision, error) {
+	return core.DecideBatch(pc, net, reqs)
+}
+
 // NewClairvoyant returns the "Optimal" upper bound: the long-term DP fed
 // the true future solar powers.
 func NewClairvoyant(pc PlanConfig, tr *Trace, predictionHours float64) (Scheduler, error) {
