@@ -67,6 +67,9 @@ func run() int {
 	if len(os.Args) > 1 && os.Args[1] == "store" {
 		return runStore(os.Args[2:])
 	}
+	if len(os.Args) > 1 && os.Args[1] == "model" {
+		return runModel(os.Args[2:])
+	}
 	quick := flag.Bool("quick", false, "run the reduced (smoke-test) configuration")
 	csvDir := flag.String("csv", "", "directory to write CSV copies of each table")
 	benchFilter := flag.String("benchmarks", "", "comma-separated benchmark filter for fig8")
@@ -354,6 +357,10 @@ batch runs:
 performance:
   bench                 run the profiled benchmark suite and diff against
                         a committed BENCH_*.json (see \"solarsched bench -h\")
+
+continuous learning:
+  model                 inspect, promote and roll back versions in a
+                        learn-dir model registry (see \"solarsched model -h\")
 
 flags:
 `)

@@ -37,6 +37,14 @@
 //	                  enables API-key auth, per-tenant token-bucket rate
 //	                  limits (429 + jittered Retry-After) and per-tenant
 //	                  metrics on /v1/decide
+//	-learn-dir DIR    continuous-learning state (telemetry log, versioned
+//	                  model registry); enables telemetry-driven retraining
+//	                  and shadow-gated promotion of fine-tuned DBNs
+//	-learn-interval D background retraining cadence (default 15m)
+//	-learn-min-samples N, -learn-fine-epochs N, -learn-canary F,
+//	-learn-gate-min-decisions N, -learn-gate-min-improvement F,
+//	-learn-auto-promote — retraining/promotion-gate tuning (see
+//	                  internal/learn.TrainerConfig)
 //	-run-timeout D    per-attempt deadline for each fleet run
 //	-debug-addr ADDR  serve /debug/pprof/* and /debug/vars on a separate
 //	                  listener (empty disables; keep it off public interfaces)
@@ -50,9 +58,11 @@
 // Chrome trace, and as serve_job_info metric labels — one ID joins all
 // three telemetry channels.
 //
-// SIGINT/SIGTERM drain gracefully: the listener stops, queued and
-// in-flight jobs are canceled (engines stop at the next period boundary
-// and, with -ckpt-dir, flush resumable checkpoints), and the process
+// SIGINT/SIGTERM drain gracefully: open decide micro-batches flush
+// immediately (waiters get their answers now, not after -batch-window),
+// the listener stops, queued and in-flight jobs are canceled (engines
+// stop at the next period boundary and, with -ckpt-dir, flush resumable
+// checkpoints), buffered learn telemetry is flushed, and the process
 // exits 130. A second signal exits immediately.
 package main
 
@@ -73,6 +83,7 @@ import (
 	"solarsched/internal/ckpt"
 	"solarsched/internal/cli"
 	"solarsched/internal/fleet"
+	"solarsched/internal/learn"
 	"solarsched/internal/obs"
 	"solarsched/internal/serve"
 	"solarsched/internal/store"
@@ -98,6 +109,14 @@ func run(args []string) int {
 	batchWindow := fs.Duration("batch-window", 0, "coalesce concurrent /v1/decide requests for up to this long and answer them with one batched forward pass (0 disables)")
 	batchMax := fs.Int("batch-max", 0, "max decide requests per batch; a full batch flushes early (default 32, needs -batch-window)")
 	apiKeysFile := fs.String("api-keys-file", "", "JSON array of tenants ({name, key, rate_per_sec, burst}); enables per-tenant auth, rate limits and metrics on /v1/decide")
+	learnDir := fs.String("learn-dir", "", "continuous-learning state directory (telemetry, model registry); empty disables the loop")
+	learnInterval := fs.Duration("learn-interval", 15*time.Minute, "background retraining cadence (0 disables the ticker; cycles then run only via the model CLI)")
+	learnMinSamples := fs.Int("learn-min-samples", 0, "telemetry records a lineage needs before a retraining cycle attempts a candidate")
+	learnFineEpochs := fs.Int("learn-fine-epochs", 0, "fine-tuning epochs per retraining cycle (default 40)")
+	learnGateMinDecisions := fs.Int("learn-gate-min-decisions", 0, "live shadow decisions a candidate must score before promotion (0 = sim A/B gate only)")
+	learnGateMinImprovement := fs.Float64("learn-gate-min-improvement", 0, "canary DMR improvement required to promote (default 0.005; negative = any non-worse)")
+	learnCanary := fs.Float64("learn-canary", 0, "fraction of held-out days the promotion gate simulates (default 1.0)")
+	learnAutoPromote := fs.Bool("learn-auto-promote", true, "let the gate promote passing candidates (false: register only; promote via solarsched model)")
 	retryAttempts := fs.Int("retry-attempts", 1, "attempts per fleet run; transient failures retry with backoff")
 	runTimeout := fs.Duration("run-timeout", 0, "per-attempt deadline for each fleet run (0 = none)")
 	drainTimeout := fs.Duration("drain-timeout", 2*time.Minute, "how long shutdown waits for in-flight jobs")
@@ -209,6 +228,39 @@ func run(args []string) int {
 			"adopted", vs.Adopted, "quarantined", vs.Quarantined, "bytes", vs.Bytes)
 		cfg.Store = st
 	}
+	// Continuous learning shares the daemon's artifact cache, so the
+	// trainer's DP labeling and base-network resolution reuse (and feed)
+	// the same offline artifacts the serving path does.
+	var loop *learn.Loop
+	if *learnDir != "" {
+		if cfg.Store != nil {
+			cfg.Cache = fleet.NewDurableCache(reg, cfg.Store)
+		} else {
+			cfg.Cache = fleet.NewCache(reg)
+		}
+		var err error
+		loop, err = learn.Open(learn.Config{
+			Dir:      *learnDir,
+			Registry: reg,
+			Cache:    cfg.Cache,
+			Interval: *learnInterval,
+			Trainer: learn.TrainerConfig{
+				MinSamples:         *learnMinSamples,
+				FineEpochs:         *learnFineEpochs,
+				ShadowMinDecisions: *learnGateMinDecisions,
+				MinImprovement:     *learnGateMinImprovement,
+				CanaryFraction:     *learnCanary,
+				AutoPromote:        *learnAutoPromote,
+			},
+		})
+		if err != nil {
+			logger.Error("learn loop open failed", "dir", *learnDir, "err", err)
+			return 1
+		}
+		loop.Start(ctx)
+		cfg.Learn = loop
+		logger.Info("continuous learning enabled", "dir", *learnDir, "interval", *learnInterval)
+	}
 	s := serve.New(cfg)
 	s.Start()
 
@@ -249,6 +301,11 @@ func run(args []string) int {
 	logger.Info("draining", "note", "second signal exits immediately")
 	drainCtx, drainCancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer drainCancel()
+	// Flush open decide micro-batches before stopping the listener:
+	// httpSrv.Shutdown waits for in-flight requests, and a request parked
+	// in a batch window would otherwise stall the drain for the full
+	// -batch-window before answering.
+	s.DrainBatches()
 	// Stop accepting connections first, then drain the job backend; the
 	// order means in-flight status requests finish while jobs wind down.
 	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -260,6 +317,13 @@ func run(args []string) int {
 	if err := s.Shutdown(drainCtx); err != nil {
 		logger.Error("drain timed out", "err", err)
 		return 1
+	}
+	if loop != nil {
+		// After the job drain: buffered telemetry flushes to disk so the
+		// next process's trainer sees everything this one served.
+		if err := loop.Close(); err != nil {
+			logger.Error("learn loop close failed", "err", err)
+		}
 	}
 	if *chromeTrace != "" {
 		if err := writeChromeTrace(*chromeTrace, reg); err != nil {

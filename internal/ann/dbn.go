@@ -59,7 +59,8 @@ type Network struct {
 	teW    *mat.Matrix // TaskCount × lastHidden
 	teB    mat.Vector
 
-	reg *obs.Registry // optional training telemetry sink
+	prov *Provenance   // optional training provenance, carried by WriteJSON
+	reg  *obs.Registry // optional training telemetry sink
 }
 
 // SetObserver routes training telemetry (epoch counters, loss and
@@ -94,6 +95,29 @@ func New(cfg Config) *Network {
 
 // Config returns the network's configuration.
 func (n *Network) Config() Config { return n.cfg }
+
+// Clone returns a deep copy of the network: further training of the copy
+// (the continuous-learning trainer fine-tunes a clone of the serving
+// weights) never disturbs the original, which may be serving concurrent
+// inference. The observer is not carried over; provenance is copied.
+func (n *Network) Clone() *Network {
+	c := &Network{cfg: n.cfg}
+	for l := range n.trunkW {
+		c.trunkW = append(c.trunkW, n.trunkW[l].Clone())
+		c.trunkB = append(c.trunkB, n.trunkB[l].Clone())
+	}
+	c.capW = n.capW.Clone()
+	c.capB = n.capB.Clone()
+	c.alphaW = n.alphaW.Clone()
+	c.alphaB = n.alphaB
+	c.teW = n.teW.Clone()
+	c.teB = n.teB.Clone()
+	if n.prov != nil {
+		p := *n.prov
+		c.prov = &p
+	}
+	return c
+}
 
 // trunkForward returns the activations of every trunk layer (index 0 is the
 // input itself). Activation buffers come from ws when non-nil (valid until

@@ -8,26 +8,68 @@ import (
 	"solarsched/internal/mat"
 )
 
+// SerializeVersion is the current on-disk model format version. Version 1
+// envelopes (written before provenance existed) carry no "format" field and
+// are still read; version 2 adds the training-provenance block.
+const SerializeVersion = 2
+
+// Provenance records where a set of weights came from: how much data and
+// how many epochs produced them, the final training loss, the RNG seed the
+// optimization ran under, and — for fine-tuned models — the digest and
+// registry version of the parent weights. It rides inside the weight
+// envelope so a model file is self-describing, and the continuous-learning
+// registry lifts it into the version manifest unchanged.
+type Provenance struct {
+	// Samples is the number of supervised (input, target) pairs trained on.
+	Samples int `json:"samples,omitempty"`
+	// PretrainEpochs and FineEpochs are the unsupervised RBM and supervised
+	// BP epoch counts.
+	PretrainEpochs int `json:"pretrain_epochs,omitempty"`
+	FineEpochs     int `json:"fine_epochs,omitempty"`
+	// Loss is the mean loss of the final fine-tuning epoch.
+	Loss float64 `json:"loss,omitempty"`
+	// Seed is the RNG seed the weights were initialized and trained under.
+	Seed uint64 `json:"seed,omitempty"`
+	// Parent is the SHA-256 digest of the weights fine-tuning started from
+	// ("" for a model trained from scratch); ParentVersion its registry
+	// version when known.
+	Parent        string `json:"parent,omitempty"`
+	ParentVersion int    `json:"parent_version,omitempty"`
+}
+
 // netJSON is the on-disk model format written by WriteJSON: the full
 // configuration and every weight, so a trained scheduler can be deployed
-// without retraining.
+// without retraining. Format 0 (absent) and 1 are the pre-provenance
+// layout; format 2 adds the provenance block.
 type netJSON struct {
-	Config Config      `json:"config"`
-	TrunkW [][]float64 `json:"trunk_weights"` // row-major per layer
-	TrunkB [][]float64 `json:"trunk_biases"`
-	CapW   []float64   `json:"cap_weights"`
-	CapB   []float64   `json:"cap_bias"`
-	AlphaW []float64   `json:"alpha_weights"`
-	AlphaB float64     `json:"alpha_bias"`
-	TeW    []float64   `json:"te_weights"`
-	TeB    []float64   `json:"te_bias"`
+	Format     int         `json:"format,omitempty"`
+	Provenance *Provenance `json:"provenance,omitempty"`
+	Config     Config      `json:"config"`
+	TrunkW     [][]float64 `json:"trunk_weights"` // row-major per layer
+	TrunkB     [][]float64 `json:"trunk_biases"`
+	CapW       []float64   `json:"cap_weights"`
+	CapB       []float64   `json:"cap_bias"`
+	AlphaW     []float64   `json:"alpha_weights"`
+	AlphaB     float64     `json:"alpha_bias"`
+	TeW        []float64   `json:"te_weights"`
+	TeB        []float64   `json:"te_bias"`
 }
+
+// SetProvenance attaches training provenance to the network; it is carried
+// by WriteJSON and restored by ReadJSON. Nil clears it.
+func (n *Network) SetProvenance(p *Provenance) { n.prov = p }
+
+// Provenance returns the network's training provenance, or nil for weights
+// that predate provenance tracking (format-1 files, untrained networks).
+func (n *Network) Provenance() *Provenance { return n.prov }
 
 // WriteJSON serializes the trained network.
 func (n *Network) WriteJSON(w io.Writer) error {
 	out := netJSON{
-		Config: n.cfg,
-		CapW:   n.capW.Data, CapB: n.capB,
+		Format:     SerializeVersion,
+		Provenance: n.prov,
+		Config:     n.cfg,
+		CapW:       n.capW.Data, CapB: n.capB,
 		AlphaW: n.alphaW, AlphaB: n.alphaB,
 		TeW: n.teW.Data, TeB: n.teB,
 	}
@@ -40,11 +82,16 @@ func (n *Network) WriteJSON(w io.Writer) error {
 }
 
 // ReadJSON deserializes a network written by WriteJSON, validating every
-// dimension.
+// dimension. It reads both the current format and the pre-provenance
+// version-1 files (no "format" field), which simply restore with nil
+// provenance.
 func ReadJSON(r io.Reader) (*Network, error) {
 	var in netJSON
 	if err := json.NewDecoder(r).Decode(&in); err != nil {
 		return nil, fmt.Errorf("ann: parsing model: %w", err)
+	}
+	if in.Format > SerializeVersion {
+		return nil, fmt.Errorf("ann: model format %d, this build reads up to %d", in.Format, SerializeVersion)
 	}
 	cfg := in.Config
 	if cfg.InputDim <= 0 || len(cfg.Hidden) == 0 || cfg.CapClasses <= 0 || cfg.TaskCount <= 0 {
@@ -83,6 +130,7 @@ func ReadJSON(r io.Reader) (*Network, error) {
 	if err := fill(n.teB, in.TeB, "te bias", cfg.TaskCount); err != nil {
 		return nil, err
 	}
+	n.prov = in.Provenance
 	return n, nil
 }
 

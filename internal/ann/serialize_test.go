@@ -43,6 +43,97 @@ func TestModelRoundTrip(t *testing.T) {
 	}
 }
 
+func TestProvenanceRoundTrip(t *testing.T) {
+	n := New(Config{InputDim: 4, Hidden: []int{6}, CapClasses: 2, TaskCount: 3, Seed: 9})
+	prov := &Provenance{
+		Samples: 480, PretrainEpochs: 8, FineEpochs: 200,
+		Loss: 0.125, Seed: 9, Parent: "abc123", ParentVersion: 4,
+	}
+	n.SetProvenance(prov)
+	var buf bytes.Buffer
+	if err := n.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"format":2`) {
+		t.Fatalf("serialized model missing format version: %.120s", buf.String())
+	}
+	m, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.Provenance()
+	if got == nil || *got != *prov {
+		t.Fatalf("provenance round-trip: got %+v, want %+v", got, prov)
+	}
+}
+
+// TestReadJSONVersion1Compat verifies that pre-provenance envelopes — no
+// "format" field, no provenance block — still load, with nil provenance.
+func TestReadJSONVersion1Compat(t *testing.T) {
+	n := New(Config{InputDim: 4, Hidden: []int{6}, CapClasses: 2, TaskCount: 3, Seed: 1})
+	var buf bytes.Buffer
+	if err := n.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Strip the v2 additions to reconstruct a v1 file byte layout.
+	v1 := strings.Replace(buf.String(), `"format":2,`, "", 1)
+	if v1 == buf.String() {
+		t.Fatal("test fixture mismatch: format field not found")
+	}
+	m, err := ReadJSON(strings.NewReader(v1))
+	if err != nil {
+		t.Fatalf("v1 envelope rejected: %v", err)
+	}
+	if m.Provenance() != nil {
+		t.Fatalf("v1 envelope produced provenance %+v", m.Provenance())
+	}
+	x := mat.NewVector(4)
+	for j := range x {
+		x[j] = 0.25 * float64(j)
+	}
+	a, b := n.Forward(x), m.Forward(x)
+	if a.Alpha != b.Alpha || a.Cap() != b.Cap() {
+		t.Fatal("v1-restored network diverges")
+	}
+}
+
+func TestReadJSONRejectsFutureFormat(t *testing.T) {
+	n := New(Config{InputDim: 4, Hidden: []int{6}, CapClasses: 2, TaskCount: 3, Seed: 1})
+	var buf bytes.Buffer
+	if err := n.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	future := strings.Replace(buf.String(), `"format":2`, `"format":99`, 1)
+	if _, err := ReadJSON(strings.NewReader(future)); err == nil {
+		t.Fatal("future format accepted")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	src := rng.New(11)
+	inputs, targets := makeSupervised(80, src)
+	n := New(Config{InputDim: 8, Hidden: []int{10, 5}, CapClasses: 4, TaskCount: 4, Seed: 7})
+	c := n.Clone()
+
+	x := mat.NewVector(8)
+	for j := range x {
+		x[j] = src.Float64()
+	}
+	before := n.Forward(x)
+	// Training the clone must not disturb the original.
+	opt := DefaultTrainOptions()
+	opt.Epochs = 5
+	c.Train(inputs, targets, opt)
+	after := n.Forward(x)
+	if before.Alpha != after.Alpha || before.Cap() != after.Cap() {
+		t.Fatal("training a clone mutated the original network")
+	}
+	cl := c.Forward(x)
+	if cl.Alpha == before.Alpha {
+		t.Fatal("clone did not train (forward unchanged)")
+	}
+}
+
 func TestReadJSONRejectsCorrupt(t *testing.T) {
 	n := New(Config{InputDim: 4, Hidden: []int{6}, CapClasses: 2, TaskCount: 3, Seed: 1})
 	var buf bytes.Buffer

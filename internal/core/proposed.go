@@ -477,6 +477,13 @@ func TrainOnSamples(pc PlanConfig, inputs []mat.Vector, targets []ann.Target, op
 	net.Pretrain(inputs, opt.PretrainEpochs, 0.05)
 	loss := net.Train(inputs, targets, opt.Fine)
 	span.End()
+	net.SetProvenance(&ann.Provenance{
+		Samples:        len(inputs),
+		PretrainEpochs: opt.PretrainEpochs,
+		FineEpochs:     opt.Fine.Epochs,
+		Loss:           loss,
+		Seed:           opt.Seed,
+	})
 	return net, loss, nil
 }
 

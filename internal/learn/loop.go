@@ -1,0 +1,175 @@
+package learn
+
+import (
+	"context"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"solarsched/internal/ann"
+	"solarsched/internal/core"
+	"solarsched/internal/fleet"
+	"solarsched/internal/obs"
+)
+
+// Config wires the continuous-learning loop into a daemon.
+type Config struct {
+	// Dir is the loop's state root: Dir/telemetry holds the telemetry
+	// segments, Dir/models the versioned model store, Dir/registry.json
+	// the manifest.
+	Dir string
+	// Registry receives the loop's metrics; nil disables.
+	Registry *obs.Registry
+	// Cache is the shared fleet artifact cache the trainer labels and
+	// resolves base networks through.
+	Cache *fleet.Cache
+	// Interval is the training-cycle period. 0 disables the background
+	// ticker (cycles then run only via RunCycle — tests and the CLI).
+	Interval time.Duration
+	// Telemetry tunes the telemetry log.
+	Telemetry TelemetryConfig
+	// Trainer tunes fine-tuning and the promotion gate.
+	Trainer TrainerConfig
+	// ShadowQueueDepth bounds the shadow comparison queue; ≤0 means 1024.
+	ShadowQueueDepth int
+}
+
+// Loop owns the four continuous-learning components and exposes the thin
+// surface the serving layer touches: RecordDecision on every answered
+// decide, ServingOverride on every model resolution, and lifecycle.
+type Loop struct {
+	cfg Config
+
+	telemetry *TelemetryLog
+	registry  *Registry
+	shadow    *Shadow
+	trainer   *Trainer
+
+	seen sync.Map // lineage key → struct{}: EnsureLineage once per key
+
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+
+	mOverrides   *obs.Counter
+	mOverrideErr *obs.Counter
+}
+
+// Open builds the loop: telemetry log, model registry, shadow worker and
+// trainer, all rooted under cfg.Dir. Start launches the background cycle.
+func Open(cfg Config) (*Loop, error) {
+	telemetry, err := OpenTelemetry(filepath.Join(cfg.Dir, "telemetry"), cfg.Telemetry, cfg.Registry)
+	if err != nil {
+		return nil, err
+	}
+	registry, err := OpenRegistry(cfg.Dir, cfg.Registry)
+	if err != nil {
+		telemetry.Close()
+		return nil, err
+	}
+	shadow := NewShadow(cfg.ShadowQueueDepth, cfg.Registry)
+	l := &Loop{
+		cfg:          cfg,
+		telemetry:    telemetry,
+		registry:     registry,
+		shadow:       shadow,
+		trainer:      NewTrainer(cfg.Cache, registry, shadow, cfg.Trainer, cfg.Registry),
+		stop:         make(chan struct{}),
+		done:         make(chan struct{}),
+		mOverrides:   cfg.Registry.Counter("learn_serving_overrides_total"),
+		mOverrideErr: cfg.Registry.Counter("learn_serving_override_errors_total"),
+	}
+	return l, nil
+}
+
+// Start launches the background training ticker (no-op when
+// cfg.Interval ≤ 0). ctx cancellation aborts a cycle in flight.
+func (l *Loop) Start(ctx context.Context) {
+	if l.cfg.Interval <= 0 {
+		close(l.done)
+		return
+	}
+	go func() {
+		defer close(l.done)
+		ticker := time.NewTicker(l.cfg.Interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-l.stop:
+				return
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+				l.RunCycle(ctx)
+			}
+		}
+	}()
+}
+
+// RunCycle drains accumulated telemetry and runs one trainer cycle.
+func (l *Loop) RunCycle(ctx context.Context) (*CycleReport, error) {
+	recs, err := l.telemetry.Drain()
+	if err != nil {
+		return nil, err
+	}
+	return l.trainer.RunCycle(ctx, recs)
+}
+
+// RecordDecision feeds one answered /v1/decide into the loop: the lineage
+// recipe is recorded on first sight, the observation joins the telemetry
+// log, and the shadow worker (if a candidate is trialing) re-scores it.
+// Never blocks; safe on the decide hot path.
+func (l *Loop) RecordDecision(key, tenant string, spec LineageSpec, req core.DecideRequest, dec core.OnlineDecision, modelDigest string) {
+	if _, ok := l.seen.Load(key); !ok {
+		if err := l.registry.EnsureLineage(key, spec); err == nil {
+			l.seen.Store(key, struct{}{})
+		}
+	}
+	l.telemetry.Append(Record{
+		Key:         key,
+		Tenant:      tenant,
+		PrevPowers:  req.PrevPowers,
+		Voltages:    req.Voltages,
+		AccDMR:      req.AccumulatedDMR,
+		PeriodOfDay: req.PeriodOfDay,
+		ActiveCap:   req.ActiveCap,
+		Cap:         dec.Cap,
+		Alpha:       dec.Alpha,
+		Switch:      dec.Switch,
+		ModelDigest: modelDigest,
+	})
+	l.shadow.Observe(key, tenant, req, dec)
+}
+
+// ServingOverride resolves the promoted model of a lineage, if any. A
+// load error (e.g. a quarantined model file) fails open to the base
+// network — serving must not break because the registry is unwell.
+func (l *Loop) ServingOverride(key string) (*ann.Network, VersionInfo, bool) {
+	net, info, ok, err := l.registry.Serving(key)
+	if err != nil {
+		l.mOverrideErr.Inc()
+		return nil, VersionInfo{}, false
+	}
+	if ok {
+		l.mOverrides.Inc()
+	}
+	return net, info, ok
+}
+
+// ModelRegistry exposes the registry for the model CLI and tests.
+func (l *Loop) ModelRegistry() *Registry { return l.registry }
+
+// Telemetry exposes the telemetry log for tests and the CLI.
+func (l *Loop) Telemetry() *TelemetryLog { return l.telemetry }
+
+// Shadow exposes the shadow evaluator for tests.
+func (l *Loop) Shadow() *Shadow { return l.shadow }
+
+// Close stops the ticker, the shadow worker and the telemetry flusher,
+// flushing buffered telemetry to disk.
+func (l *Loop) Close() error {
+	l.stopOnce.Do(func() { close(l.stop) })
+	<-l.done
+	l.shadow.Stop()
+	return l.telemetry.Close()
+}

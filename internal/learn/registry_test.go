@@ -1,0 +1,138 @@
+package learn
+
+import (
+	"testing"
+
+	"solarsched/internal/ann"
+	"solarsched/internal/obs"
+)
+
+func testNet(seed uint64) *ann.Network {
+	n := ann.New(ann.Config{InputDim: 6, Hidden: []int{8}, CapClasses: 2, TaskCount: 3, Seed: seed})
+	n.SetProvenance(&ann.Provenance{Samples: 10, FineEpochs: 5, Seed: seed})
+	return n
+}
+
+func TestRegistryLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	reg, err := OpenRegistry(dir, obs.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const key = "wam|2|{2 777 80 10}"
+	if err := reg.EnsureLineage(key, LineageSpec{Graph: "wam", H: 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	v1, err := reg.Register(key, testNet(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := reg.Register(key, testNet(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1.Version != 1 || v2.Version != 2 {
+		t.Fatalf("versions %d, %d; want 1, 2", v1.Version, v2.Version)
+	}
+	if v1.Digest == v2.Digest {
+		t.Fatal("different weights share a digest")
+	}
+	if v1.State != StateCandidate {
+		t.Fatalf("fresh registration state %q", v1.State)
+	}
+	if _, _, ok, _ := reg.Serving(key); ok {
+		t.Fatal("serving model before any promotion")
+	}
+
+	if _, err := reg.Promote(key, v1.Version); err != nil {
+		t.Fatal(err)
+	}
+	net, info, ok, err := reg.Serving(key)
+	if err != nil || !ok {
+		t.Fatalf("serving after promote: ok=%v err=%v", ok, err)
+	}
+	if info.Version != 1 || net == nil {
+		t.Fatalf("serving version %d, want 1", info.Version)
+	}
+
+	// Promote v2; v1 becomes the rollback target.
+	if _, err := reg.Promote(key, v2.Version); err != nil {
+		t.Fatal(err)
+	}
+	if _, info, _, _ := reg.Serving(key); info.Version != 2 {
+		t.Fatalf("serving version %d, want 2", info.Version)
+	}
+	back, err := reg.Rollback(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Version != 1 {
+		t.Fatalf("rollback landed on v%d, want v1", back.Version)
+	}
+	// Rollback is itself reversible.
+	fwd, err := reg.Rollback(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fwd.Version != 2 {
+		t.Fatalf("second rollback landed on v%d, want v2", fwd.Version)
+	}
+
+	// Guard rails.
+	if _, err := reg.Promote(key, 99); err == nil {
+		t.Fatal("promoted an unknown version")
+	}
+	if _, err := reg.Promote("other|4|{}", v1.Version); err == nil {
+		t.Fatal("promoted a version into a foreign lineage")
+	}
+	if _, err := reg.Rollback("other|4|{}"); err == nil {
+		t.Fatal("rolled back a lineage with no history")
+	}
+}
+
+// TestRegistryPersistence: manifest and weights survive a process restart
+// with bit-identical serving behavior.
+func TestRegistryPersistence(t *testing.T) {
+	dir := t.TempDir()
+	reg, err := OpenRegistry(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const key = "wam|2|{2 777 80 10}"
+	if err := reg.EnsureLineage(key, LineageSpec{Graph: "wam", H: 2}); err != nil {
+		t.Fatal(err)
+	}
+	orig := testNet(7)
+	info, err := reg.Register(key, orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Promote(key, info.Version); err != nil {
+		t.Fatal(err)
+	}
+
+	reg2, err := OpenRegistry(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, ok := reg2.Lineage(key)
+	if !ok || spec.Graph != "wam" {
+		t.Fatalf("lineage lost across restart: %+v ok=%v", spec, ok)
+	}
+	net, got, ok, err := reg2.Serving(key)
+	if err != nil || !ok {
+		t.Fatalf("serving lost across restart: ok=%v err=%v", ok, err)
+	}
+	if got.Digest != info.Digest || got.Version != info.Version {
+		t.Fatalf("restart changed serving identity: %+v vs %+v", got, info)
+	}
+	d1, _, _ := WeightsDigest(orig)
+	d2, _, _ := WeightsDigest(net)
+	if d1 != d2 {
+		t.Fatal("reloaded weights are not bit-identical")
+	}
+	if p := net.Provenance(); p == nil || p.Samples != 10 {
+		t.Fatalf("provenance lost across restart: %+v", p)
+	}
+}

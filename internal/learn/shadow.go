@@ -1,0 +1,192 @@
+package learn
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"solarsched/internal/ann"
+	"solarsched/internal/core"
+	"solarsched/internal/obs"
+)
+
+// shadowCandidate is the model currently shadow-scoring one lineage's
+// live traffic.
+type shadowCandidate struct {
+	pc       core.PlanConfig
+	net      *ann.Network
+	version  int
+	compared atomic.Int64
+	diverged atomic.Int64
+}
+
+// shadowJob is one observed live decision queued for comparison.
+type shadowJob struct {
+	key    string
+	tenant string
+	req    core.DecideRequest
+	served core.OnlineDecision
+}
+
+// Shadow scores candidate models against live /v1/decide traffic without
+// touching the answering path: Observe enqueues (never blocks; a full
+// queue drops and counts) and a single background worker re-decides each
+// request with the candidate, recording per-tenant divergence. The gate
+// reads Compared to require a minimum of live evidence before promotion.
+type Shadow struct {
+	reg *obs.Registry
+
+	mu         sync.RWMutex
+	candidates map[string]*shadowCandidate
+
+	queue chan shadowJob
+	stop  chan struct{}
+	done  chan struct{}
+
+	mEnqueued *obs.Counter
+	mDropped  *obs.Counter
+	mErrors   *obs.Counter
+}
+
+// NewShadow starts the shadow worker. queueDepth ≤ 0 means 1024.
+func NewShadow(queueDepth int, reg *obs.Registry) *Shadow {
+	if queueDepth <= 0 {
+		queueDepth = 1024
+	}
+	s := &Shadow{
+		reg:        reg,
+		candidates: map[string]*shadowCandidate{},
+		queue:      make(chan shadowJob, queueDepth),
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+		mEnqueued:  reg.Counter("learn_shadow_enqueued_total"),
+		mDropped:   reg.Counter("learn_shadow_dropped_total"),
+		mErrors:    reg.Counter("learn_shadow_errors_total"),
+	}
+	go s.worker()
+	return s
+}
+
+// SetCandidate installs (or replaces) the shadow candidate of a lineage.
+// Comparison counters restart from zero.
+func (s *Shadow) SetCandidate(key string, pc core.PlanConfig, net *ann.Network, version int) {
+	s.mu.Lock()
+	s.candidates[key] = &shadowCandidate{pc: pc, net: net, version: version}
+	s.mu.Unlock()
+}
+
+// ClearCandidate stops shadow-scoring a lineage.
+func (s *Shadow) ClearCandidate(key string) {
+	s.mu.Lock()
+	delete(s.candidates, key)
+	s.mu.Unlock()
+}
+
+// Candidate returns the shadowing version of key, 0 when none.
+func (s *Shadow) Candidate(key string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if c, ok := s.candidates[key]; ok {
+		return c.version
+	}
+	return 0
+}
+
+// Compared returns how many live decisions the current candidate of key
+// has been scored against.
+func (s *Shadow) Compared(key string) int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if c, ok := s.candidates[key]; ok {
+		return c.compared.Load()
+	}
+	return 0
+}
+
+// Diverged returns how many of those decisions the candidate answered
+// differently.
+func (s *Shadow) Diverged(key string) int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if c, ok := s.candidates[key]; ok {
+		return c.diverged.Load()
+	}
+	return 0
+}
+
+// Observe feeds one live decision to the shadow worker. It never blocks:
+// with no candidate for the key it is a map lookup; with a full queue the
+// observation is dropped and counted. Safe to call from the decide hot
+// path.
+func (s *Shadow) Observe(key, tenant string, req core.DecideRequest, served core.OnlineDecision) {
+	s.mu.RLock()
+	_, ok := s.candidates[key]
+	s.mu.RUnlock()
+	if !ok {
+		return
+	}
+	select {
+	case s.queue <- shadowJob{key: key, tenant: tenant, req: req, served: served}:
+		s.mEnqueued.Inc()
+	default:
+		s.mDropped.Inc()
+	}
+}
+
+// worker drains the queue until Stop.
+func (s *Shadow) worker() {
+	defer close(s.done)
+	for {
+		select {
+		case <-s.stop:
+			return
+		case job := <-s.queue:
+			s.compare(job)
+		}
+	}
+}
+
+// compare re-decides one live request with the candidate and records
+// divergence: a different capacitor choice, switch verdict, or scheduling
+// stage counts as divergent (α itself is continuous; the decisions that
+// act on the node are what promotion cares about).
+func (s *Shadow) compare(job shadowJob) {
+	s.mu.RLock()
+	c := s.candidates[job.key]
+	s.mu.RUnlock()
+	if c == nil {
+		return
+	}
+	got, err := core.Decide(c.pc, c.net, job.req)
+	if err != nil {
+		s.mErrors.Inc()
+		return
+	}
+	c.compared.Add(1)
+	tl := obs.L("tenant", tenantLabel(job.tenant))
+	s.reg.Counter("learn_shadow_compared_total", tl).Inc()
+	if got.Cap != job.served.Cap || got.Switch != job.served.Switch || got.Intra != job.served.Intra {
+		c.diverged.Add(1)
+		s.reg.Counter("learn_shadow_divergence_total", tl).Inc()
+	}
+	// The realized per-tenant DMR rides in on every request — exported so
+	// operators can correlate divergence with live performance.
+	s.reg.Gauge("learn_shadow_realized_dmr", tl).Set(job.req.AccumulatedDMR)
+}
+
+func tenantLabel(t string) string {
+	if t == "" {
+		return "default"
+	}
+	return t
+}
+
+// Stop halts the worker. Pending queued jobs are discarded.
+func (s *Shadow) Stop() {
+	select {
+	case <-s.stop:
+		return
+	default:
+	}
+	close(s.stop)
+	<-s.done
+}

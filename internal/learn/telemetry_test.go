@@ -1,0 +1,163 @@
+package learn
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"solarsched/internal/obs"
+)
+
+func testRecord(key string, period int, dmr float64) Record {
+	powers := make([]float64, 4)
+	for i := range powers {
+		powers[i] = 0.1 * float64(period+i)
+	}
+	return Record{
+		Key: key, Tenant: "t0",
+		PrevPowers: powers, Voltages: []float64{3.0, 1.2},
+		AccDMR: dmr, PeriodOfDay: period, ActiveCap: 0,
+		Cap: 1, Alpha: 0.9, Switch: period%2 == 0,
+	}
+}
+
+func TestTelemetryRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	// FlushEvery 16 bounds the buffer at 64 — a burst of 50 appends can
+	// never be shed even if the background flusher doesn't run at all.
+	log, err := OpenTelemetry(dir, TelemetryConfig{FlushEvery: 16}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	for i := 0; i < n; i++ {
+		log.Append(testRecord("k", i, float64(i)*0.01))
+	}
+	recs, err := log.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != n {
+		t.Fatalf("drained %d records, want %d", len(recs), n)
+	}
+	for i, r := range recs {
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("record %d has seq %d, want %d", i, r.Seq, i+1)
+		}
+		if r.PeriodOfDay != i {
+			t.Fatalf("record %d out of order: period %d", i, r.PeriodOfDay)
+		}
+	}
+	// Drained means gone.
+	if log.Len() != 0 {
+		t.Fatalf("after drain Len = %d, want 0", log.Len())
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTelemetryCrashAdoption: records flushed by one process are adopted —
+// with continuing sequence numbers — by the next, and a torn segment is
+// skipped, counted and removed rather than poisoning the log.
+func TestTelemetryCrashAdoption(t *testing.T) {
+	dir := t.TempDir()
+	log, err := OpenTelemetry(dir, TelemetryConfig{FlushEvery: 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		log.Append(testRecord("k", i, 0))
+	}
+	if err := log.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// "Crash": no Close. Also corrupt one extra file by hand.
+	if err := os.WriteFile(filepath.Join(dir, "seg-9999999999.tlog"), []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	log2, err := OpenTelemetry(dir, TelemetryConfig{}, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log2.Close()
+	if got := log2.Len(); got != 10 {
+		t.Fatalf("adopted %d records, want 10", got)
+	}
+	if v := reg.Counter("learn_telemetry_torn_segments_total").Value(); v != 1 {
+		t.Fatalf("torn counter = %v, want 1", v)
+	}
+	// New appends continue the sequence, not restart it.
+	log2.Append(testRecord("k", 99, 0))
+	recs, err := log2.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 11 {
+		t.Fatalf("drained %d, want 11", len(recs))
+	}
+	if last := recs[10].Seq; last != 11 {
+		t.Fatalf("continued seq = %d, want 11", last)
+	}
+}
+
+// TestTelemetryRetention: the on-disk bound compacts oldest segments away.
+func TestTelemetryRetention(t *testing.T) {
+	reg := obs.NewRegistry()
+	log, err := OpenTelemetry(t.TempDir(), TelemetryConfig{MaxRecords: 10, FlushEvery: 5}, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	for i := 0; i < 25; i++ {
+		log.Append(testRecord("k", i, 0))
+		if (i+1)%5 == 0 {
+			if err := log.Flush(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if got := log.Len(); got > 10 {
+		t.Fatalf("retained %d records, budget 10", got)
+	}
+	if v := reg.Counter("learn_telemetry_compacted_total").Value(); v != 15 {
+		t.Fatalf("compacted counter = %v, want 15", v)
+	}
+	// The survivors are the newest.
+	recs, err := log.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs[0].PeriodOfDay != 15 {
+		t.Fatalf("oldest surviving record is period %d, want 15", recs[0].PeriodOfDay)
+	}
+}
+
+// TestTelemetryDropWhenSaturated: a stalled flusher must shed load, not
+// grow the buffer or block the caller.
+func TestTelemetryDropWhenSaturated(t *testing.T) {
+	reg := obs.NewRegistry()
+	log, err := OpenTelemetry(t.TempDir(), TelemetryConfig{FlushEvery: 2}, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Saturate the buffer directly (no flush signal is sent, so the
+	// background flusher stays idle): cap is 4×FlushEvery = 8 records.
+	log.mu.Lock()
+	for i := 0; i < 8; i++ {
+		log.buf = append(log.buf, testRecord("k", i, 0))
+	}
+	log.mu.Unlock()
+	log.Append(testRecord("k", 99, 0))
+	if dropped := reg.Counter("learn_telemetry_dropped_total").Value(); dropped != 1 {
+		t.Fatalf("dropped counter = %v, want 1", dropped)
+	}
+	if log.Len() != 8 {
+		t.Fatalf("saturated buffer grew to %d", log.Len())
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,404 @@
+package learn
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"solarsched/internal/ann"
+	"solarsched/internal/core"
+	"solarsched/internal/fleet"
+	"solarsched/internal/mat"
+	"solarsched/internal/obs"
+	"solarsched/internal/sim"
+	"solarsched/internal/solar"
+)
+
+// TrainerConfig tunes the background fine-tuning cycle and the promotion
+// gate.
+type TrainerConfig struct {
+	// MinSamples is the telemetry records a lineage must accumulate before
+	// a cycle attempts a candidate. 0 means 2 reconstructed days' worth
+	// (the minimum that leaves a holdout day anyway).
+	MinSamples int
+	// FineEpochs is the fine-tuning epoch count per cycle. 0 means 40 —
+	// deliberately shallow: each cycle nudges the serving weights, it does
+	// not retrain from scratch.
+	FineEpochs int
+	// HoldoutDays is the newest reconstructed days reserved for gate
+	// evaluation, never trained on. 0 means 1.
+	HoldoutDays int
+	// CanaryFraction is the fraction of holdout days the A/B gate
+	// simulates (the canary). 0 means 1.0 (the whole holdout).
+	CanaryFraction float64
+	// MinImprovement is how much lower (absolute DMR) the candidate must
+	// score than the incumbent on the canary to promote. 0 means 0.005;
+	// negative means any non-worse candidate passes.
+	MinImprovement float64
+	// ShadowMinDecisions makes promotion additionally wait until the
+	// candidate has shadow-scored at least this many live decisions.
+	// 0 disables the shadow requirement (the sim A/B alone gates).
+	ShadowMinDecisions int
+	// AutoPromote lets the gate promote passing candidates. When false the
+	// trainer still registers candidates (for `solarsched model ls` and
+	// manual promotion) but never changes the serving model.
+	AutoPromote bool
+}
+
+func (c TrainerConfig) withDefaults() TrainerConfig {
+	if c.FineEpochs <= 0 {
+		c.FineEpochs = 40
+	}
+	if c.HoldoutDays <= 0 {
+		c.HoldoutDays = 1
+	}
+	if c.CanaryFraction <= 0 || c.CanaryFraction > 1 {
+		c.CanaryFraction = 1
+	}
+	if c.MinImprovement == 0 {
+		c.MinImprovement = 0.005
+	}
+	return c
+}
+
+// CycleReport summarizes one trainer cycle for logs and tests.
+type CycleReport struct {
+	Records    int             `json:"records"`
+	Lineages   int             `json:"lineages"`
+	Candidates []CandidateInfo `json:"candidates,omitempty"`
+	Skipped    []string        `json:"skipped,omitempty"`
+}
+
+// CandidateInfo describes one candidate the cycle produced and how the
+// gate judged it.
+type CandidateInfo struct {
+	Key          string  `json:"key"`
+	Version      int     `json:"version"`
+	Samples      int     `json:"samples"`
+	Loss         float64 `json:"loss"`
+	CandidateDMR float64 `json:"candidate_dmr"`
+	IncumbentDMR float64 `json:"incumbent_dmr"`
+	Promoted     bool    `json:"promoted"`
+	Reason       string  `json:"reason"`
+}
+
+// pendingPromotion is a candidate that passed the sim A/B gate but is
+// still accumulating shadow decisions before promotion.
+type pendingPromotion struct {
+	version      int
+	candidateDMR float64
+	incumbentDMR float64
+}
+
+// Trainer runs the background fine-tuning cycle: drain telemetry,
+// reconstruct the observed solar climate, label it with the DP teacher,
+// fine-tune a clone of the serving weights, and gate the result through a
+// held-out canary simulation (plus, optionally, live shadow scoring).
+type Trainer struct {
+	cache  *fleet.Cache
+	reg    *Registry
+	shadow *Shadow
+	obsReg *obs.Registry
+	cfg    TrainerConfig
+
+	pending map[string]pendingPromotion
+
+	mCycles     *obs.Counter
+	mErrors     *obs.Counter
+	mCandidates *obs.Counter
+	mGateHolds  *obs.Counter
+	mWeighted   *obs.Counter
+}
+
+// NewTrainer wires a trainer. shadow may be nil (disables the shadow
+// requirement regardless of ShadowMinDecisions).
+func NewTrainer(cache *fleet.Cache, modelReg *Registry, shadow *Shadow, cfg TrainerConfig, reg *obs.Registry) *Trainer {
+	return &Trainer{
+		cache:       cache,
+		reg:         modelReg,
+		shadow:      shadow,
+		obsReg:      reg,
+		cfg:         cfg.withDefaults(),
+		pending:     map[string]pendingPromotion{},
+		mCycles:     reg.Counter("learn_train_cycles_total"),
+		mErrors:     reg.Counter("learn_train_errors_total"),
+		mCandidates: reg.Counter("learn_candidates_total"),
+		mGateHolds:  reg.Counter("learn_gate_holds_total"),
+		mWeighted:   reg.Counter("learn_samples_weighted_total"),
+	}
+}
+
+// ReconstructTrace rebuilds the observed solar climate from telemetry: the
+// PrevPowers of each record is the slot powers of one period, so ordered
+// records concatenate back into a trace over tb's period structure. Only
+// whole days are kept — the DP teacher plans day by day. Returns nil when
+// fewer than one whole day of periods was observed.
+func ReconstructTrace(tb solar.TimeBase, recs []Record) *solar.Trace {
+	rows := make([]Record, 0, len(recs))
+	for _, r := range recs {
+		if len(r.PrevPowers) == tb.SlotsPerPeriod {
+			rows = append(rows, r)
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Seq < rows[j].Seq })
+	days := len(rows) / tb.PeriodsPerDay
+	if days == 0 {
+		return nil
+	}
+	tb.Days = days
+	tr := solar.NewTrace(tb)
+	for i := 0; i < days*tb.PeriodsPerDay; i++ {
+		day, period := i/tb.PeriodsPerDay, i%tb.PeriodsPerDay
+		copy(tr.PeriodPowers(day, period), rows[i].PrevPowers)
+	}
+	return tr
+}
+
+// missFlags marks the periods whose telemetry showed the realized DMR
+// rising — the periods where the serving policy actually missed deadlines.
+// Indexed like ReconstructTrace's periods (same filter, same order).
+func missFlags(tb solar.TimeBase, recs []Record) []bool {
+	rows := make([]Record, 0, len(recs))
+	for _, r := range recs {
+		if len(r.PrevPowers) == tb.SlotsPerPeriod {
+			rows = append(rows, r)
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Seq < rows[j].Seq })
+	flags := make([]bool, len(rows))
+	for i := 1; i < len(rows); i++ {
+		flags[i] = rows[i].AccDMR > rows[i-1].AccDMR
+	}
+	return flags
+}
+
+// RunCycle executes one training cycle over drained telemetry records.
+// Records are grouped by lineage; each lineage with enough data yields at
+// most one registered candidate. Per-lineage failures are reported, not
+// fatal — one bad lineage must not starve the others.
+func (t *Trainer) RunCycle(ctx context.Context, recs []Record) (*CycleReport, error) {
+	t.mCycles.Inc()
+	rep := &CycleReport{Records: len(recs)}
+
+	// First, settle candidates from earlier cycles that were waiting on
+	// shadow decisions.
+	t.settlePending(rep)
+
+	byKey := map[string][]Record{}
+	for _, r := range recs {
+		byKey[r.Key] = append(byKey[r.Key], r)
+	}
+	keys := make([]string, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	rep.Lineages = len(keys)
+	for _, key := range keys {
+		if err := t.trainLineage(ctx, key, byKey[key], rep); err != nil {
+			t.mErrors.Inc()
+			rep.Skipped = append(rep.Skipped, fmt.Sprintf("%s: %v", key, err))
+		}
+	}
+	return rep, nil
+}
+
+func (t *Trainer) trainLineage(ctx context.Context, key string, recs []Record, rep *CycleReport) error {
+	spec, ok := t.reg.Lineage(key)
+	if !ok {
+		return fmt.Errorf("no lineage recipe recorded")
+	}
+	if t.cfg.MinSamples > 0 && len(recs) < t.cfg.MinSamples {
+		rep.Skipped = append(rep.Skipped, fmt.Sprintf("%s: %d records < min %d", key, len(recs), t.cfg.MinSamples))
+		return nil
+	}
+	pc, baseNet, err := fleet.NetworkFor(ctx, t.cache, t.obsReg, spec.Graph, spec.H, spec.Train)
+	if err != nil {
+		return fmt.Errorf("resolving base network: %w", err)
+	}
+	observed := ReconstructTrace(pc.Base, recs)
+	if observed == nil || observed.Base.Days <= t.cfg.HoldoutDays {
+		rep.Skipped = append(rep.Skipped, fmt.Sprintf("%s: %d whole days observed, need > %d", key, daysOf(observed), t.cfg.HoldoutDays))
+		return nil
+	}
+
+	// Parent: the serving override when one was promoted, else the base
+	// offline-trained network.
+	parent, parentDigest, parentVersion := baseNet, "", 0
+	if net, info, ok, err := t.reg.Serving(key); err != nil {
+		return fmt.Errorf("resolving serving model: %w", err)
+	} else if ok {
+		parent, parentDigest, parentVersion = net, info.Digest, info.Version
+	}
+	if parentDigest == "" {
+		if d, _, err := WeightsDigest(parent); err == nil {
+			parentDigest = d
+		}
+	}
+
+	trainDays := observed.Base.Days - t.cfg.HoldoutDays
+	trainTrace := observed.SliceDays(0, trainDays)
+	holdout := observed.SliceDays(trainDays, observed.Base.Days)
+
+	// DP-teacher labels over the observed climate, through the shared
+	// artifact cache — recycled across cycles seeing the same telemetry.
+	pcFit := pc
+	pcFit.Base = trainTrace.Base
+	samples, err := t.cache.Samples(ctx, pcFit, trainTrace)
+	if err != nil {
+		return fmt.Errorf("labeling observed trace: %w", err)
+	}
+	inputs, targets := t.weightByRealizedDMR(pc.Base, recs, samples.Inputs, samples.Targets)
+	if len(inputs) == 0 {
+		rep.Skipped = append(rep.Skipped, key+": teacher produced no samples")
+		return nil
+	}
+
+	candidate := parent.Clone()
+	fine := ann.DefaultTrainOptions()
+	fine.Epochs = t.cfg.FineEpochs
+	loss := candidate.Train(inputs, targets, fine)
+	candidate.SetProvenance(&ann.Provenance{
+		Samples:       len(inputs),
+		FineEpochs:    t.cfg.FineEpochs,
+		Loss:          loss,
+		Seed:          spec.Train.Seed,
+		Parent:        parentDigest,
+		ParentVersion: parentVersion,
+	})
+	info, err := t.reg.Register(key, candidate)
+	if err != nil {
+		return err
+	}
+	t.mCandidates.Inc()
+
+	// Sim A/B gate: incumbent vs candidate on the held-out canary days the
+	// candidate never trained on.
+	canaryDays := int(float64(t.cfg.HoldoutDays)*t.cfg.CanaryFraction + 0.5)
+	if canaryDays < 1 {
+		canaryDays = 1
+	}
+	if canaryDays > holdout.Base.Days {
+		canaryDays = holdout.Base.Days
+	}
+	canary := holdout.SliceDays(0, canaryDays)
+	incumbentDMR, err := EvalDMR(ctx, pc, parent, canary)
+	if err != nil {
+		return fmt.Errorf("evaluating incumbent: %w", err)
+	}
+	candidateDMR, err := EvalDMR(ctx, pc, candidate, canary)
+	if err != nil {
+		return fmt.Errorf("evaluating candidate: %w", err)
+	}
+
+	ci := CandidateInfo{
+		Key: key, Version: info.Version, Samples: len(inputs), Loss: loss,
+		CandidateDMR: candidateDMR, IncumbentDMR: incumbentDMR,
+	}
+	switch {
+	case !t.cfg.AutoPromote:
+		ci.Reason = "auto-promotion disabled"
+		t.mGateHolds.Inc()
+	case candidateDMR+t.cfg.MinImprovement > incumbentDMR:
+		ci.Reason = fmt.Sprintf("canary DMR %.4f not better than incumbent %.4f by %.4f", candidateDMR, incumbentDMR, t.cfg.MinImprovement)
+		t.mGateHolds.Inc()
+	case t.cfg.ShadowMinDecisions > 0 && t.shadow != nil:
+		// Passed the sim gate; now shadow-score live traffic before
+		// switching. settlePending finishes the promotion next cycle.
+		t.shadow.SetCandidate(key, pc, candidate, info.Version)
+		t.pending[key] = pendingPromotion{version: info.Version, candidateDMR: candidateDMR, incumbentDMR: incumbentDMR}
+		ci.Reason = fmt.Sprintf("awaiting %d shadow decisions", t.cfg.ShadowMinDecisions)
+	default:
+		if _, err := t.reg.Promote(key, info.Version); err != nil {
+			return err
+		}
+		ci.Promoted = true
+		ci.Reason = fmt.Sprintf("canary DMR %.4f beat incumbent %.4f", candidateDMR, incumbentDMR)
+	}
+	rep.Candidates = append(rep.Candidates, ci)
+	return nil
+}
+
+// settlePending promotes sim-gate-passing candidates whose shadow run has
+// accumulated enough live decisions.
+func (t *Trainer) settlePending(rep *CycleReport) {
+	if t.shadow == nil {
+		return
+	}
+	keys := make([]string, 0, len(t.pending))
+	for k := range t.pending {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		p := t.pending[key]
+		n := t.shadow.Compared(key)
+		if n < int64(t.cfg.ShadowMinDecisions) {
+			continue
+		}
+		delete(t.pending, key)
+		t.shadow.ClearCandidate(key)
+		if _, err := t.reg.Promote(key, p.version); err != nil {
+			t.mErrors.Inc()
+			rep.Skipped = append(rep.Skipped, fmt.Sprintf("%s: promoting v%d: %v", key, p.version, err))
+			continue
+		}
+		rep.Candidates = append(rep.Candidates, CandidateInfo{
+			Key: key, Version: p.version,
+			CandidateDMR: p.candidateDMR, IncumbentDMR: p.incumbentDMR,
+			Promoted: true,
+			Reason:   fmt.Sprintf("canary DMR %.4f beat incumbent %.4f after %d shadow decisions", p.candidateDMR, p.incumbentDMR, n),
+		})
+	}
+}
+
+// weightByRealizedDMR duplicates the teacher samples of periods where live
+// telemetry recorded deadline misses, focusing the shallow fine-tune on
+// the part of the climate the serving policy is getting wrong. Sample i of
+// CollectSamples is the decision of period i in trace order, so the
+// telemetry miss flags index straight into the sample list.
+func (t *Trainer) weightByRealizedDMR(tb solar.TimeBase, recs []Record, inputs []mat.Vector, targets []ann.Target) ([]mat.Vector, []ann.Target) {
+	flags := missFlags(tb, recs)
+	outIn := make([]mat.Vector, len(inputs), len(inputs)+len(flags))
+	outTg := make([]ann.Target, len(targets), len(targets)+len(flags))
+	copy(outIn, inputs)
+	copy(outTg, targets)
+	for i, missed := range flags {
+		if missed && i < len(inputs) {
+			outIn = append(outIn, inputs[i])
+			outTg = append(outTg, targets[i])
+			t.mWeighted.Inc()
+		}
+	}
+	return outIn, outTg
+}
+
+// EvalDMR simulates net over tr (the §6 engine, no faults) and returns the
+// realized deadline-miss rate — the promotion gate's scalar.
+func EvalDMR(ctx context.Context, pc core.PlanConfig, net *ann.Network, tr *solar.Trace) (float64, error) {
+	pcEval := pc
+	pcEval.Base = tr.Base
+	sched, err := core.NewProposed(pcEval, net)
+	if err != nil {
+		return 0, err
+	}
+	eng, err := sim.New(sim.Config{
+		Trace: tr, Graph: pc.Graph, Capacitances: pc.Capacitances,
+		Params: pc.Params, DirectEff: pc.DirectEff,
+	})
+	if err != nil {
+		return 0, err
+	}
+	res, err := eng.Run(ctx, sched)
+	if err != nil {
+		return 0, err
+	}
+	return res.DMR(), nil
+}
+
+func daysOf(tr *solar.Trace) int {
+	if tr == nil {
+		return 0
+	}
+	return tr.Base.Days
+}

@@ -19,6 +19,7 @@ import (
 	"solarsched/internal/core"
 	"solarsched/internal/dist"
 	"solarsched/internal/fleet"
+	"solarsched/internal/learn"
 	"solarsched/internal/mat"
 	"solarsched/internal/obs"
 	"solarsched/internal/sched"
@@ -38,6 +39,7 @@ const (
 	BenchDecideBatch = "decide_batch"       // coalesced inference, ns per decision in a batch
 	BenchStoreWarm   = "store_warm_restart" // quick fleet rebuilt from an adopted on-disk store
 	BenchFleetDist   = "fleet_dist"         // quick fleet through the coordinator/worker protocol
+	BenchShadowEval  = "shadow_eval"        // decide with live shadow-scoring enabled vs off
 )
 
 // Config tunes a benchmark run. The zero value is the CI configuration.
@@ -137,6 +139,9 @@ func Run(ctx context.Context, cfg Config) (*Snapshot, error) {
 		}},
 		{BenchStoreWarm, benchStoreWarmRestart},
 		{BenchFleetDist, benchFleetDist},
+		{BenchShadowEval, func(ctx context.Context) (BenchResult, error) {
+			return benchShadowEval(ctx, cache, cfg.DecideIters)
+		}},
 	}
 	for _, b := range suite {
 		if !enabled(b.name) {
@@ -603,4 +608,97 @@ func benchDecideBatch(ctx context.Context, cache *fleet.Cache, iters int) (Bench
 		}
 	}
 	return best, nil
+}
+
+// benchShadowEval measures what live shadow evaluation adds to the
+// decide hot path: the same one-shot inference as decide_once, with and
+// without a learn.Shadow candidate installed and Observe called after
+// every decision — exactly the tax RecordDecision pays in the daemon.
+// Observe is a lock + non-blocking channel send; the candidate's own
+// forward passes run on the shadow worker goroutine, so they show up
+// only as background CPU contention, never as serving latency. NsPerOp
+// is the shadowed p50; the bare numbers and the p99 overhead (the
+// figure the <5% serving-tax claim is gated on) ride in Extra. Each
+// side's percentiles are the min over benchReps so one noisy rep cannot
+// manufacture phantom overhead.
+func benchShadowEval(ctx context.Context, cache *fleet.Cache, iters int) (BenchResult, error) {
+	pc, net, err := fleet.NetworkFor(ctx, cache, nil, "wam", 4, QuickTrainSpec())
+	if err != nil {
+		return BenchResult{}, err
+	}
+	voltages := make([]float64, len(pc.Capacitances))
+	for i := range voltages {
+		voltages[i] = 0.75 * pc.Params.VHigh
+	}
+	req := core.DecideRequest{
+		Voltages:       voltages,
+		AccumulatedDMR: 0.02,
+		PeriodOfDay:    pc.Base.PeriodsPerDay / 2,
+	}
+
+	const key = "bench|wam"
+	shadow := learn.NewShadow(1024, nil)
+	defer shadow.Stop()
+	shadow.SetCandidate(key, pc, net, 1)
+
+	durs := make([]float64, iters)
+	measure := func(observed bool) (p50, p99 float64, err error) {
+		for i := 0; i < 10; i++ { // warmup
+			d, err := core.Decide(pc, net, req)
+			if err != nil {
+				return 0, 0, err
+			}
+			if observed {
+				shadow.Observe(key, "bench", req, d)
+			}
+		}
+		for i := range durs {
+			t0 := time.Now()
+			d, err := core.Decide(pc, net, req)
+			if err != nil {
+				return 0, 0, err
+			}
+			if observed {
+				shadow.Observe(key, "bench", req, d)
+			}
+			durs[i] = float64(time.Since(t0).Nanoseconds())
+		}
+		sort.Float64s(durs)
+		return stats.Percentile(durs, 0.50), stats.Percentile(durs, 0.99), nil
+	}
+
+	var baseP50, baseP99, shadowP50, shadowP99 float64
+	for rep := 0; rep < benchReps; rep++ {
+		b50, b99, err := measure(false)
+		if err != nil {
+			return BenchResult{}, err
+		}
+		s50, s99, err := measure(true)
+		if err != nil {
+			return BenchResult{}, err
+		}
+		if rep == 0 || b50 < baseP50 {
+			baseP50 = b50
+		}
+		if rep == 0 || b99 < baseP99 {
+			baseP99 = b99
+		}
+		if rep == 0 || s50 < shadowP50 {
+			shadowP50 = s50
+		}
+		if rep == 0 || s99 < shadowP99 {
+			shadowP99 = s99
+		}
+	}
+	return BenchResult{
+		Iterations: iters,
+		NsPerOp:    shadowP50,
+		Extra: map[string]float64{
+			"base_p50_ns":      baseP50,
+			"base_p99_ns":      baseP99,
+			"shadow_p50_ns":    shadowP50,
+			"shadow_p99_ns":    shadowP99,
+			"p99_overhead_pct": 100 * (shadowP99 - baseP99) / baseP99,
+		},
+	}, nil
 }

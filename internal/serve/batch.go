@@ -27,8 +27,9 @@ type decideBatcher struct {
 	window time.Duration
 	max    int
 
-	mu      sync.Mutex
-	pending map[string]*decideBatch
+	mu       sync.Mutex
+	pending  map[string]*decideBatch
+	draining bool
 
 	// wsPool recycles forward-pass scratch across flushes; flushes for
 	// different networks run concurrently, so the arena cannot be shared.
@@ -83,6 +84,13 @@ func (b *decideBatcher) submit(ctx context.Context, key string, pc core.PlanConf
 	it := &decideItem{req: req, ctx: ctx, done: make(chan decideOutcome, 1)}
 
 	b.mu.Lock()
+	if b.draining {
+		// The daemon is shutting down: answer solo and immediately rather
+		// than opening a window no flusher will close in time. Bit-identical
+		// to the batched answer.
+		b.mu.Unlock()
+		return core.Decide(pc, net, req)
+	}
 	batch := b.pending[key]
 	if batch == nil {
 		batch = &decideBatch{pc: pc, net: net}
@@ -108,6 +116,26 @@ func (b *decideBatcher) submit(ctx context.Context, key string, pc core.PlanConf
 		return out.d, out.err
 	case <-ctx.Done():
 		return core.OnlineDecision{}, ctx.Err()
+	}
+}
+
+// drain flushes every open batch immediately and switches the batcher to
+// solo mode: a SIGTERM drain must answer in-flight waiters now, not after
+// their window timers elapse. Pending timers are stopped so a late fire
+// cannot race the drain (flushIfCurrent would no-op anyway — the batches
+// are detached under the lock). Idempotent.
+func (b *decideBatcher) drain() {
+	b.mu.Lock()
+	b.draining = true
+	batches := make([]*decideBatch, 0, len(b.pending))
+	for key, batch := range b.pending {
+		batch.timer.Stop()
+		delete(b.pending, key)
+		batches = append(batches, batch)
+	}
+	b.mu.Unlock()
+	for _, batch := range batches {
+		b.flush(batch)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"solarsched/internal/core"
 	"solarsched/internal/fleet"
+	"solarsched/internal/learn"
 )
 
 // decideRequest is the body of POST /v1/decide: the observable state a
@@ -91,6 +92,19 @@ func (s *Server) handleDecide(w http.ResponseWriter, req *http.Request) {
 		httpError(w, http.StatusBadRequest, "resolving network: %v", err)
 		return
 	}
+	// Continuous learning: a promoted model from the registry overrides the
+	// offline-trained network for its lineage. The digest joins the batch
+	// key so a promotion (or rollback) mid-flight can never coalesce old-
+	// and new-model requests into one forward pass.
+	lineage := learn.Key(dr.Graph, dr.H, train)
+	modelDigest := ""
+	if s.learn != nil {
+		if onet, info, ok := s.learn.ServingOverride(lineage); ok {
+			net = onet
+			modelDigest = info.Digest
+			span.Tag("model_version", strconv.Itoa(info.Version))
+		}
+	}
 	creq := core.DecideRequest{
 		PrevPowers:     dr.LastPeriodPowers,
 		Voltages:       dr.Voltages,
@@ -107,13 +121,18 @@ func (s *Server) handleDecide(w http.ResponseWriter, req *http.Request) {
 
 	var d core.OnlineDecision
 	if s.batcher != nil {
-		d, err = s.batcher.submit(req.Context(), decideBatchKey(dr.Graph, dr.H, train), pc, net, creq)
+		d, err = s.batcher.submit(req.Context(), decideBatchKey(dr.Graph, dr.H, train)+"|"+modelDigest, pc, net, creq)
 	} else {
 		d, err = core.Decide(pc, net, creq)
 	}
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, "deciding: %v", err)
 		return
+	}
+	if s.learn != nil {
+		s.learn.RecordDecision(lineage, tenant.Name,
+			learn.LineageSpec{Graph: dr.Graph, H: dr.H, Train: train},
+			creq, d, modelDigest)
 	}
 	stage := "inter"
 	if d.Intra {

@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestDrainFlushesOpenBatchImmediately: a SIGTERM drain must answer
+// requests parked in a decide micro-batch window now, not after the window
+// elapses. The window here is far longer than the test timeout, so passing
+// at all proves the early flush.
+func TestDrainFlushesOpenBatchImmediately(t *testing.T) {
+	_, plain := newTestServer(t, Config{})
+	code, want := postJSON(t, plain.URL+"/v1/decide", testDecideBody)
+	if code != http.StatusOK {
+		t.Fatalf("unbatched decide: HTTP %d: %s", code, want)
+	}
+
+	s, ts := newTestServer(t, Config{
+		BatchWindow: time.Hour, // nothing may wait this out
+		BatchMax:    100,
+	})
+
+	type result struct {
+		code int
+		body []byte
+	}
+	got := make(chan result, 1)
+	go func() {
+		code, body := postJSON(t, ts.URL+"/v1/decide", testDecideBody)
+		got <- result{code, body}
+	}()
+
+	// Wait for the request to park in an open batch.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		s.batcher.mu.Lock()
+		open := len(s.batcher.pending)
+		s.batcher.mu.Unlock()
+		if open > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("request never opened a batch")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	start := time.Now()
+	s.DrainBatches()
+	select {
+	case r := <-got:
+		if r.code != http.StatusOK {
+			t.Fatalf("drained decide: HTTP %d: %s", r.code, r.body)
+		}
+		if !bytes.Equal(r.body, want) {
+			t.Fatalf("drained decide diverged from solo answer:\n%s\nvs\n%s", r.body, want)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("parked request still unanswered long after DrainBatches")
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("drain flush took %v", elapsed)
+	}
+
+	// After the drain the batcher is in solo mode: new requests answer
+	// immediately (and identically) instead of opening an hour-long window.
+	start = time.Now()
+	code, solo := postJSON(t, ts.URL+"/v1/decide", testDecideBody)
+	if code != http.StatusOK {
+		t.Fatalf("post-drain decide: HTTP %d: %s", code, solo)
+	}
+	if !bytes.Equal(solo, want) {
+		t.Fatalf("post-drain decide diverged:\n%s\nvs\n%s", solo, want)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("post-drain decide took %v", elapsed)
+	}
+	// DrainBatches is idempotent; Shutdown calls it again in Cleanup.
+	s.DrainBatches()
+}

@@ -36,6 +36,7 @@ import (
 
 	"solarsched/internal/ckpt"
 	"solarsched/internal/fleet"
+	"solarsched/internal/learn"
 	"solarsched/internal/obs"
 	"solarsched/internal/rng"
 	"solarsched/internal/sim"
@@ -92,6 +93,12 @@ type Config struct {
 	// dry). Empty keeps the pre-tenancy behavior: anonymous, unlimited.
 	// Usually loaded via LoadTenantsFile (-api-keys-file).
 	Tenants []Tenant
+	// Learn, when non-nil, closes the continuous-learning loop around
+	// /v1/decide: every answered decision is recorded as telemetry (and
+	// shadow-scored when a candidate model is trialing), and promoted
+	// models from the loop's registry override the offline-trained network
+	// for their lineage. Nil serves the base networks only.
+	Learn *learn.Loop
 	// Logger receives the daemon's structured request/job log. Every line
 	// of the serving path carries the request's correlation ID
 	// (request_id), and job lines add job_id and the result digest, so one
@@ -143,6 +150,7 @@ type Server struct {
 
 	tenants *tenantSet
 	batcher *decideBatcher // nil when micro-batching is off
+	learn   *learn.Loop    // nil when continuous learning is off
 
 	wg  sync.WaitGroup
 	mux *http.ServeMux
@@ -210,6 +218,7 @@ func New(cfg Config) *Server {
 		},
 	}
 	s.tenants = newTenantSet(cfg.Tenants, nil)
+	s.learn = cfg.Learn
 	if cfg.BatchWindow > 0 {
 		max := cfg.BatchMax
 		if max <= 1 {
@@ -313,13 +322,25 @@ func (s *Server) Ready() bool {
 	return s.started && !s.draining
 }
 
-// Shutdown drains the daemon: new submissions are refused (503), every
-// queued and in-flight job's context is canceled — in-flight engines stop
-// at the next period boundary and flush a final checkpoint when a
-// checkpoint directory is configured — and the executor finishes
-// bookkeeping for everything admitted. Returns ctx.Err() if the drain
-// outlives ctx.
+// DrainBatches flushes every open decide micro-batch immediately and
+// switches /v1/decide to solo answers — called at the start of a SIGTERM
+// drain so in-flight waiters get their (bit-identical) decisions now
+// instead of waiting out the batch window against a closing listener.
+// No-op without micro-batching; idempotent.
+func (s *Server) DrainBatches() {
+	if s.batcher != nil {
+		s.batcher.drain()
+	}
+}
+
+// Shutdown drains the daemon: open decide micro-batches flush immediately,
+// new submissions are refused (503), every queued and in-flight job's
+// context is canceled — in-flight engines stop at the next period boundary
+// and flush a final checkpoint when a checkpoint directory is configured —
+// and the executor finishes bookkeeping for everything admitted. Returns
+// ctx.Err() if the drain outlives ctx.
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.DrainBatches()
 	s.mu.Lock()
 	if !s.draining {
 		s.draining = true
